@@ -1,0 +1,703 @@
+//! Two-pass layout and encoding.
+
+use std::collections::HashMap;
+
+use flexcore_isa::{encode, Cond, Instruction, Opcode, Operand2, Reg};
+
+use crate::error::AsmError;
+use crate::parse::{parse_line, Expr, ImmOp, Line, MemIndex, Operand, Stmt};
+use crate::program::Program;
+
+/// Size in bytes a statement will occupy at address `pc`.
+fn stmt_size(stmt: &Stmt, pc: u32) -> u32 {
+    match stmt {
+        Stmt::Inst { mnemonic, .. } => {
+            if mnemonic == "set" {
+                8
+            } else {
+                4
+            }
+        }
+        Stmt::Word(v) => 4 * v.len() as u32,
+        Stmt::Half(v) => 2 * v.len() as u32,
+        Stmt::Byte(v) => v.len() as u32,
+        Stmt::Ascii(b) => b.len() as u32,
+        Stmt::Space(n) => *n,
+        Stmt::Align(a) => pc.next_multiple_of(*a) - pc,
+        Stmt::Org(_) | Stmt::Equ(..) => 0,
+    }
+}
+
+struct Ctx {
+    symbols: HashMap<String, i64>,
+    /// Address of the statement currently being encoded (the value of
+    /// the `.` symbol).
+    dot: u32,
+}
+
+impl Ctx {
+    fn resolve(&self, e: &Expr, line: usize) -> Result<i64, AsmError> {
+        let base = match e.sym.as_deref() {
+            None => 0,
+            Some(".") => i64::from(self.dot),
+            Some(s) => *self
+                .symbols
+                .get(s)
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{s}`")))?,
+        };
+        Ok(base + e.addend)
+    }
+
+    fn resolve_imm(&self, i: &ImmOp, line: usize) -> Result<i64, AsmError> {
+        Ok(match i {
+            ImmOp::Plain(e) => self.resolve(e, line)?,
+            ImmOp::Hi(e) => ((self.resolve(e, line)? as u32) >> 10) as i64,
+            ImmOp::Lo(e) => (self.resolve(e, line)? as u32 & 0x3ff) as i64,
+        })
+    }
+}
+
+fn simm13(v: i64, line: usize) -> Result<Operand2, AsmError> {
+    if (-4096..=4095).contains(&v) {
+        Ok(Operand2::Imm(v as i32))
+    } else {
+        Err(AsmError::new(line, format!("immediate {v} out of simm13 range (use `set`)")))
+    }
+}
+
+struct InstEncoder<'a> {
+    ctx: &'a Ctx,
+    line: usize,
+    pc: u32,
+}
+
+impl InstEncoder<'_> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn reg(&self, op: &Operand) -> Result<Reg, AsmError> {
+        match op {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(self.err(format!("expected register, found {other:?}"))),
+        }
+    }
+
+    fn op2(&self, op: &Operand) -> Result<Operand2, AsmError> {
+        match op {
+            Operand::Reg(r) => Ok(Operand2::Reg(*r)),
+            Operand::Imm(i) => simm13(self.ctx.resolve_imm(i, self.line)?, self.line),
+            Operand::Mem { .. } => Err(self.err("unexpected address operand")),
+        }
+    }
+
+    /// Splits an address operand (`[base + idx]` or bare `reg`/`reg+off`)
+    /// into `(rs1, op2)`.
+    fn addr(&self, op: &Operand) -> Result<(Reg, Operand2), AsmError> {
+        match op {
+            Operand::Mem { base, index } => {
+                let op2 = match index {
+                    MemIndex::Reg(r) => Operand2::Reg(*r),
+                    MemIndex::Imm(i) => simm13(self.ctx.resolve_imm(i, self.line)?, self.line)?,
+                };
+                Ok((*base, op2))
+            }
+            Operand::Reg(r) => Ok((*r, Operand2::Imm(0))),
+            Operand::Imm(_) => Err(self.err("expected an address operand")),
+        }
+    }
+
+    /// Resolves a branch/call target to a word displacement from `pc`.
+    fn disp(&self, op: &Operand, bits: u32) -> Result<i32, AsmError> {
+        let target = match op {
+            Operand::Imm(i) => self.ctx.resolve_imm(i, self.line)?,
+            other => return Err(self.err(format!("expected branch target, found {other:?}"))),
+        };
+        let delta = target - self.pc as i64;
+        if delta % 4 != 0 {
+            return Err(self.err(format!("branch target {target:#x} not word-aligned")));
+        }
+        let words = delta / 4;
+        let limit = 1i64 << (bits - 1);
+        if !(-limit..limit).contains(&words) {
+            return Err(self.err(format!("branch target out of disp{bits} range")));
+        }
+        Ok(words as i32)
+    }
+
+    fn nargs(&self, ops: &[Operand], n: usize) -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {n} operands, found {}", ops.len())))
+        }
+    }
+
+    fn alu3(&self, op: Opcode, ops: &[Operand]) -> Result<Instruction, AsmError> {
+        self.nargs(ops, 3)?;
+        Ok(Instruction::Alu {
+            op,
+            rs1: self.reg(&ops[0])?,
+            op2: self.op2(&ops[1])?,
+            rd: self.reg(&ops[2])?,
+        })
+    }
+
+    fn encode_one(
+        &self,
+        mnemonic: &str,
+        annul: bool,
+        ops: &[Operand],
+    ) -> Result<Vec<Instruction>, AsmError> {
+        use Opcode::*;
+        let alu_table: Option<Opcode> = match mnemonic {
+            "add" => Some(Add),
+            "sub" => Some(Sub),
+            "and" => Some(And),
+            "or" => Some(Or),
+            "xor" => Some(Xor),
+            "andn" => Some(Andn),
+            "orn" => Some(Orn),
+            "xnor" => Some(Xnor),
+            "addcc" => Some(Addcc),
+            "subcc" => Some(Subcc),
+            "andcc" => Some(Andcc),
+            "orcc" => Some(Orcc),
+            "xorcc" => Some(Xorcc),
+            "andncc" => Some(Andncc),
+            "orncc" => Some(Orncc),
+            "xnorcc" => Some(Xnorcc),
+            "umul" => Some(Umul),
+            "smul" => Some(Smul),
+            "udiv" => Some(Udiv),
+            "sdiv" => Some(Sdiv),
+            "sll" => Some(Sll),
+            "srl" => Some(Srl),
+            "sra" => Some(Sra),
+            "save" => Some(Save),
+            "restore" => Some(Restore),
+            _ => None,
+        };
+        if let Some(op) = alu_table {
+            return Ok(vec![self.alu3(op, ops)?]);
+        }
+        let mem_table: Option<Opcode> = match mnemonic {
+            "ld" => Some(Ld),
+            "ldub" => Some(Ldub),
+            "lduh" => Some(Lduh),
+            "ldsb" => Some(Ldsb),
+            "ldsh" => Some(Ldsh),
+            "st" => Some(St),
+            "stb" => Some(Stb),
+            "sth" => Some(Sth),
+            "ldd" => Some(Ldd),
+            "std" => Some(Std),
+            "swap" => Some(Swap),
+            _ => None,
+        };
+        if let Some(op) = mem_table {
+            self.nargs(ops, 2)?;
+            let (addr_idx, data_idx) = if op.is_store() { (1, 0) } else { (0, 1) };
+            let (rs1, op2) = self.addr(&ops[addr_idx])?;
+            let rd = self.reg(&ops[data_idx])?;
+            return Ok(vec![Instruction::Mem { op, rd, rs1, op2 }]);
+        }
+
+        match mnemonic {
+            "sethi" => {
+                self.nargs(ops, 2)?;
+                let v = match &ops[0] {
+                    Operand::Imm(i) => self.ctx.resolve_imm(i, self.line)?,
+                    other => return Err(self.err(format!("expected imm22, found {other:?}"))),
+                };
+                if !(0..1 << 22).contains(&v) {
+                    return Err(self.err(format!("sethi value {v} out of imm22 range")));
+                }
+                Ok(vec![Instruction::Sethi { rd: self.reg(&ops[1])?, imm22: v as u32 }])
+            }
+            "nop" => {
+                self.nargs(ops, 0)?;
+                Ok(vec![Instruction::nop()])
+            }
+            "call" => {
+                self.nargs(ops, 1)?;
+                Ok(vec![Instruction::Call { disp30: self.disp(&ops[0], 30)? }])
+            }
+            "jmpl" => {
+                self.nargs(ops, 2)?;
+                let (rs1, op2) = self.addr(&ops[0])?;
+                Ok(vec![Instruction::Jmpl { rd: self.reg(&ops[1])?, rs1, op2 }])
+            }
+            "jmp" => {
+                self.nargs(ops, 1)?;
+                let (rs1, op2) = self.addr(&ops[0])?;
+                Ok(vec![Instruction::Jmpl { rd: Reg::G0, rs1, op2 }])
+            }
+            "ret" => {
+                self.nargs(ops, 0)?;
+                Ok(vec![Instruction::Jmpl { rd: Reg::G0, rs1: Reg::I7, op2: Operand2::Imm(8) }])
+            }
+            "retl" => {
+                self.nargs(ops, 0)?;
+                Ok(vec![Instruction::Jmpl { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(8) }])
+            }
+            "set" => {
+                self.nargs(ops, 2)?;
+                let v = match &ops[0] {
+                    Operand::Imm(i) => self.ctx.resolve_imm(i, self.line)? as u32,
+                    other => return Err(self.err(format!("expected value, found {other:?}"))),
+                };
+                let rd = self.reg(&ops[1])?;
+                if rd.is_zero() {
+                    return Err(self.err("set with destination %g0 has no effect"));
+                }
+                Ok(vec![
+                    Instruction::Sethi { rd, imm22: v >> 10 },
+                    Instruction::Alu {
+                        op: Or,
+                        rd,
+                        rs1: rd,
+                        op2: Operand2::Imm((v & 0x3ff) as i32),
+                    },
+                ])
+            }
+            "mov" => {
+                self.nargs(ops, 2)?;
+                Ok(vec![Instruction::Alu {
+                    op: Or,
+                    rd: self.reg(&ops[1])?,
+                    rs1: Reg::G0,
+                    op2: self.op2(&ops[0])?,
+                }])
+            }
+            "clr" => {
+                self.nargs(ops, 1)?;
+                Ok(vec![Instruction::Alu {
+                    op: Or,
+                    rd: self.reg(&ops[0])?,
+                    rs1: Reg::G0,
+                    op2: Operand2::Reg(Reg::G0),
+                }])
+            }
+            "cmp" => {
+                self.nargs(ops, 2)?;
+                Ok(vec![Instruction::Alu {
+                    op: Subcc,
+                    rd: Reg::G0,
+                    rs1: self.reg(&ops[0])?,
+                    op2: self.op2(&ops[1])?,
+                }])
+            }
+            "tst" => {
+                self.nargs(ops, 1)?;
+                Ok(vec![Instruction::Alu {
+                    op: Orcc,
+                    rd: Reg::G0,
+                    rs1: Reg::G0,
+                    op2: Operand2::Reg(self.reg(&ops[0])?),
+                }])
+            }
+            "inc" | "dec" => {
+                let (amount, rd) = match ops.len() {
+                    1 => (Operand2::Imm(1), self.reg(&ops[0])?),
+                    2 => (self.op2(&ops[0])?, self.reg(&ops[1])?),
+                    n => return Err(self.err(format!("expected 1 or 2 operands, found {n}"))),
+                };
+                let op = if mnemonic == "inc" { Add } else { Sub };
+                Ok(vec![Instruction::Alu { op, rd, rs1: rd, op2: amount }])
+            }
+            "not" => {
+                let (rs1, rd) = match ops.len() {
+                    1 => (self.reg(&ops[0])?, self.reg(&ops[0])?),
+                    2 => (self.reg(&ops[0])?, self.reg(&ops[1])?),
+                    n => return Err(self.err(format!("expected 1 or 2 operands, found {n}"))),
+                };
+                Ok(vec![Instruction::Alu { op: Xnor, rd, rs1, op2: Operand2::Reg(Reg::G0) }])
+            }
+            "neg" => {
+                let (rs2, rd) = match ops.len() {
+                    1 => (self.reg(&ops[0])?, self.reg(&ops[0])?),
+                    2 => (self.reg(&ops[0])?, self.reg(&ops[1])?),
+                    n => return Err(self.err(format!("expected 1 or 2 operands, found {n}"))),
+                };
+                Ok(vec![Instruction::Alu { op: Sub, rd, rs1: Reg::G0, op2: Operand2::Reg(rs2) }])
+            }
+            "cpop1" | "cpop2" => {
+                self.nargs(ops, 4)?;
+                let opc = match &ops[0] {
+                    Operand::Imm(i) => self.ctx.resolve_imm(i, self.line)?,
+                    other => return Err(self.err(format!("expected opc, found {other:?}"))),
+                };
+                if !(0..512).contains(&opc) {
+                    return Err(self.err(format!("cpop opc {opc} out of range (0..512)")));
+                }
+                Ok(vec![Instruction::Cpop {
+                    space: if mnemonic == "cpop1" { 1 } else { 2 },
+                    opc: opc as u16,
+                    rs1: self.reg(&ops[1])?,
+                    rs2: self.reg(&ops[2])?,
+                    rd: self.reg(&ops[3])?,
+                }])
+            }
+            _ => {
+                // Branch family: `b<cond>[,a] target`.
+                if let Some(cond) = mnemonic.strip_prefix('b').and_then(|c| c.parse::<Cond>().ok()) {
+                    self.nargs(ops, 1)?;
+                    return Ok(vec![Instruction::Branch {
+                        cond,
+                        annul,
+                        disp22: self.disp(&ops[0], 22)?,
+                    }]);
+                }
+                // Trap family: `t<cond> [rs1 +] imm`.
+                if let Some(cond) = mnemonic.strip_prefix('t').and_then(|c| c.parse::<Cond>().ok()) {
+                    self.nargs(ops, 1)?;
+                    let (rs1, op2) = match &ops[0] {
+                        Operand::Imm(i) => {
+                            (Reg::G0, simm13(self.ctx.resolve_imm(i, self.line)?, self.line)?)
+                        }
+                        other => self.addr(other)?,
+                    };
+                    return Ok(vec![Instruction::Trap { cond, rs1, op2 }]);
+                }
+                Err(self.err(format!("unknown mnemonic `{mnemonic}`")))
+            }
+        }
+    }
+}
+
+pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, AsmError> {
+    if !default_base.is_multiple_of(4) {
+        return Err(AsmError::new(0, format!("base address {default_base:#x} not word-aligned")));
+    }
+    let lines: Vec<Line> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| parse_line(l, i + 1))
+        .collect::<Result<_, _>>()?;
+
+    // Pass 1: layout.
+    let mut ctx = Ctx { symbols: HashMap::new(), dot: 0 };
+    let mut base = default_base;
+    let mut pc = default_base;
+    let mut started = false; // any bytes or labels emitted yet?
+    for line in &lines {
+        if let Some(label) = &line.label {
+            if ctx.symbols.insert(label.clone(), pc as i64).is_some() {
+                return Err(AsmError::new(line.num, format!("duplicate symbol `{label}`")));
+            }
+            started = true;
+        }
+        let Some(stmt) = &line.stmt else { continue };
+        match stmt {
+            Stmt::Org(addr) => {
+                if !started && pc == base {
+                    base = *addr;
+                    pc = *addr;
+                } else if *addr < pc {
+                    return Err(AsmError::new(
+                        line.num,
+                        format!(".org {addr:#x} goes backwards (pc is {pc:#x})"),
+                    ));
+                } else {
+                    pc = *addr;
+                }
+                if !pc.is_multiple_of(4) {
+                    return Err(AsmError::new(line.num, ".org address not word-aligned"));
+                }
+            }
+            Stmt::Equ(name, value) => {
+                if ctx.symbols.insert(name.clone(), *value).is_some() {
+                    return Err(AsmError::new(line.num, format!("duplicate symbol `{name}`")));
+                }
+            }
+            other => {
+                if matches!(other, Stmt::Inst { .. } | Stmt::Word(_)) && !pc.is_multiple_of(4) {
+                    return Err(AsmError::new(
+                        line.num,
+                        format!("instruction/word at unaligned address {pc:#x} (add `.align 4`)"),
+                    ));
+                }
+                if matches!(other, Stmt::Half(_)) && !pc.is_multiple_of(2) {
+                    return Err(AsmError::new(line.num, format!("halfword at odd address {pc:#x}")));
+                }
+                let sz = stmt_size(other, pc);
+                if sz > 0 {
+                    started = true;
+                }
+                pc += sz;
+            }
+        }
+    }
+    let end = pc;
+
+    // Pass 2: emit.
+    let mut image = vec![0u8; (end - base) as usize];
+    let mut pc = base;
+    for line in &lines {
+        let Some(stmt) = &line.stmt else { continue };
+        let off = (pc - base) as usize;
+        ctx.dot = pc;
+        match stmt {
+            Stmt::Org(addr) => {
+                pc = pc.max(*addr);
+                continue;
+            }
+            Stmt::Equ(..) => continue,
+            Stmt::Inst { mnemonic, annul, operands } => {
+                let enc = InstEncoder { ctx: &ctx, line: line.num, pc };
+                let insts = enc.encode_one(mnemonic, *annul, operands)?;
+                for (i, inst) in insts.iter().enumerate() {
+                    image[off + 4 * i..off + 4 * i + 4].copy_from_slice(&encode(inst).to_be_bytes());
+                }
+            }
+            Stmt::Word(v) => {
+                for (i, imm) in v.iter().enumerate() {
+                    let val = ctx.resolve_imm(imm, line.num)? as u32;
+                    image[off + 4 * i..off + 4 * i + 4].copy_from_slice(&val.to_be_bytes());
+                }
+            }
+            Stmt::Half(v) => {
+                for (i, imm) in v.iter().enumerate() {
+                    let val = ctx.resolve_imm(imm, line.num)?;
+                    if !(-32768..=65535).contains(&val) {
+                        return Err(AsmError::new(line.num, format!("halfword value {val} out of range")));
+                    }
+                    image[off + 2 * i..off + 2 * i + 2]
+                        .copy_from_slice(&(val as u16).to_be_bytes());
+                }
+            }
+            Stmt::Byte(v) => {
+                for (i, imm) in v.iter().enumerate() {
+                    let val = ctx.resolve_imm(imm, line.num)?;
+                    if !(-128..=255).contains(&val) {
+                        return Err(AsmError::new(line.num, format!("byte value {val} out of range")));
+                    }
+                    image[off + i] = val as u8;
+                }
+            }
+            Stmt::Ascii(bytes) => {
+                image[off..off + bytes.len()].copy_from_slice(bytes);
+            }
+            Stmt::Space(_) | Stmt::Align(_) => {}
+        }
+        pc += stmt_size(stmt, pc);
+    }
+
+    let symbols = ctx
+        .symbols
+        .into_iter()
+        .map(|(k, v)| (k, v as u32))
+        .collect();
+    Ok(Program::new(base, image, symbols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+    use flexcore_isa::decode;
+
+    fn words(src: &str) -> Vec<Instruction> {
+        assemble(src)
+            .unwrap()
+            .words()
+            .iter()
+            .map(|&w| decode(w).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn simple_alu_program() {
+        let p = words("add %g1, 4, %g2\nsub %g2, %g1, %g3");
+        assert_eq!(p[0], Instruction::alu(Opcode::Add, Reg::G1, Reg::G2, Operand2::Imm(4)));
+        assert_eq!(p[1], Instruction::alu(Opcode::Sub, Reg::G2, Reg::G3, Operand2::Reg(Reg::G1)));
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let p = words("loop: nop\n bne loop\n nop\n be end\n nop\nend: nop");
+        let Instruction::Branch { disp22: back, .. } = p[1] else { panic!() };
+        assert_eq!(back, -1);
+        let Instruction::Branch { disp22: fwd, .. } = p[3] else { panic!() };
+        assert_eq!(fwd, 2);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let p = words("start: call fun\n nop\n ta 0\nfun: retl\n nop");
+        let Instruction::Call { disp30 } = p[0] else { panic!() };
+        assert_eq!(disp30, 3);
+        assert_eq!(
+            p[3],
+            Instruction::Jmpl { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(8) }
+        );
+    }
+
+    #[test]
+    fn set_expands_to_sethi_or() {
+        let p = words("set 0x12345678, %g1");
+        assert_eq!(p[0], Instruction::Sethi { rd: Reg::G1, imm22: 0x12345678 >> 10 });
+        assert_eq!(
+            p[1],
+            Instruction::Alu { op: Opcode::Or, rd: Reg::G1, rs1: Reg::G1, op2: Operand2::Imm(0x278) }
+        );
+    }
+
+    #[test]
+    fn set_of_label_resolves_address() {
+        let p = assemble("start: set data, %o0\n ta 0\ndata: .word 42").unwrap();
+        let data_addr = p.symbol("data").unwrap();
+        let ws = p.words();
+        let Instruction::Sethi { imm22, .. } = decode(ws[0]).unwrap() else { panic!() };
+        let Instruction::Alu { op2: Operand2::Imm(lo), .. } = decode(ws[1]).unwrap() else { panic!() };
+        assert_eq!((imm22 << 10) | lo as u32, data_addr);
+    }
+
+    #[test]
+    fn synthetic_instructions() {
+        let p = words("mov 7, %o0\nclr %o1\ncmp %o0, 3\ntst %o2\ninc %o3\ndec 2, %o4\nneg %o5\nnot %l0, %l1");
+        assert_eq!(p[0], Instruction::alu(Opcode::Or, Reg::G0, Reg::O0, Operand2::Imm(7)));
+        assert_eq!(p[2], Instruction::alu(Opcode::Subcc, Reg::O0, Reg::G0, Operand2::Imm(3)));
+        assert_eq!(p[4], Instruction::alu(Opcode::Add, Reg::O3, Reg::O3, Operand2::Imm(1)));
+        assert_eq!(p[5], Instruction::alu(Opcode::Sub, Reg::O4, Reg::O4, Operand2::Imm(2)));
+        assert_eq!(p[6], Instruction::alu(Opcode::Sub, Reg::G0, Reg::O5, Operand2::Reg(Reg::O5)));
+        assert_eq!(p[7], Instruction::alu(Opcode::Xnor, Reg::L0, Reg::L1, Operand2::Reg(Reg::G0)));
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let p = assemble(
+            "start: ta 0\n .align 8\nbuf: .space 6\n .align 4\ntbl: .word 1, tbl\nmsg: .asciz \"ok\"",
+        )
+        .unwrap();
+        let buf = p.symbol("buf").unwrap();
+        let tbl = p.symbol("tbl").unwrap();
+        assert_eq!(buf % 8, 0);
+        assert_eq!(tbl % 4, 0);
+        assert!(tbl >= buf + 6);
+        // Second word of tbl holds tbl's own address.
+        let off = (tbl - p.base()) as usize;
+        let w = u32::from_be_bytes(p.image()[off + 4..off + 8].try_into().unwrap());
+        assert_eq!(w, tbl);
+        let msg = p.symbol("msg").unwrap();
+        let m = (msg - p.base()) as usize;
+        assert_eq!(&p.image()[m..m + 3], b"ok\0");
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = words(".equ N, 12\nmov N, %g1\nmov N + 1, %g2");
+        assert_eq!(p[0], Instruction::alu(Opcode::Or, Reg::G0, Reg::G1, Operand2::Imm(12)));
+        assert_eq!(p[1], Instruction::alu(Opcode::Or, Reg::G0, Reg::G2, Operand2::Imm(13)));
+    }
+
+    #[test]
+    fn org_sets_base() {
+        let p = assemble(".org 0x4000\nstart: ta 0").unwrap();
+        assert_eq!(p.base(), 0x4000);
+        assert_eq!(p.entry(), 0x4000);
+    }
+
+    #[test]
+    fn cpop_instructions() {
+        let p = words("cpop1 5, %o0, %o1, %o2");
+        assert_eq!(
+            p[0],
+            Instruction::Cpop { space: 1, opc: 5, rs1: Reg::O0, rs2: Reg::O1, rd: Reg::O2 }
+        );
+    }
+
+    #[test]
+    fn jmpl_with_offset() {
+        let p = words("jmpl %g1 + 12, %o7");
+        assert_eq!(p[0], Instruction::Jmpl { rd: Reg::O7, rs1: Reg::G1, op2: Operand2::Imm(12) });
+    }
+
+    #[test]
+    fn error_cases() {
+        for (src, frag) in [
+            ("frobnicate %g1", "unknown mnemonic"),
+            ("bne nowhere", "undefined symbol"),
+            ("add %g1, 99999, %g2", "simm13"),
+            ("x: nop\nx: nop", "duplicate symbol"),
+            (".org 0x100\nnop\n.org 0x10\nnop", "backwards"),
+            ("set 5, %g0", "%g0"),
+        ] {
+            let e = assemble(src).unwrap_err();
+            assert!(e.to_string().contains(frag), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn branch_synonyms_assemble() {
+        let p = words("x: bz x\n bnz x\n bgeu x\n blu x\n ba,a x");
+        assert!(matches!(p[0], Instruction::Branch { cond: Cond::E, .. }));
+        assert!(matches!(p[1], Instruction::Branch { cond: Cond::Ne, .. }));
+        assert!(matches!(p[2], Instruction::Branch { cond: Cond::Cc, .. }));
+        assert!(matches!(p[3], Instruction::Branch { cond: Cond::Cs, .. }));
+        assert!(matches!(p[4], Instruction::Branch { cond: Cond::A, annul: true, .. }));
+    }
+
+    #[test]
+    fn trap_forms() {
+        let p = words("ta 0\nte 3\nta %g1 + 1");
+        assert_eq!(p[0], Instruction::Trap { cond: Cond::A, rs1: Reg::G0, op2: Operand2::Imm(0) });
+        assert_eq!(p[1], Instruction::Trap { cond: Cond::E, rs1: Reg::G0, op2: Operand2::Imm(3) });
+        assert_eq!(p[2], Instruction::Trap { cond: Cond::A, rs1: Reg::G1, op2: Operand2::Imm(1) });
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::assemble;
+    use flexcore_isa::decode;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Assembling a printed ALU instruction reproduces the original:
+        /// text -> words -> decode == the instruction we printed.
+        #[test]
+        fn alu_text_round_trip(
+            op in prop::sample::select(vec![
+                Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or, Opcode::Xor,
+                Opcode::Addcc, Opcode::Subcc, Opcode::Sll, Opcode::Srl, Opcode::Sra,
+                Opcode::Umul, Opcode::Sdiv,
+            ]),
+            rs1 in 0u8..32,
+            rd in 0u8..32,
+            imm in -4096i32..=4095,
+            use_reg in any::<bool>(),
+            rs2 in 0u8..32,
+        ) {
+            let op2 = if use_reg {
+                Operand2::Reg(Reg::new(rs2).unwrap())
+            } else {
+                Operand2::Imm(imm)
+            };
+            let inst = Instruction::alu(op, Reg::new(rs1).unwrap(), Reg::new(rd).unwrap(), op2);
+            let text = inst.to_string();
+            let prog = assemble(&text).unwrap();
+            let back = decode(prog.words()[0]).unwrap();
+            prop_assert_eq!(back, inst, "text was `{}`", text);
+        }
+
+        /// Every label address reported by the symbol table is
+        /// word-aligned when it labels an instruction.
+        #[test]
+        fn instruction_labels_are_aligned(n in 1usize..20) {
+            let mut src = String::new();
+            for i in 0..n {
+                src.push_str(&format!("l{i}: nop\n"));
+            }
+            let p = assemble(&src).unwrap();
+            for i in 0..n {
+                let a = p.symbol(&format!("l{i}")).unwrap();
+                prop_assert_eq!(a % 4, 0);
+                prop_assert_eq!(a, p.base() + 4 * i as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Assembler errors.
+
+use std::fmt;
+
+/// An assembly error, carrying the 1-based source line it occurred on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// The 1-based source line the error occurred on (0 for
+    /// whole-program errors such as an unaligned base address).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error message, without the line prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "unknown mnemonic `frobnicate`");
+        assert_eq!(e.to_string(), "line 7: unknown mnemonic `frobnicate`");
+        assert_eq!(e.line(), 7);
+    }
+
+    #[test]
+    fn line_zero_means_whole_program() {
+        let e = AsmError::new(0, "base address not aligned");
+        assert_eq!(e.to_string(), "base address not aligned");
+    }
+}

@@ -1,0 +1,76 @@
+//! Two-pass assembler for the FlexCore reproduction's SPARC-V8 subset.
+//!
+//! The MiBench-style workloads in `flexcore-workloads` are written in
+//! assembly and assembled by this crate into memory images for the
+//! Leon3-like core model. The dialect is classic SPARC assembler:
+//!
+//! ```text
+//!         .org    0x1000
+//! start:  set     buffer, %o0        ! synthetic: sethi + or
+//!         mov     16, %o1
+//! loop:   ldub    [%o0], %o2
+//!         subcc   %o1, 1, %o1
+//!         bne     loop
+//!         add     %o0, 1, %o0        ! delay slot
+//!         ta      0                  ! halt
+//!         .align  4
+//! buffer: .space  16
+//! ```
+//!
+//! Supported pieces:
+//!
+//! * every mnemonic in [`flexcore_isa`], plus the usual synthetic
+//!   instructions (`set`, `mov`, `cmp`, `tst`, `clr`, `inc`, `dec`,
+//!   `not`, `neg`, `nop`, `ret`, `retl`, `jmp`, `b<cond>[,a]`,
+//!   `t<cond>`, `call label`),
+//! * labels, forward references, and `sym + offset` expressions,
+//! * `%hi(expr)` / `%lo(expr)` relocation operators,
+//! * directives: `.org`, `.word`, `.half`, `.byte`, `.ascii`, `.asciz`,
+//!   `.space`, `.align`, `.equ`,
+//! * `!` and `#` line comments.
+//!
+//! # Example
+//!
+//! ```
+//! use flexcore_asm::assemble;
+//!
+//! let program = assemble("
+//!     start:  mov 5, %o0
+//!             ta 0
+//! ")?;
+//! assert_eq!(program.words().len(), 2);
+//! assert_eq!(program.symbol("start"), Some(program.base()));
+//! # Ok::<(), flexcore_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod error;
+mod parse;
+mod program;
+
+pub use error::AsmError;
+pub use program::Program;
+
+/// Assembles `source` at the default base address (`0x1000`).
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with a line number) on any syntax error,
+/// unknown mnemonic, undefined or duplicate symbol, or out-of-range
+/// immediate/displacement.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, Program::DEFAULT_BASE)
+}
+
+/// Assembles `source` with the image starting at `base` (must be
+/// 4-byte aligned). A `.org` directive in the source overrides `base`.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_at(source: &str, base: u32) -> Result<Program, AsmError> {
+    emit::assemble_impl(source, base)
+}

@@ -1,0 +1,584 @@
+//! Line tokenizer and statement parser.
+
+use flexcore_isa::Reg;
+
+use crate::error::AsmError;
+
+/// A symbolic expression: `sym + addend` (either part optional).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Expr {
+    pub sym: Option<String>,
+    pub addend: i64,
+}
+
+impl Expr {
+    pub fn constant(v: i64) -> Expr {
+        Expr { sym: None, addend: v }
+    }
+}
+
+/// An immediate operand, possibly wrapped in a relocation operator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum ImmOp {
+    /// Plain expression.
+    Plain(Expr),
+    /// `%hi(expr)`: bits 31:10.
+    Hi(Expr),
+    /// `%lo(expr)`: bits 9:0.
+    Lo(Expr),
+}
+
+/// A memory-address index: `[base + index]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum MemIndex {
+    Reg(Reg),
+    Imm(ImmOp),
+}
+
+/// One parsed operand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Operand {
+    Reg(Reg),
+    Imm(ImmOp),
+    Mem { base: Reg, index: MemIndex },
+}
+
+/// One parsed statement (instruction or directive).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Stmt {
+    Inst { mnemonic: String, annul: bool, operands: Vec<Operand> },
+    Word(Vec<ImmOp>),
+    Half(Vec<ImmOp>),
+    Byte(Vec<ImmOp>),
+    Ascii(Vec<u8>),
+    Space(u32),
+    Align(u32),
+    Org(u32),
+    Equ(String, i64),
+}
+
+/// A source line: optional label, optional statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Line {
+    pub num: usize,
+    pub label: Option<String>,
+    pub stmt: Option<Stmt>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(Vec<u8>),
+    Punct(char),
+}
+
+struct Lexer<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, AsmError> {
+        self.rest = self.rest.trim_start();
+        let mut chars = self.rest.chars();
+        let Some(c) = chars.next() else { return Ok(None) };
+        // Comments end the line.
+        if c == '!' || c == '#' {
+            self.rest = "";
+            return Ok(None);
+        }
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | '.' | '%' => {
+                let end = self
+                    .rest
+                    .char_indices()
+                    .skip(1)
+                    .find(|&(_, ch)| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                    .map_or(self.rest.len(), |(i, _)| i);
+                let (ident, rest) = self.rest.split_at(end);
+                self.rest = rest;
+                Ok(Some(Tok::Ident(ident.to_string())))
+            }
+            '0'..='9' => {
+                let (value, consumed) = self.lex_number()?;
+                self.rest = &self.rest[consumed..];
+                Ok(Some(Tok::Num(value)))
+            }
+            '\'' => {
+                let (value, consumed) = lex_char(self.rest).ok_or_else(|| self.err("bad character literal"))?;
+                self.rest = &self.rest[consumed..];
+                Ok(Some(Tok::Num(value as i64)))
+            }
+            '"' => {
+                let (bytes, consumed) =
+                    lex_string(self.rest).ok_or_else(|| self.err("unterminated string literal"))?;
+                self.rest = &self.rest[consumed..];
+                Ok(Some(Tok::Str(bytes)))
+            }
+            ',' | '[' | ']' | '+' | '-' | '(' | ')' | ':' => {
+                self.rest = chars.as_str();
+                Ok(Some(Tok::Punct(c)))
+            }
+            _ => Err(self.err(format!("unexpected character `{c}`"))),
+        }
+    }
+
+    fn lex_number(&self) -> Result<(i64, usize), AsmError> {
+        let s = self.rest;
+        let (radix, body_start) = if let Some(r) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            let _ = r;
+            (16, 2)
+        } else if s.starts_with("0b") || s.starts_with("0B") {
+            (2, 2)
+        } else {
+            (10, 0)
+        };
+        let body = &s[body_start..];
+        let end = body
+            .char_indices()
+            .find(|&(_, ch)| !ch.is_ascii_alphanumeric())
+            .map_or(body.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.err("bad numeric literal"));
+        }
+        let digits = &body[..end];
+        let value = i64::from_str_radix(digits, radix)
+            .map_err(|_| self.err(format!("bad numeric literal `{digits}`")))?;
+        Ok((value, body_start + end))
+    }
+}
+
+fn lex_char(s: &str) -> Option<(u8, usize)> {
+    // s starts with '\''
+    let bytes = s.as_bytes();
+    if bytes.len() >= 3 && bytes[1] != b'\\' && bytes[2] == b'\'' {
+        return Some((bytes[1], 3));
+    }
+    if bytes.len() >= 4 && bytes[1] == b'\\' && bytes[3] == b'\'' {
+        return Some((unescape(bytes[2])?, 4));
+    }
+    None
+}
+
+fn lex_string(s: &str) -> Option<(Vec<u8>, usize)> {
+    // s starts with '"'
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                out.push(unescape(*bytes.get(i + 1)?)?);
+                i += 2;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    None
+}
+
+fn unescape(c: u8) -> Option<u8> {
+    Some(match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'"' => b'"',
+        b'\'' => b'\'',
+        _ => return None,
+    })
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), AsmError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses an expression: `[-] (num | sym | .) (('+'|'-') num)*`.
+    /// The bare symbol `.` denotes the current statement's address.
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        let neg = self.eat_punct('-');
+        let mut e = match self.next() {
+            Some(Tok::Num(v)) => Expr::constant(if neg { -v } else { v }),
+            Some(Tok::Ident(s)) if s == "." || (!s.starts_with('%') && !s.starts_with('.')) => {
+                if neg {
+                    return Err(self.err("cannot negate a symbol"));
+                }
+                Expr { sym: Some(s), addend: 0 }
+            }
+            other => return Err(self.err(format!("expected expression, found {other:?}"))),
+        };
+        loop {
+            let sign = if self.eat_punct('+') {
+                1
+            } else if self.eat_punct('-') {
+                -1
+            } else {
+                break;
+            };
+            match self.next() {
+                Some(Tok::Num(v)) => e.addend += sign * v,
+                other => return Err(self.err(format!("expected number after sign, found {other:?}"))),
+            }
+        }
+        Ok(e)
+    }
+
+    /// Parses an immediate with optional `%hi(...)`/`%lo(...)`.
+    fn imm(&mut self) -> Result<ImmOp, AsmError> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "%hi" || id == "%lo" {
+                let hi = id == "%hi";
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                return Ok(if hi { ImmOp::Hi(e) } else { ImmOp::Lo(e) });
+            }
+        }
+        Ok(ImmOp::Plain(self.expr()?))
+    }
+
+    fn operand(&mut self) -> Result<Operand, AsmError> {
+        match self.peek() {
+            Some(Tok::Punct('[')) => {
+                self.pos += 1;
+                let base = self.reg()?;
+                let index = if self.eat_punct(']') {
+                    MemIndex::Imm(ImmOp::Plain(Expr::constant(0)))
+                } else if self.eat_punct('+') {
+                    let idx = match self.peek() {
+                        Some(Tok::Ident(id)) if id.starts_with('%') && id != "%hi" && id != "%lo" => {
+                            MemIndex::Reg(self.reg()?)
+                        }
+                        _ => MemIndex::Imm(self.imm()?),
+                    };
+                    self.expect_punct(']')?;
+                    idx
+                } else if self.eat_punct('-') {
+                    let e = self.expr()?;
+                    self.expect_punct(']')?;
+                    MemIndex::Imm(ImmOp::Plain(Expr {
+                        sym: e.sym.clone(),
+                        addend: if e.sym.is_some() {
+                            return Err(self.err("cannot negate a symbol in address"));
+                        } else {
+                            -e.addend
+                        },
+                    }))
+                } else {
+                    return Err(self.err("expected `]`, `+`, or `-` in address"));
+                };
+                Ok(Operand::Mem { base, index })
+            }
+            Some(Tok::Ident(id)) if id.starts_with('%') && id != "%hi" && id != "%lo" => {
+                let r = self.reg()?;
+                // `jmpl %o7 + 8, %g0` style: a bare register followed by
+                // `+`/`-` forms an address operand without brackets.
+                if self.eat_punct('+') {
+                    let index = match self.peek() {
+                        Some(Tok::Ident(id)) if id.starts_with('%') && id != "%hi" && id != "%lo" => {
+                            MemIndex::Reg(self.reg()?)
+                        }
+                        _ => MemIndex::Imm(self.imm()?),
+                    };
+                    Ok(Operand::Mem { base: r, index })
+                } else if matches!(self.peek(), Some(Tok::Punct('-'))) {
+                    // Peek ahead: `-` here must start a negative offset.
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    if e.sym.is_some() {
+                        return Err(self.err("cannot negate a symbol in address"));
+                    }
+                    Ok(Operand::Mem {
+                        base: r,
+                        index: MemIndex::Imm(ImmOp::Plain(Expr::constant(-e.addend))),
+                    })
+                } else {
+                    Ok(Operand::Reg(r))
+                }
+            }
+            _ => Ok(Operand::Imm(self.imm()?)),
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, AsmError> {
+        match self.next() {
+            Some(Tok::Ident(id)) => id
+                .parse::<Reg>()
+                .map_err(|e| self.err(e.to_string())),
+            other => Err(self.err(format!("expected register, found {other:?}"))),
+        }
+    }
+
+    fn imm_list(&mut self) -> Result<Vec<ImmOp>, AsmError> {
+        let mut v = vec![self.imm()?];
+        while self.eat_punct(',') {
+            v.push(self.imm()?);
+        }
+        Ok(v)
+    }
+
+    fn directive(&mut self, name: &str) -> Result<Stmt, AsmError> {
+        match name {
+            ".word" => Ok(Stmt::Word(self.imm_list()?)),
+            ".half" => Ok(Stmt::Half(self.imm_list()?)),
+            ".byte" => Ok(Stmt::Byte(self.imm_list()?)),
+            ".ascii" | ".asciz" => {
+                let mut bytes = match self.next() {
+                    Some(Tok::Str(b)) => b,
+                    other => return Err(self.err(format!("expected string, found {other:?}"))),
+                };
+                if name == ".asciz" {
+                    bytes.push(0);
+                }
+                Ok(Stmt::Ascii(bytes))
+            }
+            ".space" | ".skip" => match self.next() {
+                Some(Tok::Num(n)) if n >= 0 => Ok(Stmt::Space(n as u32)),
+                other => Err(self.err(format!("expected size, found {other:?}"))),
+            },
+            ".align" => match self.next() {
+                Some(Tok::Num(n)) if n > 0 && (n as u64).is_power_of_two() => {
+                    Ok(Stmt::Align(n as u32))
+                }
+                other => Err(self.err(format!("expected power-of-two alignment, found {other:?}"))),
+            },
+            ".org" => match self.next() {
+                Some(Tok::Num(n)) if n >= 0 => Ok(Stmt::Org(n as u32)),
+                other => Err(self.err(format!("expected address, found {other:?}"))),
+            },
+            ".equ" | ".set" => {
+                let name = self.expect_ident()?;
+                self.expect_punct(',')?;
+                let e = self.expr()?;
+                if e.sym.is_some() {
+                    return Err(self.err(".equ value must be a constant"));
+                }
+                Ok(Stmt::Equ(name, e.addend))
+            }
+            ".text" | ".data" | ".global" | ".globl" | ".section" => {
+                // Accepted and ignored (single flat image); swallow the
+                // rest of the line.
+                self.pos = self.toks.len();
+                Ok(Stmt::Space(0))
+            }
+            _ => Err(self.err(format!("unknown directive `{name}`"))),
+        }
+    }
+
+    fn instruction(&mut self, mnemonic: String) -> Result<Stmt, AsmError> {
+        // Branch annul suffix: `bne,a target`.
+        let mut annul = false;
+        if self.peek() == Some(&Tok::Punct(',')) {
+            if let Some(Tok::Ident(a)) = self.toks.get(self.pos + 1) {
+                if a == "a" {
+                    annul = true;
+                    self.pos += 2;
+                }
+            }
+        }
+        let mut operands = Vec::new();
+        if self.peek().is_some() {
+            operands.push(self.operand()?);
+            while self.eat_punct(',') {
+                operands.push(self.operand()?);
+            }
+        }
+        Ok(Stmt::Inst { mnemonic, annul, operands })
+    }
+}
+
+/// Parses one source line.
+pub(crate) fn parse_line(text: &str, num: usize) -> Result<Line, AsmError> {
+    let mut lexer = Lexer { rest: text, line: num };
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser { toks, pos: 0, line: num };
+
+    // Optional label.
+    let mut label = None;
+    if let (Some(Tok::Ident(id)), Some(Tok::Punct(':'))) = (p.toks.first(), p.toks.get(1)) {
+        if !id.starts_with('%') && !id.starts_with('.') {
+            label = Some(id.clone());
+            p.pos = 2;
+        }
+    }
+
+    let stmt = match p.next() {
+        None => None,
+        Some(Tok::Ident(id)) if id.starts_with('.') => Some(p.directive(&id)?),
+        Some(Tok::Ident(id)) => Some(p.instruction(id)?),
+        Some(other) => return Err(p.err(format!("expected mnemonic, found {other:?}"))),
+    };
+    if p.pos < p.toks.len() {
+        return Err(p.err(format!("trailing tokens: {:?}", &p.toks[p.pos..])));
+    }
+    Ok(Line { num, label, stmt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_comment_lines() {
+        assert_eq!(parse_line("", 1).unwrap().stmt, None);
+        assert_eq!(parse_line("   ! just a comment", 2).unwrap().stmt, None);
+        assert_eq!(parse_line(" # hash comment", 3).unwrap().stmt, None);
+    }
+
+    #[test]
+    fn label_only_line() {
+        let l = parse_line("loop:", 1).unwrap();
+        assert_eq!(l.label.as_deref(), Some("loop"));
+        assert_eq!(l.stmt, None);
+    }
+
+    #[test]
+    fn label_with_instruction() {
+        let l = parse_line("top: add %g1, 4, %g2 ! comment", 1).unwrap();
+        assert_eq!(l.label.as_deref(), Some("top"));
+        let Some(Stmt::Inst { mnemonic, operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(mnemonic, "add");
+        assert_eq!(operands.len(), 3);
+        assert_eq!(operands[0], Operand::Reg(Reg::G1));
+        assert_eq!(operands[1], Operand::Imm(ImmOp::Plain(Expr::constant(4))));
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let forms = [
+            ("ld [%sp], %o0", MemIndex::Imm(ImmOp::Plain(Expr::constant(0)))),
+            ("ld [%sp + 8], %o0", MemIndex::Imm(ImmOp::Plain(Expr::constant(8)))),
+            ("ld [%sp - 8], %o0", MemIndex::Imm(ImmOp::Plain(Expr::constant(-8)))),
+            ("ld [%sp + %g2], %o0", MemIndex::Reg(Reg::G2)),
+        ];
+        for (src, want) in forms {
+            let l = parse_line(src, 1).unwrap();
+            let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!("{src}") };
+            let Operand::Mem { base, index } = &operands[0] else { panic!("{src}") };
+            assert_eq!(*base, Reg::SP, "{src}");
+            assert_eq!(*index, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn annul_suffix() {
+        let l = parse_line("bne,a loop", 1).unwrap();
+        let Some(Stmt::Inst { mnemonic, annul, .. }) = l.stmt else { panic!() };
+        assert_eq!(mnemonic, "bne");
+        assert!(annul);
+    }
+
+    #[test]
+    fn hi_lo_operators() {
+        let l = parse_line("sethi %hi(buffer + 4), %g1", 1).unwrap();
+        let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!() };
+        assert_eq!(
+            operands[0],
+            Operand::Imm(ImmOp::Hi(Expr { sym: Some("buffer".into()), addend: 4 }))
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        for (src, want) in [("mov 10, %g1", 10), ("mov 0x1f, %g1", 0x1f), ("mov 0b101, %g1", 5), ("mov -3, %g1", -3), ("mov 'A', %g1", 65)] {
+            let l = parse_line(src, 1).unwrap();
+            let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!("{src}") };
+            assert_eq!(operands[0], Operand::Imm(ImmOp::Plain(Expr::constant(want))), "{src}");
+        }
+    }
+
+    #[test]
+    fn directives() {
+        assert_eq!(parse_line(".word 1, 2, 3", 1).unwrap().stmt, Some(Stmt::Word(vec![
+            ImmOp::Plain(Expr::constant(1)),
+            ImmOp::Plain(Expr::constant(2)),
+            ImmOp::Plain(Expr::constant(3)),
+        ])));
+        assert_eq!(parse_line(".space 64", 1).unwrap().stmt, Some(Stmt::Space(64)));
+        assert_eq!(parse_line(".align 4", 1).unwrap().stmt, Some(Stmt::Align(4)));
+        assert_eq!(parse_line(".org 0x2000", 1).unwrap().stmt, Some(Stmt::Org(0x2000)));
+        assert_eq!(
+            parse_line(".equ SIZE, 128", 1).unwrap().stmt,
+            Some(Stmt::Equ("SIZE".into(), 128))
+        );
+        assert_eq!(
+            parse_line(".asciz \"hi\\n\"", 1).unwrap().stmt,
+            Some(Stmt::Ascii(vec![b'h', b'i', b'\n', 0]))
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_line("add %g1 %g2", 42).unwrap_err();
+        assert_eq!(e.line(), 42);
+        assert!(parse_line(".align 3", 1).is_err());
+        assert!(parse_line("mov @, %g1", 1).is_err());
+        assert!(parse_line(".asciz \"unterminated", 1).is_err());
+    }
+
+    #[test]
+    fn symbol_plus_offset_expression() {
+        let l = parse_line(".word table + 8 - 4", 1).unwrap();
+        assert_eq!(
+            l.stmt,
+            Some(Stmt::Word(vec![ImmOp::Plain(Expr { sym: Some("table".into()), addend: 4 })]))
+        );
+    }
+}

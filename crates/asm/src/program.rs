@@ -1,0 +1,154 @@
+//! The assembled program image.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program: a contiguous byte image plus its symbol table.
+///
+/// The image is position-dependent (branches are PC-relative but `set`
+/// sequences bake in absolute addresses), so it must be loaded at
+/// [`base`](Program::base).
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: u32,
+    image: Vec<u8>,
+    symbols: HashMap<String, u32>,
+    entry: u32,
+}
+
+impl Program {
+    /// Default load address used by [`assemble`](crate::assemble).
+    pub const DEFAULT_BASE: u32 = 0x1000;
+
+    pub(crate) fn new(base: u32, image: Vec<u8>, symbols: HashMap<String, u32>) -> Program {
+        let entry = symbols.get("start").copied().unwrap_or(base);
+        Program { base, image, symbols, entry }
+    }
+
+    /// Load address of the first image byte.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Entry point: the `start` label if defined, otherwise the base.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The raw image bytes (big-endian words).
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// The image as big-endian 32-bit words (zero-padded at the tail if
+    /// the image length is not a multiple of four).
+    pub fn words(&self) -> Vec<u32> {
+        self.image
+            .chunks(4)
+            .map(|c| {
+                let mut w = [0u8; 4];
+                w[..c.len()].copy_from_slice(c);
+                u32::from_be_bytes(w)
+            })
+            .collect()
+    }
+
+    /// Looks up a label or `.equ` symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, for diagnostics.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// An objdump-style listing: one line per word with its address,
+    /// raw encoding, label (if any), and disassembly (or `.word` for
+    /// data that does not decode).
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        // Reverse symbol table, labels sorted for stable output.
+        let mut labels: Vec<(&str, u32)> = self.symbols().collect();
+        labels.sort_by_key(|&(name, addr)| (addr, name.to_string()));
+        let mut out = String::new();
+        for (i, word) in self.words().iter().enumerate() {
+            let addr = self.base + 4 * i as u32;
+            for &(name, _) in labels.iter().filter(|&&(_, a)| a == addr) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let text = match flexcore_isa::decode(*word) {
+                Ok(inst) => inst.to_string(),
+                Err(_) => format!(".word {word:#010x}"),
+            };
+            let _ = writeln!(out, "  {addr:#010x}:  {word:08x}  {text}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} bytes at {:#x}, entry {:#x}, {} symbols",
+            self.image.len(),
+            self.base,
+            self.entry,
+            self.symbols.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_defaults_to_base() {
+        let p = Program::new(0x1000, vec![0; 8], HashMap::new());
+        assert_eq!(p.entry(), 0x1000);
+    }
+
+    #[test]
+    fn entry_uses_start_symbol() {
+        let mut syms = HashMap::new();
+        syms.insert("start".to_string(), 0x1004);
+        let p = Program::new(0x1000, vec![0; 8], syms);
+        assert_eq!(p.entry(), 0x1004);
+    }
+
+    #[test]
+    fn listing_shows_labels_addresses_and_disassembly() {
+        let p = crate::assemble(
+            "start: add %g1, 4, %g2
+                    ta 0
+            data:  .word 0xffffffff",
+        )
+        .unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("start:"), "{listing}");
+        assert!(listing.contains("data:"), "{listing}");
+        assert!(listing.contains("add %g1, 4, %g2"), "{listing}");
+        assert!(listing.contains(".word 0xffffffff"), "{listing}");
+        assert!(listing.contains("0x00001000:"), "{listing}");
+    }
+
+    #[test]
+    fn words_are_big_endian_and_padded() {
+        let p = Program::new(0, vec![0x01, 0x02, 0x03, 0x04, 0xaa], HashMap::new());
+        assert_eq!(p.words(), vec![0x0102_0304, 0xaa00_0000]);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness: the assembler returns `Ok` or `Err` on *any* input —
+//! it never panics, loops, or produces an image it can't account for.
+
+use flexcore_asm::assemble;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 never panics the assembler.
+    #[test]
+    fn arbitrary_text_never_panics(src in ".{0,400}") {
+        let _ = assemble(&src);
+    }
+
+    /// Near-miss assembly (valid tokens, shuffled) never panics, and
+    /// successful assemblies produce self-consistent programs.
+    #[test]
+    fn token_soup_never_panics(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "add", "ld", "st", "set", "%g1", "%o0", "%sp", "[", "]", ",",
+                "+", "-", "0x10", "42", "label:", "label", ".word", ".space",
+                ".align", "nop", "ba", "cmp", "!", "sethi", "%hi(x)", "ta",
+            ]),
+            0..30,
+        )
+    ) {
+        let src = words.join(" ");
+        if let Ok(p) = assemble(&src) {
+            prop_assert!(p.base() % 4 == 0);
+            prop_assert!(p.entry() >= p.base() || p.is_empty() || p.symbol("start").is_some());
+        }
+    }
+
+    /// Multi-line soup exercises the layout passes.
+    #[test]
+    fn multiline_soup_never_panics(
+        lines in prop::collection::vec(
+            prop::sample::select(vec![
+                "x: nop",
+                "nop",
+                ".align 8",
+                ".space 3",
+                ".byte 1, 2",
+                ".half 9",
+                "y: .word x",
+                "ba x",
+                "bne,a x",
+                "add %g1, 1, %g1",
+                "! comment",
+                "",
+            ]),
+            0..20,
+        )
+    ) {
+        let src = lines.join("\n");
+        let _ = assemble(&src);
+    }
+}

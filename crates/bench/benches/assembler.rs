@@ -1,0 +1,26 @@
+//! Criterion micro-benchmarks: the assembler on the largest workload
+//! sources.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcore_asm::assemble;
+use flexcore_workloads::Workload;
+
+fn bench_assembler(c: &mut Criterion) {
+    let sha = Workload::sha().source();
+    let fft = Workload::fft().source();
+    let mut g = c.benchmark_group("assemble");
+    g.bench_function("sha", |b| b.iter(|| assemble(&sha).unwrap().len()));
+    g.bench_function("fft", |b| b.iter(|| assemble(&fft).unwrap().len()));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_assembler
+}
+criterion_main!(benches);

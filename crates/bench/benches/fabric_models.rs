@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: the netlist construction, technology
+//! mapping, and cost-model pipeline behind Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcore::ext::{Bc, Dift, Sec, Umc};
+use flexcore::Extension;
+use flexcore_fabric::{map_to_luts, AsicCost, FpgaCost};
+
+fn bench_netlist_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist_build");
+    g.bench_function("umc", |b| b.iter(|| Umc::new().netlist()));
+    g.bench_function("sec", |b| b.iter(|| Sec::new().netlist()));
+    g.finish();
+}
+
+fn bench_lut_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_mapping");
+    for (name, netlist) in [
+        ("umc", Umc::new().netlist()),
+        ("dift", Dift::new().netlist()),
+        ("bc", Bc::new().netlist()),
+        ("sec", Sec::new().netlist()),
+    ] {
+        g.bench_function(name, |b| b.iter(|| map_to_luts(&netlist, 6).lut_count()));
+    }
+    g.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let netlist = Sec::new().netlist();
+    c.bench_function("fpga_cost_sec", |b| b.iter(|| FpgaCost::of(&netlist).area_um2()));
+    c.bench_function("asic_cost_sec", |b| b.iter(|| AsicCost::of(&netlist).area_um2()));
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_netlist_builds, bench_lut_mapping, bench_cost_models
+}
+criterion_main!(benches);

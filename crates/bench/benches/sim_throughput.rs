@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks: simulator throughput for the bare core
+//! and for the full FlexCore system under each extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexcore::ext::{Bc, Dift, Sec, Umc};
+use flexcore::{Extension, System, SystemConfig};
+use flexcore_asm::Program;
+use flexcore_mem::{MainMemory, SystemBus};
+use flexcore_pipeline::{Core, CoreConfig};
+use flexcore_workloads::Workload;
+
+const BUDGET: u64 = 100_000;
+
+fn program() -> Program {
+    Workload::bitcount().program().expect("assembles")
+}
+
+fn bench_bare_core(c: &mut Criterion) {
+    let program = program();
+    c.bench_function("core_100k_instructions", |b| {
+        b.iter(|| {
+            let mut mem = MainMemory::new();
+            let mut bus = SystemBus::default();
+            let mut core = Core::new(CoreConfig::leon3());
+            core.load_program(&program, &mut mem);
+            core.run(&mut mem, &mut bus, BUDGET)
+        })
+    });
+}
+
+fn run_system<E: Extension>(program: &Program, ext: E) -> u64 {
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), ext);
+    sys.load_program(program);
+    sys.run(BUDGET).cycles
+}
+
+fn bench_monitored(c: &mut Criterion) {
+    let program = program();
+    let mut g = c.benchmark_group("system_100k_instructions");
+    g.bench_function("umc", |b| b.iter(|| run_system(&program, Umc::new())));
+    g.bench_function("dift", |b| b.iter(|| run_system(&program, Dift::new())));
+    g.bench_function("bc", |b| b.iter(|| run_system(&program, Bc::new())));
+    g.bench_function("sec", |b| b.iter(|| run_system(&program, Sec::new())));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bare_core, bench_monitored
+}
+criterion_main!(benches);

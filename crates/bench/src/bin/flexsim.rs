@@ -1,0 +1,227 @@
+//! `flexsim` — run an assembly program (or a named workload) on the
+//! FlexCore system from the command line.
+//!
+//! ```text
+//! flexsim [OPTIONS] <program.s | workload-name>
+//!
+//! OPTIONS:
+//!   --ext <umc|dift|bc|sec|mprot|none>   monitoring extension (default: none)
+//!   --clock <1x|0.5x|0.25x>              fabric clock ratio (default: 0.5x)
+//!   --fifo <N>                           forward-FIFO depth (default: 64)
+//!   --max <N>                            instruction budget (default: 200M)
+//!   --trace                              print every committed instruction
+//!
+//! Workload names: sha gmac stringsearch fft basicmath bitcount
+//!                  crc32 qsort dijkstra
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext dift
+//! cargo run --release -p flexcore-bench --bin flexsim -- my_prog.s --ext umc --clock 0.25x
+//! ```
+
+use std::process::ExitCode;
+
+use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
+use flexcore::{System, SystemConfig};
+use flexcore_asm::{assemble, Program};
+use flexcore_mem::{MainMemory, SystemBus};
+use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult};
+use flexcore_workloads::Workload;
+
+struct Options {
+    input: String,
+    ext: String,
+    clock: String,
+    fifo: usize,
+    max: u64,
+    trace: bool,
+    disasm: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        ext: "none".into(),
+        clock: "0.5x".into(),
+        fifo: 64,
+        max: 200_000_000,
+        trace: false,
+        disasm: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ext" => opts.ext = args.next().ok_or("--ext needs a value")?,
+            "--clock" => opts.clock = args.next().ok_or("--clock needs a value")?,
+            "--fifo" => {
+                opts.fifo = args
+                    .next()
+                    .ok_or("--fifo needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--fifo: {e}"))?;
+            }
+            "--max" => {
+                opts.max = args
+                    .next()
+                    .ok_or("--max needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max: {e}"))?;
+            }
+            "--trace" => opts.trace = true,
+            "--disasm" => opts.disasm = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if opts.input.is_empty() => opts.input = other.to_string(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("missing program file or workload name".into());
+    }
+    Ok(opts)
+}
+
+fn load_program(input: &str) -> Result<Program, String> {
+    let named = Workload::all()
+        .into_iter()
+        .chain(Workload::extra())
+        .find(|w| w.name() == input);
+    let source = match named {
+        Some(w) => w.source(),
+        None => std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?,
+    };
+    assemble(&source).map_err(|e| format!("{input}: {e}"))
+}
+
+fn config(opts: &Options) -> Result<SystemConfig, String> {
+    let base = match opts.clock.as_str() {
+        "1x" | "1X" => SystemConfig::fabric_full_speed(),
+        "0.5x" | "0.5X" => SystemConfig::fabric_half_speed(),
+        "0.25x" | "0.25X" => SystemConfig::fabric_quarter_speed(),
+        other => return Err(format!("unknown clock ratio `{other}`")),
+    };
+    Ok(base.with_fifo_depth(opts.fifo))
+}
+
+fn report_exit(exit: &ExitReason) -> i32 {
+    match exit {
+        ExitReason::Halt(0) => 0,
+        ExitReason::Halt(n) => {
+            eprintln!("program failed its own check (ta {n})");
+            *n as i32
+        }
+        other => {
+            eprintln!("abnormal exit: {other:?}");
+            2
+        }
+    }
+}
+
+fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32 {
+    let cfg = match config(opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let name = ext.name();
+    let mut sys = System::new(cfg, ext);
+    sys.load_program(program);
+    let r = sys.run(opts.max);
+    println!(
+        "[{name}] {} instructions, {} cycles (CPI {:.3})",
+        r.instret,
+        r.cycles,
+        r.cpi()
+    );
+    println!(
+        "[{name}] forwarded {:.1}% of instructions; FIFO stalls {} cyc; meta-cache {}",
+        r.forward.forwarded_fraction() * 100.0,
+        r.forward.fifo_stall_cycles,
+        r.meta_cache
+    );
+    if !r.console.is_empty() {
+        println!("--- console ---\n{}", String::from_utf8_lossy(&r.console));
+    }
+    if let Some(trap) = &r.monitor_trap {
+        eprintln!("[{name}] {trap}");
+        return 3;
+    }
+    report_exit(&r.exit)
+}
+
+fn run_bare(program: &Program, opts: &Options) -> i32 {
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(program, &mut mem);
+    let exit = loop {
+        match core.step(&mut mem, &mut bus) {
+            StepResult::Committed(pkt) => {
+                if opts.trace {
+                    println!("{:>10}  {:#010x}  {}", pkt.commit_cycle, pkt.pc, pkt.inst);
+                }
+                if core.stats().instret >= opts.max {
+                    core.halt(ExitReason::InstructionLimit);
+                }
+            }
+            StepResult::Annulled => {}
+            StepResult::Exited(e) => break e,
+        }
+    };
+    println!(
+        "[core] {} instructions, {} cycles (CPI {:.3}); icache {}; dcache {}",
+        core.stats().instret,
+        core.quiesced_at(),
+        core.quiesced_at() as f64 / core.stats().instret.max(1) as f64,
+        core.icache_stats(),
+        core.dcache_stats()
+    );
+    if !core.console().is_empty() {
+        println!("--- console ---\n{}", String::from_utf8_lossy(core.console()));
+    }
+    report_exit(&exit)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: flexsim [--ext umc|dift|bc|sec|mprot|none] [--clock 1x|0.5x|0.25x]\n\
+                 \x20              [--fifo N] [--max N] [--trace] <program.s | workload>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let program = match load_program(&opts.input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.disasm {
+        print!("{}", program.listing());
+        return ExitCode::SUCCESS;
+    }
+    let code = match opts.ext.as_str() {
+        "none" => run_bare(&program, &opts),
+        "umc" => run_monitored(&program, &opts, Umc::new()),
+        "dift" => run_monitored(&program, &opts, Dift::new()),
+        "bc" => run_monitored(&program, &opts, Bc::new()),
+        "sec" => run_monitored(&program, &opts, Sec::new()),
+        "mprot" => run_monitored(&program, &opts, Mprot::new()),
+        other => {
+            eprintln!("unknown extension `{other}`");
+            2
+        }
+    };
+    ExitCode::from(code.clamp(0, 255) as u8)
+}

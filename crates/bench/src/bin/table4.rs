@@ -1,0 +1,117 @@
+//! Regenerates the paper's **Table IV**: execution time of every
+//! benchmark under every extension, normalized to the unmonitored
+//! baseline, with the fabric at 1X (the ASIC configuration), 0.5X, and
+//! 0.25X of the core clock. The paper's published cells are printed
+//! alongside.
+//!
+//! `--software` additionally runs the §V.C software-instrumentation
+//! baselines on each benchmark.
+
+use flexcore::software::{run_software_monitored, SoftwareMonitor};
+use flexcore::SystemConfig;
+use flexcore_bench::{baseline_cycles, geomean, paper, run_extension, ExtKind, MAX_INSTRUCTIONS};
+use flexcore_workloads::Workload;
+
+fn main() {
+    let software = std::env::args().any(|a| a == "--software");
+    let configs = [
+        ("1X", SystemConfig::fabric_full_speed()),
+        ("0.5X", SystemConfig::fabric_half_speed()),
+        ("0.25X", SystemConfig::fabric_quarter_speed()),
+    ];
+
+    println!("Table IV: normalized execution time (measured, with paper values in parentheses)");
+    println!("{}", "=".repeat(118));
+    print!("{:<14}", "Benchmark");
+    for ext in ExtKind::ALL {
+        print!("| {:<24}", format!("{} 1X/0.5X/0.25X", ext.name()));
+    }
+    println!();
+    println!("{}", "-".repeat(118));
+
+    // geomean accumulators: [ext][clock]
+    let mut ratios: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 3]; 4];
+
+    for (wi, workload) in Workload::all().iter().enumerate() {
+        let base = baseline_cycles(workload);
+        print!("{:<14}", workload.name());
+        let prow = &paper::TABLE_IV[wi];
+        for (ei, ext) in ExtKind::ALL.into_iter().enumerate() {
+            let paper_cells = match ext {
+                ExtKind::Umc => prow.umc,
+                ExtKind::Dift => prow.dift,
+                ExtKind::Bc => prow.bc,
+                ExtKind::Sec => prow.sec,
+            };
+            let mut cells = String::new();
+            for (ci, (_, cfg)) in configs.iter().enumerate() {
+                let run = run_extension(workload, ext, *cfg);
+                let ratio = run.cycles as f64 / base as f64;
+                ratios[ei][ci].push(ratio);
+                cells.push_str(&format!("{:.2}({:.2}) ", ratio, paper_cells[ci]));
+            }
+            print!("| {cells:<24}");
+        }
+        println!();
+    }
+
+    println!("{}", "-".repeat(118));
+    print!("{:<14}", "geomean");
+    let pg = &paper::TABLE_IV[6];
+    for (ei, ext) in ExtKind::ALL.into_iter().enumerate() {
+        let paper_cells = match ext {
+            ExtKind::Umc => pg.umc,
+            ExtKind::Dift => pg.dift,
+            ExtKind::Bc => pg.bc,
+            ExtKind::Sec => pg.sec,
+        };
+        let mut cells = String::new();
+        for ci in 0..3 {
+            cells.push_str(&format!("{:.2}({:.2}) ", geomean(&ratios[ei][ci]), paper_cells[ci]));
+        }
+        print!("| {cells:<24}");
+    }
+    println!();
+    println!(
+        "\nPaper's operating points: UMC/DIFT/BC run the fabric at 0.5X, SEC at 0.25X.\n\
+         The 1X column corresponds to the full-ASIC implementations."
+    );
+
+    if software {
+        println!("\nSoftware monitoring baselines (same core, instrumented; §V.C):");
+        println!("{}", "-".repeat(84));
+        print!("{:<14}", "Benchmark");
+        for m in ["UMC sw", "DIFT sw", "BC sw", "SEC sw"] {
+            print!("{m:>12}");
+        }
+        println!();
+        let monitors = [
+            SoftwareMonitor::umc(),
+            SoftwareMonitor::dift(),
+            SoftwareMonitor::bc(),
+            SoftwareMonitor::sec(),
+        ];
+        let mut sw_ratios: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for workload in Workload::all() {
+            let base = baseline_cycles(&workload);
+            let program = workload.program().expect("assembles");
+            print!("{:<14}", workload.name());
+            for (mi, monitor) in monitors.iter().enumerate() {
+                let sw = run_software_monitored(monitor, &program, MAX_INSTRUCTIONS);
+                let ratio = sw.cycles as f64 / base as f64;
+                sw_ratios[mi].push(ratio);
+                print!("{:>11.2}x", ratio);
+            }
+            println!();
+        }
+        print!("{:<14}", "geomean");
+        for r in &sw_ratios {
+            print!("{:>11.2}x", geomean(r));
+        }
+        println!();
+        println!("\nPaper's quoted software comparison points:");
+        for (name, quote) in paper::SOFTWARE_QUOTES {
+            println!("  {name}: {quote}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Benchmark harness regenerating every table and figure of the
+//! FlexCore paper.
+//!
+//! Binaries (each prints the paper's rows/series and, where available,
+//! the paper's published numbers next to the measured ones):
+//!
+//! | Binary   | Reproduces |
+//! |----------|------------|
+//! | `table1` | Table I (extension descriptors) and Table II (interface fields) |
+//! | `table3` | Table III (area / power / frequency, ASIC and FlexCore) |
+//! | `table4` | Table IV (normalized execution time per benchmark × extension × fabric clock); `--software` adds the §V.C software baselines |
+//! | `fig4`   | Figure 4 (fraction of instructions forwarded to the fabric) |
+//! | `fig5`   | Figure 5 (average performance vs. forward-FIFO size) |
+//!
+//! The library part hosts the shared runners so the binaries and the
+//! criterion benches stay thin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+mod runner;
+
+pub use runner::{
+    baseline_cycles, geomean, run_extension, ExtKind, RunSummary, MAX_INSTRUCTIONS,
+};

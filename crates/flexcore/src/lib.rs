@@ -1,0 +1,67 @@
+//! FlexCore: instruction-grained run-time monitoring on an on-chip
+//! reconfigurable fabric.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Deng, Lo, Malysa, Schneider, Suh — MICRO 2010): a hybrid
+//! architecture where a bit-level reconfigurable fabric is coupled to
+//! the commit stage of an in-order core through a decoupling FIFO
+//! interface, so that monitoring and bookkeeping extensions run in
+//! parallel with the main computation.
+//!
+//! The pieces, mirroring the paper's §III:
+//!
+//! * [`interface`] — the core–fabric interface of Table II: the 64-bit
+//!   forwarding configuration register ([`Cfgr`]) with a 2-bit policy
+//!   per instruction class, the forward FIFO ([`ForwardFifo`]) whose
+//!   back-pressure stalls the commit stage, and the control/return
+//!   signals (CACK/EMPTY/TRAP and the BFIFO return value).
+//! * [`ShadowRegFile`] — the embedded 8-bit-per-register meta-data
+//!   register file implemented as custom hardware inside the fabric.
+//! * [`ext`] — the four prototype extensions, each with a functional
+//!   model **and** a gate-level netlist for the cost models:
+//!   [`ext::Umc`] (uninitialized memory check), [`ext::Dift`] (dynamic
+//!   information flow tracking), [`ext::Bc`] (array bound checking via
+//!   color tags), and [`ext::Sec`] (soft-error checking of ALU
+//!   results).
+//! * [`System`] — the full system: Leon3-like core, shared bus, 4-KB
+//!   meta-data cache, the interface, and one extension, with the fabric
+//!   in its own clock domain (1X / 0.5X / 0.25X of the core clock).
+//! * [`software`] — the software-instrumentation baselines the paper
+//!   compares against (§V.C).
+//!
+//! # Example: catching an uninitialized read
+//!
+//! ```
+//! use flexcore::{ext::Umc, Implementation, System, SystemConfig};
+//! use flexcore_asm::assemble;
+//!
+//! let program = assemble("
+//!     start:  set 0x8000, %o0     ! a heap buffer, never written
+//!             st %g0, [%o0]       ! initialize word 0
+//!             ld [%o0], %o1       ! ok
+//!             ld [%o0 + 4], %o2   ! uninitialized! UMC must trap
+//!             ta 0
+//! ")?;
+//! let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
+//! sys.load_program(&program);
+//! let result = sys.run(1_000_000);
+//! assert!(result.monitor_trap.is_some(), "UMC caught the bug");
+//! # Ok::<(), flexcore_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext;
+pub mod interface;
+pub mod software;
+
+mod shadow;
+mod stats;
+mod system;
+
+pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
+pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};
+pub use shadow::ShadowRegFile;
+pub use stats::{ForwardStats, RunResult};
+pub use system::{Implementation, System, SystemConfig};

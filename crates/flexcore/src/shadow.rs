@@ -1,0 +1,99 @@
+//! The shadow meta-data register file.
+
+use flexcore_isa::{Reg, NUM_REGS};
+
+/// The fabric's embedded meta-data register file: an 8-bit shadow
+/// register for each general-purpose architectural register (§III.E).
+///
+/// Implemented as custom hardware in the real design (memory-compiler
+/// macro) because LUT fabrics implement memory arrays poorly; its
+/// area/power are accounted with the dedicated FlexCore modules.
+///
+/// Extensions use as many of the 8 bits as they need: DIFT keeps a
+/// 1-bit taint per register, BC a 4-bit color.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShadowRegFile {
+    tags: [u8; NUM_REGS],
+}
+
+impl ShadowRegFile {
+    /// Entries in the file (one per architectural register).
+    pub const ENTRIES: u32 = NUM_REGS as u32;
+    /// Bits per entry.
+    pub const WIDTH: u32 = 8;
+
+    /// All-zero shadow state.
+    pub fn new() -> ShadowRegFile {
+        ShadowRegFile::default()
+    }
+
+    /// Reads the shadow tag of a register. `%g0`'s shadow is hardwired
+    /// to 0, mirroring the zero register itself (an immediate/zero
+    /// operand never carries meta-data).
+    pub fn tag(&self, r: Reg) -> u8 {
+        if r.is_zero() {
+            0
+        } else {
+            self.tags[r.index()]
+        }
+    }
+
+    /// Writes the shadow tag of a register (writes to `%g0`'s shadow
+    /// are discarded).
+    pub fn set_tag(&mut self, r: Reg, tag: u8) {
+        if !r.is_zero() {
+            self.tags[r.index()] = tag;
+        }
+    }
+
+    /// Clears every tag (used by the software-visible "clear all"
+    /// operations).
+    pub fn clear(&mut self) {
+        self.tags = [0; NUM_REGS];
+    }
+
+    /// Number of registers with a non-zero tag.
+    pub fn tagged_count(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g0_shadow_is_hardwired_zero() {
+        let mut s = ShadowRegFile::new();
+        s.set_tag(Reg::G0, 0xff);
+        assert_eq!(s.tag(Reg::G0), 0);
+        assert_eq!(s.tagged_count(), 0);
+    }
+
+    #[test]
+    fn tags_are_per_register() {
+        let mut s = ShadowRegFile::new();
+        s.set_tag(Reg::O1, 1);
+        s.set_tag(Reg::L5, 0x0f);
+        assert_eq!(s.tag(Reg::O1), 1);
+        assert_eq!(s.tag(Reg::L5), 0x0f);
+        assert_eq!(s.tag(Reg::O2), 0);
+        assert_eq!(s.tagged_count(), 2);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let mut s = ShadowRegFile::new();
+        for r in Reg::all() {
+            s.set_tag(r, 5);
+        }
+        s.clear();
+        assert_eq!(s.tagged_count(), 0);
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        assert_eq!(ShadowRegFile::ENTRIES, 32);
+        assert_eq!(ShadowRegFile::WIDTH, 8);
+    }
+}

@@ -1,0 +1,101 @@
+//! System-level statistics and run results.
+
+use flexcore_isa::{InstrClass, NUM_INSTR_CLASSES};
+use flexcore_mem::{BusStats, CacheStats};
+use flexcore_pipeline::{CoreStats, ExitReason};
+
+use crate::ext::MonitorTrap;
+
+/// Forwarding statistics (the data behind the paper's Figure 4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForwardStats {
+    /// Instructions committed by the core.
+    pub committed: u64,
+    /// Packets forwarded to the fabric.
+    pub forwarded: u64,
+    /// Packets dropped by an `IfNotFull` policy on a full FIFO.
+    pub dropped: u64,
+    /// Forwarded packets per instruction class.
+    pub per_class: [u64; NUM_INSTR_CLASSES],
+    /// Cycles the commit stage stalled on a full FIFO.
+    pub fifo_stall_cycles: u64,
+    /// Peak FIFO occupancy.
+    pub peak_occupancy: usize,
+}
+
+impl ForwardStats {
+    /// Fraction of committed instructions forwarded to the fabric
+    /// (Figure 4's y-axis).
+    pub fn forwarded_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.forwarded as f64 / self.committed as f64
+        }
+    }
+
+    /// Forwarded packets of one class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        self.per_class[class.index()]
+    }
+}
+
+/// The complete result of a [`System`](crate::System) run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Why the core stopped.
+    pub exit: ExitReason,
+    /// The monitor trap, if the extension raised one.
+    pub monitor_trap: Option<MonitorTrap>,
+    /// How many instructions committed *after* the violating one
+    /// before the TRAP signal arrived — the imprecision of FlexCore
+    /// exceptions (§III.C). `None` when no trap fired.
+    pub trap_skid: Option<u64>,
+    /// Total core-clock cycles, including draining the fabric at the
+    /// end (the EMPTY-signal discipline).
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instret: u64,
+    /// Forwarding statistics.
+    pub forward: ForwardStats,
+    /// Core pipeline statistics.
+    pub core: CoreStats,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// D-cache statistics.
+    pub dcache: CacheStats,
+    /// Meta-data cache statistics.
+    pub meta_cache: CacheStats,
+    /// Shared-bus statistics.
+    pub bus: BusStats,
+    /// Console output produced by the program.
+    pub console: Vec<u8>,
+}
+
+impl RunResult {
+    /// Cycles per committed instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instret as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarded_fraction_handles_empty_run() {
+        let s = ForwardStats::default();
+        assert_eq!(s.forwarded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn forwarded_fraction_is_a_ratio() {
+        let s = ForwardStats { committed: 200, forwarded: 50, ..Default::default() };
+        assert_eq!(s.forwarded_fraction(), 0.25);
+    }
+}

@@ -1,0 +1,427 @@
+//! The full FlexCore system model.
+
+use flexcore_asm::Program;
+use flexcore_mem::{CacheConfig, MainMemory, MetaDataCache, SystemBus};
+use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult, TracePacket};
+
+use crate::ext::{ExtEnv, Extension, MonitorTrap};
+use crate::interface::{Cfgr, ForwardFifo, ForwardPolicy};
+use crate::stats::{ForwardStats, RunResult};
+use crate::ShadowRegFile;
+
+/// How the monitoring extension is implemented.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Implementation {
+    /// Dedicated hardware integrated with the core, running at the
+    /// core clock (the paper's "full ASIC" configuration — Table IV's
+    /// 1X columns).
+    Asic,
+    /// On the reconfigurable fabric, running at `core clock / divisor`
+    /// (the paper's FlexCore configuration: divisor 2 for UMC/DIFT/BC,
+    /// divisor 4 for SEC).
+    Fabric {
+        /// Core-to-fabric clock ratio (1, 2, or 4).
+        divisor: u32,
+    },
+}
+
+impl Implementation {
+    /// Core cycles per fabric cycle.
+    pub fn divisor(self) -> u64 {
+        match self {
+            Implementation::Asic => 1,
+            Implementation::Fabric { divisor } => u64::from(divisor.max(1)),
+        }
+    }
+}
+
+/// Configuration of a [`System`].
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Meta-data cache geometry (the paper's default: 4 KB, 32-B
+    /// lines).
+    pub meta_cache: CacheConfig,
+    /// Forward-FIFO depth (the paper's default: 64).
+    pub fifo_depth: usize,
+    /// Extension implementation and clock ratio.
+    pub implementation: Implementation,
+    /// Whether the core pre-decodes instructions for the fabric (the
+    /// OPCODE/SRC1/SRC2/DEST fields of Table II). The paper found
+    /// core-side decoding makes DIFT 30% faster; turning this off
+    /// charges the fabric an extra cycle per packet to decode the raw
+    /// instruction word. Ablation knob; default `true`.
+    pub decode_on_core: bool,
+    /// Whether the meta-data cache supports bit-granular write masks
+    /// (§III.D). Turning this off forces every meta-data update into an
+    /// explicit read-modify-write pair, "an explicit cache read and
+    /// then an explicit cache write". Ablation knob; default `true`.
+    pub masked_meta_writes: bool,
+    /// Whether monitor exceptions must be precise: every forwarded
+    /// instruction stalls the commit stage until the fabric
+    /// acknowledges it (no decoupling). Ablation knob; default `false`
+    /// — the paper's extensions all terminate the program, so
+    /// imprecise traps suffice and the FIFO decouples fully.
+    pub precise_exceptions: bool,
+}
+
+impl SystemConfig {
+    /// The paper's ASIC configuration: extension at the core clock.
+    pub fn asic() -> SystemConfig {
+        SystemConfig {
+            core: CoreConfig::leon3(),
+            meta_cache: CacheConfig::meta_default(),
+            fifo_depth: 64,
+            implementation: Implementation::Asic,
+            decode_on_core: true,
+            masked_meta_writes: true,
+            precise_exceptions: false,
+        }
+    }
+
+    /// FlexCore with the fabric at the full core clock (Table IV "1X").
+    pub fn fabric_full_speed() -> SystemConfig {
+        SystemConfig {
+            implementation: Implementation::Fabric { divisor: 1 },
+            ..SystemConfig::asic()
+        }
+    }
+
+    /// FlexCore with the fabric at half the core clock (Table IV
+    /// "0.5X" — UMC/DIFT/BC).
+    pub fn fabric_half_speed() -> SystemConfig {
+        SystemConfig {
+            implementation: Implementation::Fabric { divisor: 2 },
+            ..SystemConfig::asic()
+        }
+    }
+
+    /// FlexCore with the fabric at a quarter of the core clock
+    /// (Table IV "0.25X" — SEC).
+    pub fn fabric_quarter_speed() -> SystemConfig {
+        SystemConfig {
+            implementation: Implementation::Fabric { divisor: 4 },
+            ..SystemConfig::asic()
+        }
+    }
+
+    /// Returns a copy with a different forward-FIFO depth (the
+    /// Figure 5 sweep).
+    pub fn with_fifo_depth(mut self, depth: usize) -> SystemConfig {
+        self.fifo_depth = depth;
+        self
+    }
+
+    /// Returns a copy with fabric-side instruction decoding (ablation:
+    /// the fabric pays an extra cycle per packet).
+    pub fn without_core_decode(mut self) -> SystemConfig {
+        self.decode_on_core = false;
+        self
+    }
+
+    /// Returns a copy without bit-granular meta-data writes (ablation:
+    /// every meta update becomes a read-modify-write pair).
+    pub fn without_masked_writes(mut self) -> SystemConfig {
+        self.masked_meta_writes = false;
+        self
+    }
+
+    /// Returns a copy with precise monitor exceptions (ablation: no
+    /// decoupling — commit waits for the fabric on every forwarded
+    /// instruction).
+    pub fn with_precise_exceptions(mut self) -> SystemConfig {
+        self.precise_exceptions = true;
+        self
+    }
+
+    /// Returns a copy with a different meta-data cache capacity in
+    /// bytes (geometry otherwise unchanged).
+    pub fn with_meta_cache_bytes(mut self, bytes: u32) -> SystemConfig {
+        self.meta_cache.size_bytes = bytes;
+        self
+    }
+}
+
+/// A complete FlexCore system: core + shared bus + meta-data cache +
+/// core–fabric interface + one monitoring extension.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct System<E: Extension> {
+    config: SystemConfig,
+    core: Core,
+    mem: MainMemory,
+    bus: SystemBus,
+    meta: MetaDataCache,
+    shadow: ShadowRegFile,
+    ext: E,
+    cfgr: Cfgr,
+    fifo: ForwardFifo,
+    fabric_free_at: u64,
+    forward: ForwardStats,
+    monitor_trap: Option<MonitorTrap>,
+    /// TRAP delivery: `(fabric time the signal asserts, instret at the
+    /// violating instruction)`. The exception is imprecise (§III.C):
+    /// the core keeps committing until the signal arrives.
+    pending_trap: Option<(u64, u64)>,
+    fault: Option<(u64, u32)>,
+}
+
+impl<E: Extension> System<E> {
+    /// Builds a system around `ext`.
+    pub fn new(config: SystemConfig, ext: E) -> System<E> {
+        let cfgr = ext.cfgr();
+        System {
+            config,
+            core: Core::new(config.core),
+            mem: MainMemory::new(),
+            bus: SystemBus::default(),
+            meta: MetaDataCache::new(config.meta_cache),
+            shadow: ShadowRegFile::new(),
+            ext,
+            cfgr,
+            fifo: ForwardFifo::new(config.fifo_depth),
+            fabric_free_at: 0,
+            forward: ForwardStats::default(),
+            monitor_trap: None,
+            pending_trap: None,
+            fault: None,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The active CFGR value.
+    pub fn cfgr(&self) -> Cfgr {
+        self.cfgr
+    }
+
+    /// The monitored core.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Main memory (e.g. to inspect program results).
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable main memory (e.g. to pre-load inputs).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// The extension.
+    pub fn extension(&self) -> &E {
+        &self.ext
+    }
+
+    /// Loads a program and lets the extension initialize meta-data for
+    /// the image (e.g. UMC marks static data as written). The
+    /// initialization happens "before time zero": it does not consume
+    /// simulated cycles or bus bandwidth.
+    pub fn load_program(&mut self, program: &Program) {
+        self.core.load_program(program, &mut self.mem);
+        let mut scratch_bus = SystemBus::default();
+        let mut env = ExtEnv::new(&mut self.meta, &mut self.mem, &mut scratch_bus, &mut self.shadow, 0);
+        self.ext
+            .on_program_load(program.base(), program.len() as u32, &mut env);
+        // Leave the meta cache cold and its statistics clean.
+        self.meta.flush(&mut self.mem);
+        self.meta = MetaDataCache::new(self.config.meta_cache);
+    }
+
+    /// Arranges for a single transient fault: the `nth` committed
+    /// instruction's result has `bit` flipped — in the forwarded packet
+    /// *and* in architectural state, like a real ALU soft error. Used
+    /// to demonstrate SEC.
+    pub fn inject_result_fault(&mut self, nth: u64, bit: u32) {
+        self.fault = Some((nth, bit));
+    }
+
+    fn grid(&self) -> u64 {
+        self.config.implementation.divisor()
+    }
+
+    fn align_up(&self, t: u64) -> u64 {
+        t.next_multiple_of(self.grid())
+    }
+
+    /// Runs the extension on one packet starting no earlier than `enq`;
+    /// returns `(start, bfifo_value)`.
+    fn process_on_fabric(&mut self, pkt: &TracePacket, enq: u64) -> (u64, Option<u32>) {
+        let start = self.align_up(enq.max(self.fabric_free_at));
+        let period = self.grid();
+        let mut env = ExtEnv::with_period(
+            &mut self.meta,
+            &mut self.mem,
+            &mut self.bus,
+            &mut self.shadow,
+            start,
+            period,
+        );
+        if !self.config.masked_meta_writes {
+            env.force_read_modify_write();
+        }
+        if !self.config.decode_on_core {
+            // The fabric must decode the raw instruction word itself.
+            env.charge_fabric_cycle();
+        }
+        let (ret, trap) = match self.ext.process(pkt, &mut env) {
+            Ok(ret) => (ret, None),
+            Err(t) => (None, Some(t)),
+        };
+        let ready = env.ready_at();
+        let finish = self.align_up(ready).max(start + self.grid());
+        self.fabric_free_at = finish;
+        if let Some(t) = trap {
+            // Imprecise exception: the TRAP signal reaches the core
+            // only once the extension's pipeline stage carrying the
+            // violating packet drains; the core keeps committing until
+            // then (§III.C — none of the prototype extensions need a
+            // precise restart).
+            if self.monitor_trap.is_none() {
+                let assert_at = finish + self.grid() * u64::from(self.ext.pipeline_stages());
+                self.monitor_trap = Some(t);
+                self.pending_trap = Some((assert_at, self.forward.committed));
+            }
+        }
+        (start, ret)
+    }
+
+    /// Handles one committed instruction: the forwarding filter, the
+    /// FIFO, and the fabric.
+    fn on_commit(&mut self, mut pkt: TracePacket) {
+        self.forward.committed += 1;
+        if let Some((nth, bit)) = self.fault {
+            if self.forward.committed == nth {
+                pkt.result ^= 1 << bit;
+                if let Some(rd) = pkt.dest {
+                    self.core.set_reg(rd, pkt.result);
+                }
+                self.fault = None;
+            }
+        }
+        let mut policy = self.cfgr.policy(pkt.class);
+        if !policy.forwards() {
+            return;
+        }
+        if self.config.precise_exceptions {
+            // No decoupling: every forwarded instruction must be
+            // acknowledged before it commits.
+            policy = ForwardPolicy::WaitForAck;
+        }
+        let now = pkt.commit_cycle;
+        match policy {
+            ForwardPolicy::Ignore => {}
+            ForwardPolicy::IfNotFull => {
+                if self.fifo.is_full(now) {
+                    self.forward.dropped += 1;
+                    return;
+                }
+                self.record_forward(&pkt);
+                let (start, _) = self.process_on_fabric(&pkt, now);
+                self.fifo.push(now, start);
+            }
+            ForwardPolicy::Always => {
+                self.record_forward(&pkt);
+                let enq = if self.fifo.is_full(now) {
+                    // Commit stalls until the oldest entry is dequeued.
+                    let free_at = self.fifo.empty_slot_at(now);
+                    self.core.stall_until(free_at);
+                    free_at
+                } else {
+                    now
+                };
+                let (start, _) = self.process_on_fabric(&pkt, enq);
+                self.fifo.push(enq, start);
+            }
+            ForwardPolicy::WaitForAck => {
+                self.record_forward(&pkt);
+                let (start, ret) = self.process_on_fabric(&pkt, now);
+                let ack = self.fabric_free_at.max(start);
+                self.core.stall_until(ack);
+                if let (Some(v), Some(rd)) = (ret, pkt.dest) {
+                    // BFIFO return value lands in the destination
+                    // register.
+                    self.core.set_reg(rd, v);
+                }
+                // Waiting for the acknowledgment makes the exception
+                // precise: deliver before the next instruction.
+                if self.config.precise_exceptions {
+                    if let Some((_, at_violation)) = self.pending_trap {
+                        self.pending_trap = Some((0, at_violation));
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_forward(&mut self, pkt: &TracePacket) {
+        self.forward.forwarded += 1;
+        self.forward.per_class[pkt.class.index()] += 1;
+    }
+
+    /// Runs until the program exits, a monitor trap is delivered, or
+    /// `max_instructions` commit. Returns the full result.
+    pub fn run(&mut self, max_instructions: u64) -> RunResult {
+        loop {
+            if let Some((assert_at, _)) = self.pending_trap {
+                if self.core.cycle() >= assert_at {
+                    let pc = self.monitor_trap.as_ref().expect("trap recorded").pc;
+                    self.core.halt(ExitReason::MonitorTrap { pc });
+                }
+            }
+            if self.core.stats().instret >= max_instructions {
+                self.core.halt(ExitReason::InstructionLimit);
+            }
+            match self.core.step(&mut self.mem, &mut self.bus) {
+                StepResult::Committed(pkt) => self.on_commit(pkt),
+                StepResult::Annulled => {}
+                StepResult::Exited(exit) => return self.finalize(exit),
+            }
+        }
+    }
+
+    fn finalize(&mut self, exit: ExitReason) -> RunResult {
+        // The core waits for the co-processor to drain (EMPTY) before
+        // completing — and for its own store buffer. A trap still in
+        // flight in the fabric is therefore always delivered, even if
+        // the program reached its own exit first.
+        let exit = match (&self.pending_trap, exit) {
+            (Some(_), ExitReason::Halt(_)) => {
+                let pc = self.monitor_trap.as_ref().expect("trap recorded").pc;
+                ExitReason::MonitorTrap { pc }
+            }
+            (_, e) => e,
+        };
+        let done = self
+            .core
+            .quiesced_at()
+            .max(self.fifo.empty_at(self.core.cycle()))
+            .max(self.fabric_free_at.max(self.core.cycle()));
+        self.forward.fifo_stall_cycles = self.core.stats().external_stall_cycles;
+        self.forward.peak_occupancy = self.fifo.peak_occupancy();
+        let trap_skid = self
+            .pending_trap
+            .map(|(_, at_violation)| self.forward.committed.saturating_sub(at_violation));
+        RunResult {
+            exit,
+            trap_skid,
+            monitor_trap: self.monitor_trap.clone(),
+            cycles: done,
+            instret: self.core.stats().instret,
+            forward: self.forward,
+            core: *self.core.stats(),
+            icache: self.core.icache_stats(),
+            dcache: self.core.dcache_stats(),
+            meta_cache: self.meta.stats(),
+            bus: self.bus.stats(),
+            console: self.core.console().to_vec(),
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The 32 instruction *types* the FlexCore forwarding configuration
+//! register (CFGR) switches on.
+//!
+//! The paper's prototype defines 32 instruction types for the SPARC
+//! architecture and gives each a 2-bit forwarding policy in the 64-bit
+//! CFGR (Table II). This module defines that classification.
+
+use crate::{Instruction, Opcode};
+
+/// Number of instruction classes (fixed by the CFGR width: 64 bits / 2
+/// bits per class).
+pub const NUM_INSTR_CLASSES: usize = 32;
+
+/// One of the 32 instruction types used by the forwarding filter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum InstrClass {
+    /// Word load.
+    Ld = 0,
+    /// Unsigned byte load.
+    Ldub = 1,
+    /// Unsigned halfword load.
+    Lduh = 2,
+    /// Signed byte load.
+    Ldsb = 3,
+    /// Signed halfword load.
+    Ldsh = 4,
+    /// Word store.
+    St = 5,
+    /// Byte store.
+    Stb = 6,
+    /// Halfword store.
+    Sth = 7,
+    /// Add (no icc update).
+    Add = 8,
+    /// Subtract (no icc update).
+    Sub = 9,
+    /// Bitwise logic (and/or/xor and negated forms, no icc update).
+    Logic = 10,
+    /// Shifts.
+    Shift = 11,
+    /// Multiply.
+    Mul = 12,
+    /// Divide.
+    Div = 13,
+    /// Add, setting condition codes.
+    AddCc = 14,
+    /// Subtract, setting condition codes.
+    SubCc = 15,
+    /// Logic, setting condition codes.
+    LogicCc = 16,
+    /// `sethi` (excluding the canonical `nop`).
+    Sethi = 17,
+    /// Conditional branch (flags-dependent).
+    BranchCond = 18,
+    /// Unconditional branch (`ba`/`bn`).
+    BranchUncond = 19,
+    /// `call`.
+    Call = 20,
+    /// `jmpl` — indirect jumps and returns. This is the class DIFT
+    /// checks for tainted control transfers.
+    Jmpl = 21,
+    /// `save`.
+    Save = 22,
+    /// `restore`.
+    Restore = 23,
+    /// Trap on condition.
+    Trap = 24,
+    /// Co-processor opcode space 1.
+    Cpop1 = 25,
+    /// Co-processor opcode space 2.
+    Cpop2 = 26,
+    /// The canonical `nop` (`sethi 0, %g0`).
+    Nop = 27,
+    /// Doubleword load (even/odd register pair).
+    Ldd = 28,
+    /// Doubleword store (even/odd register pair).
+    Std = 29,
+    /// Atomic swap of a register with a memory word.
+    Swap = 30,
+    /// Anything else.
+    Other = 31,
+}
+
+impl InstrClass {
+    /// All 32 classes in index order.
+    pub fn all() -> impl Iterator<Item = InstrClass> {
+        (0..NUM_INSTR_CLASSES as u8).map(InstrClass::from_index)
+    }
+
+    /// Class for a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn from_index(index: u8) -> InstrClass {
+        use InstrClass::*;
+        const TABLE: [InstrClass; NUM_INSTR_CLASSES] = [
+            Ld, Ldub, Lduh, Ldsb, Ldsh, St, Stb, Sth, Add, Sub, Logic, Shift, Mul, Div, AddCc,
+            SubCc, LogicCc, Sethi, BranchCond, BranchUncond, Call, Jmpl, Save, Restore, Trap,
+            Cpop1, Cpop2, Nop, Ldd, Std, Swap, Other,
+        ];
+        TABLE[index as usize]
+    }
+
+    /// Flat index in `0..32` (the CFGR bit position is `2 * index`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this class is a memory access.
+    pub fn is_mem(self) -> bool {
+        self.index() < 8 || matches!(self, InstrClass::Ldd | InstrClass::Std | InstrClass::Swap)
+    }
+
+    /// Whether this class is a load.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            InstrClass::Ld | InstrClass::Ldub | InstrClass::Lduh | InstrClass::Ldsb | InstrClass::Ldsh | InstrClass::Ldd
+        )
+    }
+
+    /// Whether this class is a store.
+    pub fn is_store(self) -> bool {
+        matches!(self, InstrClass::St | InstrClass::Stb | InstrClass::Sth | InstrClass::Std)
+    }
+
+    /// Whether this class is an integer ALU operation (add/sub/logic/
+    /// shift/mul/div, with or without icc update).
+    pub fn is_alu(self) -> bool {
+        (8..=16).contains(&self.index())
+    }
+
+    /// Classifies a decoded instruction.
+    pub fn of(inst: &Instruction) -> InstrClass {
+        use Opcode::*;
+        if inst.is_nop() {
+            return InstrClass::Nop;
+        }
+        match inst {
+            Instruction::Branch { cond, .. } => {
+                if cond.is_unconditional() {
+                    InstrClass::BranchUncond
+                } else {
+                    InstrClass::BranchCond
+                }
+            }
+            Instruction::Call { .. } => InstrClass::Call,
+            Instruction::Jmpl { .. } => InstrClass::Jmpl,
+            Instruction::Trap { .. } => InstrClass::Trap,
+            Instruction::Sethi { .. } => InstrClass::Sethi,
+            Instruction::Cpop { space, .. } => {
+                if *space == 1 {
+                    InstrClass::Cpop1
+                } else {
+                    InstrClass::Cpop2
+                }
+            }
+            Instruction::Mem { op, .. } => match op {
+                Ld => InstrClass::Ld,
+                Ldub => InstrClass::Ldub,
+                Lduh => InstrClass::Lduh,
+                Ldsb => InstrClass::Ldsb,
+                Ldsh => InstrClass::Ldsh,
+                St => InstrClass::St,
+                Stb => InstrClass::Stb,
+                Sth => InstrClass::Sth,
+                Ldd => InstrClass::Ldd,
+                Std => InstrClass::Std,
+                Swap => InstrClass::Swap,
+                _ => InstrClass::Other,
+            },
+            Instruction::Alu { op, .. } => match op {
+                Add => InstrClass::Add,
+                Sub => InstrClass::Sub,
+                And | Or | Xor | Andn | Orn | Xnor => InstrClass::Logic,
+                Sll | Srl | Sra => InstrClass::Shift,
+                Umul | Smul => InstrClass::Mul,
+                Udiv | Sdiv => InstrClass::Div,
+                Addcc => InstrClass::AddCc,
+                Subcc => InstrClass::SubCc,
+                Andcc | Orcc | Xorcc | Andncc | Orncc | Xnorcc => InstrClass::LogicCc,
+                Save => InstrClass::Save,
+                Restore => InstrClass::Restore,
+                _ => InstrClass::Other,
+            },
+        }
+    }
+}
+
+/// `InstrClass::of` as a free function; convenient for iterator chains.
+pub fn classify(inst: &Instruction) -> InstrClass {
+    InstrClass::of(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Operand2, Reg};
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..NUM_INSTR_CLASSES as u8 {
+            assert_eq!(InstrClass::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn exactly_32_classes() {
+        assert_eq!(InstrClass::all().count(), 32);
+    }
+
+    #[test]
+    fn nop_classifies_as_nop_not_sethi() {
+        assert_eq!(InstrClass::of(&Instruction::nop()), InstrClass::Nop);
+        let sethi = Instruction::Sethi { rd: Reg::G1, imm22: 5 };
+        assert_eq!(InstrClass::of(&sethi), InstrClass::Sethi);
+    }
+
+    #[test]
+    fn branch_splits_on_cond() {
+        let ba = Instruction::Branch { cond: Cond::A, annul: false, disp22: 1 };
+        let be = Instruction::Branch { cond: Cond::E, annul: false, disp22: 1 };
+        assert_eq!(InstrClass::of(&ba), InstrClass::BranchUncond);
+        assert_eq!(InstrClass::of(&be), InstrClass::BranchCond);
+    }
+
+    #[test]
+    fn alu_grouping() {
+        let mk = |op| Instruction::alu(op, Reg::G1, Reg::G2, Operand2::Imm(1));
+        assert_eq!(InstrClass::of(&mk(Opcode::Add)), InstrClass::Add);
+        assert_eq!(InstrClass::of(&mk(Opcode::Xor)), InstrClass::Logic);
+        assert_eq!(InstrClass::of(&mk(Opcode::Sll)), InstrClass::Shift);
+        assert_eq!(InstrClass::of(&mk(Opcode::Umul)), InstrClass::Mul);
+        assert_eq!(InstrClass::of(&mk(Opcode::Sdiv)), InstrClass::Div);
+        assert_eq!(InstrClass::of(&mk(Opcode::Addcc)), InstrClass::AddCc);
+        assert_eq!(InstrClass::of(&mk(Opcode::Orcc)), InstrClass::LogicCc);
+    }
+
+    #[test]
+    fn mem_classes_match_opcodes() {
+        let mk = |op| Instruction::mem(op, Reg::G1, Reg::G2, Operand2::Imm(0));
+        assert_eq!(InstrClass::of(&mk(Opcode::Ld)), InstrClass::Ld);
+        assert_eq!(InstrClass::of(&mk(Opcode::Stb)), InstrClass::Stb);
+        assert!(InstrClass::of(&mk(Opcode::Ldsh)).is_load());
+        assert!(InstrClass::of(&mk(Opcode::Sth)).is_store());
+    }
+
+    #[test]
+    fn predicate_consistency() {
+        for c in InstrClass::all() {
+            if c.is_load() || c.is_store() {
+                assert!(c.is_mem(), "{c:?}");
+            }
+            assert!(!(c.is_load() && c.is_store()), "{c:?}");
+            assert!(!(c.is_alu() && c.is_mem()), "{c:?}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! 32-bit machine word → instruction.
+
+use std::fmt;
+
+use crate::{Cond, Instruction, Opcode, Operand2, Reg};
+
+/// Error returned by [`decode`] for words outside the implemented
+/// subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The machine word that failed to decode.
+    pub fn word(self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn operand2(word: u32) -> Operand2 {
+    if word & (1 << 13) != 0 {
+        Operand2::Imm(sign_extend(word & 0x1fff, 13))
+    } else {
+        Operand2::Reg(Reg::from_field(word))
+    }
+}
+
+fn alu_op3(op3: u32) -> Option<Opcode> {
+    use Opcode::*;
+    let op = match op3 {
+        0x00 => Add,
+        0x01 => And,
+        0x02 => Or,
+        0x03 => Xor,
+        0x04 => Sub,
+        0x05 => Andn,
+        0x06 => Orn,
+        0x07 => Xnor,
+        0x10 => Addcc,
+        0x11 => Andcc,
+        0x12 => Orcc,
+        0x13 => Xorcc,
+        0x14 => Subcc,
+        0x15 => Andncc,
+        0x16 => Orncc,
+        0x17 => Xnorcc,
+        0x0a => Umul,
+        0x0b => Smul,
+        0x0e => Udiv,
+        0x0f => Sdiv,
+        0x25 => Sll,
+        0x26 => Srl,
+        0x27 => Sra,
+        0x3c => Save,
+        0x3d => Restore,
+        _ => return None,
+    };
+    Some(op)
+}
+
+fn mem_op3(op3: u32) -> Option<Opcode> {
+    use Opcode::*;
+    let op = match op3 {
+        0x00 => Ld,
+        0x01 => Ldub,
+        0x02 => Lduh,
+        0x09 => Ldsb,
+        0x0a => Ldsh,
+        0x04 => St,
+        0x05 => Stb,
+        0x06 => Sth,
+        0x03 => Ldd,
+        0x07 => Std,
+        0x0f => Swap,
+        _ => return None,
+    };
+    Some(op)
+}
+
+/// Decodes a 32-bit SPARC machine word into an [`Instruction`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any word outside the implemented subset
+/// (unknown `op3` values, reserved format-2 `op2` values, etc.). The
+/// core raises an illegal-instruction trap on such words.
+///
+/// # Example
+///
+/// ```
+/// use flexcore_isa::{decode, Instruction};
+/// assert_eq!(decode(0x0100_0000)?, Instruction::nop());
+/// assert!(decode(0xffff_ffff).is_err());
+/// # Ok::<(), flexcore_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let err = DecodeError { word };
+    let op = word >> 30;
+    match op {
+        1 => Ok(Instruction::Call {
+            disp30: sign_extend(word & 0x3fff_ffff, 30),
+        }),
+        0 => {
+            let op2 = (word >> 22) & 0x7;
+            match op2 {
+                0b100 => Ok(Instruction::Sethi {
+                    rd: Reg::from_field(word >> 25),
+                    imm22: word & 0x3f_ffff,
+                }),
+                0b010 => Ok(Instruction::Branch {
+                    cond: Cond::from_bits(((word >> 25) & 0xf) as u8),
+                    annul: word & (1 << 29) != 0,
+                    disp22: sign_extend(word & 0x3f_ffff, 22),
+                }),
+                _ => Err(err),
+            }
+        }
+        2 => {
+            let op3 = (word >> 19) & 0x3f;
+            let rd = Reg::from_field(word >> 25);
+            let rs1 = Reg::from_field(word >> 14);
+            match op3 {
+                0x38 => Ok(Instruction::Jmpl { rd, rs1, op2: operand2(word) }),
+                0x3a => Ok(Instruction::Trap {
+                    cond: Cond::from_bits(((word >> 25) & 0xf) as u8),
+                    rs1,
+                    op2: operand2(word),
+                }),
+                0x36 | 0x37 => Ok(Instruction::Cpop {
+                    space: if op3 == 0x36 { 1 } else { 2 },
+                    opc: ((word >> 5) & 0x1ff) as u16,
+                    rd,
+                    rs1,
+                    rs2: Reg::from_field(word),
+                }),
+                _ => {
+                    let op = alu_op3(op3).ok_or(err)?;
+                    Ok(Instruction::Alu { op, rd, rs1, op2: operand2(word) })
+                }
+            }
+        }
+        _ => {
+            let op3 = (word >> 19) & 0x3f;
+            let op = mem_op3(op3).ok_or(err)?;
+            Ok(Instruction::Mem {
+                op,
+                rd: Reg::from_field(word >> 25),
+                rs1: Reg::from_field(word >> 14),
+                op2: operand2(word),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn rejects_reserved_format2() {
+        // op=0, op2=0b000 (UNIMP) is outside the subset.
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_op3() {
+        // op=2, op3=0x3f is reserved.
+        assert!(decode(0x81f8_0000).is_err());
+        // op=3, op3=0x3f.
+        assert!(decode(0xc1f8_0000).is_err());
+    }
+
+    #[test]
+    fn decode_error_reports_word() {
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert_eq!(e.word(), 0xffff_ffff);
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn trap_round_trips_condition() {
+        let i = Instruction::Trap { cond: Cond::E, rs1: Reg::G0, op2: Operand2::Imm(3) };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn cpop_round_trips_all_fields() {
+        let i = Instruction::Cpop { space: 2, opc: 0x1ab, rd: Reg::O1, rs1: Reg::L3, rs2: Reg::I5 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn sign_extension_of_simm13() {
+        // or %g0, -4096, %g1
+        let i = Instruction::alu(Opcode::Or, Reg::G0, Reg::G1, Operand2::Imm(-4096));
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::encode;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+    }
+
+    fn arb_operand2() -> impl Strategy<Value = Operand2> {
+        prop_oneof![
+            arb_reg().prop_map(Operand2::Reg),
+            (-4096i32..=4095).prop_map(Operand2::Imm),
+        ]
+    }
+
+    fn arb_alu_opcode() -> impl Strategy<Value = Opcode> {
+        use Opcode::*;
+        prop::sample::select(vec![
+            Add, And, Or, Xor, Sub, Andn, Orn, Xnor, Addcc, Andcc, Orcc, Xorcc, Subcc, Andncc,
+            Orncc, Xnorcc, Umul, Smul, Udiv, Sdiv, Sll, Srl, Sra, Save, Restore,
+        ])
+    }
+
+    fn arb_mem_opcode() -> impl Strategy<Value = Opcode> {
+        use Opcode::*;
+        prop::sample::select(vec![Ld, Ldub, Lduh, Ldsb, Ldsh, St, Stb, Sth, Ldd, Std, Swap])
+    }
+
+    fn arb_instruction() -> impl Strategy<Value = Instruction> {
+        prop_oneof![
+            (arb_alu_opcode(), arb_reg(), arb_reg(), arb_operand2())
+                .prop_map(|(op, rd, rs1, op2)| Instruction::Alu { op, rd, rs1, op2 }),
+            (arb_mem_opcode(), arb_reg(), arb_reg(), arb_operand2())
+                .prop_map(|(op, rd, rs1, op2)| Instruction::Mem { op, rd, rs1, op2 }),
+            (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, imm22)| Instruction::Sethi { rd, imm22 }),
+            (0u8..16, any::<bool>(), -(1i32 << 21)..(1 << 21)).prop_map(|(c, annul, disp22)| {
+                Instruction::Branch { cond: Cond::from_bits(c), annul, disp22 }
+            }),
+            (-(1i32 << 29)..(1 << 29)).prop_map(|disp30| Instruction::Call { disp30 }),
+            (arb_reg(), arb_reg(), arb_operand2())
+                .prop_map(|(rd, rs1, op2)| Instruction::Jmpl { rd, rs1, op2 }),
+            (0u8..16, arb_reg(), arb_operand2()).prop_map(|(c, rs1, op2)| Instruction::Trap {
+                cond: Cond::from_bits(c),
+                rs1,
+                op2,
+            }),
+            (1u8..=2, 0u16..512, arb_reg(), arb_reg(), arb_reg()).prop_map(
+                |(space, opc, rd, rs1, rs2)| Instruction::Cpop { space, opc, rd, rs1, rs2 }
+            ),
+        ]
+    }
+
+    proptest! {
+        /// Every representable instruction survives an encode/decode
+        /// round-trip unchanged.
+        #[test]
+        fn encode_decode_round_trip(inst in arb_instruction()) {
+            let word = encode(&inst);
+            prop_assert_eq!(decode(word).unwrap(), inst);
+        }
+
+        /// Decoding is a function of the word: re-encoding a decoded
+        /// word reproduces it exactly (for words that decode at all).
+        #[test]
+        fn decode_encode_fixpoint(word in any::<u32>()) {
+            if let Ok(inst) = decode(word) {
+                let reencoded = encode(&inst);
+                // Don't-care bits in the subset: Ticc's reserved bit 29,
+                // and bits 12:5 (the `asi` field) when the second
+                // operand is a register (`i = 0`).
+                let mut mask = !0u32;
+                if matches!(inst, Instruction::Trap { .. }) {
+                    mask &= !(1 << 29);
+                }
+                let op2 = match inst {
+                    Instruction::Alu { op2, .. }
+                    | Instruction::Mem { op2, .. }
+                    | Instruction::Jmpl { op2, .. }
+                    | Instruction::Trap { op2, .. } => Some(op2),
+                    _ => None,
+                };
+                if let Some(Operand2::Reg(_)) = op2 {
+                    mask &= !0x1fe0;
+                }
+                prop_assert_eq!(reencoded & mask, word & mask);
+            }
+        }
+    }
+}

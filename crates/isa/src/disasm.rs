@@ -1,0 +1,146 @@
+//! Disassembly (`Display` for [`Instruction`]).
+
+use std::fmt;
+
+use crate::{Instruction, Opcode, Operand2};
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Reg(r) => write!(f, "{r}"),
+            Operand2::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+fn fmt_addr(f: &mut fmt::Formatter<'_>, rs1: crate::Reg, op2: Operand2) -> fmt::Result {
+    match op2 {
+        Operand2::Reg(r) if r.is_zero() => write!(f, "[{rs1}]"),
+        Operand2::Imm(0) => write!(f, "[{rs1}]"),
+        Operand2::Imm(i) if i < 0 => write!(f, "[{rs1} - {}]", -i),
+        _ => write!(f, "[{rs1} + {op2}]"),
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Formats the instruction in SPARC assembler syntax.
+    ///
+    /// Branch and call displacements are printed as signed *byte*
+    /// offsets (`be .+8`), since the instruction does not know its own
+    /// address.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Alu { op, rd, rs1, op2 } => write!(f, "{op} {rs1}, {op2}, {rd}"),
+            Instruction::Mem { op, rd, rs1, op2 } => {
+                if op.is_store() {
+                    write!(f, "{op} {rd}, ")?;
+                    fmt_addr(f, rs1, op2)
+                } else {
+                    write!(f, "{op} ")?;
+                    fmt_addr(f, rs1, op2)?;
+                    write!(f, ", {rd}")
+                }
+            }
+            Instruction::Sethi { rd, imm22 } => {
+                if self.is_nop() {
+                    write!(f, "nop")
+                } else {
+                    write!(f, "sethi {:#x}, {rd}", imm22)
+                }
+            }
+            Instruction::Branch { cond, annul, disp22 } => {
+                let a = if annul { ",a" } else { "" };
+                let byte_off = disp22 * 4;
+                if byte_off < 0 {
+                    write!(f, "b{cond}{a} .-{}", -byte_off)
+                } else {
+                    write!(f, "b{cond}{a} .+{byte_off}")
+                }
+            }
+            Instruction::Call { disp30 } => {
+                let byte_off = disp30 * 4;
+                if byte_off < 0 {
+                    write!(f, "call .-{}", -byte_off)
+                } else {
+                    write!(f, "call .+{byte_off}")
+                }
+            }
+            Instruction::Jmpl { rd, rs1, op2 } => {
+                // Recognize the conventional pseudo-forms.
+                if rd.is_zero() {
+                    if rs1 == crate::Reg::I7 && op2 == Operand2::Imm(8) {
+                        return write!(f, "ret");
+                    }
+                    if rs1 == crate::Reg::O7 && op2 == Operand2::Imm(8) {
+                        return write!(f, "retl");
+                    }
+                }
+                write!(f, "jmpl {rs1} + {op2}, {rd}")
+            }
+            Instruction::Trap { cond, rs1, op2 } => {
+                if rs1.is_zero() {
+                    write!(f, "t{cond} {op2}")
+                } else {
+                    write!(f, "t{cond} {rs1} + {op2}")
+                }
+            }
+            Instruction::Cpop { space, opc, rd, rs1, rs2 } => {
+                let name = if space == 1 { Opcode::Cpop1 } else { Opcode::Cpop2 };
+                write!(f, "{name} {opc}, {rs1}, {rs2}, {rd}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn alu_syntax() {
+        let i = Instruction::alu(Opcode::Add, Reg::G1, Reg::G2, Operand2::Imm(4));
+        assert_eq!(i.to_string(), "add %g1, 4, %g2");
+        let j = Instruction::alu(Opcode::Xor, Reg::L0, Reg::L1, Operand2::Reg(Reg::L2));
+        assert_eq!(j.to_string(), "xor %l0, %l2, %l1");
+    }
+
+    #[test]
+    fn load_store_syntax() {
+        let ld = Instruction::mem(Opcode::Ld, Reg::O0, Reg::SP, Operand2::Imm(4));
+        assert_eq!(ld.to_string(), "ld [%sp + 4], %o0");
+        let st = Instruction::mem(Opcode::St, Reg::O0, Reg::SP, Operand2::Imm(-8));
+        assert_eq!(st.to_string(), "st %o0, [%sp - 8]");
+        let ld0 = Instruction::mem(Opcode::Ldub, Reg::O0, Reg::G3, Operand2::Imm(0));
+        assert_eq!(ld0.to_string(), "ldub [%g3], %o0");
+    }
+
+    #[test]
+    fn branch_syntax() {
+        let b = Instruction::Branch { cond: Cond::Ne, annul: true, disp22: -2 };
+        assert_eq!(b.to_string(), "bne,a .-8");
+        let ba = Instruction::Branch { cond: Cond::A, annul: false, disp22: 3 };
+        assert_eq!(ba.to_string(), "ba .+12");
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        assert_eq!(Instruction::nop().to_string(), "nop");
+        let ret = Instruction::Jmpl { rd: Reg::G0, rs1: Reg::I7, op2: Operand2::Imm(8) };
+        assert_eq!(ret.to_string(), "ret");
+        let retl = Instruction::Jmpl { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(8) };
+        assert_eq!(retl.to_string(), "retl");
+    }
+
+    #[test]
+    fn trap_syntax() {
+        let ta = Instruction::Trap { cond: Cond::A, rs1: Reg::G0, op2: Operand2::Imm(0) };
+        assert_eq!(ta.to_string(), "ta 0");
+    }
+
+    #[test]
+    fn cpop_syntax() {
+        let c = Instruction::Cpop { space: 1, opc: 7, rd: Reg::O0, rs1: Reg::O1, rs2: Reg::O2 };
+        assert_eq!(c.to_string(), "cpop1 7, %o1, %o2, %o0");
+    }
+}

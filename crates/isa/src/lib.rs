@@ -1,0 +1,56 @@
+//! SPARC-V8-subset instruction set model.
+//!
+//! This crate models the instruction set executed by the Leon3-like core
+//! in the FlexCore reproduction. It covers the subset of SPARC V8 needed
+//! by the MiBench-style workloads and by the FlexCore co-processor
+//! interface:
+//!
+//! * format-3 integer ALU operations (with and without condition-code
+//!   updates), shifts, multiply and divide,
+//! * format-3 loads and stores (word, halfword, byte; signed and
+//!   unsigned),
+//! * format-2 `sethi` and conditional branches (with annul bit),
+//! * format-1 `call`, plus `jmpl` for indirect jumps and returns,
+//! * `save`/`restore` (modeled as plain adds on a flat register file),
+//! * the two co-processor opcode spaces `cpop1`/`cpop2`, which FlexCore
+//!   uses for software-visible monitor operations (set/clear tags, read
+//!   from co-processor, set policy registers),
+//! * `ta` (trap always), used by workloads to terminate.
+//!
+//! The crate provides bidirectional conversion between the 32-bit
+//! machine encoding and a decoded [`Instruction`] value, a disassembler,
+//! and the classification of every instruction into one of the 32
+//! *instruction types* that the FlexCore forwarding configuration
+//! register (CFGR) switches on (Table II of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use flexcore_isa::{decode, encode, Instruction, Opcode, Operand2, Reg};
+//!
+//! // add %g1, 4, %g2
+//! let inst = Instruction::alu(Opcode::Add, Reg::G1, Reg::G2, Operand2::Imm(4));
+//! let word = encode(&inst);
+//! assert_eq!(decode(word).unwrap(), inst);
+//! assert_eq!(inst.to_string(), "add %g1, 4, %g2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod cond;
+mod decode;
+mod disasm;
+mod encode;
+mod inst;
+mod opcode;
+mod reg;
+
+pub use class::{classify, InstrClass, NUM_INSTR_CLASSES};
+pub use cond::{Cond, IccFlags, ParseCondError};
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use inst::{Instruction, Operand2};
+pub use opcode::Opcode;
+pub use reg::{ParseRegError, Reg, NUM_REGS};

@@ -1,0 +1,301 @@
+//! Opcode definitions and their SPARC V8 encodings.
+
+use std::fmt;
+
+/// Every instruction mnemonic the model implements.
+///
+/// The set is the SPARC V8 integer subset used by the workloads plus the
+/// co-processor opcode spaces (`cpop1`/`cpop2`) that FlexCore uses for
+/// software-visible monitor operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    // Format-3 ALU, op = 2 (no condition codes).
+    Add,
+    And,
+    Or,
+    Xor,
+    Sub,
+    Andn,
+    Orn,
+    Xnor,
+    // Format-3 ALU, condition-code-setting variants.
+    Addcc,
+    Andcc,
+    Orcc,
+    Xorcc,
+    Subcc,
+    Andncc,
+    Orncc,
+    Xnorcc,
+    // Multiply / divide (the `%y` register is not modeled; see crate
+    // docs).
+    Umul,
+    Smul,
+    Udiv,
+    Sdiv,
+    // Shifts.
+    Sll,
+    Srl,
+    Sra,
+    // Control transfer and window ops.
+    Jmpl,
+    Save,
+    Restore,
+    /// Trap on condition (`ta`, `te`, …). Workloads use `ta` to halt.
+    Ticc,
+    // Co-processor opcode spaces (FlexCore software-visible ops).
+    Cpop1,
+    Cpop2,
+    // Format-3 memory, op = 3.
+    Ld,
+    Ldub,
+    Lduh,
+    Ldsb,
+    Ldsh,
+    St,
+    Stb,
+    Sth,
+    /// Doubleword load into an even/odd register pair.
+    Ldd,
+    /// Doubleword store from an even/odd register pair.
+    Std,
+    /// Atomic swap of a register with a memory word.
+    Swap,
+    // Format 2.
+    Sethi,
+    /// Conditional branch family (`b<cond>`); the condition lives in the
+    /// instruction, not the opcode.
+    Bicc,
+    // Format 1.
+    Call,
+}
+
+impl Opcode {
+    /// The `op3` field for format-3 opcodes, or `None` for format-1/2
+    /// opcodes.
+    pub fn op3(self) -> Option<u32> {
+        use Opcode::*;
+        let v = match self {
+            Add => 0x00,
+            And => 0x01,
+            Or => 0x02,
+            Xor => 0x03,
+            Sub => 0x04,
+            Andn => 0x05,
+            Orn => 0x06,
+            Xnor => 0x07,
+            Addcc => 0x10,
+            Andcc => 0x11,
+            Orcc => 0x12,
+            Xorcc => 0x13,
+            Subcc => 0x14,
+            Andncc => 0x15,
+            Orncc => 0x16,
+            Xnorcc => 0x17,
+            Umul => 0x0a,
+            Smul => 0x0b,
+            Udiv => 0x0e,
+            Sdiv => 0x0f,
+            Sll => 0x25,
+            Srl => 0x26,
+            Sra => 0x27,
+            Jmpl => 0x38,
+            Ticc => 0x3a,
+            Save => 0x3c,
+            Restore => 0x3d,
+            Cpop1 => 0x36,
+            Cpop2 => 0x37,
+            Ld => 0x00,
+            Ldub => 0x01,
+            Lduh => 0x02,
+            Ldsb => 0x09,
+            Ldsh => 0x0a,
+            St => 0x04,
+            Stb => 0x05,
+            Sth => 0x06,
+            Ldd => 0x03,
+            Std => 0x07,
+            Swap => 0x0f,
+            Sethi | Bicc | Call => return None,
+        };
+        Some(v)
+    }
+
+    /// Whether this opcode is a memory access (format 3 with `op = 3`).
+    pub fn is_mem(self) -> bool {
+        use Opcode::*;
+        matches!(self, Ld | Ldub | Lduh | Ldsb | Ldsh | St | Stb | Sth | Ldd | Std | Swap)
+    }
+
+    /// Whether this opcode is a load. `swap` both loads and stores and
+    /// answers `false` here (callers treat it explicitly).
+    pub fn is_load(self) -> bool {
+        use Opcode::*;
+        matches!(self, Ld | Ldub | Lduh | Ldsb | Ldsh | Ldd)
+    }
+
+    /// Whether this opcode is a store. `swap` both loads and stores and
+    /// answers `false` here (callers treat it explicitly).
+    pub fn is_store(self) -> bool {
+        use Opcode::*;
+        matches!(self, St | Stb | Sth | Std)
+    }
+
+    /// Whether this opcode updates the integer condition codes.
+    pub fn sets_icc(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Addcc | Andcc | Orcc | Xorcc | Subcc | Andncc | Orncc | Xnorcc
+        )
+    }
+
+    /// The access width in bytes for memory opcodes (word loads/stores
+    /// are 4, halfword 2, byte 1); `None` for non-memory opcodes.
+    pub fn access_bytes(self) -> Option<u32> {
+        use Opcode::*;
+        match self {
+            Ld | St | Swap => Some(4),
+            Ldd | Std => Some(8),
+            Lduh | Ldsh | Sth => Some(2),
+            Ldub | Ldsb | Stb => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Assembly mnemonic. `Bicc` and `Ticc` return their family prefix
+    /// (`"b"` / `"t"`) since the full mnemonic depends on the condition.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sub => "sub",
+            Andn => "andn",
+            Orn => "orn",
+            Xnor => "xnor",
+            Addcc => "addcc",
+            Andcc => "andcc",
+            Orcc => "orcc",
+            Xorcc => "xorcc",
+            Subcc => "subcc",
+            Andncc => "andncc",
+            Orncc => "orncc",
+            Xnorcc => "xnorcc",
+            Umul => "umul",
+            Smul => "smul",
+            Udiv => "udiv",
+            Sdiv => "sdiv",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Jmpl => "jmpl",
+            Save => "save",
+            Restore => "restore",
+            Ticc => "t",
+            Cpop1 => "cpop1",
+            Cpop2 => "cpop2",
+            Ld => "ld",
+            Ldub => "ldub",
+            Lduh => "lduh",
+            Ldsb => "ldsb",
+            Ldsh => "ldsh",
+            St => "st",
+            Stb => "stb",
+            Sth => "sth",
+            Ldd => "ldd",
+            Std => "std",
+            Swap => "swap",
+            Sethi => "sethi",
+            Bicc => "b",
+            Call => "call",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op3_values_are_unique_per_format() {
+        use std::collections::HashSet;
+        let alu: Vec<Opcode> = [
+            Opcode::Add,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Sub,
+            Opcode::Andn,
+            Opcode::Orn,
+            Opcode::Xnor,
+            Opcode::Addcc,
+            Opcode::Andcc,
+            Opcode::Orcc,
+            Opcode::Xorcc,
+            Opcode::Subcc,
+            Opcode::Andncc,
+            Opcode::Orncc,
+            Opcode::Xnorcc,
+            Opcode::Umul,
+            Opcode::Smul,
+            Opcode::Udiv,
+            Opcode::Sdiv,
+            Opcode::Sll,
+            Opcode::Srl,
+            Opcode::Sra,
+            Opcode::Jmpl,
+            Opcode::Ticc,
+            Opcode::Save,
+            Opcode::Restore,
+            Opcode::Cpop1,
+            Opcode::Cpop2,
+        ]
+        .into();
+        let mem = [
+            Opcode::Ld,
+            Opcode::Ldub,
+            Opcode::Lduh,
+            Opcode::Ldsb,
+            Opcode::Ldsh,
+            Opcode::St,
+            Opcode::Stb,
+            Opcode::Sth,
+            Opcode::Ldd,
+            Opcode::Std,
+            Opcode::Swap,
+        ];
+        let alu_set: HashSet<u32> = alu.iter().map(|o| o.op3().unwrap()).collect();
+        assert_eq!(alu_set.len(), alu.len());
+        let mem_set: HashSet<u32> = mem.iter().map(|o| o.op3().unwrap()).collect();
+        assert_eq!(mem_set.len(), mem.len());
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Opcode::Ld.is_mem());
+        assert!(Opcode::Ld.is_load());
+        assert!(!Opcode::Ld.is_store());
+        assert!(Opcode::Stb.is_store());
+        assert!(Opcode::Subcc.sets_icc());
+        assert!(!Opcode::Sub.sets_icc());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn access_widths() {
+        assert_eq!(Opcode::Ld.access_bytes(), Some(4));
+        assert_eq!(Opcode::Sth.access_bytes(), Some(2));
+        assert_eq!(Opcode::Ldsb.access_bytes(), Some(1));
+        assert_eq!(Opcode::Add.access_bytes(), None);
+    }
+}

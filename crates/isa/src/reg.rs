@@ -1,0 +1,211 @@
+//! Architectural integer registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural integer registers visible at any time.
+///
+/// SPARC V8 exposes 32 registers (`%g0-%g7`, `%o0-%o7`, `%l0-%l7`,
+/// `%i0-%i7`). The reproduction flattens register windows into this
+/// single bank (see `DESIGN.md` §6), which is also the view the FlexCore
+/// shadow meta-data register file mirrors.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural integer register (`%g0` … `%i7`).
+///
+/// `%g0` reads as zero and ignores writes, as on real SPARC.
+///
+/// # Example
+///
+/// ```
+/// use flexcore_isa::Reg;
+/// let r: Reg = "%o3".parse()?;
+/// assert_eq!(r, Reg::O3);
+/// assert_eq!(r.index(), 11);
+/// # Ok::<(), flexcore_isa::ParseRegError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+macro_rules! reg_consts {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[allow(missing_docs)]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+reg_consts! {
+    G0 = 0, G1 = 1, G2 = 2, G3 = 3, G4 = 4, G5 = 5, G6 = 6, G7 = 7,
+    O0 = 8, O1 = 9, O2 = 10, O3 = 11, O4 = 12, O5 = 13, SP = 14, O7 = 15,
+    L0 = 16, L1 = 17, L2 = 18, L3 = 19, L4 = 20, L5 = 21, L6 = 22, L7 = 23,
+    I0 = 24, I1 = 25, I2 = 26, I3 = 27, I4 = 28, I5 = 29, FP = 30, I7 = 31,
+}
+
+impl Reg {
+    /// Creates a register from its flat index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < NUM_REGS as u8).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low 5 bits of `index`.
+    ///
+    /// This is the decoder's view: any 5-bit field is a valid register.
+    pub fn from_field(index: u32) -> Reg {
+        Reg((index & 0x1f) as u8)
+    }
+
+    /// Flat index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is `%g0`, the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Canonical assembly name (`%g0`, `%o6` is printed as `%sp`,
+    /// `%i6` as `%fp`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; NUM_REGS] = [
+            "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7", "%o0", "%o1", "%o2", "%o3",
+            "%o4", "%o5", "%sp", "%o7", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+            "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Iterator over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `%g0`-style names, the aliases `%sp`/`%fp`, and raw
+    /// `%r0`..`%r31` names.
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let err = || ParseRegError { text: s.to_string() };
+        let body = s.strip_prefix('%').ok_or_else(err)?;
+        let (bank, num) = match body {
+            "sp" => return Ok(Reg::SP),
+            "fp" => return Ok(Reg::FP),
+            _ => {
+                let mut chars = body.chars();
+                let bank = chars.next().ok_or_else(err)?;
+                let num: u8 = chars.as_str().parse().map_err(|_| err())?;
+                (bank, num)
+            }
+        };
+        let base = match bank {
+            'g' => 0,
+            'o' => 8,
+            'l' => 16,
+            'i' => 24,
+            'r' => {
+                return Reg::new(num).ok_or_else(err);
+            }
+            _ => return Err(err()),
+        };
+        if num < 8 {
+            Ok(Reg(base + num))
+        } else {
+            Err(err())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_banks() {
+        assert_eq!(Reg::G0.index(), 0);
+        assert_eq!(Reg::O0.index(), 8);
+        assert_eq!(Reg::L0.index(), 16);
+        assert_eq!(Reg::I0.index(), 24);
+        assert_eq!(Reg::SP.index(), 14);
+        assert_eq!(Reg::FP.index(), 30);
+    }
+
+    #[test]
+    fn g0_is_zero_register() {
+        assert!(Reg::G0.is_zero());
+        assert!(!Reg::G1.is_zero());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Reg::new(31), Some(Reg::I7));
+        assert_eq!(Reg::new(32), None);
+    }
+
+    #[test]
+    fn from_field_masks_to_five_bits() {
+        assert_eq!(Reg::from_field(0x21), Reg::G1);
+        assert_eq!(Reg::from_field(31), Reg::I7);
+    }
+
+    #[test]
+    fn parse_round_trips_all_names() {
+        for r in Reg::all() {
+            let parsed: Reg = r.name().parse().unwrap();
+            assert_eq!(parsed, r, "register {}", r);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_raw_names() {
+        assert_eq!("%r14".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("%r0".parse::<Reg>().unwrap(), Reg::G0);
+    }
+
+    #[test]
+    fn parse_accepts_o6_i6_aliases() {
+        assert_eq!("%o6".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("%i6".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["g1", "%x1", "%g8", "%r32", "%", "%g", "%o-1"] {
+            assert!(bad.parse::<Reg>().is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn display_uses_aliases() {
+        assert_eq!(Reg::SP.to_string(), "%sp");
+        assert_eq!(Reg::FP.to_string(), "%fp");
+        assert_eq!(Reg::L3.to_string(), "%l3");
+    }
+}

@@ -1,0 +1,157 @@
+//! Sparse big-endian backing store.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Flat 32-bit physical address space, allocated lazily in 4-KB pages.
+///
+/// All multi-byte accesses are **big-endian**, matching SPARC V8.
+/// Unwritten memory reads as zero (the simulator's loader zero-fills
+/// `.bss` implicitly this way).
+///
+/// `MainMemory` is purely functional; all timing lives in
+/// [`SystemBus`](crate::SystemBus) and the caches.
+///
+/// # Example
+///
+/// ```
+/// use flexcore_mem::MainMemory;
+/// let mut m = MainMemory::new();
+/// m.write_u32(0x100, 0x1122_3344);
+/// assert_eq!(m.read_u8(0x100), 0x11); // big-endian: MSB first
+/// assert_eq!(m.read_u16(0x102), 0x3344);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> MainMemory {
+        MainMemory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a big-endian halfword. `addr` is interpreted as given; the
+    /// caller (the core) enforces alignment traps.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_be_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a big-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [b0, b1] = value.to_be_bytes();
+        self.write_u8(addr, b0);
+        self.write_u8(addr.wrapping_add(1), b1);
+    }
+
+    /// Reads a big-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_be_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a big-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_be_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr` (the program
+    /// loader).
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn dump(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of 4-KB pages that have been touched.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_beec), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut m = MainMemory::new();
+        m.write_u32(0x40, 0x0102_0304);
+        assert_eq!(m.read_u8(0x40), 0x01);
+        assert_eq!(m.read_u8(0x43), 0x04);
+        assert_eq!(m.read_u16(0x40), 0x0102);
+        assert_eq!(m.read_u16(0x42), 0x0304);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut m = MainMemory::new();
+        let addr = PAGE_SIZE as u32 - 2;
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn load_and_dump_round_trip() {
+        let mut m = MainMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.load(0x1000, &data);
+        assert_eq!(m.dump(0x1000, 256), data);
+    }
+
+    #[test]
+    fn address_wraparound_is_defined() {
+        let mut m = MainMemory::new();
+        m.write_u32(0xffff_fffe, 0x1234_5678);
+        assert_eq!(m.read_u8(0xffff_ffff), 0x34);
+        assert_eq!(m.read_u8(0x0000_0000), 0x56);
+        assert_eq!(m.read_u8(0x0000_0001), 0x78);
+    }
+}

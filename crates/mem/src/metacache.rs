@@ -1,0 +1,327 @@
+//! The meta-data cache: data-carrying, write-back, bit-maskable.
+
+use std::collections::HashMap;
+
+use crate::{BusMaster, CacheConfig, CacheStats, MainMemory, SystemBus, TimingCache, WritePolicy};
+
+/// Result of one meta-data cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MetaAccess {
+    /// The word read, or (for writes) the merged word that now resides
+    /// in the cache.
+    pub value: u32,
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Core-clock cycle at which the access (including any refill and
+    /// victim write-back over the shared bus) completes.
+    pub ready_at: u64,
+}
+
+/// The reconfigurable fabric's private L1 cache for meta-data.
+///
+/// Per the paper (§III.D): "The meta-data cache is almost identical to
+/// regular data caches except for the capability to write at a bit
+/// granularity. Meta-data cache reads return 32-bit words as in regular
+/// caches. For writes, the meta-data cache is given a 32-bit write
+/// enable mask in addition to an address and a data word, and only
+/// updates bits within the cache word where the bit mask is set."
+///
+/// Unlike the L1 timing caches, this cache carries real data: it is
+/// write-back / write-allocate so repeated small tag updates stay on
+/// chip, and the merged bits only reach [`MainMemory`] when a dirty line
+/// is evicted or the cache is flushed.
+///
+/// All bus traffic (refills, write-backs) goes through the shared
+/// [`SystemBus`], so meta-data misses contend with the main core — the
+/// second overhead source in the paper's Table IV.
+#[derive(Clone, Debug)]
+pub struct MetaDataCache {
+    tags: TimingCache,
+    /// Resident line data, keyed by line base address.
+    data: HashMap<u32, Vec<u8>>,
+    line_bytes: u32,
+}
+
+impl MetaDataCache {
+    /// Creates an empty meta-data cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or the write policy is not
+    /// [`WritePolicy::WriteBackAllocate`] (bit-masked writes require the
+    /// line to be resident).
+    pub fn new(config: CacheConfig) -> MetaDataCache {
+        assert_eq!(
+            config.write_policy,
+            WritePolicy::WriteBackAllocate,
+            "the meta-data cache must be write-back/write-allocate"
+        );
+        let line_bytes = config.line_bytes;
+        MetaDataCache { tags: TimingCache::new(config), data: HashMap::new(), line_bytes }
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.tags.stats()
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        self.tags.config()
+    }
+
+    fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Services a miss: writes back the victim (if dirty) and refills
+    /// the requested line. Returns the completion cycle.
+    fn service(
+        &mut self,
+        lookup: crate::Lookup,
+        addr: u32,
+        mem: &mut MainMemory,
+        bus: &mut SystemBus,
+        master: BusMaster,
+        now: u64,
+    ) -> u64 {
+        let words = self.tags.config().line_words();
+        let mut t = now;
+        if let Some(victim_base) = lookup.writeback_of {
+            let line = self
+                .data
+                .remove(&victim_base)
+                .expect("dirty victim must have resident data");
+            mem.load(victim_base, &line);
+            t = bus.transfer(master, t, words);
+        }
+        if lookup.refill {
+            let base = self.line_base(addr);
+            // A previous clean eviction of this set may have left the
+            // victim's stale data entry if the victim was clean; remove
+            // lazily on insert collision is unnecessary because clean
+            // victims are removed below in `evict_clean`.
+            let line = mem.dump(base, self.line_bytes as usize);
+            self.data.insert(base, line);
+            t = bus.transfer(master, t, words);
+        }
+        t
+    }
+
+    /// Drops data for lines the tag array no longer holds. Clean
+    /// evictions don't report a write-back, so we garbage-collect here.
+    fn evict_clean(&mut self) {
+        let tags = &self.tags;
+        self.data.retain(|&base, _| tags.probe(base));
+    }
+
+    /// Reads the aligned 32-bit word containing `addr`.
+    ///
+    /// `now` is the current core-clock cycle; the returned
+    /// [`MetaAccess::ready_at`] accounts for any refill and write-back
+    /// over the shared bus.
+    pub fn read_word(
+        &mut self,
+        addr: u32,
+        mem: &mut MainMemory,
+        bus: &mut SystemBus,
+        master: BusMaster,
+        now: u64,
+    ) -> MetaAccess {
+        let addr = addr & !3;
+        let lookup = self.tags.access(addr, false);
+        let ready_at = if lookup.hit {
+            now
+        } else {
+            let t = self.service(lookup, addr, mem, bus, master, now);
+            self.evict_clean();
+            t
+        };
+        let base = self.line_base(addr);
+        let line = self.data.get(&base).expect("resident line has data");
+        let off = (addr - base) as usize;
+        let value = u32::from_be_bytes([line[off], line[off + 1], line[off + 2], line[off + 3]]);
+        MetaAccess { value, hit: lookup.hit, ready_at }
+    }
+
+    /// Writes `data` into the aligned word containing `addr`, but only
+    /// the bits selected by `bitmask` — the paper's bit-granular write
+    /// enable. Bits where `bitmask` is 0 keep their old value.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware port list: addr/data/mask + memory side + clock
+    pub fn write_masked(
+        &mut self,
+        addr: u32,
+        data: u32,
+        bitmask: u32,
+        mem: &mut MainMemory,
+        bus: &mut SystemBus,
+        master: BusMaster,
+        now: u64,
+    ) -> MetaAccess {
+        let addr = addr & !3;
+        let lookup = self.tags.access(addr, true);
+        let ready_at = if lookup.hit {
+            now
+        } else {
+            let t = self.service(lookup, addr, mem, bus, master, now);
+            self.evict_clean();
+            t
+        };
+        let base = self.line_base(addr);
+        let line = self.data.get_mut(&base).expect("resident line has data");
+        let off = (addr - base) as usize;
+        let old = u32::from_be_bytes([line[off], line[off + 1], line[off + 2], line[off + 3]]);
+        let merged = (old & !bitmask) | (data & bitmask);
+        line[off..off + 4].copy_from_slice(&merged.to_be_bytes());
+        MetaAccess { value: merged, hit: lookup.hit, ready_at }
+    }
+
+    /// Writes every resident line back to memory and empties the cache.
+    ///
+    /// Used at simulation end so that final meta-data state can be
+    /// inspected in [`MainMemory`]; performs no bus timing.
+    pub fn flush(&mut self, mem: &mut MainMemory) {
+        for (base, line) in self.data.drain() {
+            mem.load(base, &line);
+        }
+        self.tags.invalidate_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MetaDataCache, MainMemory, SystemBus) {
+        (
+            MetaDataCache::new(CacheConfig::meta_default()),
+            MainMemory::new(),
+            SystemBus::default(),
+        )
+    }
+
+    #[test]
+    fn masked_write_only_touches_selected_bits() {
+        let (mut c, mut mem, mut bus) = setup();
+        mem.write_u32(0x4000_0000, 0xffff_0000);
+        c.write_masked(0x4000_0000, 0x0000_00ff, 0x0000_ffff, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        let r = c.read_word(0x4000_0000, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        assert_eq!(r.value, 0xffff_00ff);
+    }
+
+    #[test]
+    fn unaligned_addresses_use_containing_word() {
+        let (mut c, mut mem, mut bus) = setup();
+        c.write_masked(0x4000_0003, 1, 1, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        let r = c.read_word(0x4000_0000, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        assert_eq!(r.value, 1);
+    }
+
+    #[test]
+    fn dirty_data_reaches_memory_only_on_eviction_or_flush() {
+        let (mut c, mut mem, mut bus) = setup();
+        c.write_masked(0x100, 0xdead_beef, !0, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        assert_eq!(mem.read_u32(0x100), 0, "write-back: memory still stale");
+        c.flush(&mut mem);
+        assert_eq!(mem.read_u32(0x100), 0xdead_beef);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_line() {
+        let (mut c, mut mem, mut bus) = setup();
+        // meta_default: 4 KB, 2-way, 32 B lines -> 64 sets; stride
+        // 64*32 = 2048 maps to the same set.
+        c.write_masked(0x0000, 0x11, !0, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        c.write_masked(0x0800, 0x22, !0, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        c.write_masked(0x1000, 0x33, !0, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        // One of the first two lines was evicted and written back.
+        let in_mem = (mem.read_u32(0x0000), mem.read_u32(0x0800));
+        assert!(in_mem == (0x11, 0) || in_mem == (0, 0x22), "{in_mem:?}");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn miss_timing_goes_over_the_bus() {
+        let (mut c, mut mem, _) = setup();
+        let mut bus = SystemBus::new(crate::SdramTiming { first_word: 20, per_word: 2, write_word: 6 });
+        let r = c.read_word(0x40, &mut mem, &mut bus, BusMaster::Fabric, 10);
+        assert!(!r.hit);
+        // 8-word refill at default SDRAM timing = 20 + 7*2 = 34 cycles.
+        assert_eq!(r.ready_at, 10 + 34);
+        let r2 = c.read_word(0x44, &mut mem, &mut bus, BusMaster::Fabric, r.ready_at);
+        assert!(r2.hit);
+        assert_eq!(r2.ready_at, r.ready_at);
+    }
+
+    #[test]
+    fn read_after_refill_sees_memory_contents() {
+        let (mut c, mut mem, mut bus) = setup();
+        mem.write_u32(0x200, 0xcafe_f00d);
+        let r = c.read_word(0x200, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        assert_eq!(r.value, 0xcafe_f00d);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-back")]
+    fn rejects_write_through_config() {
+        let mut cfg = CacheConfig::meta_default();
+        cfg.write_policy = WritePolicy::WriteThroughNoAllocate;
+        let _ = MetaDataCache::new(cfg);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random interleavings of masked writes and reads through the cache
+    /// must be indistinguishable from a flat reference memory.
+    #[test]
+    fn cache_is_transparent_wrt_reference_model() {
+        // Implemented as a proptest below; this empty test documents
+        // the property name in plain `cargo test` listings.
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn masked_writes_match_flat_reference(
+            ops in prop::collection::vec(
+                (0u32..0x2000, any::<u32>(), any::<u32>(), any::<bool>()),
+                1..200
+            )
+        ) {
+            let mut cache = MetaDataCache::new(CacheConfig {
+                size_bytes: 512, // small: force lots of evictions
+                line_bytes: 32,
+                ways: 2,
+                write_policy: WritePolicy::WriteBackAllocate,
+            });
+            let mut mem = MainMemory::new();
+            let mut bus = SystemBus::default();
+            let mut reference: std::collections::HashMap<u32, u32> = Default::default();
+
+            for (addr, data, mask, is_write) in ops {
+                let word_addr = addr & !3;
+                if is_write {
+                    let r = cache.write_masked(addr, data, mask, &mut mem, &mut bus, BusMaster::Fabric, 0);
+                    let old = reference.get(&word_addr).copied().unwrap_or(0);
+                    let merged = (old & !mask) | (data & mask);
+                    reference.insert(word_addr, merged);
+                    prop_assert_eq!(r.value, merged);
+                } else {
+                    let r = cache.read_word(addr, &mut mem, &mut bus, BusMaster::Fabric, 0);
+                    let expect = reference.get(&word_addr).copied().unwrap_or(0);
+                    prop_assert_eq!(r.value, expect);
+                }
+            }
+
+            // After a flush, main memory agrees with the reference.
+            cache.flush(&mut mem);
+            for (addr, val) in reference {
+                prop_assert_eq!(mem.read_u32(addr), val);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Write-through store buffer.
+
+use std::collections::VecDeque;
+
+/// The core's write buffer for write-through stores.
+///
+/// Leon3's write-through L1 sends every store to memory; a small store
+/// buffer hides that latency as long as it has free slots. A store
+/// issued while the buffer is full stalls the core until the oldest
+/// pending store completes on the bus.
+///
+/// The model keeps the completion time of every in-flight store and
+/// answers one question: *when may the core proceed past this store?*
+///
+/// # Example
+///
+/// ```
+/// use flexcore_mem::StoreBuffer;
+/// let mut buf = StoreBuffer::new(2);
+/// assert_eq!(buf.push(0, 30), 0);   // slot free: proceed immediately
+/// assert_eq!(buf.push(1, 60), 1);   // second slot
+/// assert_eq!(buf.push(2, 90), 30);  // full: wait for the oldest store
+/// ```
+#[derive(Clone, Debug)]
+pub struct StoreBuffer {
+    depth: usize,
+    pending: VecDeque<u64>,
+    stall_cycles: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> StoreBuffer {
+        assert!(depth > 0, "store buffer needs at least one entry");
+        StoreBuffer { depth, pending: VecDeque::with_capacity(depth), stall_cycles: 0 }
+    }
+
+    /// Records a store issued at cycle `now` whose bus transfer
+    /// completes at `done`, and returns the cycle at which the core may
+    /// continue (`now` if a slot was free, later if the buffer was
+    /// full).
+    pub fn push(&mut self, now: u64, done: u64) -> u64 {
+        // Retire stores that have already drained.
+        while self.pending.front().is_some_and(|&d| d <= now) {
+            self.pending.pop_front();
+        }
+        let proceed_at = if self.pending.len() < self.depth {
+            now
+        } else {
+            let oldest = self.pending.pop_front().expect("buffer full implies nonempty");
+            self.stall_cycles += oldest - now;
+            oldest
+        };
+        self.pending.push_back(done);
+        proceed_at
+    }
+
+    /// Cycle at which every pending store has drained (used before
+    /// traps and at program end).
+    pub fn drained_at(&self, now: u64) -> u64 {
+        self.pending.back().copied().unwrap_or(now).max(now)
+    }
+
+    /// Total cycles the core has stalled on a full buffer.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Number of stores currently in flight at cycle `now`.
+    pub fn in_flight(&self, now: u64) -> usize {
+        self.pending.iter().filter(|&&d| d > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proceeds_immediately_with_free_slots() {
+        let mut b = StoreBuffer::new(4);
+        for i in 0..4 {
+            assert_eq!(b.push(i, 100 + i), i);
+        }
+        assert_eq!(b.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_oldest_drains() {
+        let mut b = StoreBuffer::new(1);
+        assert_eq!(b.push(0, 50), 0);
+        assert_eq!(b.push(10, 80), 50);
+        assert_eq!(b.stall_cycles(), 40);
+    }
+
+    #[test]
+    fn drained_entries_free_slots() {
+        let mut b = StoreBuffer::new(1);
+        b.push(0, 50);
+        // By cycle 60 the store has drained; no stall.
+        assert_eq!(b.push(60, 90), 60);
+        assert_eq!(b.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn drained_at_reports_last_completion() {
+        let mut b = StoreBuffer::new(4);
+        b.push(0, 30);
+        b.push(0, 70);
+        assert_eq!(b.drained_at(10), 70);
+        assert_eq!(b.drained_at(100), 100);
+    }
+
+    #[test]
+    fn in_flight_counts_unretired() {
+        let mut b = StoreBuffer::new(4);
+        b.push(0, 30);
+        b.push(0, 70);
+        assert_eq!(b.in_flight(10), 2);
+        assert_eq!(b.in_flight(40), 1);
+        assert_eq!(b.in_flight(80), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_depth_rejected() {
+        let _ = StoreBuffer::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Integer ALU semantics (results and condition codes).
+
+use flexcore_isa::{IccFlags, Opcode};
+
+/// Result of an ALU operation: the value and, for `cc` variants, the
+/// new condition codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct AluOut {
+    pub value: u32,
+    pub icc: Option<IccFlags>,
+}
+
+/// Executes an integer ALU opcode per SPARC V8 semantics.
+///
+/// Divide-by-zero is reported as `None` (the core turns it into a
+/// trap). The `%y` register is not modeled: multiplies return the low
+/// 32 bits and divides treat the dividend as 32 bits (documented crate
+/// deviation — the workloads only need 32-bit results).
+pub(crate) fn alu(op: Opcode, a: u32, b: u32) -> Option<AluOut> {
+    use Opcode::*;
+    let out = match op {
+        Add | Save | Restore => AluOut { value: a.wrapping_add(b), icc: None },
+        Addcc => {
+            let (value, carry) = a.overflowing_add(b);
+            let v = ((a ^ !b) & (a ^ value)) >> 31 != 0;
+            AluOut { value, icc: Some(flags(value, v, carry)) }
+        }
+        Sub => AluOut { value: a.wrapping_sub(b), icc: None },
+        Subcc => {
+            let (value, borrow) = a.overflowing_sub(b);
+            let v = ((a ^ b) & (a ^ value)) >> 31 != 0;
+            AluOut { value, icc: Some(flags(value, v, borrow)) }
+        }
+        And => logic(a & b, false),
+        Andcc => logic(a & b, true),
+        Or => logic(a | b, false),
+        Orcc => logic(a | b, true),
+        Xor => logic(a ^ b, false),
+        Xorcc => logic(a ^ b, true),
+        Andn => logic(a & !b, false),
+        Andncc => logic(a & !b, true),
+        Orn => logic(a | !b, false),
+        Orncc => logic(a | !b, true),
+        Xnor => logic(!(a ^ b), false),
+        Xnorcc => logic(!(a ^ b), true),
+        Sll => logic(a.wrapping_shl(b & 31), false),
+        Srl => logic(a.wrapping_shr(b & 31), false),
+        Sra => logic(((a as i32).wrapping_shr(b & 31)) as u32, false),
+        Umul => logic(a.wrapping_mul(b), false),
+        Smul => logic((a as i32).wrapping_mul(b as i32) as u32, false),
+        Udiv => {
+            if b == 0 {
+                return None;
+            }
+            logic(a / b, false)
+        }
+        Sdiv => {
+            if b == 0 {
+                return None;
+            }
+            logic((a as i32).wrapping_div(b as i32) as u32, false)
+        }
+        other => unreachable!("{other:?} is not an ALU opcode"),
+    };
+    Some(out)
+}
+
+fn flags(value: u32, v: bool, c: bool) -> IccFlags {
+    IccFlags { n: (value as i32) < 0, z: value == 0, v, c }
+}
+
+fn logic(value: u32, set_cc: bool) -> AluOut {
+    AluOut {
+        value,
+        icc: set_cc.then(|| IccFlags::from_result(value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(op: Opcode, a: u32, b: u32) -> AluOut {
+        alu(op, a, b).unwrap()
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let r = run(Opcode::Addcc, 0xffff_ffff, 1);
+        let icc = r.icc.unwrap();
+        assert_eq!(r.value, 0);
+        assert!(icc.z && icc.c && !icc.v);
+
+        let r = run(Opcode::Addcc, 0x7fff_ffff, 1);
+        let icc = r.icc.unwrap();
+        assert_eq!(r.value, 0x8000_0000);
+        assert!(icc.n && icc.v && !icc.c);
+    }
+
+    #[test]
+    fn sub_borrow_and_overflow() {
+        // 1 - 2: borrow set, negative result.
+        let r = run(Opcode::Subcc, 1, 2);
+        let icc = r.icc.unwrap();
+        assert_eq!(r.value, 0xffff_ffff);
+        assert!(icc.n && icc.c && !icc.v && !icc.z);
+
+        // INT_MIN - 1 overflows.
+        let r = run(Opcode::Subcc, 0x8000_0000, 1);
+        assert!(r.icc.unwrap().v);
+    }
+
+    #[test]
+    fn logic_ops_clear_v_and_c() {
+        let r = run(Opcode::Andcc, 0xf0, 0x0f);
+        let icc = r.icc.unwrap();
+        assert!(icc.z && !icc.v && !icc.c && !icc.n);
+        assert_eq!(run(Opcode::Xnor, 0xffff_ffff, 0).value, 0);
+        assert_eq!(run(Opcode::Andn, 0xff, 0x0f).value, 0xf0);
+        assert_eq!(run(Opcode::Orn, 0, 0xffff_fffe).value, 1);
+    }
+
+    #[test]
+    fn shifts_mask_count_to_five_bits() {
+        assert_eq!(run(Opcode::Sll, 1, 33).value, 2);
+        assert_eq!(run(Opcode::Srl, 0x8000_0000, 31).value, 1);
+        assert_eq!(run(Opcode::Sra, 0x8000_0000, 31).value, 0xffff_ffff);
+    }
+
+    #[test]
+    fn mul_div_semantics() {
+        assert_eq!(run(Opcode::Umul, 7, 6).value, 42);
+        assert_eq!(run(Opcode::Smul, (-4i32) as u32, 3).value, (-12i32) as u32);
+        assert_eq!(run(Opcode::Udiv, 42, 5).value, 8);
+        assert_eq!(run(Opcode::Sdiv, (-42i32) as u32, 5).value, (-8i32) as u32);
+    }
+
+    #[test]
+    fn divide_by_zero_is_reported() {
+        assert!(alu(Opcode::Udiv, 1, 0).is_none());
+        assert!(alu(Opcode::Sdiv, 1, 0).is_none());
+    }
+
+    #[test]
+    fn plain_ops_leave_flags_alone() {
+        assert!(run(Opcode::Add, 1, 1).icc.is_none());
+        assert!(run(Opcode::Sub, 1, 1).icc.is_none());
+        assert!(run(Opcode::Sll, 1, 1).icc.is_none());
+    }
+}

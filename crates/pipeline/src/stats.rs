@@ -1,0 +1,67 @@
+//! Core execution statistics.
+
+use flexcore_isa::{InstrClass, NUM_INSTR_CLASSES};
+
+/// Counters the core maintains while executing.
+///
+/// Cache statistics live on the caches themselves (see
+/// [`Core::icache_stats`](crate::Core::icache_stats) /
+/// [`Core::dcache_stats`](crate::Core::dcache_stats)); bus statistics on
+/// the [`SystemBus`](flexcore_mem::SystemBus).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Committed (architecturally executed) instructions.
+    pub instret: u64,
+    /// Delay-slot instructions annulled by a branch.
+    pub annulled: u64,
+    /// Committed instructions per [`InstrClass`].
+    pub per_class: [u64; NUM_INSTR_CLASSES],
+    /// Cycles spent stalled because an external agent (the FlexCore
+    /// forward FIFO) back-pressured the commit stage.
+    pub external_stall_cycles: u64,
+    /// Cycles spent waiting on the write-through store buffer.
+    pub store_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Committed instructions of one class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        self.per_class[class.index()]
+    }
+
+    /// Fraction of committed instructions in classes selected by
+    /// `pred` (e.g. loads+stores). Returns 0 for an empty run.
+    pub fn class_fraction(&self, mut pred: impl FnMut(InstrClass) -> bool) -> f64 {
+        if self.instret == 0 {
+            return 0.0;
+        }
+        let selected: u64 = InstrClass::all()
+            .filter(|&c| pred(c))
+            .map(|c| self.per_class[c.index()])
+            .sum();
+        selected as f64 / self.instret as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_fraction_of_empty_run_is_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.class_fraction(|_| true), 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // per_class is an array; a literal would be noise
+    fn class_fraction_counts_selected_classes() {
+        let mut s = CoreStats::default();
+        s.instret = 10;
+        s.per_class[InstrClass::Ld.index()] = 3;
+        s.per_class[InstrClass::St.index()] = 2;
+        s.per_class[InstrClass::Add.index()] = 5;
+        assert_eq!(s.class_fraction(|c| c.is_mem()), 0.5);
+        assert_eq!(s.class_fraction(|c| c.is_load()), 0.3);
+    }
+}

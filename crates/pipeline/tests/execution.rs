@@ -1,0 +1,432 @@
+//! End-to-end execution tests for the core model: functional
+//! correctness (delay slots, annulment, memory, traps) and timing
+//! behaviour (caches, store buffer, stalls).
+
+use flexcore_asm::assemble;
+use flexcore_isa::{InstrClass, Reg};
+use flexcore_mem::{MainMemory, SystemBus};
+use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult};
+
+fn run_program(src: &str) -> (Core, MainMemory, ExitReason) {
+    let program = assemble(src).expect("assembly failed");
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    let exit = core.run(&mut mem, &mut bus, 10_000_000);
+    (core, mem, exit)
+}
+
+#[test]
+fn arithmetic_and_halt() {
+    let (core, _, exit) = run_program(
+        "start: mov 6, %o0
+                mov 7, %o1
+                umul %o0, %o1, %o2
+                ta 0",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O2), 42);
+}
+
+#[test]
+fn loop_with_delay_slot_work() {
+    // The delay slot holds useful work (the add) — classic SPARC.
+    let (core, _, exit) = run_program(
+        "start: mov 10, %o0
+                clr %o1
+        loop:   subcc %o0, 1, %o0
+                bne loop
+                add %o1, 2, %o1     ! executes 10 times
+                ta 0",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O1), 20);
+}
+
+#[test]
+fn annulled_delay_slot_skips_work() {
+    // ba,a annuls its delay slot: the mov must NOT execute.
+    let (core, _, _) = run_program(
+        "start: mov 1, %o0
+                ba,a done
+                mov 99, %o0         ! annulled
+        done:   ta 0",
+    );
+    assert_eq!(core.reg(Reg::O0), 1);
+    assert_eq!(core.stats().annulled, 1);
+}
+
+#[test]
+fn conditional_annul_executes_slot_when_taken() {
+    // bne,a with the branch taken: delay slot executes.
+    let (core, _, _) = run_program(
+        "start: cmp %g0, 1
+                bne,a target
+                mov 5, %o0          ! executes (branch taken)
+                mov 99, %o0
+        target: ta 0",
+    );
+    assert_eq!(core.reg(Reg::O0), 5);
+}
+
+#[test]
+fn conditional_annul_skips_slot_when_untaken() {
+    let (core, _, _) = run_program(
+        "start: cmp %g0, %g0
+                bne,a nowhere
+                mov 99, %o0         ! annulled (branch untaken)
+                mov 7, %o0
+                ta 0
+        nowhere: ta 1",
+    );
+    assert_eq!(core.reg(Reg::O0), 7);
+}
+
+#[test]
+fn call_and_return_linkage() {
+    let (core, _, exit) = run_program(
+        "start: mov 5, %o0
+                call double
+                nop
+                call double
+                nop
+                ta 0
+        double: retl
+                add %o0, %o0, %o0   ! delay slot does the work",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O0), 20);
+}
+
+#[test]
+fn memory_byte_and_halfword_semantics() {
+    let src = "start: set data, %o0
+                ldsb [%o0], %o1     ! 0x80 -> sign-extended
+                ldub [%o0], %o2     ! 0x80 -> zero-extended
+                ldsh [%o0 + 2], %o3 ! 0xfffe -> sign-extended
+                lduh [%o0 + 2], %o4
+                mov 0xab, %o5
+                stb %o5, [%o0 + 4]
+                sth %o5, [%o0 + 6]
+                ta 0
+        data:   .byte 0x80, 0x01
+                .half 0xfffe
+                .space 4";
+    let program = assemble(src).unwrap();
+    let data = program.symbol("data").unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    assert_eq!(core.run(&mut mem, &mut bus, 1000), ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O1) as i32, -128);
+    assert_eq!(core.reg(Reg::O2), 0x80);
+    assert_eq!(core.reg(Reg::O3) as i32, -2);
+    assert_eq!(core.reg(Reg::O4), 0xfffe);
+    // Stored bytes land big-endian in memory.
+    assert_eq!(mem.read_u8(data + 4), 0xab);
+    assert_eq!(mem.read_u16(data + 6), 0x00ab);
+}
+
+#[test]
+fn word_store_load_round_trip() {
+    let (core, _, _) = run_program(
+        "start: set scratch, %o0
+                set 0xdeadbeef, %o1
+                st %o1, [%o0]
+                ld [%o0], %o2
+                ta 0
+                .align 4
+        scratch: .space 4",
+    );
+    assert_eq!(core.reg(Reg::O2), 0xdead_beef);
+}
+
+#[test]
+fn doubleword_load_store_use_register_pairs() {
+    let (core, mem, exit) = run_program(
+        "start: set src, %o0
+                ldd [%o0], %o2       ! %o2 = first word, %o3 = second
+                set dst, %o0
+                std %o2, [%o0]
+                ta 0
+                .align 8
+        src:    .word 0x11223344, 0x55667788
+        dst:    .space 8",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O2), 0x1122_3344);
+    assert_eq!(core.reg(Reg::O3), 0x5566_7788);
+    let program = assemble(
+        "start: set src, %o0\n ldd [%o0], %o2\n set dst, %o0\n std %o2, [%o0]\n ta 0\n .align 8\nsrc: .word 0x11223344, 0x55667788\ndst: .space 8",
+    )
+    .unwrap();
+    let dst = program.symbol("dst").unwrap();
+    assert_eq!(mem.read_u32(dst), 0x1122_3344);
+    assert_eq!(mem.read_u32(dst + 4), 0x5566_7788);
+}
+
+#[test]
+fn swap_exchanges_register_and_memory() {
+    let (core, mem, exit) = run_program(
+        "start: set cell, %o0
+                set 0xaaaa5555, %o1
+                swap [%o0], %o1
+                ta 0
+                .align 4
+        cell:   .word 0x12345678",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert_eq!(core.reg(Reg::O1), 0x1234_5678, "register got the old memory value");
+    let program = assemble(
+        "start: set cell, %o0\n set 0xaaaa5555, %o1\n swap [%o0], %o1\n ta 0\n .align 4\ncell: .word 0x12345678",
+    )
+    .unwrap();
+    let cell = program.symbol("cell").unwrap();
+    assert_eq!(mem.read_u32(cell), 0xaaaa_5555, "memory got the register value");
+}
+
+#[test]
+fn doubleword_ops_trap_on_odd_register_or_misalignment() {
+    // Odd destination register pair.
+    let (_, _, exit) = run_program(
+        "start: set buf, %o0
+                ldd [%o0], %o1       ! odd rd: illegal
+                .align 8
+        buf:    .space 8",
+    );
+    assert!(matches!(exit, ExitReason::IllegalInstruction { .. }), "{exit:?}");
+    // 4-byte-aligned but not 8-byte-aligned address.
+    let (_, _, exit) = run_program(
+        "start: set buf, %o0
+                ldd [%o0 + 4], %o2
+                .align 8
+        buf:    .space 16",
+    );
+    assert!(matches!(exit, ExitReason::MisalignedAccess { .. }), "{exit:?}");
+}
+
+#[test]
+fn misaligned_word_load_traps() {
+    let (_, _, exit) = run_program(
+        "start: set data, %o0
+                ld [%o0 + 1], %o1
+        data:   .word 0",
+    );
+    assert!(matches!(exit, ExitReason::MisalignedAccess { .. }), "{exit:?}");
+}
+
+#[test]
+fn divide_by_zero_traps() {
+    let (_, _, exit) = run_program(
+        "start: mov 5, %o0
+                udiv %o0, %g0, %o1",
+    );
+    assert!(matches!(exit, ExitReason::DivideByZero { .. }), "{exit:?}");
+}
+
+#[test]
+fn illegal_instruction_traps() {
+    let (_, _, exit) = run_program("start: .word 0xffffffff");
+    assert!(matches!(exit, ExitReason::IllegalInstruction { .. }), "{exit:?}");
+}
+
+#[test]
+fn halt_codes_distinguish_success_and_failure() {
+    let (_, _, exit) = run_program("start: ta 1");
+    assert_eq!(exit, ExitReason::Halt(1));
+}
+
+#[test]
+fn console_output() {
+    let (core, _, _) = run_program(
+        "start: set 0xffff0000, %o1
+                mov 'h', %o0
+                stb %o0, [%o1]
+                mov 'i', %o0
+                stb %o0, [%o1]
+                ta 0",
+    );
+    assert_eq!(core.console(), b"hi");
+}
+
+#[test]
+fn instruction_classes_are_counted() {
+    let (core, _, _) = run_program(
+        "start: mov 1, %o0
+                ld [%g0], %o1
+                st %o0, [%g0]
+                ta 0",
+    );
+    let s = core.stats();
+    assert_eq!(s.class_count(InstrClass::Ld), 1);
+    assert_eq!(s.class_count(InstrClass::St), 1);
+    // mov is `or`; `set` never appears here.
+    assert_eq!(s.class_count(InstrClass::Logic), 1);
+    // A taken `ta` exits instead of committing, so 3 instructions
+    // commit.
+    assert_eq!(s.instret, 3);
+}
+
+#[test]
+fn icache_miss_charged_once_per_line() {
+    // 16 straight-line nops span two 32-byte lines: exactly 2 I-misses.
+    let src = format!("start: {} ta 0", "nop\n".repeat(16));
+    let program = assemble(&src).unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    core.run(&mut mem, &mut bus, 1000);
+    let st = core.icache_stats();
+    assert_eq!(st.read_misses, 3, "two nop lines + the ta line boundary");
+    assert!(st.read_hits >= 14);
+}
+
+#[test]
+fn cycles_exceed_instructions_due_to_misses() {
+    let (core, _, _) = run_program(
+        "start: mov 100, %o0
+        loop:   subcc %o0, 1, %o0
+                bne loop
+                nop
+                ta 0",
+    );
+    let s = core.stats();
+    assert!(core.cycle() > s.instret, "{} cycles vs {} insts", core.cycle(), s.instret);
+    // But a tight cached loop should be close to 1 CPI: within 2x.
+    assert!(core.cycle() < 2 * s.instret + 100);
+}
+
+#[test]
+fn store_heavy_code_stalls_on_store_buffer() {
+    // A cached loop issuing two stores per 5 instructions demands
+    // ~12 bus cycles per 5 core cycles, so the 8-entry buffer must
+    // eventually back-pressure the core.
+    let (core, _, exit) = run_program(
+        "start: set scratch, %o0
+                mov 200, %o1
+        loop:   st %g0, [%o0]
+                st %g0, [%o0 + 4]
+                subcc %o1, 1, %o1
+                bne loop
+                nop
+                ta 0
+                .align 4
+        scratch: .space 8",
+    );
+    assert_eq!(exit, ExitReason::Halt(0));
+    assert!(core.stats().store_stall_cycles > 0);
+}
+
+#[test]
+fn external_stall_accounting() {
+    let program = assemble("start: nop\n ta 0").unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    let StepResult::Committed(_) = core.step(&mut mem, &mut bus) else { panic!() };
+    let before = core.cycle();
+    core.stall_until(before + 17);
+    assert_eq!(core.cycle(), before + 17);
+    assert_eq!(core.stats().external_stall_cycles, 17);
+    core.stall_until(before); // past: no-op
+    assert_eq!(core.cycle(), before + 17);
+}
+
+#[test]
+fn instruction_limit_stops_infinite_loops() {
+    let program = assemble("start: ba start\n nop").unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    assert_eq!(core.run(&mut mem, &mut bus, 50_000), ExitReason::InstructionLimit);
+}
+
+#[test]
+fn monitor_halt_wins_over_further_execution() {
+    let program = assemble("start: nop\n nop\n ta 0").unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    core.halt(ExitReason::MonitorTrap { pc: 0x1000 });
+    assert_eq!(
+        core.step(&mut mem, &mut bus),
+        StepResult::Exited(ExitReason::MonitorTrap { pc: 0x1000 })
+    );
+}
+
+#[test]
+fn wider_commit_is_faster_but_bounded() {
+    let src = "start: mov 2000, %o0
+        loop:  add %o1, 1, %o1
+               add %o2, 1, %o2
+               add %o3, 1, %o3
+               subcc %o0, 1, %o0
+               bne loop
+               nop
+               ta 0";
+    let run_width = |w: u32| {
+        let program = assemble(src).unwrap();
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut core = Core::new(CoreConfig::superscalar(w));
+        core.load_program(&program, &mut mem);
+        assert_eq!(core.run(&mut mem, &mut bus, 1_000_000), ExitReason::Halt(0));
+        core.quiesced_at()
+    };
+    let w1 = run_width(1);
+    let w2 = run_width(2);
+    let w4 = run_width(4);
+    assert!(w2 < w1, "2-wide {w2} must beat 1-wide {w1}");
+    assert!(w4 <= w2);
+    // Speedup is bounded by the width (and by the per-instruction
+    // penalties that still apply).
+    assert!(w1 < 2 * w2 + 1000, "{w1} vs {w2}");
+    // Functional results are width-independent by construction: both
+    // runs passed the same self-check (Halt(0)).
+}
+
+#[test]
+fn g0_is_immutable() {
+    let (core, _, _) = run_program(
+        "start: add %g0, 5, %g0
+                ta 0",
+    );
+    assert_eq!(core.reg(Reg::G0), 0);
+}
+
+#[test]
+fn trace_packet_fields_for_a_store() {
+    let program = assemble(
+        "start: set 0x2000, %o0
+                mov 0x55, %o1
+                st %o1, [%o0 + 8]
+                ta 0",
+    )
+    .unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    let mut store_pkt = None;
+    loop {
+        match core.step(&mut mem, &mut bus) {
+            StepResult::Committed(p) if p.class == InstrClass::St => {
+                store_pkt = Some(p);
+            }
+            StepResult::Exited(_) => break,
+            _ => {}
+        }
+    }
+    let p = store_pkt.expect("saw the store");
+    assert_eq!(p.addr, 0x2008);
+    assert_eq!(p.store_value, 0x55);
+    assert_eq!(p.src1, Some(Reg::O0));
+    assert_eq!(p.srcv1, 0x2000);
+    assert!(p.dest.is_none());
+}

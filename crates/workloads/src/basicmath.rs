@@ -1,0 +1,157 @@
+//! `basicmath`: integer square roots, GCDs, and division/remainder
+//! chains over an LCG stream (MiBench's basicmath exercises scalar math
+//! library routines; this kernel keeps the integer-heavy core:
+//! Newton's isqrt, Euclid's gcd, and quotient/remainder arithmetic).
+
+use crate::lcg;
+
+const ITERS: u32 = 500;
+const SEED: u32 = 0x0bad_cafe;
+
+/// Newton integer square root, mirroring the assembly's wrapping
+/// arithmetic. The kernel only feeds it values below 2^20 (`a` is
+/// `seed >> 12`), where the iteration cannot overflow.
+fn isqrt(v: u32) -> u32 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = x.wrapping_add(1) / 2;
+    while y < x {
+        x = y;
+        y = x.wrapping_add(v / x) / 2;
+    }
+    x
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Rust reference producing the expected checksum.
+fn reference() -> u32 {
+    let mut seed = SEED;
+    let mut total = 0u32;
+    for _ in 0..ITERS {
+        seed = lcg(seed);
+        let a = (seed >> 12) | 1;
+        seed = lcg(seed);
+        let b = ((seed >> 20) | 1).max(1);
+        let q = a / b;
+        let r = a - q * b;
+        total = total
+            .wrapping_add(q)
+            .wrapping_add(r)
+            .wrapping_add(isqrt(a))
+            .wrapping_add(gcd(a, b));
+    }
+    total
+}
+
+/// Generates the self-checking assembly source.
+pub(crate) fn source() -> String {
+    let expected = reference();
+    let lcg = crate::lcg_asm("%g2", "%o7");
+    format!(
+        "! basicmath: isqrt (Newton), gcd (Euclid), div/rem chains.
+        .equ ITERS, {ITERS}
+start:
+        set {SEED}, %g2
+        set ITERS, %g3
+        clr %g5                ! total
+iter:
+        {lcg}
+        srl %g2, 12, %l0       ! a
+        or %l0, 1, %l0
+        {lcg}
+        srl %g2, 20, %l1       ! b
+        or %l1, 1, %l1
+
+        ! q = a / b ; r = a - q*b
+        udiv %l0, %l1, %l2
+        umul %l2, %l1, %o0
+        sub %l0, %o0, %l3
+        add %g5, %l2, %g5
+        add %g5, %l3, %g5
+
+        ! isqrt(a) by Newton: x = a; y = (x+1)/2; while y < x ...
+        mov %l0, %l4           ! x
+        add %l4, 1, %o0
+        srl %o0, 1, %l5        ! y
+newton:
+        cmp %l5, %l4
+        bgeu newton_done
+        nop
+        mov %l5, %l4
+        udiv %l0, %l4, %o0
+        add %l4, %o0, %o0
+        ba newton
+        srl %o0, 1, %l5        ! y = (x + a/x)/2 in the delay slot
+newton_done:
+        add %g5, %l4, %g5
+
+        ! gcd(a, b) by Euclid with remainders.
+        mov %l0, %o1           ! a
+        mov %l1, %o2           ! b
+gcd:
+        cmp %o2, 0
+        be gcd_done
+        nop
+        udiv %o1, %o2, %o3
+        umul %o3, %o2, %o3
+        sub %o1, %o3, %o3      ! t = a % b
+        mov %o2, %o1
+        ba gcd
+        mov %o3, %o2
+gcd_done:
+        add %g5, %o1, %g5
+
+        subcc %g3, 1, %g3
+        bne iter
+        nop
+
+        set {expected}, %o1
+        cmp %g5, %o1
+        bne fail
+        nop
+        ta 0
+fail:   ta 1
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_the_integer_square_root() {
+        for v in [0u32, 1, 2, 3, 4, 15, 16, 17, 99, 100, 65535, 65536, (1 << 20) - 1] {
+            let r = isqrt(v);
+            assert!(u64::from(r) * u64::from(r) <= u64::from(v), "{v}");
+            assert!((u64::from(r) + 1) * (u64::from(r) + 1) > u64::from(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gcd_matches_euclid_properties() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(100, 0), 100);
+        for (a, b) in [(48u32, 36u32), (1071, 462), (270, 192)] {
+            let g = gcd(a, b);
+            assert_eq!(a % g, 0);
+            assert_eq!(b % g, 0);
+        }
+    }
+
+    #[test]
+    fn source_assembles() {
+        assert!(flexcore_asm::assemble(&source()).is_ok());
+    }
+}

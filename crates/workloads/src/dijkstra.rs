@@ -1,0 +1,253 @@
+//! `dijkstra` (MiBench network): single-source shortest paths by the
+//! classic O(N²) scan over an adjacency matrix — the most load-heavy
+//! kernel in the suite; an extra workload beyond the paper's six.
+
+use crate::lcg;
+
+const N: usize = 64;
+const SOURCES: u32 = 4;
+const SEED: u32 = 0xd1d5_70a1;
+const INF: u32 = 0x0fff_ffff;
+
+/// Edge weight between `u` and `v` — mirrors the assembly's generator
+/// (bytes 1..=255 from the LCG stream, row-major).
+fn adjacency() -> Vec<u8> {
+    let mut seed = SEED;
+    (0..N * N)
+        .map(|_| {
+            seed = lcg(seed);
+            ((seed >> 13) as u8) | 1
+        })
+        .collect()
+}
+
+/// Rust reference producing the expected checksum. Tie-breaking
+/// (first minimal index wins) mirrors the assembly scan exactly.
+fn reference() -> u32 {
+    let adj = adjacency();
+    let mut check = 0u32;
+    for s in 0..SOURCES as usize {
+        let src = s * 7 % N;
+        let mut dist = [INF; N];
+        let mut visited = [false; N];
+        dist[src] = 0;
+        for _ in 0..N {
+            // argmin over unvisited.
+            let mut best = INF + 1;
+            let mut u = N;
+            for (i, &d) in dist.iter().enumerate() {
+                if !visited[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            if u == N {
+                break;
+            }
+            visited[u] = true;
+            for v in 0..N {
+                if !visited[v] {
+                    let nd = dist[u] + u32::from(adj[u * N + v]);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                    }
+                }
+            }
+        }
+        for d in dist {
+            check = check.wrapping_add(d);
+        }
+    }
+    check
+}
+
+/// Generates the self-checking assembly source.
+pub(crate) fn source() -> String {
+    let expected = reference();
+    let lcg = crate::lcg_asm("%g2", "%o7");
+    format!(
+        "! dijkstra: O(N^2) shortest paths over a generated graph.
+        .equ N, {N}
+        .equ SOURCES, {SOURCES}
+        .equ INF, {INF}
+start:
+        ! Generate the adjacency matrix (N*N weight bytes).
+        set {SEED}, %g2
+        set adj, %l6
+        set {nn}, %l5
+gen:
+        {lcg}
+        srl %g2, 13, %o0
+        or %o0, 1, %o0
+        stb %o0, [%l6]
+        add %l6, 1, %l6
+        subcc %l5, 1, %l5
+        bne gen
+        nop
+
+        clr %g7                ! checksum
+        clr %i0                ! source index s
+src_loop:
+        ! src = (s * 7) % N  (N = 64: mask with N-1)
+        umul %i0, 7, %o0
+        and %o0, N - 1, %i1    ! src
+        ! init dist[] = INF, visited[] = 0
+        set dist, %g3
+        set visited, %g6
+        set INF, %o1
+        clr %l0
+init:
+        sll %l0, 2, %o0
+        st %o1, [%g3 + %o0]
+        stb %g0, [%g6 + %l0]
+        add %l0, 1, %l0
+        cmp %l0, N
+        bl init
+        nop
+        sll %i1, 2, %o0
+        st %g0, [%g3 + %o0]    ! dist[src] = 0
+
+        clr %i2                ! outer iteration count
+outer:
+        ! find u = argmin dist over unvisited
+        set INF + 1, %l1       ! best
+        mov N, %l2             ! u = N (none)
+        clr %l0                ! i
+scan:
+        ldub [%g6 + %l0], %o0
+        cmp %o0, 0
+        bne scan_next
+        nop
+        sll %l0, 2, %o0
+        ld [%g3 + %o0], %o1    ! dist[i]
+        cmp %o1, %l1
+        bgeu scan_next
+        nop
+        mov %o1, %l1
+        mov %l0, %l2
+scan_next:
+        add %l0, 1, %l0
+        cmp %l0, N
+        bl scan
+        nop
+        cmp %l2, N
+        be src_done            ! no reachable unvisited node
+        nop
+        ! visited[u] = 1
+        mov 1, %o0
+        stb %o0, [%g6 + %l2]
+        ! relax all unvisited v
+        sll %l2, 2, %o0
+        ld [%g3 + %o0], %l3    ! dist[u]
+        ! row base = adj + u*N
+        sll %l2, 6, %o0        ! u * 64
+        set adj, %o1
+        add %o1, %o0, %l4      ! &adj[u*N]
+        clr %l0                ! v
+relax:
+        ldub [%g6 + %l0], %o0
+        cmp %o0, 0
+        bne relax_next
+        nop
+        ldub [%l4 + %l0], %o1  ! w(u,v)
+        add %l3, %o1, %o1      ! nd
+        sll %l0, 2, %o2
+        ld [%g3 + %o2], %o3    ! dist[v]
+        cmp %o1, %o3
+        bgeu relax_next
+        nop
+        st %o1, [%g3 + %o2]
+relax_next:
+        add %l0, 1, %l0
+        cmp %l0, N
+        bl relax
+        nop
+        add %i2, 1, %i2
+        cmp %i2, N
+        bl outer
+        nop
+src_done:
+        ! checksum += sum dist[]
+        set dist, %g3
+        clr %l0
+sum:
+        sll %l0, 2, %o0
+        ld [%g3 + %o0], %o1
+        add %g7, %o1, %g7
+        add %l0, 1, %l0
+        cmp %l0, N
+        bl sum
+        nop
+        add %i0, 1, %i0
+        cmp %i0, SOURCES
+        bl src_loop
+        nop
+
+        set {expected}, %o1
+        cmp %g7, %o1
+        bne fail
+        nop
+        ta 0
+fail:   ta 1
+        .align 4
+dist:   .space {dist_bytes}
+visited: .space {N}
+        .align 4
+adj:    .space {nn}
+",
+        nn = N * N,
+        dist_bytes = N * 4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_satisfies_triangle_inequality_spot_checks() {
+        // Independent property: no distance exceeds N * max weight and
+        // the source distance is zero (checked through a re-run of the
+        // algorithm with explicit assertions).
+        let adj = adjacency();
+        let src = 0usize;
+        let mut dist = [INF; N];
+        let mut visited = [false; N];
+        dist[src] = 0;
+        for _ in 0..N {
+            let mut best = INF + 1;
+            let mut u = N;
+            for (i, &d) in dist.iter().enumerate() {
+                if !visited[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            if u == N {
+                break;
+            }
+            visited[u] = true;
+            for v in 0..N {
+                if !visited[v] {
+                    let nd = dist[u] + u32::from(adj[u * N + v]);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                    }
+                }
+            }
+        }
+        assert_eq!(dist[src], 0);
+        for (v, &d) in dist.iter().enumerate() {
+            assert!(d <= 255, "complete graph: one hop suffices as a bound ({v}: {d})");
+            // Triangle inequality against the direct edge.
+            if v != src {
+                assert!(d <= u32::from(adj[src * N + v]), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn source_assembles() {
+        assert!(flexcore_asm::assemble(&source()).is_ok());
+    }
+}

@@ -1,0 +1,309 @@
+//! `fft`: fixed-point radix-2 decimation-in-time FFT, 128 points, Q14
+//! twiddles, with per-stage scaling (MiBench's fft uses floating
+//! point; the Leon3 FPU is not modeled, so this is the standard
+//! fixed-point equivalent — same butterflies, same strided access
+//! pattern).
+
+use crate::lcg;
+
+const N: usize = 1024;
+const LOG2N: u32 = 10;
+const RUNS: u32 = 3;
+const SEED: u32 = 0xf00f_f00f;
+const QSHIFT: u32 = 14;
+
+/// Q14 twiddle factors for e^{-2πik/N}, k in 0..N/2, computed on the
+/// host and baked into the image as data tables.
+fn twiddles() -> (Vec<i32>, Vec<i32>) {
+    let scale = f64::from(1 << QSHIFT);
+    (0..N / 2)
+        .map(|k| {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+            ((ang.cos() * scale).round() as i32, (ang.sin() * scale).round() as i32)
+        })
+        .unzip()
+}
+
+fn bitrev(i: usize) -> usize {
+    let mut r = 0usize;
+    for b in 0..LOG2N {
+        r = (r << 1) | ((i >> b) & 1);
+    }
+    r
+}
+
+/// The fixed-point FFT exactly as the assembly performs it (wrapping
+/// i32, arithmetic shifts, per-stage >>1 scaling).
+fn fft_fixed(re: &mut [i32], im: &mut [i32], tw_re: &[i32], tw_im: &[i32]) {
+    for i in 0..N {
+        let j = bitrev(i);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut s = 1u32;
+    while s <= LOG2N {
+        let m = 1usize << s;
+        let half = m >> 1;
+        let stride = N / m; // twiddle index stride
+        let mut k = 0usize;
+        while k < N {
+            for j in 0..half {
+                let wi = j * stride;
+                let (wr, wim) = (tw_re[wi], tw_im[wi]);
+                let (xr, xi) = (re[k + j + half], im[k + j + half]);
+                let tr = (wr.wrapping_mul(xr).wrapping_sub(wim.wrapping_mul(xi))) >> QSHIFT;
+                let ti = (wr.wrapping_mul(xi).wrapping_add(wim.wrapping_mul(xr))) >> QSHIFT;
+                let (ur, ui) = (re[k + j], im[k + j]);
+                re[k + j] = ur.wrapping_add(tr) >> 1;
+                im[k + j] = ui.wrapping_add(ti) >> 1;
+                re[k + j + half] = ur.wrapping_sub(tr) >> 1;
+                im[k + j + half] = ui.wrapping_sub(ti) >> 1;
+            }
+            k += m;
+        }
+        s += 1;
+    }
+}
+
+/// Rust reference producing the expected checksum over RUNS transforms.
+fn reference() -> u32 {
+    let (tw_re, tw_im) = twiddles();
+    let mut seed = SEED;
+    let mut check = 0u32;
+    for _ in 0..RUNS {
+        let mut re = [0i32; N];
+        let mut im = [0i32; N];
+        for i in 0..N {
+            seed = lcg(seed);
+            re[i] = ((seed >> 18) as i32) - 8192; // Q14 range
+            seed = lcg(seed);
+            im[i] = ((seed >> 18) as i32) - 8192;
+        }
+        fft_fixed(&mut re, &mut im, &tw_re, &tw_im);
+        for i in 0..N {
+            check = check.wrapping_add(re[i] as u32).wrapping_add((im[i] as u32) << 1);
+        }
+    }
+    check
+}
+
+/// Generates the self-checking assembly source.
+pub(crate) fn source() -> String {
+    let expected = reference();
+    let (tw_re, tw_im) = twiddles();
+    let tw_re_words: String = tw_re.iter().map(|v| format!(".word {v}\n")).collect();
+    let tw_im_words: String = tw_im.iter().map(|v| format!(".word {v}\n")).collect();
+    let lcg = crate::lcg_asm("%g2", "%o7");
+    format!(
+        "! fft: {RUNS} fixed-point 128-point FFTs (Q14, stage-scaled).
+        .equ N, {N}
+        .equ LOG2N, {LOG2N}
+        .equ RUNS, {RUNS}
+start:
+        set {SEED}, %g2
+        set RUNS, %g3
+        clr %g5                ! checksum
+run:
+        ! Fill re/im with Q14 noise.
+        set re_buf, %l6
+        set im_buf, %l7
+        set N, %l5
+fill:
+        {lcg}
+        srl %g2, 18, %o0
+        add %o0, -4096, %o0    ! -8192 in two simm13 steps
+        add %o0, -4096, %o0
+        st %o0, [%l6]
+        {lcg}
+        srl %g2, 18, %o0
+        add %o0, -4096, %o0
+        add %o0, -4096, %o0
+        st %o0, [%l7]
+        add %l6, 4, %l6
+        add %l7, 4, %l7
+        subcc %l5, 1, %l5
+        bne fill
+        nop
+
+        ! Bit-reversal permutation.
+        set re_buf, %g6
+        set im_buf, %g7
+        clr %l0                ! i
+brev:
+        ! j = reverse of the low 7 bits of i
+        clr %l1
+        clr %o0                ! bit counter
+        mov %l0, %o1
+brbit:
+        sll %l1, 1, %l1
+        and %o1, 1, %o2
+        or %l1, %o2, %l1
+        srl %o1, 1, %o1
+        add %o0, 1, %o0
+        cmp %o0, LOG2N
+        bl brbit
+        nop
+        ! swap if i < j
+        cmp %l0, %l1
+        bgeu no_swap
+        nop
+        sll %l0, 2, %o0
+        sll %l1, 2, %o1
+        ld [%g6 + %o0], %o2
+        ld [%g6 + %o1], %o3
+        st %o3, [%g6 + %o0]
+        st %o2, [%g6 + %o1]
+        ld [%g7 + %o0], %o2
+        ld [%g7 + %o1], %o3
+        st %o3, [%g7 + %o0]
+        st %o2, [%g7 + %o1]
+no_swap:
+        add %l0, 1, %l0
+        cmp %l0, N
+        bl brev
+        nop
+
+        ! Butterfly stages.
+        mov 1, %l0             ! s
+stage:
+        mov 1, %l1
+        sll %l1, %l0, %l1      ! m = 1 << s
+        srl %l1, 1, %l2        ! half = m/2
+        clr %l3                ! k
+kloop:
+        clr %l4                ! j
+jloop:
+        ! twiddle index = j << (LOG2N - s)
+        mov LOG2N, %o0
+        sub %o0, %l0, %o0
+        sll %l4, %o0, %o0      ! wi
+        sll %o0, 2, %o0
+        set tw_re, %o1
+        ld [%o1 + %o0], %i0    ! wr
+        set tw_im, %o1
+        ld [%o1 + %o0], %i1    ! wim
+        ! x = a[k+j+half]
+        add %l3, %l4, %o2
+        add %o2, %l2, %o3
+        sll %o3, 2, %o3
+        ld [%g6 + %o3], %i2    ! xr
+        ld [%g7 + %o3], %i3    ! xi
+        ! tr = (wr*xr - wim*xi) >> 14 ; ti = (wr*xi + wim*xr) >> 14
+        smul %i0, %i2, %o4
+        smul %i1, %i3, %o5
+        sub %o4, %o5, %o4
+        sra %o4, 14, %i4       ! tr
+        smul %i0, %i3, %o4
+        smul %i1, %i2, %o5
+        add %o4, %o5, %o4
+        sra %o4, 14, %i5       ! ti
+        ! u = a[k+j]
+        sll %o2, 2, %o2
+        ld [%g6 + %o2], %o4    ! ur
+        ld [%g7 + %o2], %o5    ! ui
+        ! a[k+j] = (u + t) >> 1 ; a[k+j+half] = (u - t) >> 1
+        add %o4, %i4, %o0
+        sra %o0, 1, %o0
+        st %o0, [%g6 + %o2]
+        add %o5, %i5, %o0
+        sra %o0, 1, %o0
+        st %o0, [%g7 + %o2]
+        sub %o4, %i4, %o0
+        sra %o0, 1, %o0
+        st %o0, [%g6 + %o3]
+        sub %o5, %i5, %o0
+        sra %o0, 1, %o0
+        st %o0, [%g7 + %o3]
+        add %l4, 1, %l4
+        cmp %l4, %l2
+        bl jloop
+        nop
+        add %l3, %l1, %l3
+        cmp %l3, N
+        bl kloop
+        nop
+        add %l0, 1, %l0
+        cmp %l0, LOG2N
+        ble stage
+        nop
+
+        ! checksum += sum(re) + 2*sum(im)
+        set re_buf, %l6
+        set im_buf, %l7
+        set N, %l5
+sum:
+        ld [%l6], %o0
+        add %g5, %o0, %g5
+        ld [%l7], %o0
+        sll %o0, 1, %o0
+        add %g5, %o0, %g5
+        add %l6, 4, %l6
+        add %l7, 4, %l7
+        subcc %l5, 1, %l5
+        bne sum
+        nop
+
+        subcc %g3, 1, %g3
+        bne run
+        nop
+
+        set {expected}, %o1
+        cmp %g5, %o1
+        bne fail
+        nop
+        ta 0
+fail:   ta 1
+        .align 4
+tw_re:
+{tw_re_words}
+tw_im:
+{tw_im_words}
+        .align 4
+re_buf: .space {buf_bytes}
+im_buf: .space {buf_bytes}
+"
+    , buf_bytes = N * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        for i in 0..N {
+            assert_eq!(bitrev(bitrev(i)), i);
+        }
+    }
+
+    #[test]
+    fn twiddles_have_unit_magnitude_in_q14() {
+        let (re, im) = twiddles();
+        for k in 0..N / 2 {
+            let mag = re[k] as i64 * re[k] as i64 + im[k] as i64 * im[k] as i64;
+            let unit = 1i64 << (2 * QSHIFT);
+            assert!((mag - unit).abs() < unit / 100, "k={k}: {mag} vs {unit}");
+        }
+    }
+
+    #[test]
+    fn constant_input_transforms_to_impulse() {
+        // FFT of a constant signal concentrates everything in bin 0.
+        let (tw_re, tw_im) = twiddles();
+        let mut re = [1000i32; N];
+        let mut im = [0i32; N];
+        fft_fixed(&mut re, &mut im, &tw_re, &tw_im);
+        // With per-stage >>1 scaling the DC bin holds ~the input value.
+        assert!((re[0] - 1000).abs() <= 8, "DC bin {}", re[0]);
+        for (i, &v) in re.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 8, "bin {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn source_assembles() {
+        assert!(flexcore_asm::assemble(&source()).is_ok());
+    }
+}

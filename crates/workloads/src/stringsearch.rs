@@ -1,0 +1,224 @@
+//! `stringsearch`: Boyer–Moore–Horspool over LCG-generated text
+//! (MiBench's stringsearch runs Pratt–Boyer–Moore searches; this
+//! kernel builds the Horspool skip table and scans a text buffer for
+//! several patterns, counting matches).
+
+use crate::lcg;
+
+// A text comfortably larger than the 32-KB L1 and whose BC meta-data
+// (1 byte/word = 24 KB) overflows the 4-KB meta cache: this workload is
+// the one that stresses the memory system, like MiBench stringsearch
+// in the paper (its Table IV worst case).
+const TEXT_LEN: usize = 96 * 1024;
+const PAT_LEN: usize = 4;
+const PASSES: u32 = 4;
+const SEED: u32 = 0x5ee0_5eed;
+/// Byte alphabet: small so matches actually occur.
+const ALPHABET: u32 = 8;
+
+fn text() -> Vec<u8> {
+    let mut seed = SEED;
+    (0..TEXT_LEN)
+        .map(|_| {
+            seed = lcg(seed);
+            b'a' + ((seed >> 24) % ALPHABET) as u8
+        })
+        .collect()
+}
+
+/// Pattern for one pass: taken from the text itself so matches exist.
+fn pattern(text: &[u8], pass: u32) -> [u8; PAT_LEN] {
+    let off = (lcg(0x9999_0000 + pass) as usize) % (TEXT_LEN - PAT_LEN);
+    let mut p = [0u8; PAT_LEN];
+    p.copy_from_slice(&text[off..off + PAT_LEN]);
+    p
+}
+
+/// Horspool search counting matches — mirrors the assembly exactly.
+fn horspool_count(text: &[u8], pat: &[u8]) -> u32 {
+    let m = pat.len();
+    let mut skip = [m as u32; 256];
+    for i in 0..m - 1 {
+        skip[pat[i] as usize] = (m - 1 - i) as u32;
+    }
+    let mut count = 0;
+    let mut pos = 0usize;
+    while pos + m <= text.len() {
+        let mut j = m;
+        while j > 0 && text[pos + j - 1] == pat[j - 1] {
+            j -= 1;
+        }
+        if j == 0 {
+            count += 1;
+            pos += 1;
+        } else {
+            pos += skip[text[pos + m - 1] as usize] as usize;
+        }
+    }
+    count
+}
+
+/// Rust reference producing the expected total match count.
+fn reference() -> u32 {
+    let t = text();
+    (0..PASSES).map(|p| horspool_count(&t, &pattern(&t, p))).sum()
+}
+
+/// Generates the self-checking assembly source.
+pub(crate) fn source() -> String {
+    let expected = reference();
+    let t = text();
+    // Patterns are baked as data words (one byte per word for easy
+    // indexed access in the kernel's inner loop).
+    let mut pat_words = String::new();
+    for pass in 0..PASSES {
+        let p = pattern(&t, pass);
+        for &b in &p {
+            pat_words.push_str(&format!(".word {b}\n"));
+        }
+    }
+    let lcg = crate::lcg_asm("%g2", "%o7");
+    format!(
+        "! stringsearch: Horspool over generated text, {PASSES} patterns.
+        .equ TEXTLEN, {TEXT_LEN}
+        .equ PATLEN, {PAT_LEN}
+        .equ PASSES, {PASSES}
+start:
+        ! Generate the text (byte stores).
+        set {SEED}, %g2
+        set text, %l6
+        set TEXTLEN, %l5
+gen:
+        {lcg}
+        srl %g2, 24, %o0
+        and %o0, 7, %o0        ! alphabet of 8
+        add %o0, 'a', %o0
+        stb %o0, [%l6]
+        add %l6, 1, %l6
+        subcc %l5, 1, %l5
+        bne gen
+        nop
+
+        clr %g5                ! total matches
+        clr %g6                ! pass index
+pass:
+        ! Build the skip table: 256 entries of PATLEN, then
+        ! skip[pat[i]] = PATLEN-1-i for i in 0..PATLEN-1.
+        set skip, %l0
+        mov 256, %o0
+fill_skip:
+        mov PATLEN, %o1
+        st %o1, [%l0]
+        add %l0, 4, %l0
+        subcc %o0, 1, %o0
+        bne fill_skip
+        nop
+        ! pattern base for this pass: pats + pass*PATLEN*4
+        set pats, %l1
+        sll %g6, 4, %o0        ! PATLEN*4 = 16 bytes per pattern
+        add %l1, %o0, %l1      ! %l1 = &pat[0] (one byte per word)
+        set skip, %l0
+        clr %o1                ! i
+skip_init:
+        sll %o1, 2, %o2
+        ld [%l1 + %o2], %o3    ! pat[i]
+        sll %o3, 2, %o3
+        add %l0, %o3, %o3
+        mov PATLEN, %o4
+        sub %o4, 1, %o4
+        sub %o4, %o1, %o4      ! PATLEN-1-i
+        st %o4, [%o3]
+        add %o1, 1, %o1
+        cmp %o1, PATLEN - 1
+        bl skip_init
+        nop
+
+        ! Search.
+        set text, %l2          ! text base
+        clr %l3                ! pos
+        set {search_end}, %l4  ! TEXTLEN - PATLEN
+search:
+        cmp %l3, %l4
+        bgu pass_done
+        nop
+        ! compare pat backwards: j = PATLEN
+        mov PATLEN, %o1
+cmploop:
+        cmp %o1, 0
+        be matched
+        nop
+        add %l3, %o1, %o2
+        sub %o2, 1, %o2
+        ldub [%l2 + %o2], %o3  ! text[pos + j - 1]
+        sll %o1, 2, %o4
+        sub %o4, 4, %o4
+        ld [%l1 + %o4], %o5    ! pat[j-1]
+        cmp %o3, %o5
+        bne mismatch
+        nop
+        ba cmploop
+        sub %o1, 1, %o1        ! j-- in the delay slot
+matched:
+        add %g5, 1, %g5
+        ba search
+        add %l3, 1, %l3        ! pos++ in the delay slot
+mismatch:
+        ! pos += skip[text[pos + PATLEN - 1]]
+        add %l3, PATLEN - 1, %o2
+        ldub [%l2 + %o2], %o3
+        sll %o3, 2, %o3
+        set skip, %o4
+        ld [%o4 + %o3], %o5
+        ba search
+        add %l3, %o5, %l3      ! advance in the delay slot
+pass_done:
+        add %g6, 1, %g6
+        cmp %g6, PASSES
+        bl pass
+        nop
+
+        set {expected}, %o1
+        cmp %g5, %o1
+        bne fail
+        nop
+        ta 0
+fail:   ta 1
+        .align 4
+skip:   .space 1024
+pats:
+{pat_words}
+        .align 4
+text:   .space {TEXT_LEN}
+"
+    , search_end = TEXT_LEN - PAT_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horspool_agrees_with_naive_search() {
+        let t = text();
+        for pass in 0..4 {
+            let p = pattern(&t, pass);
+            let naive = t
+                .windows(PAT_LEN)
+                .filter(|w| *w == p)
+                .count() as u32;
+            assert_eq!(horspool_count(&t, &p), naive, "pass {pass}");
+        }
+    }
+
+    #[test]
+    fn patterns_actually_occur() {
+        // The small alphabet plus text-sampled patterns guarantee a
+        // meaningful match count.
+        assert!(reference() > 10, "reference count {}", reference());
+    }
+
+    #[test]
+    fn source_assembles() {
+        assert!(flexcore_asm::assemble(&source()).is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! BC demo: color-tag bound checking catches a buffer overrun that
+//! walks off the end of one heap allocation into its neighbor — even
+//! though the neighboring memory is itself validly allocated (the case
+//! guard-zone schemes miss, §IV.C).
+//!
+//! ```sh
+//! cargo run --example bounds_check
+//! ```
+
+use flexcore_suite::asm::assemble;
+use flexcore_suite::flexcore::ext::{bc, Bc};
+use flexcore_suite::flexcore::{System, SystemConfig};
+use flexcore_suite::isa::Reg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two adjacent 8-word "heap allocations" with distinct colors.
+    // The program writes NWRITES words through a pointer into array A.
+    let run = |nwrites: u32| -> Result<_, Box<dyn std::error::Error>> {
+        let program = assemble(&format!(
+            "start:  ! malloc() returns A: color the block and pointer 3.
+                set array_a, %o0
+                set {len_color_a}, %o1
+                cpop1 {color_range}, %o0, %o1, %g0
+                mov {reg_o0}, %o2
+                mov 3, %o3
+                cpop1 {set_reg}, %o2, %o3, %g0
+                ! malloc() returns B right after A: color 9.
+                set array_b, %o4
+                set {len_color_b}, %o1
+                cpop1 {color_range}, %o4, %o1, %g0
+                ! Write {nwrites} words through the A pointer.
+                mov {nwrites}, %o1
+        wloop:  st %o1, [%o0]
+                add %o0, 4, %o0
+                subcc %o1, 1, %o1
+                bne wloop
+                nop
+                ta 0
+                .align 4
+        array_a: .space 32
+        array_b: .space 32",
+            color_range = bc::ops::COLOR_RANGE,
+            set_reg = bc::ops::SET_REG_COLOR,
+            reg_o0 = Reg::O0.index(),
+            len_color_a = (32 << 4) | 3,
+            len_color_b = (32 << 4) | 9,
+        ))?;
+        let mut sys = System::new(SystemConfig::fabric_half_speed(), Bc::new());
+        sys.load_program(&program);
+        Ok(sys.run(100_000))
+    };
+
+    // 8 writes: exactly fills A. In bounds.
+    let ok = run(8)?;
+    assert!(ok.monitor_trap.is_none(), "in-bounds run must pass: {:?}", ok.monitor_trap);
+    println!("8 writes (fills A exactly):   ok, no trap");
+
+    // 9 writes: the ninth lands in B. B is allocated memory, so an
+    // address-validity check would accept it — the color check does
+    // not.
+    let overrun = run(9)?;
+    match &overrun.monitor_trap {
+        Some(trap) => println!("9 writes (overruns into B):  {trap}"),
+        None => println!("9 writes: overrun NOT detected"),
+    }
+    assert!(overrun.monitor_trap.is_some(), "BC must catch the overrun");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: assemble a tiny program, run it on the bare Leon3
+//! model, then run it again under FlexCore with the UMC extension and
+//! watch the monitor catch an uninitialized read.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use flexcore_suite::flexcore::ext::Umc;
+use flexcore_suite::flexcore::{System, SystemConfig};
+use flexcore_suite::asm::assemble;
+use flexcore_suite::mem::{MainMemory, SystemBus};
+use flexcore_suite::pipeline::{Core, CoreConfig, ExitReason};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with a bug: it sums five array elements but only
+    // initializes four.
+    let program = assemble(
+        "start:  set 0x8000, %o0     ! heap array base
+                mov 4, %o1           ! initialize only 4 of 5 elements
+                mov %o0, %o2
+        init:   st %o1, [%o2]
+                add %o2, 4, %o2
+                subcc %o1, 1, %o1
+                bne init
+                nop
+                ! sum 5 elements (the fifth was never written)
+                clr %o3
+                mov 5, %o1
+                mov %o0, %o2
+        sum:    ld [%o2], %o4
+                add %o3, %o4, %o3
+                add %o2, 4, %o2
+                subcc %o1, 1, %o1
+                bne sum
+                nop
+                ta 0",
+    )?;
+
+    // 1. Bare core: the bug goes unnoticed.
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    let exit = core.run(&mut mem, &mut bus, 100_000);
+    println!("bare core:    exit = {exit:?} (bug silently ignored)");
+    assert_eq!(exit, ExitReason::Halt(0));
+
+    // 2. FlexCore with UMC on the fabric at half the core clock.
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
+    sys.load_program(&program);
+    let result = sys.run(100_000);
+    match &result.monitor_trap {
+        Some(trap) => println!("with UMC:     {trap}"),
+        None => println!("with UMC:     no trap?!"),
+    }
+    assert!(result.monitor_trap.is_some(), "UMC must catch the uninitialized read");
+
+    println!(
+        "\nrun stats: {} instructions, {} cycles (CPI {:.2}), {:.1}% forwarded to the fabric",
+        result.instret,
+        result.cycles,
+        result.cpi(),
+        result.forward.forwarded_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! Integration tests of the core–fabric interface semantics, using a
+//! purpose-built test extension: forwarding policies (ignore / drop /
+//! stall / ack), BFIFO return values, clock-domain alignment, and the
+//! end-of-run EMPTY discipline.
+
+use flexcore_suite::fabric::{Netlist, NetlistBuilder};
+use flexcore_suite::flexcore::ext::{ExtEnv, Extension, ExtensionDescriptor, MonitorTrap};
+use flexcore_suite::flexcore::{Cfgr, ForwardPolicy, System, SystemConfig};
+use flexcore_suite::asm::assemble;
+use flexcore_suite::isa::InstrClass;
+use flexcore_suite::pipeline::{ExitReason, TracePacket};
+
+/// A configurable probe extension: counts what it sees, can be made
+/// arbitrarily slow, answers reads with a constant.
+struct Probe {
+    cfgr: Cfgr,
+    /// Extra meta ops per packet (to simulate a slow monitor).
+    busywork: u32,
+    seen: u64,
+    last_pc: u32,
+}
+
+impl Probe {
+    fn new(cfgr: Cfgr) -> Probe {
+        Probe { cfgr, busywork: 0, seen: 0, last_pc: 0 }
+    }
+}
+
+impl Extension for Probe {
+    fn name(&self) -> &'static str {
+        "PROBE"
+    }
+
+    fn descriptor(&self) -> ExtensionDescriptor {
+        ExtensionDescriptor {
+            abbrev: "PROBE",
+            name: "interface test probe",
+            meta_data: &[],
+            transparent_ops: &["count packets"],
+            sw_visible_ops: &["read packet count"],
+        }
+    }
+
+    fn cfgr(&self) -> Cfgr {
+        self.cfgr
+    }
+
+    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+        self.seen += 1;
+        self.last_pc = pkt.pc;
+        for i in 0..self.busywork {
+            // Touch alternating meta lines to burn fabric cycles.
+            let _ = env.read_meta(0x4000_0000 + (i % 2) * 64);
+        }
+        if pkt.class == InstrClass::Cpop1 {
+            return Ok(Some(0xfeed_beef));
+        }
+        Ok(None)
+    }
+
+    fn netlist(&self) -> Netlist {
+        let mut b = NetlistBuilder::new("probe");
+        let x = b.input();
+        let q = b.register(x);
+        b.output("q", q);
+        b.finish()
+    }
+}
+
+const COUNT_PROGRAM: &str = "start: mov 10, %o0
+        loop:  subcc %o0, 1, %o0
+               bne loop
+               nop
+               ta 0";
+
+fn run_probe(cfgr: Cfgr, busywork: u32, cfg: SystemConfig, src: &str) -> (u64, flexcore_suite::flexcore::RunResult) {
+    let program = assemble(src).unwrap();
+    let mut probe = Probe::new(cfgr);
+    probe.busywork = busywork;
+    let mut sys = System::new(cfg, probe);
+    sys.load_program(&program);
+    let r = sys.run(100_000);
+    let seen = sys.extension().seen;
+    (seen, r)
+}
+
+#[test]
+fn ignore_policy_forwards_nothing() {
+    let (seen, r) = run_probe(Cfgr::new(), 0, SystemConfig::fabric_half_speed(), COUNT_PROGRAM);
+    assert_eq!(seen, 0);
+    assert_eq!(r.forward.forwarded, 0);
+    assert_eq!(r.exit, ExitReason::Halt(0));
+}
+
+#[test]
+fn always_policy_forwards_every_matching_instruction() {
+    let cfgr = Cfgr::new().with_class(InstrClass::SubCc, ForwardPolicy::Always);
+    let (seen, r) = run_probe(cfgr, 0, SystemConfig::fabric_half_speed(), COUNT_PROGRAM);
+    assert_eq!(seen, 10, "ten subcc commits");
+    assert_eq!(r.forward.forwarded, 10);
+    assert_eq!(r.forward.dropped, 0);
+}
+
+#[test]
+fn if_not_full_policy_drops_under_pressure() {
+    // A slow monitor (2 meta ops/packet at 0.25X) with a 2-entry FIFO
+    // and a dense stream of monitored instructions must drop packets —
+    // and must NOT stall the core.
+    let cfgr = Cfgr::new()
+        .with_class(InstrClass::SubCc, ForwardPolicy::IfNotFull)
+        .with_class(InstrClass::Nop, ForwardPolicy::IfNotFull)
+        .with_class(InstrClass::BranchCond, ForwardPolicy::IfNotFull);
+    let src = "start: mov 200, %o0
+        loop:  subcc %o0, 1, %o0
+               bne loop
+               nop
+               ta 0";
+    let cfg = SystemConfig::fabric_quarter_speed().with_fifo_depth(2);
+    let (seen, r) = run_probe(cfgr, 2, cfg, src);
+    assert!(r.forward.dropped > 0, "must drop: {:?}", r.forward);
+    assert_eq!(seen + r.forward.dropped, r.forward.forwarded + r.forward.dropped);
+    assert_eq!(r.forward.fifo_stall_cycles, 0, "best-effort never stalls the core");
+}
+
+#[test]
+fn always_policy_stalls_instead_of_dropping() {
+    let cfgr = Cfgr::new()
+        .with_class(InstrClass::SubCc, ForwardPolicy::Always)
+        .with_class(InstrClass::Nop, ForwardPolicy::Always)
+        .with_class(InstrClass::BranchCond, ForwardPolicy::Always);
+    let src = "start: mov 200, %o0
+        loop:  subcc %o0, 1, %o0
+               bne loop
+               nop
+               ta 0";
+    let cfg = SystemConfig::fabric_quarter_speed().with_fifo_depth(2);
+    let (seen, r) = run_probe(cfgr, 2, cfg, src);
+    assert_eq!(r.forward.dropped, 0);
+    assert_eq!(seen, r.forward.forwarded);
+    assert!(r.forward.fifo_stall_cycles > 0, "must back-pressure the commit stage");
+}
+
+#[test]
+fn wait_for_ack_returns_bfifo_value_to_the_destination_register() {
+    let cfgr = Cfgr::new().with_class(InstrClass::Cpop1, ForwardPolicy::WaitForAck);
+    let program = assemble(
+        "start: cpop1 0, %g0, %g0, %o3
+               ta 0",
+    )
+    .unwrap();
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Probe::new(cfgr));
+    sys.load_program(&program);
+    let r = sys.run(100_000);
+    assert_eq!(r.exit, ExitReason::Halt(0));
+    assert_eq!(sys.core().reg(flexcore_suite::isa::Reg::O3), 0xfeed_beef);
+}
+
+#[test]
+fn run_waits_for_the_fabric_to_drain() {
+    // EMPTY discipline: total cycles include the fabric finishing its
+    // backlog after the core halts.
+    let cfgr = Cfgr::new().with_class(InstrClass::Logic, ForwardPolicy::Always);
+    let src = "start: mov 1, %o0
+               or %o0, 2, %o1
+               or %o1, 4, %o2
+               or %o2, 8, %o3
+               ta 0";
+    // Very slow fabric: 8 meta ops per packet at quarter speed.
+    let (_, r) = run_probe(cfgr, 8, SystemConfig::fabric_quarter_speed(), src);
+    // 4 logic ops x 8 meta ops x 4 core-cycles each = >128 cycles of
+    // fabric work for a ~20-cycle program.
+    assert!(r.cycles > 128, "cycles {} must include fabric drain", r.cycles);
+}
+
+#[test]
+fn fabric_clock_alignment_quantizes_processing() {
+    // At 0.25X, back-to-back forwarded instructions are processed at
+    // most one per 4 core cycles: N instructions take >= 4N fabric
+    // cycles of span.
+    let cfgr = Cfgr::new().with_class(InstrClass::Logic, ForwardPolicy::Always);
+    let mut src = String::from("start: mov 1, %o0\n");
+    for _ in 0..64 {
+        src.push_str("or %o0, 1, %o0\n");
+    }
+    src.push_str("ta 0");
+    let (seen, r) = run_probe(cfgr, 0, SystemConfig::fabric_quarter_speed(), &src);
+    // 64 `or`s plus the initial `mov` (also a logic op).
+    assert_eq!(seen, 65);
+    assert!(r.cycles >= 65 * 4, "{} cycles for 65 packets at 0.25X", r.cycles);
+}

@@ -1,0 +1,190 @@
+//! Reproduction-shape assertions: the qualitative claims of the
+//! paper's evaluation must hold in this reproduction (see DESIGN.md §3
+//! for the pass criteria). Absolute numbers are checked loosely; the
+//! *orderings* and *crossovers* are checked strictly.
+//!
+//! These tests run a subset of the workloads to keep `cargo test`
+//! affordable; the full sweeps live in the `flexcore-bench` binaries.
+
+use flexcore_suite::fabric::{AsicCost, FpgaCost};
+use flexcore_suite::flexcore::ext::{Bc, Dift, Extension, Sec, Umc};
+use flexcore_suite::flexcore::software::{run_software_monitored, SoftwareMonitor};
+use flexcore_suite::flexcore::{System, SystemConfig};
+use flexcore_suite::mem::{MainMemory, SystemBus};
+use flexcore_suite::pipeline::{Core, CoreConfig, ExitReason};
+use flexcore_suite::workloads::Workload;
+
+fn baseline(w: &Workload) -> u64 {
+    let program = w.program().unwrap();
+    let mut mem = MainMemory::new();
+    let mut bus = SystemBus::default();
+    let mut core = Core::new(CoreConfig::leon3());
+    core.load_program(&program, &mut mem);
+    assert_eq!(core.run(&mut mem, &mut bus, 100_000_000), ExitReason::Halt(0));
+    core.quiesced_at()
+}
+
+fn monitored<E: Extension>(w: &Workload, cfg: SystemConfig, ext: E) -> (u64, f64) {
+    let program = w.program().unwrap();
+    let mut sys = System::new(cfg, ext);
+    sys.load_program(&program);
+    let r = sys.run(100_000_000);
+    assert_eq!(r.exit, ExitReason::Halt(0), "{}: {:?}", w.name(), r.monitor_trap);
+    (r.cycles, r.forward.forwarded_fraction())
+}
+
+/// Table IV shape on a fast benchmark (bitcount): ASIC (1X) is nearly
+/// free; 0.5X costs more; 0.25X costs the most; UMC stays near 1.0
+/// throughout.
+#[test]
+fn table_iv_slowdowns_order_by_fabric_clock() {
+    let w = Workload::bitcount();
+    let base = baseline(&w) as f64;
+    let (d1, _) = monitored(&w, SystemConfig::fabric_full_speed(), Dift::new());
+    let (d2, _) = monitored(&w, SystemConfig::fabric_half_speed(), Dift::new());
+    let (d4, _) = monitored(&w, SystemConfig::fabric_quarter_speed(), Dift::new());
+    let (r1, r2, r4) = (d1 as f64 / base, d2 as f64 / base, d4 as f64 / base);
+    assert!(r1 <= r2 && r2 <= r4, "{r1} {r2} {r4}");
+    assert!(r1 < 1.1, "ASIC-speed DIFT should be nearly free: {r1}");
+    assert!(r2 > 1.05 && r2 < 1.6, "half-speed DIFT in the paper's regime: {r2}");
+    assert!(r4 > r2 + 0.1, "quarter speed clearly worse: {r4} vs {r2}");
+
+    let (u2, _) = monitored(&w, SystemConfig::fabric_half_speed(), Umc::new());
+    assert!(u2 as f64 / base < 1.05, "UMC at 0.5X is nearly free (paper: 1.02)");
+}
+
+/// Figure 4 shape: forwarded fraction ordering UMC < SEC <= BC <= DIFT
+/// on every tested benchmark.
+#[test]
+fn figure_4_forwarding_fractions_order() {
+    for w in [Workload::sha(), Workload::bitcount()] {
+        let cfg = SystemConfig::fabric_full_speed();
+        let (_, umc) = monitored(&w, cfg, Umc::new());
+        let (_, dift) = monitored(&w, cfg, Dift::new());
+        let (_, bc) = monitored(&w, cfg, Bc::new());
+        let (_, sec) = monitored(&w, cfg, Sec::new());
+        assert!(umc < sec, "{}: UMC {umc} < SEC {sec}", w.name());
+        assert!(sec <= bc + 1e-9, "{}: SEC {sec} <= BC {bc}", w.name());
+        assert!(bc <= dift + 1e-9, "{}: BC {bc} <= DIFT {dift}", w.name());
+        assert!(dift < 0.95, "{}: nothing forwards everything", w.name());
+    }
+}
+
+/// Figure 5 shape: small FIFOs are worse; 64 entries is on the flat
+/// part of the curve.
+#[test]
+fn figure_5_fifo_size_curve_flattens() {
+    let w = Workload::sha();
+    let tiny = monitored(&w, SystemConfig::fabric_half_speed().with_fifo_depth(2), Dift::new()).0;
+    let small = monitored(&w, SystemConfig::fabric_half_speed().with_fifo_depth(8), Dift::new()).0;
+    let paper = monitored(&w, SystemConfig::fabric_half_speed().with_fifo_depth(64), Dift::new()).0;
+    let huge = monitored(&w, SystemConfig::fabric_half_speed().with_fifo_depth(512), Dift::new()).0;
+    assert!(tiny > small, "2-entry {tiny} worse than 8-entry {small}");
+    assert!(small >= paper, "8-entry {small} >= 64-entry {paper}");
+    let flat = (paper as f64 - huge as f64).abs() / paper as f64;
+    assert!(flat < 0.01, "64 -> 512 entries changes things by {flat}: already flat");
+}
+
+/// §V.C: software monitoring is far slower than FlexCore monitoring of
+/// the same program.
+#[test]
+fn software_monitoring_is_an_order_slower_than_flexcore() {
+    let w = Workload::bitcount();
+    let program = w.program().unwrap();
+    let base = baseline(&w) as f64;
+    let (flex, _) = monitored(&w, SystemConfig::fabric_half_speed(), Dift::new());
+    let sw = run_software_monitored(&SoftwareMonitor::dift(), &program, 100_000_000);
+    let flex_ratio = flex as f64 / base;
+    let sw_ratio = sw.cycles as f64 / base;
+    assert!(sw_ratio > 2.5, "software DIFT should be >2.5x: {sw_ratio}");
+    assert!(
+        sw_ratio > 2.0 * flex_ratio,
+        "software ({sw_ratio:.2}x) must be far worse than FlexCore ({flex_ratio:.2}x)"
+    );
+}
+
+/// Table III shapes: LUT ordering UMC < DIFT < BC < SEC; fabric runs at
+/// roughly half the core clock or less; ASIC logic is far denser than
+/// the fabric; every extension fits the paper's 0.4 mm^2 fabric budget
+/// (with margin for this mapper's LUT inflation).
+#[test]
+fn table_iii_cost_orderings() {
+    let netlists = [
+        Umc::new().netlist(),
+        Dift::new().netlist(),
+        Bc::new().netlist(),
+        Sec::new().netlist(),
+    ];
+    let fpga: Vec<FpgaCost> = netlists.iter().map(FpgaCost::of).collect();
+    let luts: Vec<usize> = fpga.iter().map(FpgaCost::luts).collect();
+    assert!(luts.windows(2).all(|w| w[0] < w[1]), "LUT ordering: {luts:?}");
+
+    for f in &fpga {
+        assert!(
+            f.fmax_mhz() < 465.0 * 0.62,
+            "{}: fabric must be well below the 465 MHz core ({} MHz)",
+            f.name(),
+            f.fmax_mhz()
+        );
+        assert!(f.fmax_mhz() > 150.0, "{}: not absurdly slow", f.name());
+        assert!(f.area_um2() < 650_000.0, "{}: fits a ~0.65 mm^2 fabric", f.name());
+    }
+    // SEC is the slowest fabric design (deepest pipeline), as in the
+    // paper (213 MHz).
+    let sec_fmax = fpga[3].fmax_mhz();
+    assert!(fpga.iter().all(|f| f.fmax_mhz() >= sec_fmax));
+
+    for n in &netlists {
+        let a = AsicCost::of(n);
+        let f = FpgaCost::of(n);
+        assert!(
+            a.area_um2() * 10.0 < f.area_um2(),
+            "{}: ASIC logic should be >10x denser than LUTs",
+            n.name()
+        );
+    }
+}
+
+/// §VII future work, quantified: a faster-committing core puts
+/// proportionally more pressure on a fixed-ratio fabric, so monitoring
+/// overhead grows with commit width.
+#[test]
+fn superscalar_cores_need_faster_fabrics() {
+    let w = Workload::bitcount();
+    let overhead_at = |width: u32| {
+        let core = flexcore_suite::pipeline::CoreConfig::superscalar(width);
+        // Width-matched baseline.
+        let program = w.program().unwrap();
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut c = flexcore_suite::pipeline::Core::new(core);
+        c.load_program(&program, &mut mem);
+        assert_eq!(c.run(&mut mem, &mut bus, 100_000_000), ExitReason::Halt(0));
+        let base = c.quiesced_at() as f64;
+        let mut cfg = SystemConfig::fabric_half_speed();
+        cfg.core = core;
+        let (cycles, _) = monitored(&w, cfg, Dift::new());
+        cycles as f64 / base
+    };
+    let w1 = overhead_at(1);
+    let w2 = overhead_at(2);
+    let w4 = overhead_at(4);
+    assert!(w2 > w1, "2-wide overhead {w2} must exceed 1-wide {w1}");
+    assert!(w4 > w2, "4-wide overhead {w4} must exceed 2-wide {w2}");
+}
+
+/// The meta-data subsystem is exercised for real: a monitored run of
+/// the big-footprint workload generates meta-cache misses and fabric
+/// bus traffic.
+#[test]
+fn meta_data_traffic_is_real() {
+    let w = Workload::stringsearch();
+    let program = w.program().unwrap();
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Bc::new());
+    sys.load_program(&program);
+    let r = sys.run(100_000_000);
+    assert_eq!(r.exit, ExitReason::Halt(0));
+    assert!(r.meta_cache.accesses() > 100_000, "{}", r.meta_cache.accesses());
+    assert!(r.meta_cache.miss_ratio() > 0.001, "{}", r.meta_cache.miss_ratio());
+    assert!(r.bus.fabric_transfers > 100, "{}", r.bus.fabric_transfers);
+}
