@@ -8,9 +8,17 @@ use crate::error::AsmError;
 use crate::parse::{parse_line, Expr, ImmOp, Line, MemIndex, Operand, Stmt};
 use crate::program::Program;
 
-/// Size in bytes a statement will occupy at address `pc`.
-fn stmt_size(stmt: &Stmt, pc: u32) -> u32 {
-    match stmt {
+/// Cap on assembled image size. User-supplied `.space`/`.org` must not
+/// be able to request multi-gigabyte allocations or overflow the
+/// 32-bit address space — both were reachable panics/aborts before
+/// this bound existed.
+const MAX_IMAGE_BYTES: u64 = 1 << 26; // 64 MiB
+
+/// Size in bytes a statement will occupy at address `pc`. Computed in
+/// `u64` so pathological inputs (`.space 0xffffffff`, `.align` near the
+/// top of the address space) can't overflow.
+fn stmt_size(stmt: &Stmt, pc: u32, line: usize) -> Result<u64, AsmError> {
+    Ok(match stmt {
         Stmt::Inst { mnemonic, .. } => {
             if mnemonic == "set" {
                 8
@@ -18,14 +26,19 @@ fn stmt_size(stmt: &Stmt, pc: u32) -> u32 {
                 4
             }
         }
-        Stmt::Word(v) => 4 * v.len() as u32,
-        Stmt::Half(v) => 2 * v.len() as u32,
-        Stmt::Byte(v) => v.len() as u32,
-        Stmt::Ascii(b) => b.len() as u32,
-        Stmt::Space(n) => *n,
-        Stmt::Align(a) => pc.next_multiple_of(*a) - pc,
+        Stmt::Word(v) => 4 * v.len() as u64,
+        Stmt::Half(v) => 2 * v.len() as u64,
+        Stmt::Byte(v) => v.len() as u64,
+        Stmt::Ascii(b) => b.len() as u64,
+        Stmt::Space(n) => u64::from(*n),
+        Stmt::Align(a) => {
+            if *a == 0 {
+                return Err(AsmError::new(line, ".align 0 is invalid".to_string()));
+            }
+            u64::from(pc).next_multiple_of(u64::from(*a)) - u64::from(pc)
+        }
         Stmt::Org(_) | Stmt::Equ(..) => 0,
-    }
+    })
 }
 
 struct Ctx {
@@ -341,7 +354,8 @@ impl InstEncoder<'_> {
             }
             _ => {
                 // Branch family: `b<cond>[,a] target`.
-                if let Some(cond) = mnemonic.strip_prefix('b').and_then(|c| c.parse::<Cond>().ok()) {
+                if let Some(cond) = mnemonic.strip_prefix('b').and_then(|c| c.parse::<Cond>().ok())
+                {
                     self.nargs(ops, 1)?;
                     return Ok(vec![Instruction::Branch {
                         cond,
@@ -350,7 +364,8 @@ impl InstEncoder<'_> {
                     }]);
                 }
                 // Trap family: `t<cond> [rs1 +] imm`.
-                if let Some(cond) = mnemonic.strip_prefix('t').and_then(|c| c.parse::<Cond>().ok()) {
+                if let Some(cond) = mnemonic.strip_prefix('t').and_then(|c| c.parse::<Cond>().ok())
+                {
                     self.nargs(ops, 1)?;
                     let (rs1, op2) = match &ops[0] {
                         Operand::Imm(i) => {
@@ -370,11 +385,8 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
     if !default_base.is_multiple_of(4) {
         return Err(AsmError::new(0, format!("base address {default_base:#x} not word-aligned")));
     }
-    let lines: Vec<Line> = source
-        .lines()
-        .enumerate()
-        .map(|(i, l)| parse_line(l, i + 1))
-        .collect::<Result<_, _>>()?;
+    let lines: Vec<Line> =
+        source.lines().enumerate().map(|(i, l)| parse_line(l, i + 1)).collect::<Result<_, _>>()?;
 
     // Pass 1: layout.
     let mut ctx = Ctx { symbols: HashMap::new(), dot: 0 };
@@ -405,6 +417,12 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
                 if !pc.is_multiple_of(4) {
                     return Err(AsmError::new(line.num, ".org address not word-aligned"));
                 }
+                if u64::from(pc) - u64::from(base) > MAX_IMAGE_BYTES {
+                    return Err(AsmError::new(
+                        line.num,
+                        format!(".org {pc:#x} puts the image over {MAX_IMAGE_BYTES} bytes"),
+                    ));
+                }
             }
             Stmt::Equ(name, value) => {
                 if ctx.symbols.insert(name.clone(), *value).is_some() {
@@ -419,13 +437,26 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
                     ));
                 }
                 if matches!(other, Stmt::Half(_)) && !pc.is_multiple_of(2) {
-                    return Err(AsmError::new(line.num, format!("halfword at odd address {pc:#x}")));
+                    return Err(AsmError::new(
+                        line.num,
+                        format!("halfword at odd address {pc:#x}"),
+                    ));
                 }
-                let sz = stmt_size(other, pc);
+                let sz = stmt_size(other, pc, line.num)?;
                 if sz > 0 {
                     started = true;
                 }
-                pc += sz;
+                let next = u64::from(pc) + sz;
+                if next - u64::from(base) > MAX_IMAGE_BYTES {
+                    return Err(AsmError::new(
+                        line.num,
+                        format!("image exceeds {MAX_IMAGE_BYTES} bytes"),
+                    ));
+                }
+                if next > u64::from(u32::MAX) {
+                    return Err(AsmError::new(line.num, "address overflows 32 bits"));
+                }
+                pc = next as u32;
             }
         }
     }
@@ -448,7 +479,8 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
                 let enc = InstEncoder { ctx: &ctx, line: line.num, pc };
                 let insts = enc.encode_one(mnemonic, *annul, operands)?;
                 for (i, inst) in insts.iter().enumerate() {
-                    image[off + 4 * i..off + 4 * i + 4].copy_from_slice(&encode(inst).to_be_bytes());
+                    image[off + 4 * i..off + 4 * i + 4]
+                        .copy_from_slice(&encode(inst).to_be_bytes());
                 }
             }
             Stmt::Word(v) => {
@@ -461,7 +493,10 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
                 for (i, imm) in v.iter().enumerate() {
                     let val = ctx.resolve_imm(imm, line.num)?;
                     if !(-32768..=65535).contains(&val) {
-                        return Err(AsmError::new(line.num, format!("halfword value {val} out of range")));
+                        return Err(AsmError::new(
+                            line.num,
+                            format!("halfword value {val} out of range"),
+                        ));
                     }
                     image[off + 2 * i..off + 2 * i + 2]
                         .copy_from_slice(&(val as u16).to_be_bytes());
@@ -471,7 +506,10 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
                 for (i, imm) in v.iter().enumerate() {
                     let val = ctx.resolve_imm(imm, line.num)?;
                     if !(-128..=255).contains(&val) {
-                        return Err(AsmError::new(line.num, format!("byte value {val} out of range")));
+                        return Err(AsmError::new(
+                            line.num,
+                            format!("byte value {val} out of range"),
+                        ));
                     }
                     image[off + i] = val as u8;
                 }
@@ -481,14 +519,11 @@ pub(crate) fn assemble_impl(source: &str, default_base: u32) -> Result<Program, 
             }
             Stmt::Space(_) | Stmt::Align(_) => {}
         }
-        pc += stmt_size(stmt, pc);
+        // Already bounds-checked by pass 1.
+        pc = (u64::from(pc) + stmt_size(stmt, pc, line.num)?) as u32;
     }
 
-    let symbols = ctx
-        .symbols
-        .into_iter()
-        .map(|(k, v)| (k, v as u32))
-        .collect();
+    let symbols = ctx.symbols.into_iter().map(|(k, v)| (k, v as u32)).collect();
     Ok(Program::new(base, image, symbols))
 }
 
@@ -499,12 +534,7 @@ mod tests {
     use flexcore_isa::decode;
 
     fn words(src: &str) -> Vec<Instruction> {
-        assemble(src)
-            .unwrap()
-            .words()
-            .iter()
-            .map(|&w| decode(w).unwrap())
-            .collect()
+        assemble(src).unwrap().words().iter().map(|&w| decode(w).unwrap()).collect()
     }
 
     #[test]
@@ -528,10 +558,7 @@ mod tests {
         let p = words("start: call fun\n nop\n ta 0\nfun: retl\n nop");
         let Instruction::Call { disp30 } = p[0] else { panic!() };
         assert_eq!(disp30, 3);
-        assert_eq!(
-            p[3],
-            Instruction::Jmpl { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(8) }
-        );
+        assert_eq!(p[3], Instruction::Jmpl { rd: Reg::G0, rs1: Reg::O7, op2: Operand2::Imm(8) });
     }
 
     #[test]
@@ -540,7 +567,12 @@ mod tests {
         assert_eq!(p[0], Instruction::Sethi { rd: Reg::G1, imm22: 0x12345678 >> 10 });
         assert_eq!(
             p[1],
-            Instruction::Alu { op: Opcode::Or, rd: Reg::G1, rs1: Reg::G1, op2: Operand2::Imm(0x278) }
+            Instruction::Alu {
+                op: Opcode::Or,
+                rd: Reg::G1,
+                rs1: Reg::G1,
+                op2: Operand2::Imm(0x278)
+            }
         );
     }
 
@@ -550,13 +582,17 @@ mod tests {
         let data_addr = p.symbol("data").unwrap();
         let ws = p.words();
         let Instruction::Sethi { imm22, .. } = decode(ws[0]).unwrap() else { panic!() };
-        let Instruction::Alu { op2: Operand2::Imm(lo), .. } = decode(ws[1]).unwrap() else { panic!() };
+        let Instruction::Alu { op2: Operand2::Imm(lo), .. } = decode(ws[1]).unwrap() else {
+            panic!()
+        };
         assert_eq!((imm22 << 10) | lo as u32, data_addr);
     }
 
     #[test]
     fn synthetic_instructions() {
-        let p = words("mov 7, %o0\nclr %o1\ncmp %o0, 3\ntst %o2\ninc %o3\ndec 2, %o4\nneg %o5\nnot %l0, %l1");
+        let p = words(
+            "mov 7, %o0\nclr %o1\ncmp %o0, 3\ntst %o2\ninc %o3\ndec 2, %o4\nneg %o5\nnot %l0, %l1",
+        );
         assert_eq!(p[0], Instruction::alu(Opcode::Or, Reg::G0, Reg::O0, Operand2::Imm(7)));
         assert_eq!(p[2], Instruction::alu(Opcode::Subcc, Reg::O0, Reg::G0, Operand2::Imm(3)));
         assert_eq!(p[4], Instruction::alu(Opcode::Add, Reg::O3, Reg::O3, Operand2::Imm(1)));

@@ -110,7 +110,8 @@ impl<'a> Lexer<'a> {
                 Ok(Some(Tok::Num(value)))
             }
             '\'' => {
-                let (value, consumed) = lex_char(self.rest).ok_or_else(|| self.err("bad character literal"))?;
+                let (value, consumed) =
+                    lex_char(self.rest).ok_or_else(|| self.err("bad character literal"))?;
                 self.rest = &self.rest[consumed..];
                 Ok(Some(Tok::Num(value as i64)))
             }
@@ -130,14 +131,15 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&self) -> Result<(i64, usize), AsmError> {
         let s = self.rest;
-        let (radix, body_start) = if let Some(r) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-            let _ = r;
-            (16, 2)
-        } else if s.starts_with("0b") || s.starts_with("0B") {
-            (2, 2)
-        } else {
-            (10, 0)
-        };
+        let (radix, body_start) =
+            if let Some(r) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                let _ = r;
+                (16, 2)
+            } else if s.starts_with("0b") || s.starts_with("0B") {
+                (2, 2)
+            } else {
+                (10, 0)
+            };
         let body = &s[body_start..];
         let end = body
             .char_indices()
@@ -270,7 +272,9 @@ impl Parser {
             };
             match self.next() {
                 Some(Tok::Num(v)) => e.addend += sign * v,
-                other => return Err(self.err(format!("expected number after sign, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected number after sign, found {other:?}")))
+                }
             }
         }
         Ok(e)
@@ -300,7 +304,9 @@ impl Parser {
                     MemIndex::Imm(ImmOp::Plain(Expr::constant(0)))
                 } else if self.eat_punct('+') {
                     let idx = match self.peek() {
-                        Some(Tok::Ident(id)) if id.starts_with('%') && id != "%hi" && id != "%lo" => {
+                        Some(Tok::Ident(id))
+                            if id.starts_with('%') && id != "%hi" && id != "%lo" =>
+                        {
                             MemIndex::Reg(self.reg()?)
                         }
                         _ => MemIndex::Imm(self.imm()?),
@@ -329,7 +335,9 @@ impl Parser {
                 // `+`/`-` forms an address operand without brackets.
                 if self.eat_punct('+') {
                     let index = match self.peek() {
-                        Some(Tok::Ident(id)) if id.starts_with('%') && id != "%hi" && id != "%lo" => {
+                        Some(Tok::Ident(id))
+                            if id.starts_with('%') && id != "%hi" && id != "%lo" =>
+                        {
                             MemIndex::Reg(self.reg()?)
                         }
                         _ => MemIndex::Imm(self.imm()?),
@@ -356,9 +364,7 @@ impl Parser {
 
     fn reg(&mut self) -> Result<Reg, AsmError> {
         match self.next() {
-            Some(Tok::Ident(id)) => id
-                .parse::<Reg>()
-                .map_err(|e| self.err(e.to_string())),
+            Some(Tok::Ident(id)) => id.parse::<Reg>().map_err(|e| self.err(e.to_string())),
             other => Err(self.err(format!("expected register, found {other:?}"))),
         }
     }
@@ -537,7 +543,13 @@ mod tests {
 
     #[test]
     fn numeric_literals() {
-        for (src, want) in [("mov 10, %g1", 10), ("mov 0x1f, %g1", 0x1f), ("mov 0b101, %g1", 5), ("mov -3, %g1", -3), ("mov 'A', %g1", 65)] {
+        for (src, want) in [
+            ("mov 10, %g1", 10),
+            ("mov 0x1f, %g1", 0x1f),
+            ("mov 0b101, %g1", 5),
+            ("mov -3, %g1", -3),
+            ("mov 'A', %g1", 65),
+        ] {
             let l = parse_line(src, 1).unwrap();
             let Some(Stmt::Inst { operands, .. }) = l.stmt else { panic!("{src}") };
             assert_eq!(operands[0], Operand::Imm(ImmOp::Plain(Expr::constant(want))), "{src}");
@@ -546,11 +558,14 @@ mod tests {
 
     #[test]
     fn directives() {
-        assert_eq!(parse_line(".word 1, 2, 3", 1).unwrap().stmt, Some(Stmt::Word(vec![
-            ImmOp::Plain(Expr::constant(1)),
-            ImmOp::Plain(Expr::constant(2)),
-            ImmOp::Plain(Expr::constant(3)),
-        ])));
+        assert_eq!(
+            parse_line(".word 1, 2, 3", 1).unwrap().stmt,
+            Some(Stmt::Word(vec![
+                ImmOp::Plain(Expr::constant(1)),
+                ImmOp::Plain(Expr::constant(2)),
+                ImmOp::Plain(Expr::constant(3)),
+            ]))
+        );
         assert_eq!(parse_line(".space 64", 1).unwrap().stmt, Some(Stmt::Space(64)));
         assert_eq!(parse_line(".align 4", 1).unwrap().stmt, Some(Stmt::Align(4)));
         assert_eq!(parse_line(".org 0x2000", 1).unwrap().stmt, Some(Stmt::Org(0x2000)));

@@ -33,6 +33,28 @@ proptest! {
         }
     }
 
+    /// Raw random bytes — lossily decoded, as a file read off disk would
+    /// be — never panic the lexer, parser, or layout passes.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = assemble(&src);
+    }
+
+    /// Directives with hostile sizes fail cleanly instead of overflowing
+    /// the program counter or allocating multi-gigabyte images.
+    #[test]
+    fn hostile_layout_directives_never_panic(
+        org in any::<u32>(),
+        space in any::<u32>(),
+        align in any::<u32>(),
+    ) {
+        let src = format!(".org {org}\n.space {space}\n.align {align}\nnop\n");
+        let _ = assemble(&src);
+    }
+
     /// Multi-line soup exercises the layout passes.
     #[test]
     fn multiline_soup_never_panics(

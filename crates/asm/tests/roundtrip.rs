@@ -54,17 +54,19 @@ fn arb_other() -> impl Strategy<Value = Instruction> {
             Instruction::Branch { cond: Cond::from_bits(c), annul, disp22 }
         }),
         (-256i32..256).prop_map(|disp30| Instruction::Call { disp30 }),
-        (arb_reg(), arb_reg(), arb_operand2())
-            .prop_map(|(rd, rs1, op2)| Instruction::Jmpl { rd, rs1, op2 }),
+        (arb_reg(), arb_reg(), arb_operand2()).prop_map(|(rd, rs1, op2)| Instruction::Jmpl {
+            rd,
+            rs1,
+            op2
+        }),
         // Traps: immediate second operand only (see module docs).
         (0u8..16, arb_reg(), -4096i32..=4095).prop_map(|(c, rs1, imm)| Instruction::Trap {
             cond: Cond::from_bits(c),
             rs1,
             op2: Operand2::Imm(imm),
         }),
-        (1u8..=2, 0u16..512, arb_reg(), arb_reg(), arb_reg()).prop_map(
-            |(space, opc, rd, rs1, rs2)| Instruction::Cpop { space, opc, rd, rs1, rs2 }
-        ),
+        (1u8..=2, 0u16..512, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(space, opc, rd, rs1, rs2)| Instruction::Cpop { space, opc, rd, rs1, rs2 }),
     ]
 }
 

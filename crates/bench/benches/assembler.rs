@@ -1,26 +1,13 @@
-//! Criterion micro-benchmarks: the assembler on the largest workload
-//! sources.
+//! Micro-benchmarks: the assembler on the largest workload sources.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexcore_asm::assemble;
+use flexcore_bench::microbench::Harness;
 use flexcore_workloads::Workload;
 
-fn bench_assembler(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let sha = Workload::sha().source();
     let fft = Workload::fft().source();
-    let mut g = c.benchmark_group("assemble");
-    g.bench_function("sha", |b| b.iter(|| assemble(&sha).unwrap().len()));
-    g.bench_function("fft", |b| b.iter(|| assemble(&fft).unwrap().len()));
-    g.finish();
+    h.run("assemble/sha", || assemble(&sha).expect("sha assembles").len());
+    h.run("assemble/fft", || assemble(&fft).expect("fft assembles").len());
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_assembler
-}
-criterion_main!(benches);

@@ -1,44 +1,27 @@
-//! Criterion micro-benchmarks: the netlist construction, technology
-//! mapping, and cost-model pipeline behind Table III.
+//! Micro-benchmarks: the netlist construction, technology mapping, and
+//! cost-model pipeline behind Table III.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexcore::ext::{Bc, Dift, Sec, Umc};
 use flexcore::Extension;
+use flexcore_bench::microbench::Harness;
 use flexcore_fabric::{map_to_luts, AsicCost, FpgaCost};
 
-fn bench_netlist_builds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netlist_build");
-    g.bench_function("umc", |b| b.iter(|| Umc::new().netlist()));
-    g.bench_function("sec", |b| b.iter(|| Sec::new().netlist()));
-    g.finish();
-}
+fn main() {
+    let h = Harness::new();
 
-fn bench_lut_mapping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lut_mapping");
+    h.run("netlist_build/umc", || Umc::new().netlist());
+    h.run("netlist_build/sec", || Sec::new().netlist());
+
     for (name, netlist) in [
-        ("umc", Umc::new().netlist()),
-        ("dift", Dift::new().netlist()),
-        ("bc", Bc::new().netlist()),
-        ("sec", Sec::new().netlist()),
+        ("lut_mapping/umc", Umc::new().netlist()),
+        ("lut_mapping/dift", Dift::new().netlist()),
+        ("lut_mapping/bc", Bc::new().netlist()),
+        ("lut_mapping/sec", Sec::new().netlist()),
     ] {
-        g.bench_function(name, |b| b.iter(|| map_to_luts(&netlist, 6).lut_count()));
+        h.run(name, || map_to_luts(&netlist, 6).lut_count());
     }
-    g.finish();
-}
 
-fn bench_cost_models(c: &mut Criterion) {
     let netlist = Sec::new().netlist();
-    c.bench_function("fpga_cost_sec", |b| b.iter(|| FpgaCost::of(&netlist).area_um2()));
-    c.bench_function("asic_cost_sec", |b| b.iter(|| AsicCost::of(&netlist).area_um2()));
+    h.run("fpga_cost_sec", || FpgaCost::of(&netlist).area_um2());
+    h.run("asic_cost_sec", || AsicCost::of(&netlist).area_um2());
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_netlist_builds, bench_lut_mapping, bench_cost_models
-}
-criterion_main!(benches);

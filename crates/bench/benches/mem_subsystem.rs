@@ -1,69 +1,50 @@
-//! Criterion micro-benchmarks: the memory substrate (meta-data cache
-//! masked writes, L1 timing-cache lookups, bus arbitration).
+//! Micro-benchmarks: the memory substrate (meta-data cache masked
+//! writes, L1 timing-cache lookups, bus arbitration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexcore_bench::microbench::Harness;
 use flexcore_mem::{BusMaster, CacheConfig, MainMemory, MetaDataCache, SystemBus, TimingCache};
 
-fn bench_metacache(c: &mut Criterion) {
-    c.bench_function("metacache_masked_writes_4k", |b| {
-        b.iter(|| {
-            let mut cache = MetaDataCache::new(CacheConfig::meta_default());
-            let mut mem = MainMemory::new();
-            let mut bus = SystemBus::default();
-            let mut t = 0;
-            for i in 0..4096u32 {
-                let a = cache.write_masked(
-                    0x4000_0000 + (i % 2048) * 4,
-                    i,
-                    1 << (i % 32),
-                    &mut mem,
-                    &mut bus,
-                    BusMaster::Fabric,
-                    t,
-                );
-                t = a.ready_at;
+fn main() {
+    let h = Harness::new();
+
+    h.run("metacache_masked_writes_4k", || {
+        let mut cache = MetaDataCache::new(CacheConfig::meta_default());
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut t = 0;
+        for i in 0..4096u32 {
+            let a = cache.write_masked(
+                0x4000_0000 + (i % 2048) * 4,
+                i,
+                1 << (i % 32),
+                &mut mem,
+                &mut bus,
+                BusMaster::Fabric,
+                t,
+            );
+            t = a.ready_at;
+        }
+        t
+    });
+
+    h.run("l1_lookups_16k", || {
+        let mut cache = TimingCache::new(CacheConfig::l1_default());
+        let mut hits = 0u64;
+        for i in 0..16384u32 {
+            if cache.access(i.wrapping_mul(68) & 0xffff, i % 4 == 0).hit {
+                hits += 1;
             }
-            t
-        })
+        }
+        hits
+    });
+
+    h.run("bus_transfers_8k", || {
+        let mut bus = SystemBus::default();
+        let mut t = 0u64;
+        for i in 0..8192 {
+            let m = if i % 3 == 0 { BusMaster::Fabric } else { BusMaster::Core };
+            t = bus.transfer(m, t.saturating_sub(10), 8);
+        }
+        t
     });
 }
-
-fn bench_timing_cache(c: &mut Criterion) {
-    c.bench_function("l1_lookups_16k", |b| {
-        b.iter(|| {
-            let mut cache = TimingCache::new(CacheConfig::l1_default());
-            let mut hits = 0u64;
-            for i in 0..16384u32 {
-                if cache.access(i.wrapping_mul(68) & 0xffff, i % 4 == 0).hit {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-}
-
-fn bench_bus(c: &mut Criterion) {
-    c.bench_function("bus_transfers_8k", |b| {
-        b.iter(|| {
-            let mut bus = SystemBus::default();
-            let mut t = 0u64;
-            for i in 0..8192 {
-                let m = if i % 3 == 0 { BusMaster::Fabric } else { BusMaster::Core };
-                t = bus.transfer(m, t.saturating_sub(10), 8);
-            }
-            t
-        })
-    });
-}
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_metacache, bench_timing_cache, bench_bus
-}
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks: simulator throughput for the bare core
-//! and for the full FlexCore system under each extension.
+//! Micro-benchmarks: simulator throughput for the bare core and for
+//! the full FlexCore system under each extension.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexcore::ext::{Bc, Dift, Sec, Umc};
 use flexcore::{Extension, System, SystemConfig};
 use flexcore_asm::Program;
+use flexcore_bench::microbench::Harness;
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig};
 use flexcore_workloads::Workload;
@@ -15,42 +15,26 @@ fn program() -> Program {
     Workload::bitcount().program().expect("assembles")
 }
 
-fn bench_bare_core(c: &mut Criterion) {
-    let program = program();
-    c.bench_function("core_100k_instructions", |b| {
-        b.iter(|| {
-            let mut mem = MainMemory::new();
-            let mut bus = SystemBus::default();
-            let mut core = Core::new(CoreConfig::leon3());
-            core.load_program(&program, &mut mem);
-            core.run(&mut mem, &mut bus, BUDGET)
-        })
-    });
-}
-
 fn run_system<E: Extension>(program: &Program, ext: E) -> u64 {
     let mut sys = System::new(SystemConfig::fabric_half_speed(), ext);
     sys.load_program(program);
     sys.run(BUDGET).cycles
 }
 
-fn bench_monitored(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let program = program();
-    let mut g = c.benchmark_group("system_100k_instructions");
-    g.bench_function("umc", |b| b.iter(|| run_system(&program, Umc::new())));
-    g.bench_function("dift", |b| b.iter(|| run_system(&program, Dift::new())));
-    g.bench_function("bc", |b| b.iter(|| run_system(&program, Bc::new())));
-    g.bench_function("sec", |b| b.iter(|| run_system(&program, Sec::new())));
-    g.finish();
-}
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
+    h.run("core_100k_instructions", || {
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut core = Core::new(CoreConfig::leon3());
+        core.load_program(&program, &mut mem);
+        core.run(&mut mem, &mut bus, BUDGET)
+    });
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_bare_core, bench_monitored
+    h.run("system_100k_instructions/umc", || run_system(&program, Umc::new()));
+    h.run("system_100k_instructions/dift", || run_system(&program, Dift::new()));
+    h.run("system_100k_instructions/bc", || run_system(&program, Bc::new()));
+    h.run("system_100k_instructions/sec", || run_system(&program, Sec::new()));
 }
-criterion_main!(benches);

@@ -1,0 +1,343 @@
+//! `faultsweep` — seeded fault-injection campaigns that validate the
+//! SEC soft-error story end-to-end (§IV.D / §V).
+//!
+//! Three campaigns, all byte-identical for a given `--seed`:
+//!
+//! 1. **SEC detection coverage** — single-bit flips in the
+//!    execute-stage result of randomly chosen ALU commits of `sha` and
+//!    `bitcount`; SEC re-executes every forwarded ALU op, so it must
+//!    trap on ≥90% of them (the escapes are mod-3-invisible residue
+//!    cases on div).
+//! 2. **Clean-run false traps** — the rate-0 rows of the sweep: with no
+//!    faults injected, UMC/DIFT/BC/SEC must never trap on the benign
+//!    workloads.
+//! 3. **Rate × target sweep** — Bernoulli faults at increasing rates
+//!    against architectural results, registers, FFIFO packets, and
+//!    meta-data lines, with per-extension outcome accounting
+//!    (trap / silent / deadlock / budget), driven through
+//!    [`System::try_run`] so a wedged configuration is a data point,
+//!    not a hang.
+//!
+//! Options: `--seed N` (default 0xf1ec), `--trials N` per workload for
+//! campaign 1 (default 100).
+
+use flexcore::ext::{Bc, Dift, ExtEnv, Sec, Umc};
+use flexcore::faults::{FaultModel, FaultPlan, FaultRng, FaultSchedule, FaultTarget};
+use flexcore::{
+    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, SimError, System,
+    SystemConfig,
+};
+use flexcore_bench::{run_panic_tolerant, ExtKind, MAX_INSTRUCTIONS};
+use flexcore_fabric::{Netlist, NetlistBuilder};
+use flexcore_isa::Instruction;
+use flexcore_pipeline::TracePacket;
+use flexcore_workloads::Workload;
+
+/// Cycle budget per faulted run: generous (clean sha needs ~2M) but
+/// bounded, so a corrupted loop counter cannot spin forever.
+const CYCLE_BUDGET: u64 = 50_000_000;
+
+/// Forwards every commit and records the 1-based commit indices of ALU
+/// operations — the population SEC protects. Commit indices here match
+/// `FaultSchedule::AtCommit` exactly: the system polls the injector
+/// with the same counter that orders these packets.
+#[derive(Default)]
+struct CommitProfiler {
+    commits: u64,
+    alu_commits: Vec<u64>,
+}
+
+impl Extension for CommitProfiler {
+    fn name(&self) -> &'static str {
+        "profiler"
+    }
+
+    fn descriptor(&self) -> ExtensionDescriptor {
+        ExtensionDescriptor {
+            abbrev: "PROF",
+            name: "commit profiler",
+            meta_data: &[],
+            transparent_ops: &[],
+            sw_visible_ops: &[],
+        }
+    }
+
+    fn cfgr(&self) -> Cfgr {
+        Cfgr::new().with_classes(|_| true, ForwardPolicy::Always)
+    }
+
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        _env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
+        self.commits += 1;
+        if matches!(pkt.inst, Instruction::Alu { .. }) {
+            self.alu_commits.push(self.commits);
+        }
+        Ok(None)
+    }
+
+    fn netlist(&self) -> Netlist {
+        NetlistBuilder::new("profiler").finish()
+    }
+}
+
+/// What one faulted simulation did.
+#[derive(Clone, Copy, Debug)]
+struct Outcome {
+    trapped: bool,
+    deadlocked: bool,
+    over_budget: bool,
+    faults_injected: u64,
+    trap_skid: Option<u64>,
+}
+
+fn run_one<E: Extension>(
+    workload: &Workload,
+    config: SystemConfig,
+    ext: E,
+    plan: &FaultPlan,
+) -> Outcome {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(config, ext);
+    sys.load_program(&program);
+    sys.arm_faults(plan.clone());
+    match sys.try_run(MAX_INSTRUCTIONS) {
+        Ok(r) => Outcome {
+            trapped: r.monitor_trap.is_some(),
+            deadlocked: false,
+            over_budget: false,
+            faults_injected: r.resilience.faults_injected,
+            trap_skid: r.trap_skid,
+        },
+        Err(SimError::Deadlock(_)) => Outcome {
+            trapped: false,
+            deadlocked: true,
+            over_budget: false,
+            faults_injected: 0,
+            trap_skid: None,
+        },
+        Err(_) => Outcome {
+            trapped: false,
+            deadlocked: false,
+            over_budget: true,
+            faults_injected: 0,
+            trap_skid: None,
+        },
+    }
+}
+
+fn run_kind(workload: &Workload, ext: ExtKind, config: SystemConfig, plan: &FaultPlan) -> Outcome {
+    match ext {
+        ExtKind::Umc => run_one(workload, config, Umc::new(), plan),
+        ExtKind::Dift => run_one(workload, config, Dift::new(), plan),
+        ExtKind::Bc => run_one(workload, config, Bc::new(), plan),
+        ExtKind::Sec => run_one(workload, config, Sec::new(), plan),
+    }
+}
+
+fn paper_config(ext: ExtKind) -> SystemConfig {
+    let base = match ext.paper_divisor() {
+        4 => SystemConfig::fabric_quarter_speed(),
+        _ => SystemConfig::fabric_half_speed(),
+    };
+    base.with_cycle_budget(CYCLE_BUDGET)
+}
+
+/// ALU commit indices of one clean run (the fault-site population).
+fn profile_alu_commits(workload: &Workload) -> Vec<u64> {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(
+        SystemConfig::fabric_full_speed().with_cycle_budget(CYCLE_BUDGET),
+        CommitProfiler::default(),
+    );
+    sys.load_program(&program);
+    let r = sys.try_run(MAX_INSTRUCTIONS).expect("clean profiling run completes");
+    assert!(r.monitor_trap.is_none());
+    assert_eq!(r.forward.committed, r.forward.forwarded, "profiler must see every commit");
+    sys.extension().alu_commits.clone()
+}
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == name)?;
+    let Some(v) = args.get(i + 1) else {
+        eprintln!("faultsweep: {name} requires a value");
+        std::process::exit(2);
+    };
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    };
+    if parsed.is_none() {
+        eprintln!("faultsweep: invalid value for {name}: {v} (expected decimal or 0x-hex)");
+        std::process::exit(2);
+    }
+    parsed
+}
+
+fn main() {
+    let seed = arg_value("--seed").unwrap_or(0xf1ec);
+    let trials = arg_value("--trials").unwrap_or(100) as usize;
+    let workloads = [Workload::sha(), Workload::bitcount()];
+
+    println!(
+        "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload)"
+    );
+    println!("{}", "=".repeat(78));
+
+    // ── Campaign 1: SEC detection coverage on single-bit ALU-result flips ──
+    println!("\nSEC detection coverage (single-bit flips of ALU results, paper 0.25X config)");
+    println!(
+        "{:<12}{:>8}{:>10}{:>10}{:>10}{:>11}{:>12}",
+        "benchmark", "trials", "detected", "silent", "hung", "coverage", "mean skid"
+    );
+    let mut all_pass = true;
+    for workload in &workloads {
+        let sites = profile_alu_commits(workload);
+        assert!(!sites.is_empty(), "{} has ALU commits", workload.name());
+        let jobs = (0..trials)
+            .map(|t| {
+                let w = *workload;
+                let sites_len = sites.len() as u64;
+                let trial_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let site = sites[FaultRng::new(trial_seed).below(sites_len) as usize];
+                let bit = FaultRng::new(trial_seed.rotate_left(17)).below(32) as u32;
+                (format!("{} trial {t}", w.name()), move || {
+                    let plan = FaultPlan::new(trial_seed).inject(
+                        FaultTarget::CommitResult,
+                        FaultSchedule::AtCommit(site),
+                        FaultModel::Mask(1 << bit),
+                    );
+                    run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan)
+                })
+            })
+            .collect();
+        let reports = run_panic_tolerant(jobs);
+        let mut detected = 0u64;
+        let mut silent = 0u64;
+        let mut hung = 0u64;
+        let mut skids = Vec::new();
+        for rep in &reports {
+            match &rep.outcome {
+                Ok(o) if o.trapped => {
+                    detected += 1;
+                    skids.extend(o.trap_skid);
+                }
+                Ok(o) if o.deadlocked || o.over_budget => hung += 1,
+                Ok(_) => silent += 1,
+                Err(msg) => {
+                    silent += 1;
+                    eprintln!("  {} panicked: {msg}", rep.label);
+                }
+            }
+        }
+        let coverage = detected as f64 / trials as f64;
+        let mean_skid = if skids.is_empty() {
+            0.0
+        } else {
+            skids.iter().sum::<u64>() as f64 / skids.len() as f64
+        };
+        all_pass &= coverage >= 0.90;
+        println!(
+            "{:<12}{:>8}{:>10}{:>10}{:>10}{:>10.1}%{:>12.1}",
+            workload.name(),
+            trials,
+            detected,
+            silent,
+            hung,
+            coverage * 100.0,
+            mean_skid,
+        );
+    }
+    println!("coverage target ≥ 90.0%: {}", if all_pass { "PASS" } else { "FAIL" });
+
+    // ── Campaigns 2+3: rate × target sweep (rate 0 = clean false-trap check) ──
+    let rates: [u64; 4] = [0, 10, 100, 1000];
+    let targets: [(&str, FaultTarget); 4] = [
+        ("result", FaultTarget::CommitResult),
+        ("register", FaultTarget::Register),
+        ("fifo-pkt", FaultTarget::FifoPacket),
+        ("metacache", FaultTarget::MetaCache),
+    ];
+
+    println!("\nRate × target sweep (Bernoulli faults/commit; cell = outcome:faults-injected)");
+    println!("  outcome key: trap / ok (ran clean) / dead (deadlock) / budget");
+    let mut clean_false_traps = 0u64;
+    for workload in &workloads {
+        println!("\n{} ({} per-million rates: {:?})", workload.name(), rates.len(), rates);
+        print!("{:<6}{:<11}", "ext", "target");
+        for r in rates {
+            print!("{:>16}", format!("rate {r}"));
+        }
+        println!();
+        for ext in ExtKind::ALL {
+            for (tname, target) in targets {
+                let jobs = rates
+                    .iter()
+                    .map(|&rate| {
+                        let w = *workload;
+                        let plan_seed = seed
+                            ^ rate.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                            ^ (target_tag(target) << 48);
+                        (format!("{} {} {tname} rate {rate}", w.name(), ext.name()), move || {
+                            let mut plan = FaultPlan::new(plan_seed);
+                            if rate > 0 {
+                                plan = plan.inject(
+                                    target,
+                                    FaultSchedule::Bernoulli { per_million: rate as u32 },
+                                    FaultModel::BitFlip { bits: 1 },
+                                );
+                            }
+                            run_kind(&w, ext, paper_config(ext), &plan)
+                        })
+                    })
+                    .collect();
+                let reports = run_panic_tolerant(jobs);
+                print!("{:<6}{:<11}", ext.name(), tname);
+                for (ri, rep) in reports.iter().enumerate() {
+                    let cell = match &rep.outcome {
+                        Ok(o) => {
+                            if rates[ri] == 0 && o.trapped {
+                                clean_false_traps += 1;
+                            }
+                            let tag = if o.trapped {
+                                "trap"
+                            } else if o.deadlocked {
+                                "dead"
+                            } else if o.over_budget {
+                                "budget"
+                            } else {
+                                "ok"
+                            };
+                            format!("{tag}:{}", o.faults_injected)
+                        }
+                        Err(_) => "panic".to_string(),
+                    };
+                    print!("{cell:>16}");
+                }
+                println!();
+            }
+        }
+    }
+    println!(
+        "\nclean-run (rate 0) false traps across all extensions/targets: {} ({})",
+        clean_false_traps,
+        if clean_false_traps == 0 { "PASS" } else { "FAIL" }
+    );
+    println!("\nre-run with the same --seed to reproduce these numbers exactly");
+    if !all_pass || clean_false_traps != 0 {
+        std::process::exit(1);
+    }
+}
+
+fn target_tag(target: FaultTarget) -> u64 {
+    match target {
+        FaultTarget::CommitResult => 1,
+        FaultTarget::Register => 2,
+        FaultTarget::FifoPacket => 3,
+        FaultTarget::MetaCache => 4,
+        _ => 5,
+    }
+}

@@ -84,10 +84,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn load_program(input: &str) -> Result<Program, String> {
-    let named = Workload::all()
-        .into_iter()
-        .chain(Workload::extra())
-        .find(|w| w.name() == input);
+    let named = Workload::all().into_iter().chain(Workload::extra()).find(|w| w.name() == input);
     let source = match named {
         Some(w) => w.source(),
         None => std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?,
@@ -131,12 +128,7 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
     let mut sys = System::new(cfg, ext);
     sys.load_program(program);
     let r = sys.run(opts.max);
-    println!(
-        "[{name}] {} instructions, {} cycles (CPI {:.3})",
-        r.instret,
-        r.cycles,
-        r.cpi()
-    );
+    println!("[{name}] {} instructions, {} cycles (CPI {:.3})", r.instret, r.cycles, r.cpi());
     println!(
         "[{name}] forwarded {:.1}% of instructions; FIFO stalls {} cyc; meta-cache {}",
         r.forward.forwarded_fraction() * 100.0,

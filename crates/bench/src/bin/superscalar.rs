@@ -15,9 +15,9 @@
 //! ```
 
 use flexcore::SystemConfig;
+use flexcore_bench::{geomean, run_extension, ExtKind};
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason};
-use flexcore_bench::{geomean, run_extension, ExtKind};
 use flexcore_workloads::Workload;
 
 fn baseline(w: &Workload, core: CoreConfig) -> u64 {

@@ -56,10 +56,7 @@ fn print_table2() {
             FieldDirection::CoreToFabric => "Core->Fabric",
             FieldDirection::FabricToCore => "Fabric->Core",
         };
-        println!(
-            "{:<16}{:<8}{:<9}{:>5}  {}",
-            dir, f.module, f.name, f.bits, f.description
-        );
+        println!("{:<16}{:<8}{:<9}{:>5}  {}", dir, f.module, f.name, f.bits, f.description);
     }
     println!("{}", "-".repeat(78));
     println!("FFIFO entry payload: {} bits per forwarded instruction", ffifo_entry_bits());

@@ -101,12 +101,8 @@ fn main() {
         base_power,
     );
 
-    let exts: [Box<dyn Extension>; 4] = [
-        Box::new(Umc::new()),
-        Box::new(Dift::new()),
-        Box::new(Bc::new()),
-        Box::new(Sec::new()),
-    ];
+    let exts: [Box<dyn Extension>; 4] =
+        [Box::new(Umc::new()), Box::new(Dift::new()), Box::new(Bc::new()), Box::new(Sec::new())];
 
     // --- Full-ASIC integrations -------------------------------------
     println!("\nFull ASIC (extension as dedicated hardware at the core clock):");
@@ -154,8 +150,7 @@ fn main() {
         let area = logic.total_area_um2() + MacroCost::block_area_um2(&meta);
         let bits = logic.macros().bits + meta.bits();
         let fmax = base_freq * (1.0 - calib::core_tap_penalty(logic.gate_equivalents()));
-        let power = logic.power_mw(fmax)
-            + bits as f64 * calib::SRAM_UW_PER_BIT_MHZ * fmax / 1000.0;
+        let power = logic.power_mw(fmax) + bits as f64 * calib::SRAM_UW_PER_BIT_MHZ * fmax / 1000.0;
         print_row(
             &Row {
                 name: "Leon3 w/ dedicated FlexCore mods".into(),

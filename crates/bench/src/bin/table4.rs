@@ -9,7 +9,9 @@
 
 use flexcore::software::{run_software_monitored, SoftwareMonitor};
 use flexcore::SystemConfig;
-use flexcore_bench::{baseline_cycles, geomean, paper, run_extension, ExtKind, MAX_INSTRUCTIONS};
+use flexcore_bench::{
+    baseline_cycles, geomean, paper, run_extension, run_panic_tolerant, ExtKind, MAX_INSTRUCTIONS,
+};
 use flexcore_workloads::Workload;
 
 fn main() {
@@ -19,6 +21,32 @@ fn main() {
         ("0.5X", SystemConfig::fabric_half_speed()),
         ("0.25X", SystemConfig::fabric_quarter_speed()),
     ];
+
+    // All simulations run up front on worker threads; a panicking
+    // benchmark × extension combination is reported at the end instead
+    // of killing the whole table.
+    let workloads = Workload::all();
+    let baselines = run_panic_tolerant(
+        workloads
+            .iter()
+            .map(|w| {
+                let w = *w;
+                (format!("{} baseline", w.name()), move || baseline_cycles(&w))
+            })
+            .collect(),
+    );
+    let mut jobs = Vec::new();
+    for w in &workloads {
+        for ext in ExtKind::ALL {
+            for (cname, cfg) in configs {
+                let w = *w;
+                jobs.push((format!("{} under {} at {cname}", w.name(), ext.name()), move || {
+                    run_extension(&w, ext, cfg)
+                }));
+            }
+        }
+    }
+    let runs = run_panic_tolerant(jobs);
 
     println!("Table IV: normalized execution time (measured, with paper values in parentheses)");
     println!("{}", "=".repeat(118));
@@ -31,9 +59,16 @@ fn main() {
 
     // geomean accumulators: [ext][clock]
     let mut ratios: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 3]; 4];
+    let mut failures: Vec<String> = Vec::new();
 
-    for (wi, workload) in Workload::all().iter().enumerate() {
-        let base = baseline_cycles(workload);
+    for (wi, workload) in workloads.iter().enumerate() {
+        let base = match &baselines[wi].outcome {
+            Ok(cycles) => Some(*cycles),
+            Err(msg) => {
+                failures.push(format!("{}: {msg}", baselines[wi].label));
+                None
+            }
+        };
         print!("{:<14}", workload.name());
         let prow = &paper::TABLE_IV[wi];
         for (ei, ext) in ExtKind::ALL.into_iter().enumerate() {
@@ -44,11 +79,20 @@ fn main() {
                 ExtKind::Sec => prow.sec,
             };
             let mut cells = String::new();
-            for (ci, (_, cfg)) in configs.iter().enumerate() {
-                let run = run_extension(workload, ext, *cfg);
-                let ratio = run.cycles as f64 / base as f64;
-                ratios[ei][ci].push(ratio);
-                cells.push_str(&format!("{:.2}({:.2}) ", ratio, paper_cells[ci]));
+            for ci in 0..3 {
+                let report = &runs[(wi * ExtKind::ALL.len() + ei) * configs.len() + ci];
+                match (&report.outcome, base) {
+                    (Ok(run), Some(base)) => {
+                        let ratio = run.cycles as f64 / base as f64;
+                        ratios[ei][ci].push(ratio);
+                        cells.push_str(&format!("{:.2}({:.2}) ", ratio, paper_cells[ci]));
+                    }
+                    (Err(msg), _) => {
+                        failures.push(format!("{}: {msg}", report.label));
+                        cells.push_str("died ");
+                    }
+                    (Ok(_), None) => cells.push_str("n/a "),
+                }
             }
             print!("| {cells:<24}");
         }
@@ -67,11 +111,25 @@ fn main() {
         };
         let mut cells = String::new();
         for ci in 0..3 {
-            cells.push_str(&format!("{:.2}({:.2}) ", geomean(&ratios[ei][ci]), paper_cells[ci]));
+            if ratios[ei][ci].is_empty() {
+                cells.push_str("n/a ");
+            } else {
+                cells.push_str(&format!(
+                    "{:.2}({:.2}) ",
+                    geomean(&ratios[ei][ci]),
+                    paper_cells[ci]
+                ));
+            }
         }
         print!("| {cells:<24}");
     }
     println!();
+    if !failures.is_empty() {
+        println!("\n{} run(s) died (panic caught; other rows unaffected):", failures.len());
+        for f in &failures {
+            println!("  {f}");
+        }
+    }
     println!(
         "\nPaper's operating points: UMC/DIFT/BC run the fabric at 0.5X, SEC at 0.25X.\n\
          The 1X column corresponds to the full-ASIC implementations."

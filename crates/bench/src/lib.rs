@@ -11,16 +11,20 @@
 //! | `table4` | Table IV (normalized execution time per benchmark × extension × fabric clock); `--software` adds the §V.C software baselines |
 //! | `fig4`   | Figure 4 (fraction of instructions forwarded to the fabric) |
 //! | `fig5`   | Figure 5 (average performance vs. forward-FIFO size) |
+//! | `faultsweep` | §V soft-error story: SEC detection coverage and UMC/DIFT/BC false-trap rates under seeded fault injection |
 //!
 //! The library part hosts the shared runners so the binaries and the
-//! criterion benches stay thin.
+//! micro-benches stay thin.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod paper;
 mod runner;
 
 pub use runner::{
-    baseline_cycles, geomean, run_extension, ExtKind, RunSummary, MAX_INSTRUCTIONS,
+    baseline_cycles, geomean, run_extension, run_panic_tolerant, ExtKind, JobReport, RunSummary,
+    MAX_INSTRUCTIONS,
 };

@@ -1,0 +1,51 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so criterion is unavailable; the four
+//! `cargo bench` targets instead use this harness: warm-up pass, N
+//! timed samples, median/min/max report. Good enough to spot
+//! order-of-magnitude regressions in the simulator hot loops.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs closures repeatedly and prints a median/min/max summary line.
+pub struct Harness {
+    samples: u32,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness { samples: 10 }
+    }
+}
+
+impl Harness {
+    /// Harness taking 10 samples per benchmark (criterion's old
+    /// `sample_size(10)` setting).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the sample count.
+    pub fn with_samples(samples: u32) -> Self {
+        Harness { samples: samples.max(1) }
+    }
+
+    /// Times `f` and prints one summary line tagged `name`. The return
+    /// value is routed through [`black_box`] so the work is not
+    /// optimized away.
+    pub fn run<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        black_box(f()); // warm-up (page in code + data)
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        let (min, max) = (times[0], times[times.len() - 1]);
+        println!("{name:<36} median {median:>12.3?}   min {min:>12.3?}   max {max:>12.3?}");
+    }
+}

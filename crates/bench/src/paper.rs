@@ -31,10 +31,38 @@ pub const BASELINE: AreaPowerRow = AreaPowerRow {
 
 /// Table III: the full-ASIC extension rows.
 pub const ASIC_ROWS: [AreaPowerRow; 4] = [
-    AreaPowerRow { name: "UMC", fmax_mhz: 463.0, area_um2: 932_118.0, area_overhead: Some(0.116), power_mw: 388.0, power_overhead: Some(0.063) },
-    AreaPowerRow { name: "DIFT", fmax_mhz: 456.0, area_um2: 960_558.0, area_overhead: Some(0.150), power_mw: 388.0, power_overhead: Some(0.063) },
-    AreaPowerRow { name: "BC", fmax_mhz: 456.0, area_um2: 996_894.0, area_overhead: Some(0.193), power_mw: 393.0, power_overhead: Some(0.077) },
-    AreaPowerRow { name: "SEC", fmax_mhz: 463.0, area_um2: 836_786.0, area_overhead: Some(0.0015), power_mw: 364.0, power_overhead: Some(0.0) },
+    AreaPowerRow {
+        name: "UMC",
+        fmax_mhz: 463.0,
+        area_um2: 932_118.0,
+        area_overhead: Some(0.116),
+        power_mw: 388.0,
+        power_overhead: Some(0.063),
+    },
+    AreaPowerRow {
+        name: "DIFT",
+        fmax_mhz: 456.0,
+        area_um2: 960_558.0,
+        area_overhead: Some(0.150),
+        power_mw: 388.0,
+        power_overhead: Some(0.063),
+    },
+    AreaPowerRow {
+        name: "BC",
+        fmax_mhz: 456.0,
+        area_um2: 996_894.0,
+        area_overhead: Some(0.193),
+        power_mw: 393.0,
+        power_overhead: Some(0.077),
+    },
+    AreaPowerRow {
+        name: "SEC",
+        fmax_mhz: 463.0,
+        area_um2: 836_786.0,
+        area_overhead: Some(0.0015),
+        power_mw: 364.0,
+        power_overhead: Some(0.0),
+    },
 ];
 
 /// Table III: the dedicated FlexCore modules (interface + meta-data
@@ -50,10 +78,38 @@ pub const FLEXCORE_COMMON: AreaPowerRow = AreaPowerRow {
 
 /// Table III: the extensions mapped onto the Flex fabric.
 pub const FABRIC_ROWS: [AreaPowerRow; 4] = [
-    AreaPowerRow { name: "UMC", fmax_mhz: 266.0, area_um2: 90_384.0, area_overhead: Some(0.108), power_mw: 21.0, power_overhead: Some(0.058) },
-    AreaPowerRow { name: "DIFT", fmax_mhz: 256.0, area_um2: 123_471.0, area_overhead: Some(0.148), power_mw: 23.0, power_overhead: Some(0.063) },
-    AreaPowerRow { name: "BC", fmax_mhz: 229.0, area_um2: 203_364.0, area_overhead: Some(0.243), power_mw: 27.0, power_overhead: Some(0.074) },
-    AreaPowerRow { name: "SEC", fmax_mhz: 213.0, area_um2: 390_588.0, area_overhead: Some(0.467), power_mw: 36.0, power_overhead: Some(0.099) },
+    AreaPowerRow {
+        name: "UMC",
+        fmax_mhz: 266.0,
+        area_um2: 90_384.0,
+        area_overhead: Some(0.108),
+        power_mw: 21.0,
+        power_overhead: Some(0.058),
+    },
+    AreaPowerRow {
+        name: "DIFT",
+        fmax_mhz: 256.0,
+        area_um2: 123_471.0,
+        area_overhead: Some(0.148),
+        power_mw: 23.0,
+        power_overhead: Some(0.063),
+    },
+    AreaPowerRow {
+        name: "BC",
+        fmax_mhz: 229.0,
+        area_um2: 203_364.0,
+        area_overhead: Some(0.243),
+        power_mw: 27.0,
+        power_overhead: Some(0.074),
+    },
+    AreaPowerRow {
+        name: "SEC",
+        fmax_mhz: 213.0,
+        area_um2: 390_588.0,
+        area_overhead: Some(0.467),
+        power_mw: 36.0,
+        power_overhead: Some(0.099),
+    },
 ];
 
 /// Implied LUT counts of the fabric rows (area / 807 µm² per LUT).
@@ -80,13 +136,55 @@ pub struct PerfRow {
 
 /// Table IV, per benchmark, plus the geometric-mean row.
 pub const TABLE_IV: [PerfRow; 7] = [
-    PerfRow { benchmark: "sha", umc: [1.01, 1.01, 1.01], dift: [1.01, 1.06, 1.16], bc: [1.03, 1.07, 1.15], sec: [1.00, 1.33, 1.50] },
-    PerfRow { benchmark: "gmac", umc: [1.01, 1.01, 1.09], dift: [1.01, 1.15, 1.34], bc: [1.02, 1.17, 1.37], sec: [1.00, 1.20, 1.47] },
-    PerfRow { benchmark: "stringsearch", umc: [1.03, 1.05, 1.12], dift: [1.16, 1.46, 1.89], bc: [1.22, 1.45, 1.84], sec: [1.00, 1.00, 1.11] },
-    PerfRow { benchmark: "fft", umc: [1.01, 1.01, 1.01], dift: [1.02, 1.05, 1.31], bc: [1.02, 1.03, 1.35], sec: [1.00, 1.15, 1.45] },
-    PerfRow { benchmark: "basicmath", umc: [1.01, 1.01, 1.01], dift: [1.03, 1.08, 1.34], bc: [1.04, 1.07, 1.37], sec: [1.00, 1.14, 1.43] },
-    PerfRow { benchmark: "bitcount", umc: [1.04, 1.06, 1.07], dift: [1.08, 1.36, 1.69], bc: [1.13, 1.27, 1.64], sec: [1.00, 1.19, 1.48] },
-    PerfRow { benchmark: "geomean", umc: [1.02, 1.02, 1.05], dift: [1.05, 1.18, 1.43], bc: [1.07, 1.17, 1.44], sec: [1.00, 1.16, 1.40] },
+    PerfRow {
+        benchmark: "sha",
+        umc: [1.01, 1.01, 1.01],
+        dift: [1.01, 1.06, 1.16],
+        bc: [1.03, 1.07, 1.15],
+        sec: [1.00, 1.33, 1.50],
+    },
+    PerfRow {
+        benchmark: "gmac",
+        umc: [1.01, 1.01, 1.09],
+        dift: [1.01, 1.15, 1.34],
+        bc: [1.02, 1.17, 1.37],
+        sec: [1.00, 1.20, 1.47],
+    },
+    PerfRow {
+        benchmark: "stringsearch",
+        umc: [1.03, 1.05, 1.12],
+        dift: [1.16, 1.46, 1.89],
+        bc: [1.22, 1.45, 1.84],
+        sec: [1.00, 1.00, 1.11],
+    },
+    PerfRow {
+        benchmark: "fft",
+        umc: [1.01, 1.01, 1.01],
+        dift: [1.02, 1.05, 1.31],
+        bc: [1.02, 1.03, 1.35],
+        sec: [1.00, 1.15, 1.45],
+    },
+    PerfRow {
+        benchmark: "basicmath",
+        umc: [1.01, 1.01, 1.01],
+        dift: [1.03, 1.08, 1.34],
+        bc: [1.04, 1.07, 1.37],
+        sec: [1.00, 1.14, 1.43],
+    },
+    PerfRow {
+        benchmark: "bitcount",
+        umc: [1.04, 1.06, 1.07],
+        dift: [1.08, 1.36, 1.69],
+        bc: [1.13, 1.27, 1.64],
+        sec: [1.00, 1.19, 1.48],
+    },
+    PerfRow {
+        benchmark: "geomean",
+        umc: [1.02, 1.02, 1.05],
+        dift: [1.05, 1.18, 1.43],
+        bc: [1.07, 1.17, 1.44],
+        sec: [1.00, 1.16, 1.40],
+    },
 ];
 
 /// §V.C software-monitoring comparison points quoted by the paper.
@@ -123,7 +221,11 @@ mod tests {
     fn table_iv_slowdowns_increase_with_slower_fabric() {
         for row in &TABLE_IV {
             for cols in [row.umc, row.dift, row.bc, row.sec] {
-                assert!(cols[0] <= cols[1] + 1e-9 && cols[1] <= cols[2] + 1e-9, "{}", row.benchmark);
+                assert!(
+                    cols[0] <= cols[1] + 1e-9 && cols[1] <= cols[2] + 1e-9,
+                    "{}",
+                    row.benchmark
+                );
             }
         }
     }

@@ -120,6 +120,57 @@ pub fn run_extension(workload: &Workload, ext: ExtKind, config: SystemConfig) ->
     }
 }
 
+/// Result of one named job executed by [`run_panic_tolerant`].
+#[derive(Clone, Debug)]
+pub struct JobReport<T> {
+    /// The label the job was submitted under (benchmark × extension …).
+    pub label: String,
+    /// `Ok` with the job's value, or `Err` with the panic message.
+    pub outcome: Result<T, String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs every `(label, job)` pair on its own worker thread, converting
+/// worker panics into `Err(message)` reports instead of propagating
+/// them — one crashing benchmark/extension combination no longer takes
+/// an entire sweep down with it.
+///
+/// At most `available_parallelism()` jobs run at a time, and reports
+/// come back in submission order.
+pub fn run_panic_tolerant<T, F>(jobs: Vec<(String, F)>) -> Vec<JobReport<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let width = std::thread::available_parallelism().map_or(4, usize::from).max(1);
+    let mut reports = Vec::with_capacity(jobs.len());
+    let mut queue = jobs.into_iter();
+    loop {
+        let handles: Vec<_> = queue
+            .by_ref()
+            .take(width)
+            .map(|(label, job)| (label, std::thread::spawn(job)))
+            .collect();
+        if handles.is_empty() {
+            break;
+        }
+        for (label, handle) in handles {
+            let outcome = handle.join().map_err(panic_message);
+            reports.push(JobReport { label, outcome });
+        }
+    }
+    reports
+}
+
 /// Geometric mean of a slice of ratios.
 ///
 /// # Panics
@@ -150,5 +201,27 @@ mod tests {
     fn paper_divisors() {
         assert_eq!(ExtKind::Umc.paper_divisor(), 2);
         assert_eq!(ExtKind::Sec.paper_divisor(), 4);
+    }
+
+    #[test]
+    fn panic_tolerant_runner_reports_and_continues() {
+        // Silence the default per-thread panic backtrace for the
+        // intentionally-crashing job.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = vec![
+            ("first".to_string(), Box::new(|| 1)),
+            ("crash".to_string(), Box::new(|| panic!("sha under DIFT died"))),
+            ("last".to_string(), Box::new(|| 3)),
+        ];
+        let reports = run_panic_tolerant(jobs);
+        std::panic::set_hook(prev);
+
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].outcome, Ok(1));
+        assert_eq!(reports[1].label, "crash");
+        let err = reports[1].outcome.as_ref().unwrap_err();
+        assert!(err.contains("sha under DIFT died"), "got: {err}");
+        assert_eq!(reports[2].outcome, Ok(3));
     }
 }

@@ -45,7 +45,10 @@ impl fmt::Display for BitstreamError {
             BitstreamError::BadMagic => f.write_str("bad bitstream magic"),
             BitstreamError::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
             BitstreamError::BadChecksum { stored, computed } => {
-                write!(f, "bitstream checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "bitstream checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             BitstreamError::Malformed(what) => write!(f, "malformed bitstream: {what}"),
         }

@@ -154,13 +154,7 @@ fn logic_depth(netlist: &Netlist) -> usize {
         if matches!(g, Gate::Input | Gate::Const(_) | Gate::Dff(_)) {
             continue;
         }
-        let d = g
-            .inputs()
-            .iter()
-            .map(|n| depth[n.index()])
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let d = g.inputs().iter().map(|n| depth[n.index()]).max().unwrap_or(0) + 1;
         depth[i] = d;
         max = max.max(d);
     }
@@ -289,7 +283,12 @@ mod tests {
         let n = adder32();
         let f = FpgaCost::of(&n);
         let a = AsicCost::of(&n);
-        assert!(a.area_um2() < f.area_um2() / 3.0, "asic {} vs fpga {}", a.area_um2(), f.area_um2());
+        assert!(
+            a.area_um2() < f.area_um2() / 3.0,
+            "asic {} vs fpga {}",
+            a.area_um2(),
+            f.area_um2()
+        );
     }
 
     #[test]

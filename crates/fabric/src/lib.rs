@@ -51,10 +51,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
-pub mod calib;
 mod bitstream;
+pub mod calib;
 mod cost;
 mod lutmap;
 mod netlist;

@@ -34,7 +34,11 @@ impl LutMapping {
     /// # Errors
     ///
     /// Returns a static description of the first violation.
-    pub(crate) fn from_parts(k: usize, luts: Vec<Lut>, depth: usize) -> Result<LutMapping, &'static str> {
+    pub(crate) fn from_parts(
+        k: usize,
+        luts: Vec<Lut>,
+        depth: usize,
+    ) -> Result<LutMapping, &'static str> {
         if !(1..=16).contains(&k) {
             return Err("LUT size out of range");
         }
@@ -90,7 +94,12 @@ impl LutMapping {
     /// # Panics
     ///
     /// Panics on input/state length mismatch.
-    pub fn eval(&self, netlist: &Netlist, input_values: &[bool], state: &mut Vec<bool>) -> Vec<bool> {
+    pub fn eval(
+        &self,
+        netlist: &Netlist,
+        input_values: &[bool],
+        state: &mut Vec<bool>,
+    ) -> Vec<bool> {
         assert_eq!(input_values.len(), netlist.inputs().len(), "input vector length");
         assert_eq!(state.len(), netlist.flops(), "state vector length");
         let mut values = vec![None::<bool>; netlist.gates().len()];
@@ -243,13 +252,7 @@ pub fn map_to_luts(netlist: &Netlist, k: usize) -> LutMapping {
         // mapped gates. The cone containing `net` adds one level.
         let depth = leafset[i]
             .iter()
-            .map(|l| {
-                if is_terminal(&gates[l.index()]) {
-                    0
-                } else {
-                    conedepth[l.index()]
-                }
-            })
+            .map(|l| if is_terminal(&gates[l.index()]) { 0 } else { conedepth[l.index()] })
             .max()
             .unwrap_or(0);
         conedepth[i] = depth + 1;

@@ -414,7 +414,12 @@ impl NetlistBuilder {
     /// # Panics
     ///
     /// Panics if widths differ.
-    pub fn bitwise(&mut self, a: &Bus, b: &Bus, mut f: impl FnMut(&mut Self, Net, Net) -> Net) -> Bus {
+    pub fn bitwise(
+        &mut self,
+        a: &Bus,
+        b: &Bus,
+        mut f: impl FnMut(&mut Self, Net, Net) -> Net,
+    ) -> Bus {
         assert_eq!(a.len(), b.len(), "bus width mismatch");
         a.iter().zip(b).map(|(&x, &y)| f(self, x, y)).collect()
     }

@@ -57,7 +57,11 @@ fn id_code(mut n: usize) -> String {
 /// assert!(text.contains("#2"));
 /// # Ok::<(), std::io::Error>(())
 /// ```
-pub fn write_vcd<W: Write>(netlist: &Netlist, stimulus: &[Vec<bool>], mut out: W) -> io::Result<()> {
+pub fn write_vcd<W: Write>(
+    netlist: &Netlist,
+    stimulus: &[Vec<bool>],
+    mut out: W,
+) -> io::Result<()> {
     // Signal table: (vcd id, display name, fetch index into the
     // combined value vector [inputs..., outputs..., flops...]).
     let n_in = netlist.inputs().len();
@@ -178,7 +182,9 @@ mod tests {
         let q0_id = id_code(1);
         let toggles: Vec<&str> = text
             .lines()
-            .filter(|l| l.len() > 1 && l[1..] == q0_id && (l.starts_with('0') || l.starts_with('1')))
+            .filter(|l| {
+                l.len() > 1 && l[1..] == q0_id && (l.starts_with('0') || l.starts_with('1'))
+            })
             .collect();
         assert_eq!(toggles.len(), 5, "{text}");
     }

@@ -4,7 +4,9 @@ use flexcore_fabric::{MacroBlock, Netlist, NetlistBuilder};
 use flexcore_isa::{InstrClass, Instruction, Opcode};
 use flexcore_pipeline::TracePacket;
 
-use crate::ext::{byte_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE};
+use crate::ext::{
+    byte_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE,
+};
 use crate::interface::{Cfgr, ForwardPolicy};
 
 /// Software-visible `cpop1` sub-opcodes for BC.
@@ -125,7 +127,11 @@ impl Extension for Bc {
         5
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         match pkt.inst {
             Instruction::Alu { rd, rs1, op2, .. } => {
                 // Pointer-color propagation: colors add (mod 16), so
@@ -203,11 +209,7 @@ impl Extension for Bc {
                 ops::COLOR_RANGE | ops::CLEAR_RANGE => {
                     let start = pkt.srcv1 & !3;
                     let len = pkt.srcv2 >> 4;
-                    let color = if opc == ops::COLOR_RANGE {
-                        (pkt.srcv2 & 0x0f) as u8
-                    } else {
-                        0
-                    };
+                    let color = if opc == ops::COLOR_RANGE { (pkt.srcv2 & 0x0f) as u8 } else { 0 };
                     let mask = if opc == ops::COLOR_RANGE { 0x0f } else { 0xff };
                     let mut a = start;
                     while a < start + len {
@@ -239,10 +241,7 @@ impl Extension for Bc {
         let src2_color = b.input_bus(4);
         let tag_word = b.input_bus(32); // meta-cache read data
 
-        b.add_macro(MacroBlock::RegFile {
-            entries: crate::ShadowRegFile::ENTRIES,
-            width: 4,
-        });
+        b.add_macro(MacroBlock::RegFile { entries: crate::ShadowRegFile::ENTRIES, width: 4 });
 
         // Stage 1 registers.
         let addr_r = b.register_bus(&addr);
@@ -255,9 +254,8 @@ impl Extension for Bc {
 
         // Meta address = base + (addr >> 2): byte-per-word layout.
         let base: Vec<_> = (0..32).map(|_| b.dff()).collect();
-        let word_index: Vec<_> = (0..32)
-            .map(|i| if i < 30 { addr_r[i + 2] } else { b.constant(false) })
-            .collect();
+        let word_index: Vec<_> =
+            (0..32).map(|i| if i < 30 { addr_r[i + 2] } else { b.constant(false) }).collect();
         let (meta_addr, _) = b.add(&base, &word_index);
         let meta_addr_r = b.register_bus(&meta_addr);
         b.output_bus("meta_addr", &meta_addr_r);
@@ -304,11 +302,7 @@ impl Extension for Bc {
             let base_bit = 24 - 8 * lane;
             for bit in 0..8 {
                 let is_upper = bit >= 4;
-                let en = if is_upper {
-                    b.and(lane_hot, st_r)
-                } else {
-                    b.constant(false)
-                };
+                let en = if is_upper { b.and(lane_hot, st_r) } else { b.constant(false) };
                 wen.push((base_bit + bit, en));
                 let data = if is_upper { vc_r[bit - 4] } else { b.constant(false) };
                 let gated = b.and(data, en);
@@ -353,8 +347,7 @@ mod tests {
     /// Colors a 32-byte "allocation" at 0x2000 with color 5 and marks
     /// %o0 as the pointer.
     fn allocate(bc: &mut Bc, env: &mut ExtEnv<'_>, color: u32) {
-        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2000, (32 << 4) | color), env)
-            .unwrap();
+        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2000, (32 << 4) | color), env).unwrap();
         bc.process(&packet_with_cpop(1, ops::SET_REG_COLOR, Reg::O0.index() as u32, color), env)
             .unwrap();
     }
@@ -386,8 +379,10 @@ mod tests {
         let mut bc = Bc::new();
         let mut env = ExtEnv::new(&mut meta, &mut mem, &mut bus, &mut shadow, 0);
         // Two adjacent arrays with different colors.
-        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2000, (32 << 4) | 3), &mut env).unwrap();
-        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2020, (32 << 4) | 7), &mut env).unwrap();
+        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2000, (32 << 4) | 3), &mut env)
+            .unwrap();
+        bc.process(&packet_with_cpop(1, ops::COLOR_RANGE, 0x2020, (32 << 4) | 7), &mut env)
+            .unwrap();
         bc.process(&packet_with_cpop(1, ops::SET_REG_COLOR, Reg::O0.index() as u32, 3), &mut env)
             .unwrap();
         // Walking off the end of array A into array B traps even
@@ -403,8 +398,11 @@ mod tests {
         let mut env = ExtEnv::new(&mut meta, &mut mem, &mut bus, &mut shadow, 0);
         allocate(&mut bc, &mut env, 5);
         // %o2 = %o0 + %o3 (offset register color 0).
-        bc.process(&alu_packet(Opcode::Add, Reg::O0, Reg::O3, Reg::O2, 0x2000, 8, 0x2008), &mut env)
-            .unwrap();
+        bc.process(
+            &alu_packet(Opcode::Add, Reg::O0, Reg::O3, Reg::O2, 0x2000, 8, 0x2008),
+            &mut env,
+        )
+        .unwrap();
         assert_eq!(env.shadow.tag(Reg::O2), 5);
     }
 

@@ -4,7 +4,9 @@ use flexcore_fabric::{MacroBlock, Netlist, NetlistBuilder};
 use flexcore_isa::{InstrClass, Instruction};
 use flexcore_pipeline::TracePacket;
 
-use crate::ext::{bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE};
+use crate::ext::{
+    bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE,
+};
 use crate::interface::{Cfgr, ForwardPolicy};
 
 /// Software-visible `cpop1` sub-opcodes for DIFT.
@@ -141,11 +143,8 @@ impl Dift {
                     // One meta word covers 32 bytes; batch.
                     let span = (32 - (a & 31)).min(start + len - a);
                     let (meta_addr, bit) = Dift::byte_bit_location(a);
-                    let mask = if span >= 32 {
-                        u32::MAX
-                    } else {
-                        (((1u64 << span) - 1) as u32) << bit
-                    };
+                    let mask =
+                        if span >= 32 { u32::MAX } else { (((1u64 << span) - 1) as u32) << bit };
                     env.write_meta(meta_addr, if value { mask } else { 0 }, mask);
                     a += span;
                 }
@@ -198,7 +197,11 @@ impl Extension for Dift {
         4
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         match pkt.inst {
             Instruction::Alu { rd, rs1, op2, .. } => {
                 // Destination taint = OR of the source taints
@@ -316,10 +319,7 @@ impl Extension for Dift {
         let imm_op = b.input(); // operand 2 is an immediate
         let tag_word = b.input_bus(32);
 
-        b.add_macro(MacroBlock::RegFile {
-            entries: crate::ShadowRegFile::ENTRIES,
-            width: 1,
-        });
+        b.add_macro(MacroBlock::RegFile { entries: crate::ShadowRegFile::ENTRIES, width: 1 });
 
         // Stage 1 registers.
         let addr_r = b.register_bus(&addr);
@@ -334,13 +334,7 @@ impl Extension for Dift {
         // Meta address path (same structure as UMC).
         let base: Vec<_> = (0..32).map(|_| b.dff()).collect();
         let shifted: Vec<_> = (0..32)
-            .map(|i| {
-                if (2..27).contains(&i) {
-                    addr_r[i + 5]
-                } else {
-                    b.constant(false)
-                }
-            })
+            .map(|i| if (2..27).contains(&i) { addr_r[i + 5] } else { b.constant(false) })
             .collect();
         let (meta_addr, _) = b.add(&base, &shifted);
         let meta_addr_r = b.register_bus(&meta_addr);
@@ -446,11 +440,8 @@ mod tests {
         dift.process(&packet_with_cpop(1, ops::SET_POLICY, 0, 0), &mut env).unwrap();
         assert!(dift.process(&jmpl_packet(Reg::O0), &mut env).is_ok());
         // Enable address checks: a tainted base address traps.
-        dift.process(
-            &packet_with_cpop(1, ops::SET_POLICY, POLICY_CHECK_ADDRESSES, 0),
-            &mut env,
-        )
-        .unwrap();
+        dift.process(&packet_with_cpop(1, ops::SET_POLICY, POLICY_CHECK_ADDRESSES, 0), &mut env)
+            .unwrap();
         let err = dift.process(&mem_packet(Opcode::Ld, 0x2000), &mut env).unwrap_err();
         assert!(err.reason.contains("tainted address"));
     }

@@ -147,9 +147,7 @@ impl<'a> ExtEnv<'a> {
     /// per access even on a hit; misses additionally go over the shared
     /// bus. Both extend [`ready_at`](ExtEnv::ready_at).
     pub fn read_meta(&mut self, addr: u32) -> u32 {
-        let r = self
-            .meta
-            .read_word(addr, self.mem, self.bus, BusMaster::Fabric, self.ready_at);
+        let r = self.meta.read_word(addr, self.mem, self.bus, BusMaster::Fabric, self.ready_at);
         self.ready_at = (self.ready_at + self.period).max(r.ready_at);
         self.meta_reads += 1;
         r.value
@@ -162,15 +160,19 @@ impl<'a> ExtEnv<'a> {
     pub fn write_meta(&mut self, addr: u32, data: u32, bitmask: u32) {
         if self.rmw_writes && bitmask != u32::MAX {
             // No write-enable mask in hardware: read the word first.
-            let r = self
-                .meta
-                .read_word(addr, self.mem, self.bus, BusMaster::Fabric, self.ready_at);
+            let r = self.meta.read_word(addr, self.mem, self.bus, BusMaster::Fabric, self.ready_at);
             self.ready_at = (self.ready_at + self.period).max(r.ready_at);
             self.meta_reads += 1;
         }
-        let w = self
-            .meta
-            .write_masked(addr, data, bitmask, self.mem, self.bus, BusMaster::Fabric, self.ready_at);
+        let w = self.meta.write_masked(
+            addr,
+            data,
+            bitmask,
+            self.mem,
+            self.bus,
+            BusMaster::Fabric,
+            self.ready_at,
+        );
         self.ready_at = (self.ready_at + self.period).max(w.ready_at);
         self.meta_writes += 1;
     }
@@ -226,7 +228,11 @@ pub trait Extension {
     /// Returns [`MonitorTrap`] when a check fails; the system raises
     /// the TRAP signal and terminates the program (the paper's
     /// prototypes all terminate on a failed check).
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap>;
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap>;
 
     /// Hook invoked when a program image is loaded, so extensions can
     /// initialize meta-data for statically-initialized memory (e.g.
@@ -317,7 +323,15 @@ pub(crate) mod tests_util {
     }
 
     /// An ALU packet `op rs1, rs2, rd` with the given result.
-    pub fn alu_packet(op: Opcode, rs1: Reg, rs2: Reg, rd: Reg, a: u32, b: u32, result: u32) -> TracePacket {
+    pub fn alu_packet(
+        op: Opcode,
+        rs1: Reg,
+        rs2: Reg,
+        rd: Reg,
+        a: u32,
+        b: u32,
+        result: u32,
+    ) -> TracePacket {
         let inst = Instruction::Alu { op, rd, rs1, op2: Operand2::Reg(rs2) };
         let mut p = packet(inst);
         p.srcv1 = a;

@@ -8,7 +8,9 @@ use flexcore_fabric::{Netlist, NetlistBuilder};
 use flexcore_isa::{InstrClass, Instruction};
 use flexcore_pipeline::TracePacket;
 
-use crate::ext::{two_bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE};
+use crate::ext::{
+    two_bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE,
+};
 use crate::interface::{Cfgr, ForwardPolicy};
 
 /// Word permissions (2 bits per word in memory).
@@ -129,7 +131,11 @@ impl Extension for Mprot {
         3
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         match pkt.class {
             c if c.is_load() || c.is_store() || c == InstrClass::Swap => {
                 if !Mprot::monitored(pkt.addr) {
@@ -156,7 +162,11 @@ impl Extension for Mprot {
                             pc: pkt.pc,
                             reason: format!(
                                 "{} of {:?} word at {:#010x}",
-                                if c.is_store() || c == InstrClass::Swap { "write" } else { "read" },
+                                if c.is_store() || c == InstrClass::Swap {
+                                    "write"
+                                } else {
+                                    "read"
+                                },
                                 perm,
                                 a
                             ),
@@ -212,13 +222,7 @@ impl Extension for Mprot {
         // per meta word.
         let base: Vec<_> = (0..32).map(|_| b.dff()).collect();
         let shifted: Vec<_> = (0..32)
-            .map(|i| {
-                if (2..28).contains(&i) {
-                    addr_r[i + 4]
-                } else {
-                    b.constant(false)
-                }
-            })
+            .map(|i| if (2..28).contains(&i) { addr_r[i + 4] } else { b.constant(false) })
             .collect();
         let (meta_addr, _) = b.add(&base, &shifted);
         let meta_addr_r = b.register_bus(&meta_addr);

@@ -77,7 +77,11 @@ impl Extension for Sec {
         6
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         let _ = &env; // SEC keeps no meta-data (Table I).
         let Instruction::Alu { op, .. } = pkt.inst else {
             return Ok(None);
@@ -107,11 +111,7 @@ impl Extension for Sec {
                     let (ai, bi, qi) = if op == Opcode::Udiv {
                         (i128::from(a), i128::from(b), i128::from(res))
                     } else {
-                        (
-                            i128::from(a as i32),
-                            i128::from(b as i32),
-                            i128::from(res as i32),
-                        )
+                        (i128::from(a as i32), i128::from(b as i32), i128::from(res as i32))
                     };
                     let rem = ai % bi; // the checker's own remainder unit
                     r3(ai) == (r3(qi) * r3(bi) + r3(rem)) % 3

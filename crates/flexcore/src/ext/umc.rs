@@ -4,7 +4,9 @@ use flexcore_fabric::{Netlist, NetlistBuilder};
 use flexcore_isa::InstrClass;
 use flexcore_pipeline::TracePacket;
 
-use crate::ext::{bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE};
+use crate::ext::{
+    bit_tag_location, ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE,
+};
 use crate::interface::{Cfgr, ForwardPolicy};
 
 /// Software-visible `cpop1` sub-opcodes for UMC.
@@ -116,11 +118,8 @@ impl Umc {
                 while a < start + len {
                     let span = (32 - (a & 31)).min(start + len - a);
                     let (meta_addr, bit) = Umc::byte_bit_location(a);
-                    let mask = if span >= 32 {
-                        u32::MAX
-                    } else {
-                        (((1u64 << span) - 1) as u32) << bit
-                    };
+                    let mask =
+                        if span >= 32 { u32::MAX } else { (((1u64 << span) - 1) as u32) << bit };
                     env.write_meta(meta_addr, if value { mask } else { 0 }, mask);
                     a += span;
                 }
@@ -140,10 +139,7 @@ impl Extension for Umc {
             name: "Uninitialized Memory Check",
             meta_data: &["1-bit tag per word in memory"],
             transparent_ops: &["Set the tag on a store", "Check the tag on a load"],
-            sw_visible_ops: &[
-                "Clear tags on a de-allocation",
-                "Exception when a tag check fails",
-            ],
+            sw_visible_ops: &["Clear tags on a de-allocation", "Exception when a tag check fails"],
         }
     }
 
@@ -157,7 +153,11 @@ impl Extension for Umc {
         3
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         let bytes = match pkt.inst {
             flexcore_isa::Instruction::Mem { op, .. } => op.access_bytes().unwrap_or(4),
             _ => 4,
@@ -257,13 +257,7 @@ impl Extension for Umc {
         // is a software-visible config register (32 flops).
         let base: Vec<_> = (0..32).map(|_| b.dff()).collect();
         let shifted: Vec<_> = (0..32)
-            .map(|i| {
-                if (2..27).contains(&i) {
-                    addr_r[i + 5]
-                } else {
-                    b.constant(false)
-                }
-            })
+            .map(|i| if (2..27).contains(&i) { addr_r[i + 5] } else { b.constant(false) })
             .collect();
         let (meta_addr, _c) = b.add(&base, &shifted);
         let meta_addr_r = b.register_bus(&meta_addr);
@@ -336,8 +330,7 @@ mod tests {
             umc.process(&mem_packet(Opcode::St, a), &mut env).unwrap();
         }
         // Free the middle 64 bytes.
-        umc.process(&packet_with_cpop(1, ops::CLEAR_RANGE, 0x2040, 64), &mut env)
-            .unwrap();
+        umc.process(&packet_with_cpop(1, ops::CLEAR_RANGE, 0x2040, 64), &mut env).unwrap();
         assert!(umc.process(&mem_packet(Opcode::Ld, 0x2000), &mut env).is_ok());
         assert!(umc.process(&mem_packet(Opcode::Ld, 0x2040), &mut env).is_err());
         assert!(umc.process(&mem_packet(Opcode::Ld, 0x207c), &mut env).is_err());
@@ -349,14 +342,10 @@ mod tests {
         let (mut meta, mut mem, mut bus, mut shadow) = env_parts();
         let mut umc = Umc::new();
         let mut env = ExtEnv::new(&mut meta, &mut mem, &mut bus, &mut shadow, 0);
-        let v0 = umc
-            .process(&packet_with_cpop(1, ops::READ_TAG, 0x2000, 0), &mut env)
-            .unwrap();
+        let v0 = umc.process(&packet_with_cpop(1, ops::READ_TAG, 0x2000, 0), &mut env).unwrap();
         assert_eq!(v0, Some(0));
         umc.process(&mem_packet(Opcode::St, 0x2000), &mut env).unwrap();
-        let v1 = umc
-            .process(&packet_with_cpop(1, ops::READ_TAG, 0x2000, 0), &mut env)
-            .unwrap();
+        let v1 = umc.process(&packet_with_cpop(1, ops::READ_TAG, 0x2000, 0), &mut env).unwrap();
         assert_eq!(v1, Some(1));
     }
 

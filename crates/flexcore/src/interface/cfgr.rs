@@ -94,7 +94,11 @@ impl Cfgr {
     }
 
     /// Returns a copy with every class matching `pred` set to `policy`.
-    pub fn with_classes(self, mut pred: impl FnMut(InstrClass) -> bool, policy: ForwardPolicy) -> Cfgr {
+    pub fn with_classes(
+        self,
+        mut pred: impl FnMut(InstrClass) -> bool,
+        policy: ForwardPolicy,
+    ) -> Cfgr {
         let mut out = self;
         for c in InstrClass::all() {
             if pred(c) {

@@ -66,24 +66,132 @@ pub const FIELDS: &[InterfaceField] = &[
         description: "Acknowledgement for a trap signal from the co-processor",
         bits: 1,
     },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "PC", description: "Program counter", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "INST", description: "Undecoded instruction", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "ADDR", description: "Address for a load/store", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "RES", description: "Result of an instruction", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRCV1", description: "Source operand 1 value", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRCV2", description: "Source operand 2 value", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "COND", description: "Condition codes that affect instruction processing", bits: 4 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "BRANCH", description: "Computed branch direction information", bits: 1 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "OPCODE", description: "Decoded instruction opcode", bits: 5 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "DECODE", description: "Miscellaneous decoded signals", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "EXTRA", description: "Extra processor control signals", bits: 32 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRC1", description: "Decoded Source1 register number", bits: 9 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "SRC2", description: "Decoded Source2 register number", bits: 9 },
-    InterfaceField { direction: FieldDirection::CoreToFabric, module: "FFIFO", name: "DEST", description: "Decoded Destination register number", bits: 9 },
-    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "CACK", description: "Acknowledgement for FFIFO", bits: 1 },
-    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "EMPTY", description: "No pending instruction in the co-processor", bits: 1 },
-    InterfaceField { direction: FieldDirection::FabricToCore, module: "CTRL", name: "TRAP", description: "Raise an exception", bits: 1 },
-    InterfaceField { direction: FieldDirection::FabricToCore, module: "BFIFO", name: "VAL", description: "Return value on a 'read from co-processor' instruction", bits: 32 },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "PC",
+        description: "Program counter",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "INST",
+        description: "Undecoded instruction",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "ADDR",
+        description: "Address for a load/store",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "RES",
+        description: "Result of an instruction",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "SRCV1",
+        description: "Source operand 1 value",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "SRCV2",
+        description: "Source operand 2 value",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "COND",
+        description: "Condition codes that affect instruction processing",
+        bits: 4,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "BRANCH",
+        description: "Computed branch direction information",
+        bits: 1,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "OPCODE",
+        description: "Decoded instruction opcode",
+        bits: 5,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "DECODE",
+        description: "Miscellaneous decoded signals",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "EXTRA",
+        description: "Extra processor control signals",
+        bits: 32,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "SRC1",
+        description: "Decoded Source1 register number",
+        bits: 9,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "SRC2",
+        description: "Decoded Source2 register number",
+        bits: 9,
+    },
+    InterfaceField {
+        direction: FieldDirection::CoreToFabric,
+        module: "FFIFO",
+        name: "DEST",
+        description: "Decoded Destination register number",
+        bits: 9,
+    },
+    InterfaceField {
+        direction: FieldDirection::FabricToCore,
+        module: "CTRL",
+        name: "CACK",
+        description: "Acknowledgement for FFIFO",
+        bits: 1,
+    },
+    InterfaceField {
+        direction: FieldDirection::FabricToCore,
+        module: "CTRL",
+        name: "EMPTY",
+        description: "No pending instruction in the co-processor",
+        bits: 1,
+    },
+    InterfaceField {
+        direction: FieldDirection::FabricToCore,
+        module: "CTRL",
+        name: "TRAP",
+        description: "Raise an exception",
+        bits: 1,
+    },
+    InterfaceField {
+        direction: FieldDirection::FabricToCore,
+        module: "BFIFO",
+        name: "VAL",
+        description: "Return value on a 'read from co-processor' instruction",
+        bits: 32,
+    },
 ];
 
 /// Width of one FFIFO payload entry in bits (the per-instruction
@@ -180,8 +288,11 @@ mod tests {
         let a = AsicCost::of(&n);
         // The interface logic is a few thousand NAND2-equivalents —
         // small next to its SRAM macros.
-        assert!(a.gate_equivalents() > 1500.0 && a.gate_equivalents() < 10_000.0,
-            "{} GE", a.gate_equivalents());
+        assert!(
+            a.gate_equivalents() > 1500.0 && a.gate_equivalents() < 10_000.0,
+            "{} GE",
+            a.gate_equivalents()
+        );
         assert!(a.macros().area_um2 > a.area_um2());
     }
 

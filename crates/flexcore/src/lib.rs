@@ -28,6 +28,12 @@
 //!   in its own clock domain (1X / 0.5X / 0.25X of the core clock).
 //! * [`software`] — the software-instrumentation baselines the paper
 //!   compares against (§V.C).
+//! * [`faults`] — deterministic, seeded fault injection
+//!   ([`faults::FaultPlan`]): bit flips in architectural state, FFIFO
+//!   packets, meta-data lines, and serialized bitstreams, validating
+//!   the SEC story end-to-end. Paired with the typed [`SimError`]
+//!   returned by [`System::try_run`], whose forward-progress watchdog
+//!   turns would-be hangs into [`SimError::Deadlock`] diagnostics.
 //!
 //! # Example: catching an uninitialized read
 //!
@@ -50,18 +56,22 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod ext;
+pub mod faults;
 pub mod interface;
 pub mod software;
 
+mod error;
 mod shadow;
 mod stats;
 mod system;
 
+pub use error::{DeadlockSnapshot, SimError};
 pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
 pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};
 pub use shadow::ShadowRegFile;
-pub use stats::{ForwardStats, RunResult};
-pub use system::{Implementation, System, SystemConfig};
+pub use stats::{ForwardStats, ResilienceStats, RunResult};
+pub use system::{Implementation, OverflowPolicy, System, SystemConfig};

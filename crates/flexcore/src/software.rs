@@ -103,7 +103,13 @@ impl SoftwareMonitor {
                 (&|c: InstrClass| c.is_mem(), 3),
                 (
                     &|c: InstrClass| {
-                        matches!(c, InstrClass::Add | InstrClass::Sub | InstrClass::AddCc | InstrClass::SubCc)
+                        matches!(
+                            c,
+                            InstrClass::Add
+                                | InstrClass::Sub
+                                | InstrClass::AddCc
+                                | InstrClass::SubCc
+                        )
                     },
                     1,
                 ),

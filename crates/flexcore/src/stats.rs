@@ -40,6 +40,25 @@ impl ForwardStats {
     }
 }
 
+/// Fault-injection and graceful-degradation accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Faults the injector applied (all targets).
+    pub faults_injected: u64,
+    /// FFIFO packets corrupted in flight ([`FaultTarget::FifoPacket`]).
+    ///
+    /// [`FaultTarget::FifoPacket`]: crate::faults::FaultTarget::FifoPacket
+    pub packets_corrupted: u64,
+    /// Packets dropped by the
+    /// [`DropWithAccounting`](crate::OverflowPolicy::DropWithAccounting)
+    /// FIFO overflow policy.
+    pub dropped_overflow: u64,
+    /// Bitstream transfers that failed validation and were retried.
+    pub bitstream_retries: u64,
+    /// Bitstreams successfully loaded (including after retries).
+    pub bitstream_reloads: u64,
+}
+
 /// The complete result of a [`System`](crate::System) run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -68,6 +87,8 @@ pub struct RunResult {
     pub meta_cache: CacheStats,
     /// Shared-bus statistics.
     pub bus: BusStats,
+    /// Fault-injection and graceful-degradation counters.
+    pub resilience: ResilienceStats,
     /// Console output produced by the program.
     pub console: Vec<u8>,
 }

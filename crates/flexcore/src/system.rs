@@ -1,13 +1,23 @@
 //! The full FlexCore system model.
 
 use flexcore_asm::Program;
+use flexcore_fabric::LutMapping;
 use flexcore_mem::{CacheConfig, MainMemory, MetaDataCache, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult, TracePacket};
 
+use crate::error::{DeadlockSnapshot, SimError};
 use crate::ext::{ExtEnv, Extension, MonitorTrap};
+use crate::faults::{
+    FaultAction, FaultEvent, FaultInjector, FaultModel, FaultPlan, FaultSchedule, FaultSpec,
+    FaultTarget, PacketField,
+};
 use crate::interface::{Cfgr, ForwardFifo, ForwardPolicy};
-use crate::stats::{ForwardStats, RunResult};
+use crate::stats::{ForwardStats, ResilienceStats, RunResult};
 use crate::ShadowRegFile;
+
+/// A wedged fabric "frees up" this far in the future — effectively
+/// never, while leaving headroom so grid alignment cannot overflow.
+const STUCK: u64 = 1 << 62;
 
 /// How the monitoring extension is implemented.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,6 +43,22 @@ impl Implementation {
             Implementation::Fabric { divisor } => u64::from(divisor.max(1)),
         }
     }
+}
+
+/// What the commit stage does when the forward FIFO is full under an
+/// [`Always`](ForwardPolicy::Always) forwarding policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverflowPolicy {
+    /// Stall the commit stage until a slot frees (the paper's
+    /// mechanism; lossless).
+    #[default]
+    Stall,
+    /// Drop the packet and count it
+    /// ([`ResilienceStats::dropped_overflow`]) — graceful degradation
+    /// for monitors that tolerate gaps.
+    ///
+    /// [`ResilienceStats::dropped_overflow`]: crate::ResilienceStats::dropped_overflow
+    DropWithAccounting,
 }
 
 /// Configuration of a [`System`].
@@ -64,6 +90,19 @@ pub struct SystemConfig {
     /// — the paper's extensions all terminate the program, so
     /// imprecise traps suffice and the FIFO decouples fully.
     pub precise_exceptions: bool,
+    /// Forward-progress watchdog: if the commit stage would have to
+    /// wait more than this many core cycles for a FIFO slot — or no
+    /// instruction commits for this long — [`System::try_run`] returns
+    /// [`SimError::Deadlock`] instead of spinning.
+    pub watchdog_cycles: u64,
+    /// Optional hard ceiling on core-clock cycles; exceeding it makes
+    /// [`System::try_run`] return [`SimError::CycleBudgetExceeded`].
+    pub cycle_budget: Option<u64>,
+    /// FIFO overflow behavior under `Always` forwarding.
+    pub overflow_policy: OverflowPolicy,
+    /// How many times [`System::load_bitstream`] re-transfers a
+    /// bitstream that fails validation before giving up.
+    pub bitstream_retry_limit: u32,
 }
 
 impl SystemConfig {
@@ -77,6 +116,10 @@ impl SystemConfig {
             decode_on_core: true,
             masked_meta_writes: true,
             precise_exceptions: false,
+            watchdog_cycles: 1_000_000,
+            cycle_budget: None,
+            overflow_policy: OverflowPolicy::Stall,
+            bitstream_retry_limit: 3,
         }
     }
 
@@ -141,6 +184,32 @@ impl SystemConfig {
         self.meta_cache.size_bytes = bytes;
         self
     }
+
+    /// Returns a copy with a different forward-progress watchdog window
+    /// (core cycles without a commit before `try_run` declares
+    /// deadlock). Clamped to at least 1.
+    pub fn with_watchdog_cycles(mut self, cycles: u64) -> SystemConfig {
+        self.watchdog_cycles = cycles.max(1);
+        self
+    }
+
+    /// Returns a copy with a hard core-cycle budget.
+    pub fn with_cycle_budget(mut self, budget: u64) -> SystemConfig {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Returns a copy with the given FIFO overflow policy.
+    pub fn with_overflow_policy(mut self, policy: OverflowPolicy) -> SystemConfig {
+        self.overflow_policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different bitstream reload budget.
+    pub fn with_bitstream_retry_limit(mut self, retries: u32) -> SystemConfig {
+        self.bitstream_retry_limit = retries;
+        self
+    }
 }
 
 /// A complete FlexCore system: core + shared bus + meta-data cache +
@@ -165,7 +234,13 @@ pub struct System<E: Extension> {
     /// violating instruction)`. The exception is imprecise (§III.C):
     /// the core keeps committing until the signal arrives.
     pending_trap: Option<(u64, u64)>,
-    fault: Option<(u64, u32)>,
+    faults: Option<FaultInjector>,
+    resilience: ResilienceStats,
+    /// Set by a `FabricStuck` fault: the fabric never drains again.
+    fabric_stuck: bool,
+    /// Set when the commit stage detects it can never make progress;
+    /// `try_run` converts it into `SimError::Deadlock`.
+    wedged: Option<DeadlockSnapshot>,
 }
 
 impl<E: Extension> System<E> {
@@ -186,7 +261,10 @@ impl<E: Extension> System<E> {
             forward: ForwardStats::default(),
             monitor_trap: None,
             pending_trap: None,
-            fault: None,
+            faults: None,
+            resilience: ResilienceStats::default(),
+            fabric_stuck: false,
+            wedged: None,
         }
     }
 
@@ -227,20 +305,51 @@ impl<E: Extension> System<E> {
     pub fn load_program(&mut self, program: &Program) {
         self.core.load_program(program, &mut self.mem);
         let mut scratch_bus = SystemBus::default();
-        let mut env = ExtEnv::new(&mut self.meta, &mut self.mem, &mut scratch_bus, &mut self.shadow, 0);
-        self.ext
-            .on_program_load(program.base(), program.len() as u32, &mut env);
+        let mut env =
+            ExtEnv::new(&mut self.meta, &mut self.mem, &mut scratch_bus, &mut self.shadow, 0);
+        self.ext.on_program_load(program.base(), program.len() as u32, &mut env);
         // Leave the meta cache cold and its statistics clean.
         self.meta.flush(&mut self.mem);
         self.meta = MetaDataCache::new(self.config.meta_cache);
+    }
+
+    /// Installs a fault-injection campaign. Replaces any previous plan;
+    /// the event log starts empty.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(&plan));
+    }
+
+    /// Every fault applied so far (empty when no plan is armed). Same
+    /// seed + plan + program ⇒ byte-identical log.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], FaultInjector::log)
+    }
+
+    /// Fault-injection and graceful-degradation counters so far.
+    pub fn resilience(&self) -> ResilienceStats {
+        self.resilience
     }
 
     /// Arranges for a single transient fault: the `nth` committed
     /// instruction's result has `bit` flipped — in the forwarded packet
     /// *and* in architectural state, like a real ALU soft error. Used
     /// to demonstrate SEC.
+    ///
+    /// Sugar for arming (or extending) a [`FaultPlan`] with a
+    /// [`CommitResult`](FaultTarget::CommitResult) spec at
+    /// [`AtCommit(nth)`](FaultSchedule::AtCommit) with a fixed mask.
     pub fn inject_result_fault(&mut self, nth: u64, bit: u32) {
-        self.fault = Some((nth, bit));
+        let spec = FaultSpec {
+            target: FaultTarget::CommitResult,
+            schedule: FaultSchedule::AtCommit(nth),
+            model: FaultModel::Mask(1 << bit),
+        };
+        match &mut self.faults {
+            Some(inj) => inj.push_spec(spec),
+            None => {
+                self.faults = Some(FaultInjector::new(&FaultPlan { seed: 0, specs: vec![spec] }))
+            }
+        }
     }
 
     fn grid(&self) -> u64 {
@@ -251,9 +360,29 @@ impl<E: Extension> System<E> {
         t.next_multiple_of(self.grid())
     }
 
+    /// Captures diagnostic state for a deadlock report.
+    fn snapshot(&mut self, now: u64) -> DeadlockSnapshot {
+        DeadlockSnapshot {
+            cycle: now,
+            pc: self.core.pc(),
+            instret: self.core.stats().instret,
+            fifo_occupancy: self.fifo.occupancy(now),
+            fifo_depth: self.fifo.depth(),
+            fabric_free_at: self.fabric_free_at,
+            fabric_stuck: self.fabric_stuck,
+            bus: self.bus.stats(),
+        }
+    }
+
     /// Runs the extension on one packet starting no earlier than `enq`;
     /// returns `(start, bfifo_value)`.
     fn process_on_fabric(&mut self, pkt: &TracePacket, enq: u64) -> (u64, Option<u32>) {
+        if self.fabric_stuck {
+            // A wedged fabric accepts nothing: the packet's dequeue is
+            // scheduled effectively-never and no processing happens.
+            self.fabric_free_at = self.fabric_free_at.max(STUCK);
+            return (self.fabric_free_at, None);
+        }
         let start = self.align_up(enq.max(self.fabric_free_at));
         let period = self.grid();
         let mut env = ExtEnv::with_period(
@@ -293,17 +422,52 @@ impl<E: Extension> System<E> {
         (start, ret)
     }
 
-    /// Handles one committed instruction: the forwarding filter, the
-    /// FIFO, and the fabric.
-    fn on_commit(&mut self, mut pkt: TracePacket) {
-        self.forward.committed += 1;
-        if let Some((nth, bit)) = self.fault {
-            if self.forward.committed == nth {
-                pkt.result ^= 1 << bit;
+    /// Applies one injector-decided fault to architectural state, the
+    /// in-flight packet, or the meta-data cache.
+    fn apply_fault(&mut self, action: FaultAction, pkt: &mut TracePacket) {
+        self.resilience.faults_injected += 1;
+        match action {
+            FaultAction::FlipResult { mask } => {
+                pkt.result ^= mask;
                 if let Some(rd) = pkt.dest {
                     self.core.set_reg(rd, pkt.result);
                 }
-                self.fault = None;
+            }
+            FaultAction::FlipRegister { reg, mask } => {
+                if let Some(r) = flexcore_isa::Reg::new(reg) {
+                    let v = self.core.reg(r);
+                    self.core.set_reg(r, v ^ mask);
+                }
+            }
+            FaultAction::FlipMemory { addr, mask } | FaultAction::FlipText { addr, mask } => {
+                let v = self.mem.read_u32(addr);
+                self.mem.write_u32(addr, v ^ mask);
+            }
+            FaultAction::CorruptPacket { field, mask } => {
+                self.resilience.packets_corrupted += 1;
+                match field {
+                    PacketField::Result => pkt.result ^= mask,
+                    PacketField::Srcv1 => pkt.srcv1 ^= mask,
+                    PacketField::Srcv2 => pkt.srcv2 ^= mask,
+                    PacketField::Addr => pkt.addr ^= mask,
+                    PacketField::StoreValue => pkt.store_value ^= mask,
+                }
+            }
+            FaultAction::PoisonMeta { addr, mask } => {
+                self.meta.poison(addr, mask);
+            }
+            FaultAction::StickFabric => self.fabric_stuck = true,
+        }
+    }
+
+    /// Handles one committed instruction: fault injection, the
+    /// forwarding filter, the FIFO, and the fabric.
+    fn on_commit(&mut self, mut pkt: TracePacket) {
+        self.forward.committed += 1;
+        if let Some(inj) = &mut self.faults {
+            let actions = inj.poll_commit(self.forward.committed, pkt.commit_cycle);
+            for action in actions {
+                self.apply_fault(action, &mut pkt);
             }
         }
         let mut policy = self.cfgr.policy(pkt.class);
@@ -328,15 +492,31 @@ impl<E: Extension> System<E> {
                 self.fifo.push(now, start);
             }
             ForwardPolicy::Always => {
-                self.record_forward(&pkt);
                 let enq = if self.fifo.is_full(now) {
-                    // Commit stalls until the oldest entry is dequeued.
-                    let free_at = self.fifo.empty_slot_at(now);
-                    self.core.stall_until(free_at);
-                    free_at
+                    match self.config.overflow_policy {
+                        OverflowPolicy::Stall => {
+                            // Commit stalls until the oldest entry is
+                            // dequeued — unless that slot frees so far
+                            // in the future (a wedged fabric) that the
+                            // system has effectively deadlocked.
+                            let free_at = self.fifo.empty_slot_at(now);
+                            if free_at.saturating_sub(now) > self.config.watchdog_cycles {
+                                self.wedged = Some(self.snapshot(now));
+                                return;
+                            }
+                            self.core.stall_until(free_at);
+                            free_at
+                        }
+                        OverflowPolicy::DropWithAccounting => {
+                            self.forward.dropped += 1;
+                            self.resilience.dropped_overflow += 1;
+                            return;
+                        }
+                    }
                 } else {
                     now
                 };
+                self.record_forward(&pkt);
                 let (start, _) = self.process_on_fabric(&pkt, enq);
                 self.fifo.push(enq, start);
             }
@@ -368,11 +548,46 @@ impl<E: Extension> System<E> {
 
     /// Runs until the program exits, a monitor trap is delivered, or
     /// `max_instructions` commit. Returns the full result.
+    ///
+    /// Compatibility wrapper over [`System::try_run`]: panics on a
+    /// [`SimError`] (deadlock, cycle-budget exhaustion). Harnesses that
+    /// must survive wedged configurations — fault-injection campaigns
+    /// in particular — should call `try_run` instead.
     pub fn run(&mut self, max_instructions: u64) -> RunResult {
+        match self.try_run(max_instructions) {
+            Ok(result) => result,
+            Err(e) => panic!("simulation error: {e} (use System::try_run to handle SimError)"),
+        }
+    }
+
+    /// Runs until the program exits, a monitor trap is delivered, or
+    /// `max_instructions` commit — or until the simulation itself
+    /// fails: a forward-progress watchdog detects deadlock (no commit
+    /// possible within `watchdog_cycles`, or the fabric can never
+    /// drain), or the configured cycle budget is exceeded.
+    pub fn try_run(&mut self, max_instructions: u64) -> Result<RunResult, SimError> {
+        let mut last_commit_cycle = self.core.cycle();
         loop {
-            if let Some((assert_at, _)) = self.pending_trap {
-                if self.core.cycle() >= assert_at {
-                    let pc = self.monitor_trap.as_ref().expect("trap recorded").pc;
+            if let Some(snap) = self.wedged.take() {
+                return Err(SimError::Deadlock(snap));
+            }
+            let cycle = self.core.cycle();
+            if let Some(budget) = self.config.cycle_budget {
+                if cycle > budget {
+                    return Err(SimError::CycleBudgetExceeded {
+                        budget,
+                        cycle,
+                        instret: self.core.stats().instret,
+                    });
+                }
+            }
+            if cycle.saturating_sub(last_commit_cycle) > self.config.watchdog_cycles {
+                let snap = self.snapshot(cycle);
+                return Err(SimError::Deadlock(snap));
+            }
+            if let (Some((assert_at, _)), Some(trap)) = (self.pending_trap, &self.monitor_trap) {
+                if cycle >= assert_at {
+                    let pc = trap.pc;
                     self.core.halt(ExitReason::MonitorTrap { pc });
                 }
             }
@@ -380,11 +595,61 @@ impl<E: Extension> System<E> {
                 self.core.halt(ExitReason::InstructionLimit);
             }
             match self.core.step(&mut self.mem, &mut self.bus) {
-                StepResult::Committed(pkt) => self.on_commit(pkt),
+                StepResult::Committed(pkt) => {
+                    last_commit_cycle = self.core.cycle();
+                    self.on_commit(pkt);
+                }
                 StepResult::Annulled => {}
-                StepResult::Exited(exit) => return self.finalize(exit),
+                StepResult::Exited(exit) => {
+                    let cycle = self.core.cycle();
+                    if self.fabric_stuck && self.fifo.occupancy(cycle) > 0 {
+                        // The core waits for EMPTY before completing;
+                        // a wedged fabric never drains the FIFO, so
+                        // the program can never actually finish.
+                        let snap = self.snapshot(cycle);
+                        return Err(SimError::Deadlock(snap));
+                    }
+                    return Ok(self.finalize(exit));
+                }
             }
         }
+    }
+
+    /// Deserializes and validates a fabric configuration bitstream,
+    /// modeling the paper's reconfiguration step, with bounded
+    /// retry-with-reload on validation failures.
+    ///
+    /// Each transfer attempt passes through the armed fault injector
+    /// (if any), which may corrupt bytes in flight; a corrupted stream
+    /// fails its Fletcher-32 checksum and is re-transferred from the
+    /// pristine source, up to `bitstream_retry_limit` retries. Retry
+    /// and reload counts land in [`ResilienceStats`].
+    pub fn load_bitstream(&mut self, bytes: &[u8]) -> Result<LutMapping, SimError> {
+        let limit = self.config.bitstream_retry_limit;
+        let mut last_error = String::new();
+        for attempt in 0..=limit {
+            let mut copy = bytes.to_vec();
+            if let Some(inj) = &mut self.faults {
+                inj.corrupt_bitstream(&mut copy);
+            }
+            match flexcore_fabric::from_bitstream(&copy) {
+                Ok(mapping) => {
+                    self.resilience.bitstream_reloads += 1;
+                    return Ok(mapping);
+                }
+                Err(e) => {
+                    last_error = e.to_string();
+                    if attempt < limit {
+                        self.resilience.bitstream_retries += 1;
+                    }
+                }
+            }
+        }
+        Err(SimError::UnrecoverableCorruption {
+            context: "fabric bitstream",
+            attempts: limit + 1,
+            detail: last_error,
+        })
     }
 
     fn finalize(&mut self, exit: ExitReason) -> RunResult {
@@ -392,12 +657,9 @@ impl<E: Extension> System<E> {
         // completing — and for its own store buffer. A trap still in
         // flight in the fabric is therefore always delivered, even if
         // the program reached its own exit first.
-        let exit = match (&self.pending_trap, exit) {
-            (Some(_), ExitReason::Halt(_)) => {
-                let pc = self.monitor_trap.as_ref().expect("trap recorded").pc;
-                ExitReason::MonitorTrap { pc }
-            }
-            (_, e) => e,
+        let exit = match (&self.pending_trap, &self.monitor_trap, exit) {
+            (Some(_), Some(trap), ExitReason::Halt(_)) => ExitReason::MonitorTrap { pc: trap.pc },
+            (_, _, e) => e,
         };
         let done = self
             .core
@@ -421,6 +683,7 @@ impl<E: Extension> System<E> {
             dcache: self.core.dcache_stats(),
             meta_cache: self.meta.stats(),
             bus: self.bus.stats(),
+            resilience: self.resilience,
             console: self.core.console().to_vec(),
         }
     }

@@ -36,7 +36,8 @@ fn mapped_networks_match_their_netlists() {
         let mut s1 = netlist.initial_state();
         let mut s2 = netlist.initial_state();
         for round in 0..12u32 {
-            let inputs = stimulus(0x1234_5678 ^ round.wrapping_mul(0x9e37_79b9), netlist.inputs().len());
+            let inputs =
+                stimulus(0x1234_5678 ^ round.wrapping_mul(0x9e37_79b9), netlist.inputs().len());
             let o1 = netlist.eval(&inputs, &mut s1);
             let o2 = mapping.eval(&netlist, &inputs, &mut s2);
             assert_eq!(o1, o2, "{}: outputs diverge in round {round}", netlist.name());
@@ -50,8 +51,7 @@ fn every_extension_survives_the_bitstream_flow() {
     for netlist in all_netlists() {
         let mapping = map_to_luts(&netlist, 6);
         let bs = to_bitstream(&mapping);
-        let reloaded = from_bitstream(&bs)
-            .unwrap_or_else(|e| panic!("{}: {e}", netlist.name()));
+        let reloaded = from_bitstream(&bs).unwrap_or_else(|e| panic!("{}: {e}", netlist.name()));
         assert_eq!(reloaded.lut_count(), mapping.lut_count(), "{}", netlist.name());
         // The reloaded configuration is functionally identical.
         let mut s1 = netlist.initial_state();

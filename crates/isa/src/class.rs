@@ -96,9 +96,38 @@ impl InstrClass {
     pub fn from_index(index: u8) -> InstrClass {
         use InstrClass::*;
         const TABLE: [InstrClass; NUM_INSTR_CLASSES] = [
-            Ld, Ldub, Lduh, Ldsb, Ldsh, St, Stb, Sth, Add, Sub, Logic, Shift, Mul, Div, AddCc,
-            SubCc, LogicCc, Sethi, BranchCond, BranchUncond, Call, Jmpl, Save, Restore, Trap,
-            Cpop1, Cpop2, Nop, Ldd, Std, Swap, Other,
+            Ld,
+            Ldub,
+            Lduh,
+            Ldsb,
+            Ldsh,
+            St,
+            Stb,
+            Sth,
+            Add,
+            Sub,
+            Logic,
+            Shift,
+            Mul,
+            Div,
+            AddCc,
+            SubCc,
+            LogicCc,
+            Sethi,
+            BranchCond,
+            BranchUncond,
+            Call,
+            Jmpl,
+            Save,
+            Restore,
+            Trap,
+            Cpop1,
+            Cpop2,
+            Nop,
+            Ldd,
+            Std,
+            Swap,
+            Other,
         ];
         TABLE[index as usize]
     }
@@ -117,7 +146,12 @@ impl InstrClass {
     pub fn is_load(self) -> bool {
         matches!(
             self,
-            InstrClass::Ld | InstrClass::Ldub | InstrClass::Lduh | InstrClass::Ldsb | InstrClass::Ldsh | InstrClass::Ldd
+            InstrClass::Ld
+                | InstrClass::Ldub
+                | InstrClass::Lduh
+                | InstrClass::Ldsb
+                | InstrClass::Ldsh
+                | InstrClass::Ldd
         )
     }
 

@@ -24,7 +24,10 @@ impl IccFlags {
     /// Packs the flags into the 4-bit `NZVC` encoding used by the trace
     /// packet (`N` is bit 3, `C` is bit 0).
     pub fn to_bits(self) -> u8 {
-        (u8::from(self.n) << 3) | (u8::from(self.z) << 2) | (u8::from(self.v) << 1) | u8::from(self.c)
+        (u8::from(self.n) << 3)
+            | (u8::from(self.z) << 2)
+            | (u8::from(self.v) << 1)
+            | u8::from(self.c)
     }
 
     /// Unpacks flags from the 4-bit `NZVC` encoding.
@@ -40,12 +43,7 @@ impl IccFlags {
     /// Flags produced by an ordinary logic/shift result (`V`/`C`
     /// cleared).
     pub fn from_result(value: u32) -> IccFlags {
-        IccFlags {
-            n: (value as i32) < 0,
-            z: value == 0,
-            v: false,
-            c: false,
-        }
+        IccFlags { n: (value as i32) < 0, z: value == 0, v: false, c: false }
     }
 }
 
@@ -318,10 +316,7 @@ mod tests {
     #[test]
     fn from_result_sets_n_and_z() {
         assert_eq!(IccFlags::from_result(0), flags(false, true, false, false));
-        assert_eq!(
-            IccFlags::from_result(0x8000_0000),
-            flags(true, false, false, false)
-        );
+        assert_eq!(IccFlags::from_result(0x8000_0000), flags(true, false, false, false));
         assert_eq!(IccFlags::from_result(7), flags(false, false, false, false));
     }
 }

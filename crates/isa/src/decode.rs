@@ -111,9 +111,7 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
     let err = DecodeError { word };
     let op = word >> 30;
     match op {
-        1 => Ok(Instruction::Call {
-            disp30: sign_extend(word & 0x3fff_ffff, 30),
-        }),
+        1 => Ok(Instruction::Call { disp30: sign_extend(word & 0x3fff_ffff, 30) }),
         0 => {
             let op2 = (word >> 22) & 0x7;
             match op2 {
@@ -223,10 +221,7 @@ mod props {
     }
 
     fn arb_operand2() -> impl Strategy<Value = Operand2> {
-        prop_oneof![
-            arb_reg().prop_map(Operand2::Reg),
-            (-4096i32..=4095).prop_map(Operand2::Imm),
-        ]
+        prop_oneof![arb_reg().prop_map(Operand2::Reg), (-4096i32..=4095).prop_map(Operand2::Imm),]
     }
 
     fn arb_alu_opcode() -> impl Strategy<Value = Opcode> {
@@ -253,8 +248,11 @@ mod props {
                 Instruction::Branch { cond: Cond::from_bits(c), annul, disp22 }
             }),
             (-(1i32 << 29)..(1 << 29)).prop_map(|disp30| Instruction::Call { disp30 }),
-            (arb_reg(), arb_reg(), arb_operand2())
-                .prop_map(|(rd, rs1, op2)| Instruction::Jmpl { rd, rs1, op2 }),
+            (arb_reg(), arb_reg(), arb_operand2()).prop_map(|(rd, rs1, op2)| Instruction::Jmpl {
+                rd,
+                rs1,
+                op2
+            }),
             (0u8..16, arb_reg(), arb_operand2()).prop_map(|(c, rs1, op2)| Instruction::Trap {
                 cond: Cond::from_bits(c),
                 rs1,

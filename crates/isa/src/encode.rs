@@ -3,14 +3,12 @@
 use crate::{Instruction, Opcode, Operand2, Reg};
 
 fn f3(op: u32, rd: Reg, op3: u32, rs1: Reg, op2: Operand2) -> u32 {
-    let base = (op << 30) | ((rd.index() as u32) << 25) | (op3 << 19) | ((rs1.index() as u32) << 14);
+    let base =
+        (op << 30) | ((rd.index() as u32) << 25) | (op3 << 19) | ((rs1.index() as u32) << 14);
     match op2 {
         Operand2::Reg(rs2) => base | rs2.index() as u32,
         Operand2::Imm(imm) => {
-            assert!(
-                Operand2::imm_fits(imm),
-                "immediate {imm} does not fit in simm13"
-            );
+            assert!(Operand2::imm_fits(imm), "immediate {imm} does not fit in simm13");
             base | (1 << 13) | ((imm as u32) & 0x1fff)
         }
     }
@@ -31,12 +29,14 @@ pub fn encode(inst: &Instruction) -> u32 {
     match *inst {
         Instruction::Alu { op, rd, rs1, op2 } => f3(2, rd, op.op3().expect("ALU opcode"), rs1, op2),
         Instruction::Mem { op, rd, rs1, op2 } => f3(3, rd, op.op3().expect("mem opcode"), rs1, op2),
-        Instruction::Jmpl { rd, rs1, op2 } => f3(2, rd, Opcode::Jmpl.op3().unwrap(), rs1, op2),
+        Instruction::Jmpl { rd, rs1, op2 } => {
+            f3(2, rd, Opcode::Jmpl.op3().expect("Jmpl has an op3"), rs1, op2)
+        }
         Instruction::Trap { cond, rs1, op2 } => {
             // Ticc stores the condition in bits 28:25 (the rd field's
             // low four bits); bit 29 is reserved-zero.
             let cond_reg = Reg::from_field(cond.to_bits() as u32);
-            f3(2, cond_reg, Opcode::Ticc.op3().unwrap(), rs1, op2)
+            f3(2, cond_reg, Opcode::Ticc.op3().expect("Ticc has an op3"), rs1, op2)
         }
         Instruction::Cpop { space, opc, rd, rs1, rs2 } => {
             assert!(space == 1 || space == 2, "cpop space must be 1 or 2");
@@ -54,20 +54,14 @@ pub fn encode(inst: &Instruction) -> u32 {
             ((rd.index() as u32) << 25) | (0b100 << 22) | imm22
         }
         Instruction::Branch { cond, annul, disp22 } => {
-            assert!(
-                (-(1 << 21)..(1 << 21)).contains(&disp22),
-                "disp22 {disp22} out of range"
-            );
+            assert!((-(1 << 21)..(1 << 21)).contains(&disp22), "disp22 {disp22} out of range");
             (u32::from(annul) << 29)
                 | ((cond.to_bits() as u32) << 25)
                 | (0b010 << 22)
                 | ((disp22 as u32) & 0x3f_ffff)
         }
         Instruction::Call { disp30 } => {
-            assert!(
-                (-(1 << 29)..(1 << 29)).contains(&disp30),
-                "disp30 {disp30} out of range"
-            );
+            assert!((-(1 << 29)..(1 << 29)).contains(&disp30), "disp30 {disp30} out of range");
             (1 << 30) | ((disp30 as u32) & 0x3fff_ffff)
         }
     }

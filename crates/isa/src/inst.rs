@@ -139,7 +139,9 @@ impl Instruction {
     /// or it is a memory/control opcode).
     pub fn alu(op: Opcode, rs1: Reg, rd: Reg, op2: Operand2) -> Instruction {
         assert!(
-            op.op3().is_some() && !op.is_mem() && !matches!(op, Opcode::Jmpl | Opcode::Ticc | Opcode::Cpop1 | Opcode::Cpop2),
+            op.op3().is_some()
+                && !op.is_mem()
+                && !matches!(op, Opcode::Jmpl | Opcode::Ticc | Opcode::Cpop1 | Opcode::Cpop2),
             "{op:?} is not an ALU opcode"
         );
         Instruction::Alu { op, rd, rs1, op2 }
@@ -215,9 +217,9 @@ impl Instruction {
     /// Destination register, if the instruction writes one.
     pub fn dest_reg(&self) -> Option<Reg> {
         match *self {
-            Instruction::Alu { rd, .. } | Instruction::Sethi { rd, .. } | Instruction::Jmpl { rd, .. } => {
-                (!rd.is_zero()).then_some(rd)
-            }
+            Instruction::Alu { rd, .. }
+            | Instruction::Sethi { rd, .. }
+            | Instruction::Jmpl { rd, .. } => (!rd.is_zero()).then_some(rd),
             Instruction::Mem { op, rd, .. } => {
                 ((op.is_load() || op == Opcode::Swap) && !rd.is_zero()).then_some(rd)
             }

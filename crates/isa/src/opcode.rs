@@ -145,10 +145,7 @@ impl Opcode {
     /// Whether this opcode updates the integer condition codes.
     pub fn sets_icc(self) -> bool {
         use Opcode::*;
-        matches!(
-            self,
-            Addcc | Andcc | Orcc | Xorcc | Subcc | Andncc | Orncc | Xnorcc
-        )
+        matches!(self, Addcc | Andcc | Orcc | Xorcc | Subcc | Andncc | Orncc | Xnorcc)
     }
 
     /// The access width in bytes for memory opcodes (word loads/stores

@@ -67,12 +67,16 @@ impl CacheConfig {
     /// Panics with a descriptive message on an invalid geometry; called
     /// from the cache constructors.
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 4,
-            "line size {} must be a power of two >= 4", self.line_bytes);
+        assert!(
+            self.line_bytes.is_power_of_two() && self.line_bytes >= 4,
+            "line size {} must be a power of two >= 4",
+            self.line_bytes
+        );
         assert!(self.ways >= 1, "associativity must be at least 1");
         assert!(
             self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
-            "size {} not divisible by line*ways", self.size_bytes
+            "size {} not divisible by line*ways",
+            self.size_bytes
         );
         assert!(self.sets().is_power_of_two(), "set count {} must be a power of two", self.sets());
     }
@@ -242,8 +246,8 @@ impl TimingCache {
                 .iter_mut()
                 .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
                 .expect("at least one way");
-            let writeback_of = (victim.valid && victim.dirty)
-                .then(|| (victim.tag * sets + set) * line_bytes);
+            let writeback_of =
+                (victim.valid && victim.dirty).then(|| (victim.tag * sets + set) * line_bytes);
             *victim = Line {
                 tag,
                 valid: true,
@@ -263,9 +267,7 @@ impl TimingCache {
         let (set, tag) = self.set_and_tag(addr);
         let w = self.config.ways as usize;
         let base = set as usize * w;
-        self.lines[base..base + w]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + w].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the whole cache (does not write back dirty lines —

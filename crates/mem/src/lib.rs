@@ -40,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod bus;
@@ -50,6 +51,6 @@ mod storebuf;
 
 pub use bus::{BusMaster, BusStats, SdramTiming, SystemBus};
 pub use cache::{CacheConfig, CacheStats, Lookup, TimingCache, WritePolicy};
-pub use metacache::{MetaAccess, MetaDataCache};
 pub use mainmem::MainMemory;
+pub use metacache::{MetaAccess, MetaDataCache};
 pub use storebuf::StoreBuffer;

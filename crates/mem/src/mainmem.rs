@@ -40,15 +40,12 @@ impl MainMemory {
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        self.page(addr)
-            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+        self.page(addr).map_or(0, |p| p[(addr & PAGE_MASK) as usize])
     }
 
     /// Writes one byte.
@@ -96,9 +93,7 @@ impl MainMemory {
 
     /// Reads `len` bytes starting at `addr` into a fresh vector.
     pub fn dump(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i as u32))).collect()
     }
 
     /// Number of 4-KB pages that have been touched.

@@ -88,10 +88,8 @@ impl MetaDataCache {
         let words = self.tags.config().line_words();
         let mut t = now;
         if let Some(victim_base) = lookup.writeback_of {
-            let line = self
-                .data
-                .remove(&victim_base)
-                .expect("dirty victim must have resident data");
+            let line =
+                self.data.remove(&victim_base).expect("dirty victim must have resident data");
             mem.load(victim_base, &line);
             t = bus.transfer(master, t, words);
         }
@@ -176,6 +174,23 @@ impl MetaDataCache {
         MetaAccess { value: merged, hit: lookup.hit, ready_at }
     }
 
+    /// Flips the bits selected by `mask` in the aligned word containing
+    /// `addr`, if that line is resident — a fault-injection hook
+    /// modeling a particle strike on the meta-data array. Tag state,
+    /// statistics, and timing are untouched; a non-resident line
+    /// absorbs the strike (returns `false`).
+    pub fn poison(&mut self, addr: u32, mask: u32) -> bool {
+        let addr = addr & !3;
+        let base = self.line_base(addr);
+        let Some(line) = self.data.get_mut(&base) else {
+            return false;
+        };
+        let off = (addr - base) as usize;
+        let old = u32::from_be_bytes([line[off], line[off + 1], line[off + 2], line[off + 3]]);
+        line[off..off + 4].copy_from_slice(&(old ^ mask).to_be_bytes());
+        true
+    }
+
     /// Writes every resident line back to memory and empties the cache.
     ///
     /// Used at simulation end so that final meta-data state can be
@@ -193,18 +208,22 @@ mod tests {
     use super::*;
 
     fn setup() -> (MetaDataCache, MainMemory, SystemBus) {
-        (
-            MetaDataCache::new(CacheConfig::meta_default()),
-            MainMemory::new(),
-            SystemBus::default(),
-        )
+        (MetaDataCache::new(CacheConfig::meta_default()), MainMemory::new(), SystemBus::default())
     }
 
     #[test]
     fn masked_write_only_touches_selected_bits() {
         let (mut c, mut mem, mut bus) = setup();
         mem.write_u32(0x4000_0000, 0xffff_0000);
-        c.write_masked(0x4000_0000, 0x0000_00ff, 0x0000_ffff, &mut mem, &mut bus, BusMaster::Fabric, 0);
+        c.write_masked(
+            0x4000_0000,
+            0x0000_00ff,
+            0x0000_ffff,
+            &mut mem,
+            &mut bus,
+            BusMaster::Fabric,
+            0,
+        );
         let r = c.read_word(0x4000_0000, &mut mem, &mut bus, BusMaster::Fabric, 0);
         assert_eq!(r.value, 0xffff_00ff);
     }
@@ -243,7 +262,8 @@ mod tests {
     #[test]
     fn miss_timing_goes_over_the_bus() {
         let (mut c, mut mem, _) = setup();
-        let mut bus = SystemBus::new(crate::SdramTiming { first_word: 20, per_word: 2, write_word: 6 });
+        let mut bus =
+            SystemBus::new(crate::SdramTiming { first_word: 20, per_word: 2, write_word: 6 });
         let r = c.read_word(0x40, &mut mem, &mut bus, BusMaster::Fabric, 10);
         assert!(!r.hit);
         // 8-word refill at default SDRAM timing = 20 + 7*2 = 34 cycles.

@@ -70,10 +70,7 @@ fn flags(value: u32, v: bool, c: bool) -> IccFlags {
 }
 
 fn logic(value: u32, set_cc: bool) -> AluOut {
-    AluOut {
-        value,
-        icc: set_cc.then(|| IccFlags::from_result(value)),
-    }
+    AluOut { value, icc: set_cc.then(|| IccFlags::from_result(value)) }
 }
 
 #[cfg(test)]

@@ -358,8 +358,11 @@ impl Core {
                     packet.result = old;
                     let lookup = self.dcache.access(ea, false);
                     if !lookup.hit {
-                        let done =
-                            bus.transfer(BusMaster::Core, self.cycle, self.config.dcache.line_words());
+                        let done = bus.transfer(
+                            BusMaster::Core,
+                            self.cycle,
+                            self.config.dcache.line_words(),
+                        );
                         self.cycle = done;
                     }
                     self.dcache.access(ea, true);
@@ -370,7 +373,12 @@ impl Core {
                     self.set_reg(rd, old);
                     self.cycle += u64::from(self.config.load_latency);
                 } else if op == Opcode::Std {
-                    let rd2 = Reg::new(rd.index() as u8 + 1).expect("odd pair register");
+                    // SPARC-V8 doubleword ops pair even/odd registers.
+                    // A crafted (or fault-flipped) odd rd would address
+                    // past %r31, so the low bit is ignored and rd is
+                    // the even-aligned pair base.
+                    let rd = Reg::new(rd.index() as u8 & !1).unwrap_or(rd);
+                    let rd2 = Reg::new(rd.index() as u8 | 1).unwrap_or(rd);
                     let (v1, v2) = (self.reg(rd), self.reg(rd2));
                     mem.write_u32(ea, v1);
                     mem.write_u32(ea + 4, v2);
@@ -403,11 +411,16 @@ impl Core {
                     self.stats.store_stall_cycles += proceed - self.cycle;
                     self.cycle = proceed;
                 } else if op == Opcode::Ldd {
-                    let rd2 = Reg::new(rd.index() as u8 + 1).expect("odd pair register");
+                    // Even-aligned pair base, as for `std` above.
+                    let rd = Reg::new(rd.index() as u8 & !1).unwrap_or(rd);
+                    let rd2 = Reg::new(rd.index() as u8 | 1).unwrap_or(rd);
                     let lookup = self.dcache.access(ea, false);
                     if !lookup.hit {
-                        let done =
-                            bus.transfer(BusMaster::Core, self.cycle, self.config.dcache.line_words());
+                        let done = bus.transfer(
+                            BusMaster::Core,
+                            self.cycle,
+                            self.config.dcache.line_words(),
+                        );
                         self.cycle = done;
                     }
                     self.dcache.access(ea + 4, false); // same line: 8-aligned
@@ -421,8 +434,11 @@ impl Core {
                 } else {
                     let lookup = self.dcache.access(ea, false);
                     if !lookup.hit {
-                        let done =
-                            bus.transfer(BusMaster::Core, self.cycle, self.config.dcache.line_words());
+                        let done = bus.transfer(
+                            BusMaster::Core,
+                            self.cycle,
+                            self.config.dcache.line_words(),
+                        );
                         self.cycle = done;
                     }
                     let value = match op {
@@ -481,7 +497,8 @@ impl Core {
         } else {
             let lookup = self.dcache.access(addr, false);
             if !lookup.hit {
-                let done = bus.transfer(BusMaster::Core, self.cycle, self.config.dcache.line_words());
+                let done =
+                    bus.transfer(BusMaster::Core, self.cycle, self.config.dcache.line_words());
                 self.cycle = done;
             }
             self.cycle += u64::from(self.config.load_latency);
@@ -490,7 +507,12 @@ impl Core {
     }
 
     /// Runs until the program exits or `max_instructions` commit.
-    pub fn run(&mut self, mem: &mut MainMemory, bus: &mut SystemBus, max_instructions: u64) -> ExitReason {
+    pub fn run(
+        &mut self,
+        mem: &mut MainMemory,
+        bus: &mut SystemBus,
+        max_instructions: u64,
+    ) -> ExitReason {
         loop {
             if self.stats.instret >= max_instructions {
                 self.exited = Some(ExitReason::InstructionLimit);

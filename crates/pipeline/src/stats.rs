@@ -35,10 +35,8 @@ impl CoreStats {
         if self.instret == 0 {
             return 0.0;
         }
-        let selected: u64 = InstrClass::all()
-            .filter(|&c| pred(c))
-            .map(|c| self.per_class[c.index()])
-            .sum();
+        let selected: u64 =
+            InstrClass::all().filter(|&c| pred(c)).map(|c| self.per_class[c.index()]).sum();
         selected as f64 / self.instret as f64
     }
 }

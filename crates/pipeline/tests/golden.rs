@@ -172,10 +172,7 @@ fn arb_alu_inst() -> impl Strategy<Value = Instruction> {
         prop::sample::select(ops),
         arb_reg(),
         arb_reg(),
-        prop_oneof![
-            arb_reg().prop_map(Operand2::Reg),
-            (-4096i32..=4095).prop_map(Operand2::Imm)
-        ],
+        prop_oneof![arb_reg().prop_map(Operand2::Reg), (-4096i32..=4095).prop_map(Operand2::Imm)],
     )
         .prop_map(|(op, rs1, rd, op2)| Instruction::Alu { op, rd, rs1, op2 })
 }
@@ -189,10 +186,16 @@ fn arb_mem_inst() -> impl Strategy<Value = Instruction> {
     let half_ops = vec![Lduh, Ldsh, Sth];
     let byte_ops = vec![Ldub, Ldsb, Stb];
     prop_oneof![
-        (prop::sample::select(word_ops), arb_reg(), 0i32..64)
-            .prop_map(|(op, rd, w)| (op, rd, w * 4)),
-        (prop::sample::select(half_ops), arb_reg(), 0i32..128)
-            .prop_map(|(op, rd, h)| (op, rd, h * 2)),
+        (prop::sample::select(word_ops), arb_reg(), 0i32..64).prop_map(|(op, rd, w)| (
+            op,
+            rd,
+            w * 4
+        )),
+        (prop::sample::select(half_ops), arb_reg(), 0i32..128).prop_map(|(op, rd, h)| (
+            op,
+            rd,
+            h * 2
+        )),
         (prop::sample::select(byte_ops), arb_reg(), 0i32..256).prop_map(|(op, rd, b)| (op, rd, b)),
     ]
     .prop_map(|(op, rd, off)| Instruction::Mem {

@@ -44,11 +44,8 @@ fn reference() -> u32 {
         let b = ((seed >> 20) | 1).max(1);
         let q = a / b;
         let r = a - q * b;
-        total = total
-            .wrapping_add(q)
-            .wrapping_add(r)
-            .wrapping_add(isqrt(a))
-            .wrapping_add(gcd(a, b));
+        total =
+            total.wrapping_add(q).wrapping_add(r).wrapping_add(isqrt(a)).wrapping_add(gcd(a, b));
     }
     total
 }

@@ -263,8 +263,9 @@ tw_im:
         .align 4
 re_buf: .space {buf_bytes}
 im_buf: .space {buf_bytes}
-"
-    , buf_bytes = N * 4)
+",
+        buf_bytes = N * 4
+    )
 }
 
 #[cfg(test)]

@@ -102,8 +102,9 @@ no_fold:
 fail:   ta 1
         .align 4
 msg:    .space {msg_bytes}
-"
-    , msg_bytes = MSG_WORDS * 4)
+",
+        msg_bytes = MSG_WORDS * 4
+    )
 }
 
 #[cfg(test)]

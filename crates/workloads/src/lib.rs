@@ -30,6 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod basicmath;
@@ -243,11 +244,7 @@ mod tests {
         let core = run_and_verify(Workload::qsort());
         assert!(core.stats().instret > 100_000);
         // Quicksort is branch-heavy.
-        assert!(
-            core.stats()
-                .class_fraction(|c| c == flexcore_isa::InstrClass::BranchCond)
-                > 0.08
-        );
+        assert!(core.stats().class_fraction(|c| c == flexcore_isa::InstrClass::BranchCond) > 0.08);
     }
 
     #[test]

@@ -19,9 +19,7 @@ fn reference() -> u32 {
         })
         .collect();
     v.sort_unstable();
-    v.iter()
-        .enumerate()
-        .fold(0u32, |acc, (k, &x)| acc.wrapping_add(x.wrapping_mul(k as u32 + 1)))
+    v.iter().enumerate().fold(0u32, |acc, (k, &x)| acc.wrapping_add(x.wrapping_mul(k as u32 + 1)))
 }
 
 /// Generates the self-checking assembly source.

@@ -189,8 +189,9 @@ pats:
 {pat_words}
         .align 4
 text:   .space {TEXT_LEN}
-"
-    , search_end = TEXT_LEN - PAT_LEN)
+",
+        search_end = TEXT_LEN - PAT_LEN
+    )
 }
 
 #[cfg(test)]
@@ -202,10 +203,7 @@ mod tests {
         let t = text();
         for pass in 0..4 {
             let p = pattern(&t, pass);
-            let naive = t
-                .windows(PAT_LEN)
-                .filter(|w| *w == p)
-                .count() as u32;
+            let naive = t.windows(PAT_LEN).filter(|w| *w == p).count() as u32;
             assert_eq!(horspool_count(&t, &p), naive, "pass {pass}");
         }
     }

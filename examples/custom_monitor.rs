@@ -11,10 +11,12 @@
 //! cargo run --example custom_monitor
 //! ```
 
-use flexcore_suite::fabric::{Netlist, NetlistBuilder};
-use flexcore_suite::flexcore::ext::{ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE};
-use flexcore_suite::flexcore::{Cfgr, ForwardPolicy, System, SystemConfig};
 use flexcore_suite::asm::assemble;
+use flexcore_suite::fabric::{Netlist, NetlistBuilder};
+use flexcore_suite::flexcore::ext::{
+    ExtEnv, Extension, ExtensionDescriptor, MonitorTrap, META_BASE,
+};
+use flexcore_suite::flexcore::{Cfgr, ForwardPolicy, System, SystemConfig};
 use flexcore_suite::pipeline::TracePacket;
 
 /// A write-watchpoint + histogram monitor.
@@ -53,7 +55,11 @@ impl Extension for WriteProfiler {
             .with_class(flexcore_suite::isa::InstrClass::Cpop1, ForwardPolicy::WaitForAck)
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         use flexcore_suite::isa::Instruction;
         match pkt.inst {
             Instruction::Mem { op, .. } if op.is_store() => {
@@ -131,10 +137,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ta 0",
     )?;
 
-    let mut sys = System::new(
-        SystemConfig::fabric_half_speed(),
-        WriteProfiler::new(0xa000..0xb000),
-    );
+    let mut sys =
+        System::new(SystemConfig::fabric_half_speed(), WriteProfiler::new(0xa000..0xb000));
     sys.load_program(&program);
     let result = sys.run(100_000);
 

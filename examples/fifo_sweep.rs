@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = core.quiesced_at();
     println!("workload: {}, baseline {} cycles\n", workload.name(), base);
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>6}", "FIFO", "cycles", "normalized", "stall cyc", "peak");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>6}",
+        "FIFO", "cycles", "normalized", "stall cyc", "peak"
+    );
     for depth in [2, 4, 8, 16, 32, 64, 128, 256] {
         let cfg = SystemConfig::fabric_half_speed().with_fifo_depth(depth);
         let mut sys = System::new(cfg, Dift::new());

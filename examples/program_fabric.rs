@@ -28,7 +28,11 @@ fn main() {
     // 2. "Bitstream generation": the configuration that would be
     //    shifted serially into the fabric at boot.
     let bitstream = to_bitstream(&mapping);
-    println!("bitstream: {} bytes (version {})", bitstream.len(), flexcore_suite::fabric::BITSTREAM_VERSION);
+    println!(
+        "bitstream: {} bytes (version {})",
+        bitstream.len(),
+        flexcore_suite::fabric::BITSTREAM_VERSION
+    );
 
     // 3. Integrity: a single flipped bit anywhere must be rejected —
     //    a mis-programmed monitor silently watching every instruction

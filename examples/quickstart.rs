@@ -6,9 +6,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use flexcore_suite::asm::assemble;
 use flexcore_suite::flexcore::ext::Umc;
 use flexcore_suite::flexcore::{System, SystemConfig};
-use flexcore_suite::asm::assemble;
 use flexcore_suite::mem::{MainMemory, SystemBus};
 use flexcore_suite::pipeline::{Core, CoreConfig, ExitReason};
 

@@ -8,6 +8,7 @@
 
 use flexcore_suite::asm::assemble;
 use flexcore_suite::flexcore::ext::Sec;
+use flexcore_suite::flexcore::faults::{FaultModel, FaultPlan, FaultSchedule, FaultTarget};
 use flexcore_suite::flexcore::{System, SystemConfig};
 
 fn program() -> Result<flexcore_suite::asm::Program, flexcore_suite::asm::AsmError> {
@@ -36,15 +37,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Inject a single-event upset: flip bit 13 of the 503rd committed
     // instruction's result — one of the loop's `add`s — in the register
-    // file AND the forwarded packet, like a real ALU soft error.
+    // file AND the forwarded packet, like a real ALU soft error. The
+    // declarative plan is seeded, so the campaign replays identically.
     let mut sys = System::new(SystemConfig::fabric_quarter_speed(), Sec::new());
     sys.load_program(&program()?);
-    sys.inject_result_fault(503, 13);
-    let faulty = sys.run(100_000);
+    sys.arm_faults(FaultPlan::new(0xf1ec).inject(
+        FaultTarget::CommitResult,
+        FaultSchedule::AtCommit(503),
+        FaultModel::Mask(1 << 13),
+    ));
+    let faulty = sys.try_run(100_000)?;
     match &faulty.monitor_trap {
         Some(trap) => println!("injected SEU: {trap}"),
         None => println!("injected SEU was NOT detected (exit {:?})", faulty.exit),
     }
+    println!(
+        "fault log:   {:?} ({} fault injected)",
+        sys.fault_log(),
+        faulty.resilience.faults_injected
+    );
     assert!(faulty.monitor_trap.is_some(), "SEC must catch the bit flip");
     Ok(())
 }

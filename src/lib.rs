@@ -15,6 +15,8 @@
 //!   extensions, full system)
 //! * [`workloads`] — MiBench-like assembly kernels
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub use flexcore;
 pub use flexcore_asm as asm;
 pub use flexcore_fabric as fabric;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0251ee676938f41c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-0251ee676938f41c.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

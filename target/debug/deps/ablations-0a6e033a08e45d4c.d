@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-0a6e033a08e45d4c.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-0a6e033a08e45d4c.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-2cf425361181ca80.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/libablations-2cf425361181ca80.rmeta: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-422c20b3e6f1076e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-422c20b3e6f1076e.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

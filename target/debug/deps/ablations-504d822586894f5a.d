@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-504d822586894f5a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-504d822586894f5a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

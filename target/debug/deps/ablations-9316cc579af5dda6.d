@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9316cc579af5dda6.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9316cc579af5dda6: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9e8dfbfcf4ece675.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9e8dfbfcf4ece675: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assembler-ead430103e97a87b.d: crates/bench/benches/assembler.rs
+
+/root/repo/target/debug/deps/libassembler-ead430103e97a87b.rmeta: crates/bench/benches/assembler.rs
+
+crates/bench/benches/assembler.rs:

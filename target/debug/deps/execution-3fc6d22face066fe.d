@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/execution-3fc6d22face066fe.d: crates/pipeline/tests/execution.rs
+
+/root/repo/target/debug/deps/execution-3fc6d22face066fe: crates/pipeline/tests/execution.rs
+
+crates/pipeline/tests/execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/execution-a2bd24c37cfd1c4f.d: crates/pipeline/tests/execution.rs
+
+/root/repo/target/debug/deps/libexecution-a2bd24c37cfd1c4f.rmeta: crates/pipeline/tests/execution.rs
+
+crates/pipeline/tests/execution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/execution-c79a08218c6aa695.d: crates/pipeline/tests/execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecution-c79a08218c6aa695.rmeta: crates/pipeline/tests/execution.rs Cargo.toml
+
+crates/pipeline/tests/execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

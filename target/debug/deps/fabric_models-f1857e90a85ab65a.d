@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_models-f1857e90a85ab65a.d: crates/bench/benches/fabric_models.rs
+
+/root/repo/target/debug/deps/libfabric_models-f1857e90a85ab65a.rmeta: crates/bench/benches/fabric_models.rs
+
+crates/bench/benches/fabric_models.rs:

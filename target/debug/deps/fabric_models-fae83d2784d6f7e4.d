@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_models-fae83d2784d6f7e4.d: crates/bench/benches/fabric_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_models-fae83d2784d6f7e4.rmeta: crates/bench/benches/fabric_models.rs Cargo.toml
+
+crates/bench/benches/fabric_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

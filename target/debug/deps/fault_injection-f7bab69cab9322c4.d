@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-f7bab69cab9322c4.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-f7bab69cab9322c4: tests/fault_injection.rs
+
+tests/fault_injection.rs:

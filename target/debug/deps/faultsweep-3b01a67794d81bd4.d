@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-3b01a67794d81bd4.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/faultsweep-3b01a67794d81bd4: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-f8e710aa1288c1bf.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/faultsweep-f8e710aa1288c1bf: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-2a272a9f2428a09e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-2a272a9f2428a09e.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

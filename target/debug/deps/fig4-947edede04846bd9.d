@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-947edede04846bd9.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-947edede04846bd9: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b7a6311b36a8a2da.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-b7a6311b36a8a2da.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

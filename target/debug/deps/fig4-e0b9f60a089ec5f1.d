@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e0b9f60a089ec5f1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e0b9f60a089ec5f1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0dbd14755570e806.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-0dbd14755570e806.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5417a75b1e8a20ab.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5417a75b1e8a20ab: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

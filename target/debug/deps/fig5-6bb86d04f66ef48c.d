@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6bb86d04f66ef48c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-6bb86d04f66ef48c.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7652dec452e8efaa.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7652dec452e8efaa: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/flexcore-be2204364628e517.d: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
+
+/root/repo/target/debug/deps/flexcore-be2204364628e517: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
+
+crates/flexcore/src/lib.rs:
+crates/flexcore/src/ext/mod.rs:
+crates/flexcore/src/ext/bc.rs:
+crates/flexcore/src/ext/dift.rs:
+crates/flexcore/src/ext/mprot.rs:
+crates/flexcore/src/ext/sec.rs:
+crates/flexcore/src/ext/umc.rs:
+crates/flexcore/src/faults.rs:
+crates/flexcore/src/interface/mod.rs:
+crates/flexcore/src/interface/cfgr.rs:
+crates/flexcore/src/interface/fifo.rs:
+crates/flexcore/src/software.rs:
+crates/flexcore/src/error.rs:
+crates/flexcore/src/shadow.rs:
+crates/flexcore/src/stats.rs:
+crates/flexcore/src/system.rs:

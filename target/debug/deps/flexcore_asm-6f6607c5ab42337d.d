@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexcore_asm-6f6607c5ab42337d.d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_asm-6f6607c5ab42337d.rmeta: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/emit.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

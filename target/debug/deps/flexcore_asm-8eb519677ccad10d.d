@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexcore_asm-8eb519677ccad10d.d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/flexcore_asm-8eb519677ccad10d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/emit.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexcore_asm-dff2deacebe0f09c.d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libflexcore_asm-dff2deacebe0f09c.rmeta: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/emit.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:

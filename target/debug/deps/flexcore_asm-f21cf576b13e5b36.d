@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexcore_asm-f21cf576b13e5b36.d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libflexcore_asm-f21cf576b13e5b36.rlib: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/debug/deps/libflexcore_asm-f21cf576b13e5b36.rmeta: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/emit.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:

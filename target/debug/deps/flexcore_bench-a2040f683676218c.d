@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexcore_bench-a2040f683676218c.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexcore_bench-a2040f683676218c.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexcore_bench-a2040f683676218c.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

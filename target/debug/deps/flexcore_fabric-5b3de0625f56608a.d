@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexcore_fabric-5b3de0625f56608a.d: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_fabric-5b3de0625f56608a.rmeta: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/bitstream.rs:
+crates/fabric/src/calib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/lutmap.rs:
+crates/fabric/src/netlist.rs:
+crates/fabric/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

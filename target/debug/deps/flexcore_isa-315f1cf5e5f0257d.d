@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexcore_isa-315f1cf5e5f0257d.d: crates/isa/src/lib.rs crates/isa/src/class.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/flexcore_isa-315f1cf5e5f0257d: crates/isa/src/lib.rs crates/isa/src/class.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/class.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:

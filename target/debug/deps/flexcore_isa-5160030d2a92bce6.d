@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/flexcore_isa-5160030d2a92bce6.d: crates/isa/src/lib.rs crates/isa/src/class.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_isa-5160030d2a92bce6.rmeta: crates/isa/src/lib.rs crates/isa/src/class.rs crates/isa/src/cond.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/inst.rs crates/isa/src/opcode.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/class.rs:
+crates/isa/src/cond.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/opcode.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexcore_mem-46355040e44aa618.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/debug/deps/flexcore_mem-46355040e44aa618: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/storebuf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexcore_mem-6a79a42f64ee0d41.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/debug/deps/libflexcore_mem-6a79a42f64ee0d41.rlib: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/debug/deps/libflexcore_mem-6a79a42f64ee0d41.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/storebuf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexcore_pipeline-27da3584596e0c4f.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/libflexcore_pipeline-27da3584596e0c4f.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/libflexcore_pipeline-27da3584596e0c4f.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexcore_pipeline-504f53199f502188.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/flexcore_pipeline-504f53199f502188: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flexcore_pipeline-b2072c4943924fd5.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_pipeline-b2072c4943924fd5.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs Cargo.toml
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexcore_suite-0f532e4aaae3a9ae.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-0f532e4aaae3a9ae.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexcore_suite-6ef2167e39a8a655.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-6ef2167e39a8a655.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexcore_suite-d6447d4ea50419d7.d: src/lib.rs
+
+/root/repo/target/debug/deps/flexcore_suite-d6447d4ea50419d7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexcore_suite-e265b294610dd6b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-e265b294610dd6b5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-e265b294610dd6b5.rmeta: src/lib.rs
+
+src/lib.rs:

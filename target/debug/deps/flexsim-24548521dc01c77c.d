@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-24548521dc01c77c.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/libflexsim-24548521dc01c77c.rmeta: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

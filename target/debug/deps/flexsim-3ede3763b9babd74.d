@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsim-3ede3763b9babd74.d: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsim-3ede3763b9babd74.rmeta: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+crates/bench/src/bin/flexsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-48b64c6fec72525a.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/flexsim-48b64c6fec72525a: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-aae795fe88fc56ea.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/flexsim-aae795fe88fc56ea: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-bac8d10023af93c5.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/libflexsim-bac8d10023af93c5.rmeta: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsim-ea7e2f00a287bbcb.d: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsim-ea7e2f00a287bbcb.rmeta: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+crates/bench/src/bin/flexsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-5b1e6b49f0b68fd9.d: crates/pipeline/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-5b1e6b49f0b68fd9: crates/pipeline/tests/golden.rs
+
+crates/pipeline/tests/golden.rs:

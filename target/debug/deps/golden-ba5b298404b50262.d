@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-ba5b298404b50262.d: crates/pipeline/tests/golden.rs
+
+/root/repo/target/debug/deps/libgolden-ba5b298404b50262.rmeta: crates/pipeline/tests/golden.rs
+
+crates/pipeline/tests/golden.rs:

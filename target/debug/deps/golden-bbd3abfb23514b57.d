@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-bbd3abfb23514b57.d: crates/pipeline/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-bbd3abfb23514b57.rmeta: crates/pipeline/tests/golden.rs Cargo.toml
+
+crates/pipeline/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

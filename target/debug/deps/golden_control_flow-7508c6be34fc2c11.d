@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_control_flow-7508c6be34fc2c11.d: crates/pipeline/tests/golden_control_flow.rs
+
+/root/repo/target/debug/deps/golden_control_flow-7508c6be34fc2c11: crates/pipeline/tests/golden_control_flow.rs
+
+crates/pipeline/tests/golden_control_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_control_flow-bc2baf0e011e3f62.d: crates/pipeline/tests/golden_control_flow.rs
+
+/root/repo/target/debug/deps/libgolden_control_flow-bc2baf0e011e3f62.rmeta: crates/pipeline/tests/golden_control_flow.rs
+
+crates/pipeline/tests/golden_control_flow.rs:

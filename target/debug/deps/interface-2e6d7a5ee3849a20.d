@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interface-2e6d7a5ee3849a20.d: tests/interface.rs
+
+/root/repo/target/debug/deps/interface-2e6d7a5ee3849a20: tests/interface.rs
+
+tests/interface.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interface-a4c358e11367b859.d: tests/interface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterface-a4c358e11367b859.rmeta: tests/interface.rs Cargo.toml
+
+tests/interface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interface-d52aa7dd6834b0af.d: tests/interface.rs
+
+/root/repo/target/debug/deps/libinterface-d52aa7dd6834b0af.rmeta: tests/interface.rs
+
+tests/interface.rs:

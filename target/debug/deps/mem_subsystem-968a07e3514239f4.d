@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_subsystem-968a07e3514239f4.d: crates/bench/benches/mem_subsystem.rs
+
+/root/repo/target/debug/deps/libmem_subsystem-968a07e3514239f4.rmeta: crates/bench/benches/mem_subsystem.rs
+
+crates/bench/benches/mem_subsystem.rs:

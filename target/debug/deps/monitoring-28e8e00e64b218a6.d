@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-28e8e00e64b218a6.d: tests/monitoring.rs
+
+/root/repo/target/debug/deps/libmonitoring-28e8e00e64b218a6.rmeta: tests/monitoring.rs
+
+tests/monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring-ab3a5e45150eebe2.d: tests/monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring-ab3a5e45150eebe2.rmeta: tests/monitoring.rs Cargo.toml
+
+tests/monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

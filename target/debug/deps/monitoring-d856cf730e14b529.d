@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-d856cf730e14b529.d: tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-d856cf730e14b529: tests/monitoring.rs
+
+tests/monitoring.rs:

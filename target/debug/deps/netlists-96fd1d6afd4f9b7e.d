@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlists-96fd1d6afd4f9b7e.d: crates/flexcore/tests/netlists.rs
+
+/root/repo/target/debug/deps/libnetlists-96fd1d6afd4f9b7e.rmeta: crates/flexcore/tests/netlists.rs
+
+crates/flexcore/tests/netlists.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlists-ccd5a0a54dff3788.d: crates/flexcore/tests/netlists.rs
+
+/root/repo/target/debug/deps/netlists-ccd5a0a54dff3788: crates/flexcore/tests/netlists.rs
+
+crates/flexcore/tests/netlists.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_panic-821f3da9e8a2867e.d: crates/asm/tests/no_panic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_panic-821f3da9e8a2867e.rmeta: crates/asm/tests/no_panic.rs Cargo.toml
+
+crates/asm/tests/no_panic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_panic-86d5b5aeb9c3c710.d: crates/asm/tests/no_panic.rs
+
+/root/repo/target/debug/deps/no_panic-86d5b5aeb9c3c710: crates/asm/tests/no_panic.rs
+
+crates/asm/tests/no_panic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_panic-9ab59f6afdfd2b0e.d: crates/asm/tests/no_panic.rs
+
+/root/repo/target/debug/deps/libno_panic-9ab59f6afdfd2b0e.rmeta: crates/asm/tests/no_panic.rs
+
+crates/asm/tests/no_panic.rs:

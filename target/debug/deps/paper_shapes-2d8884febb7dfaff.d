@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-2d8884febb7dfaff.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-2d8884febb7dfaff.rmeta: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-e0b25f8fccd5208d.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-e0b25f8fccd5208d: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

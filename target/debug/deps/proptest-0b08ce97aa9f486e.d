@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0b08ce97aa9f486e.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0b08ce97aa9f486e.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0b08ce97aa9f486e.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4f97c55a9a2cc907.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4f97c55a9a2cc907: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c28d44d86ec42a29.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c28d44d86ec42a29.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d5106b9c1470edd9.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d5106b9c1470edd9.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

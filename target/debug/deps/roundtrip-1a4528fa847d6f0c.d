@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-1a4528fa847d6f0c.d: crates/asm/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/libroundtrip-1a4528fa847d6f0c.rmeta: crates/asm/tests/roundtrip.rs
+
+crates/asm/tests/roundtrip.rs:

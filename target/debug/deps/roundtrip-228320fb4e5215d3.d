@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-228320fb4e5215d3.d: crates/asm/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-228320fb4e5215d3: crates/asm/tests/roundtrip.rs
+
+crates/asm/tests/roundtrip.rs:

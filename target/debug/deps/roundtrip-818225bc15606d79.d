@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-818225bc15606d79.d: crates/asm/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-818225bc15606d79.rmeta: crates/asm/tests/roundtrip.rs Cargo.toml
+
+crates/asm/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_throughput-7c8308a2f1ad6fba.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/debug/deps/libsim_throughput-7c8308a2f1ad6fba.rmeta: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-1035854fbc3cd403.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/libsuperscalar-1035854fbc3cd403.rmeta: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

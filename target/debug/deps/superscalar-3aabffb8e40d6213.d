@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-3aabffb8e40d6213.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/libsuperscalar-3aabffb8e40d6213.rmeta: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-88970e68fcb0e391.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/superscalar-88970e68fcb0e391: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-916ff676e9228ffe.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/superscalar-916ff676e9228ffe: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-073c5bfd0a1e926f.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-073c5bfd0a1e926f: tests/system_properties.rs
+
+tests/system_properties.rs:

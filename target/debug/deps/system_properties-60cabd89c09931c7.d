@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-60cabd89c09931c7.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/libsystem_properties-60cabd89c09931c7.rmeta: tests/system_properties.rs
+
+tests/system_properties.rs:

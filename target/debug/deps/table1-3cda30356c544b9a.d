@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3cda30356c544b9a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-3cda30356c544b9a.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

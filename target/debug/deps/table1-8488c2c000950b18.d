@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-8488c2c000950b18.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-8488c2c000950b18: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-993bf4e925215e02.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-993bf4e925215e02: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

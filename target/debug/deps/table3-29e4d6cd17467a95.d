@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-29e4d6cd17467a95.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-29e4d6cd17467a95: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

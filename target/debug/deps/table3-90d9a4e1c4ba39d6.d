@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-90d9a4e1c4ba39d6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-90d9a4e1c4ba39d6.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

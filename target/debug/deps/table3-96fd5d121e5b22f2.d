@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-96fd5d121e5b22f2.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-96fd5d121e5b22f2.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f4e31953fa897a24.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f4e31953fa897a24: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-0a3e30b1c8aedd5e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-0a3e30b1c8aedd5e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a5dd2225b0a0dc64.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-a5dd2225b0a0dc64.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-d51978157560597d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-d51978157560597d.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

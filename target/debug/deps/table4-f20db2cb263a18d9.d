@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f20db2cb263a18d9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f20db2cb263a18d9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

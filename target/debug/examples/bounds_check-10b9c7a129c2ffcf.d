@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounds_check-10b9c7a129c2ffcf.d: examples/bounds_check.rs
+
+/root/repo/target/debug/examples/bounds_check-10b9c7a129c2ffcf: examples/bounds_check.rs
+
+examples/bounds_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounds_check-d6f7352bfdb272cf.d: examples/bounds_check.rs
+
+/root/repo/target/debug/examples/libbounds_check-d6f7352bfdb272cf.rmeta: examples/bounds_check.rs
+
+examples/bounds_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_monitor-1e980438f6561acd.d: examples/custom_monitor.rs
+
+/root/repo/target/debug/examples/custom_monitor-1e980438f6561acd: examples/custom_monitor.rs
+
+examples/custom_monitor.rs:

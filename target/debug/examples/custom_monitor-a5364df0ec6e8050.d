@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_monitor-a5364df0ec6e8050.d: examples/custom_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_monitor-a5364df0ec6e8050.rmeta: examples/custom_monitor.rs Cargo.toml
+
+examples/custom_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

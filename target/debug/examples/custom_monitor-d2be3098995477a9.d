@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_monitor-d2be3098995477a9.d: examples/custom_monitor.rs
+
+/root/repo/target/debug/examples/libcustom_monitor-d2be3098995477a9.rmeta: examples/custom_monitor.rs
+
+examples/custom_monitor.rs:

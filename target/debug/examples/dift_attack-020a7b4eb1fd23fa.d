@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dift_attack-020a7b4eb1fd23fa.d: examples/dift_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdift_attack-020a7b4eb1fd23fa.rmeta: examples/dift_attack.rs Cargo.toml
+
+examples/dift_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

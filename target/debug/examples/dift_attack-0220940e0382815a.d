@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dift_attack-0220940e0382815a.d: examples/dift_attack.rs
+
+/root/repo/target/debug/examples/dift_attack-0220940e0382815a: examples/dift_attack.rs
+
+examples/dift_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dift_attack-72fc3a1a4c571744.d: examples/dift_attack.rs
+
+/root/repo/target/debug/examples/libdift_attack-72fc3a1a4c571744.rmeta: examples/dift_attack.rs
+
+examples/dift_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fifo_sweep-92bdfc6423531f9e.d: examples/fifo_sweep.rs
+
+/root/repo/target/debug/examples/libfifo_sweep-92bdfc6423531f9e.rmeta: examples/fifo_sweep.rs
+
+examples/fifo_sweep.rs:

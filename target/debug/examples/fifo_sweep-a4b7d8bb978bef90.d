@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fifo_sweep-a4b7d8bb978bef90.d: examples/fifo_sweep.rs
+
+/root/repo/target/debug/examples/fifo_sweep-a4b7d8bb978bef90: examples/fifo_sweep.rs
+
+examples/fifo_sweep.rs:

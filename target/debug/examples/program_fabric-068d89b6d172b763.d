@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_fabric-068d89b6d172b763.d: examples/program_fabric.rs
+
+/root/repo/target/debug/examples/program_fabric-068d89b6d172b763: examples/program_fabric.rs
+
+examples/program_fabric.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/program_fabric-3dedb00c59eac1eb.d: examples/program_fabric.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogram_fabric-3dedb00c59eac1eb.rmeta: examples/program_fabric.rs Cargo.toml
+
+examples/program_fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

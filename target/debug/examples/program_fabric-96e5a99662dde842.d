@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_fabric-96e5a99662dde842.d: examples/program_fabric.rs
+
+/root/repo/target/debug/examples/libprogram_fabric-96e5a99662dde842.rmeta: examples/program_fabric.rs
+
+examples/program_fabric.rs:

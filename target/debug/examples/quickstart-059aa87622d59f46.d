@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-059aa87622d59f46.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-059aa87622d59f46: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-59ac5745dac9ec49.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-59ac5745dac9ec49.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

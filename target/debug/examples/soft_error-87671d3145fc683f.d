@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soft_error-87671d3145fc683f.d: examples/soft_error.rs
+
+/root/repo/target/debug/examples/soft_error-87671d3145fc683f: examples/soft_error.rs
+
+examples/soft_error.rs:

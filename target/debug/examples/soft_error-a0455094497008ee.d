@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/soft_error-a0455094497008ee.d: examples/soft_error.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoft_error-a0455094497008ee.rmeta: examples/soft_error.rs Cargo.toml
+
+examples/soft_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

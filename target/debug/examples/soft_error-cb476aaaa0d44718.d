@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soft_error-cb476aaaa0d44718.d: examples/soft_error.rs
+
+/root/repo/target/debug/examples/libsoft_error-cb476aaaa0d44718.rmeta: examples/soft_error.rs
+
+examples/soft_error.rs:

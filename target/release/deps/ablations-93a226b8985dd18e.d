@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-93a226b8985dd18e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-93a226b8985dd18e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

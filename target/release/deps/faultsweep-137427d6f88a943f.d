@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faultsweep-137427d6f88a943f.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/release/deps/faultsweep-137427d6f88a943f: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

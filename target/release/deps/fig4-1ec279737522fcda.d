@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1ec279737522fcda.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1ec279737522fcda: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

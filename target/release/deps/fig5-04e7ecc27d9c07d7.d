@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-04e7ecc27d9c07d7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-04e7ecc27d9c07d7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flexcore_asm-0d0cf70026f5df3b.d: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libflexcore_asm-0d0cf70026f5df3b.rlib: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+/root/repo/target/release/deps/libflexcore_asm-0d0cf70026f5df3b.rmeta: crates/asm/src/lib.rs crates/asm/src/emit.rs crates/asm/src/error.rs crates/asm/src/parse.rs crates/asm/src/program.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/emit.rs:
+crates/asm/src/error.rs:
+crates/asm/src/parse.rs:
+crates/asm/src/program.rs:

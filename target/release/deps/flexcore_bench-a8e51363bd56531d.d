@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexcore_bench-a8e51363bd56531d.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexcore_bench-a8e51363bd56531d.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexcore_bench-a8e51363bd56531d.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexcore_fabric-d583869e638ec5ec.d: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+
+/root/repo/target/release/deps/libflexcore_fabric-d583869e638ec5ec.rlib: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+
+/root/repo/target/release/deps/libflexcore_fabric-d583869e638ec5ec.rmeta: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/bitstream.rs:
+crates/fabric/src/calib.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/lutmap.rs:
+crates/fabric/src/netlist.rs:
+crates/fabric/src/vcd.rs:

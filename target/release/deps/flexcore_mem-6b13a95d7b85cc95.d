@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flexcore_mem-6b13a95d7b85cc95.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/release/deps/libflexcore_mem-6b13a95d7b85cc95.rlib: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/release/deps/libflexcore_mem-6b13a95d7b85cc95.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/storebuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/storebuf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexcore_suite-f2139487a585873f.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexcore_suite-f2139487a585873f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexcore_suite-f2139487a585873f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsim-b6c02d2b03f37424.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/release/deps/flexsim-b6c02d2b03f37424: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

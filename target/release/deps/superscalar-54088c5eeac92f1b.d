@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superscalar-54088c5eeac92f1b.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/release/deps/superscalar-54088c5eeac92f1b: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

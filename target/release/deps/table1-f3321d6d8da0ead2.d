@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f3321d6d8da0ead2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f3321d6d8da0ead2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3e205d1e41bf7bfe.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3e205d1e41bf7bfe: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

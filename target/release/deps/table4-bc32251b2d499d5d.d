@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bc32251b2d499d5d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-bc32251b2d499d5d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

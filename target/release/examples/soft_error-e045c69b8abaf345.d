@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/soft_error-e045c69b8abaf345.d: examples/soft_error.rs
+
+/root/repo/target/release/examples/soft_error-e045c69b8abaf345: examples/soft_error.rs
+
+examples/soft_error.rs:

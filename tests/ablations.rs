@@ -76,10 +76,8 @@ fn precise_exceptions_have_zero_skid() {
     assert!(imprecise.trap_skid.unwrap() >= 1);
     // Precise (ack per instruction): the violating instruction is the
     // last to commit.
-    let mut sys = System::new(
-        SystemConfig::fabric_quarter_speed().with_precise_exceptions(),
-        Umc::new(),
-    );
+    let mut sys =
+        System::new(SystemConfig::fabric_quarter_speed().with_precise_exceptions(), Umc::new());
     sys.load_program(&program);
     let precise = sys.run(100_000);
     assert_eq!(precise.trap_skid, Some(0));

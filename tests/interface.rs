@@ -3,10 +3,10 @@
 //! stall / ack), BFIFO return values, clock-domain alignment, and the
 //! end-of-run EMPTY discipline.
 
+use flexcore_suite::asm::assemble;
 use flexcore_suite::fabric::{Netlist, NetlistBuilder};
 use flexcore_suite::flexcore::ext::{ExtEnv, Extension, ExtensionDescriptor, MonitorTrap};
 use flexcore_suite::flexcore::{Cfgr, ForwardPolicy, System, SystemConfig};
-use flexcore_suite::asm::assemble;
 use flexcore_suite::isa::InstrClass;
 use flexcore_suite::pipeline::{ExitReason, TracePacket};
 
@@ -45,7 +45,11 @@ impl Extension for Probe {
         self.cfgr
     }
 
-    fn process(&mut self, pkt: &TracePacket, env: &mut ExtEnv<'_>) -> Result<Option<u32>, MonitorTrap> {
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
         self.seen += 1;
         self.last_pc = pkt.pc;
         for i in 0..self.busywork {
@@ -73,7 +77,12 @@ const COUNT_PROGRAM: &str = "start: mov 10, %o0
                nop
                ta 0";
 
-fn run_probe(cfgr: Cfgr, busywork: u32, cfg: SystemConfig, src: &str) -> (u64, flexcore_suite::flexcore::RunResult) {
+fn run_probe(
+    cfgr: Cfgr,
+    busywork: u32,
+    cfg: SystemConfig,
+    src: &str,
+) -> (u64, flexcore_suite::flexcore::RunResult) {
     let program = assemble(src).unwrap();
     let mut probe = Probe::new(cfgr);
     probe.busywork = busywork;

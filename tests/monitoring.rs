@@ -244,11 +244,7 @@ fn dift_taint_flows_through_ldd_std_and_swap() {
         taint = flexcore_suite::flexcore::ext::dift::ops::TAINT_RANGE,
     );
     let r = run(&src, Dift::new());
-    assert!(
-        r.monitor_trap.is_some(),
-        "taint must survive ldd -> std -> ld: {:?}",
-        r.exit
-    );
+    assert!(r.monitor_trap.is_some(), "taint must survive ldd -> std -> ld: {:?}", r.exit);
 }
 
 #[test]

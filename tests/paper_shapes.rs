@@ -109,12 +109,8 @@ fn software_monitoring_is_an_order_slower_than_flexcore() {
 /// (with margin for this mapper's LUT inflation).
 #[test]
 fn table_iii_cost_orderings() {
-    let netlists = [
-        Umc::new().netlist(),
-        Dift::new().netlist(),
-        Bc::new().netlist(),
-        Sec::new().netlist(),
-    ];
+    let netlists =
+        [Umc::new().netlist(), Dift::new().netlist(), Bc::new().netlist(), Sec::new().netlist()];
     let fpga: Vec<FpgaCost> = netlists.iter().map(FpgaCost::of).collect();
     let luts: Vec<usize> = fpga.iter().map(FpgaCost::luts).collect();
     assert!(luts.windows(2).all(|w| w[0] < w[1]), "LUT ordering: {luts:?}");

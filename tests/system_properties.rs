@@ -20,9 +20,8 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 /// reserved as the scratch-window base.
 fn arb_program() -> impl Strategy<Value = Vec<Instruction>> {
     use Opcode::*;
-    let alu_ops = vec![
-        Add, Addcc, Sub, Subcc, And, Or, Xor, Xorcc, Andn, Xnor, Sll, Srl, Sra, Umul, Smul,
-    ];
+    let alu_ops =
+        vec![Add, Addcc, Sub, Subcc, And, Or, Xor, Xorcc, Andn, Xnor, Sll, Srl, Sra, Umul, Smul];
     let inst = prop_oneof![
         4 => (prop::sample::select(alu_ops), arb_reg(), arb_reg(), -2048i32..2048)
             .prop_map(|(op, rs1, rd, imm)| Instruction::Alu { op, rd, rs1, op2: Operand2::Imm(imm) }),
