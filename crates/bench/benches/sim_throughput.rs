@@ -1,7 +1,15 @@
 //! Micro-benchmarks: simulator throughput for the bare core and for
 //! the full FlexCore system under each extension.
+//!
+//! The `system_100k_instructions/*` rows are the observability
+//! *disabled-path* reference: `System::new` installs the [`NullSink`],
+//! whose `ENABLED = false` compiles every instrumentation hook out, so
+//! these rows must not move when the `obs` layer changes. The
+//! `observed_100k_instructions/*` rows run the same simulations with a
+//! live metrics sampler to show what turning the sampler on costs.
 
 use flexcore::ext::{Bc, Dift, Sec, Umc};
+use flexcore::obs::MetricsRecorder;
 use flexcore::{Extension, System, SystemConfig};
 use flexcore_asm::Program;
 use flexcore_bench::microbench::Harness;
@@ -17,6 +25,13 @@ fn program() -> Program {
 
 fn run_system<E: Extension>(program: &Program, ext: E) -> u64 {
     let mut sys = System::new(SystemConfig::fabric_half_speed(), ext);
+    sys.load_program(program);
+    sys.run(BUDGET).cycles
+}
+
+fn run_observed<E: Extension>(program: &Program, ext: E) -> u64 {
+    let sampler = MetricsRecorder::new(MetricsRecorder::DEFAULT_EPOCH_CYCLES);
+    let mut sys = System::with_sink(SystemConfig::fabric_half_speed(), ext, sampler);
     sys.load_program(program);
     sys.run(BUDGET).cycles
 }
@@ -37,4 +52,7 @@ fn main() {
     h.run("system_100k_instructions/dift", || run_system(&program, Dift::new()));
     h.run("system_100k_instructions/bc", || run_system(&program, Bc::new()));
     h.run("system_100k_instructions/sec", || run_system(&program, Sec::new()));
+
+    h.run("observed_100k_instructions/umc", || run_observed(&program, Umc::new()));
+    h.run("observed_100k_instructions/dift", || run_observed(&program, Dift::new()));
 }

@@ -5,12 +5,16 @@
 //! The forwarded fraction is a property of the CFGR configuration and
 //! the benchmark's dynamic instruction mix, so it is independent of the
 //! fabric clock; the runs use the 1X configuration.
+//!
+//! `--series <dir>` additionally writes each run's cycle-resolved epoch
+//! metrics as `<dir>/fig4_<workload>_<ext>.jsonl`.
 
 use flexcore::SystemConfig;
-use flexcore_bench::{geomean, run_extension, ExtKind};
+use flexcore_bench::{geomean, run_extension, run_extension_series, series_dir_from_args, ExtKind};
 use flexcore_workloads::Workload;
 
 fn main() {
+    let series = series_dir_from_args();
     println!("Figure 4: % of instructions forwarded to the fabric");
     println!("{}", "=".repeat(66));
     print!("{:<14}", "Benchmark");
@@ -23,7 +27,14 @@ fn main() {
     for workload in Workload::all() {
         print!("{:<14}", workload.name());
         for (ei, ext) in ExtKind::ALL.into_iter().enumerate() {
-            let run = run_extension(&workload, ext, SystemConfig::fabric_full_speed());
+            let cfg = SystemConfig::fabric_full_speed();
+            let run = match &series {
+                Some(dir) => {
+                    let stem = format!("fig4_{}_{}", workload.name(), ext.name().to_lowercase());
+                    run_extension_series(&workload, ext, cfg, dir, &stem)
+                }
+                None => run_extension(&workload, ext, cfg),
+            };
             per_ext[ei].push(run.forwarded_fraction.max(1e-6));
             print!("{:>9.1}%", run.forwarded_fraction * 100.0);
         }

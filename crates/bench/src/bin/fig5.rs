@@ -4,13 +4,21 @@
 //! operating point (0.5X for UMC/DIFT/BC, 0.25X for SEC).
 //!
 //! `--quick` sweeps three benchmarks and four FIFO sizes.
+//!
+//! `--series <dir>` additionally writes each run's cycle-resolved epoch
+//! metrics as `<dir>/fig5_fifo<N>_<ext>_<workload>.jsonl` — the FIFO
+//! back-pressure sweep is where the per-epoch occupancy/stall columns
+//! are most interesting.
 
 use flexcore::SystemConfig;
-use flexcore_bench::{baseline_cycles, geomean, run_extension, ExtKind};
+use flexcore_bench::{
+    baseline_cycles, geomean, run_extension, run_extension_series, series_dir_from_args, ExtKind,
+};
 use flexcore_workloads::Workload;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let series = series_dir_from_args();
     let sizes: &[usize] = if quick { &[8, 16, 64, 256] } else { &[4, 8, 16, 32, 64, 128, 256] };
     let workloads = if quick {
         vec![Workload::sha(), Workload::stringsearch(), Workload::bitcount()]
@@ -41,7 +49,20 @@ fn main() {
             let ratios: Vec<f64> = workloads
                 .iter()
                 .zip(&baselines)
-                .map(|(w, &base)| run_extension(w, ext, cfg).cycles as f64 / base as f64)
+                .map(|(w, &base)| {
+                    let run = match &series {
+                        Some(dir) => {
+                            let stem = format!(
+                                "fig5_fifo{size}_{}_{}",
+                                ext.name().to_lowercase(),
+                                w.name()
+                            );
+                            run_extension_series(w, ext, cfg, dir, &stem)
+                        }
+                        None => run_extension(w, ext, cfg),
+                    };
+                    run.cycles as f64 / base as f64
+                })
                 .collect();
             print!("{:>10.3}", geomean(&ratios));
         }

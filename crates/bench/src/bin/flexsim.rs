@@ -9,7 +9,14 @@
 //!   --clock <1x|0.5x|0.25x>              fabric clock ratio (default: 0.5x)
 //!   --fifo <N>                           forward-FIFO depth (default: 64)
 //!   --max <N>                            instruction budget (default: 200M)
-//!   --trace                              print every committed instruction
+//!   --metrics <file>                     epoch-bucketed metrics as JSONL
+//!   --epoch <N>                          metrics epoch width in cycles (default: 1000)
+//!   --trace <file>                       Chrome trace-event JSON (open in Perfetto)
+//!   --flight-recorder <N>                keep the last N commits for diagnostics
+//!   --vcd <file>                         fabric waveform from the first forwarded packets
+//!   --json                               print the full run result as JSON
+//!   --commits                            print every committed instruction (bare core)
+//!   --disasm                             print the assembled listing and exit
 //!
 //! Workload names: sha gmac stringsearch fft basicmath bitcount
 //!                  crc32 qsort dijkstra
@@ -19,17 +26,29 @@
 //!
 //! ```sh
 //! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext dift
-//! cargo run --release -p flexcore-bench --bin flexsim -- my_prog.s --ext umc --clock 0.25x
+//! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext umc \
+//!     --metrics sha.jsonl --trace sha.trace.json --flight-recorder 32
 //! ```
+//!
+//! The observability outputs (`--metrics`, `--trace`, `--flight-recorder`,
+//! `--vcd`, `--json`) require a monitoring extension: they observe the
+//! [`System`] commit/forward path, which the bare core does not have.
 
 use std::process::ExitCode;
 
 use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
-use flexcore::{System, SystemConfig};
+use flexcore::obs::{ChromeRecorder, MetricsRecorder, Observer};
+use flexcore::{SimError, System, SystemConfig};
 use flexcore_asm::{assemble, Program};
+use flexcore_fabric::write_vcd;
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult};
 use flexcore_workloads::Workload;
+
+/// How many forwarded packets feed the `--vcd` waveform. One packet is
+/// one fabric clock cycle; beyond a few hundred cycles the waveform
+/// stops being something a human scrolls through.
+const VCD_PACKET_CAP: usize = 256;
 
 struct Options {
     input: String,
@@ -37,8 +56,25 @@ struct Options {
     clock: String,
     fifo: usize,
     max: u64,
-    trace: bool,
+    commits: bool,
     disasm: bool,
+    metrics: Option<String>,
+    epoch: u64,
+    trace: Option<String>,
+    flight: usize,
+    vcd: Option<String>,
+    json: bool,
+}
+
+impl Options {
+    /// Whether any flag that needs a [`System`]-level sink is set.
+    fn wants_observability(&self) -> bool {
+        self.metrics.is_some()
+            || self.trace.is_some()
+            || self.flight > 0
+            || self.vcd.is_some()
+            || self.json
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -48,8 +84,14 @@ fn parse_args() -> Result<Options, String> {
         clock: "0.5x".into(),
         fifo: 64,
         max: 200_000_000,
-        trace: false,
+        commits: false,
         disasm: false,
+        metrics: None,
+        epoch: MetricsRecorder::DEFAULT_EPOCH_CYCLES,
+        trace: None,
+        flight: 0,
+        vcd: None,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,7 +112,25 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--max: {e}"))?;
             }
-            "--trace" => opts.trace = true,
+            "--metrics" => opts.metrics = Some(args.next().ok_or("--metrics needs a file")?),
+            "--epoch" => {
+                opts.epoch = args
+                    .next()
+                    .ok_or("--epoch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--epoch: {e}"))?;
+            }
+            "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a file")?),
+            "--flight-recorder" => {
+                opts.flight = args
+                    .next()
+                    .ok_or("--flight-recorder needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--flight-recorder: {e}"))?;
+            }
+            "--vcd" => opts.vcd = Some(args.next().ok_or("--vcd needs a file")?),
+            "--json" => opts.json = true,
+            "--commits" => opts.commits = true,
             "--disasm" => opts.disasm = true,
             "--help" | "-h" => return Err("help".into()),
             other if opts.input.is_empty() => opts.input = other.to_string(),
@@ -79,6 +139,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.input.is_empty() {
         return Err("missing program file or workload name".into());
+    }
+    if opts.ext == "none" && opts.wants_observability() {
+        return Err("--metrics/--trace/--flight-recorder/--vcd/--json observe the monitored \
+             commit path; pick an extension with --ext umc|dift|bc|sec|mprot"
+            .into());
     }
     Ok(opts)
 }
@@ -116,6 +181,16 @@ fn report_exit(exit: &ExitReason) -> i32 {
     }
 }
 
+fn write_file(path: &str, contents: &str) -> i32 {
+    match std::fs::write(path, contents) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            2
+        }
+    }
+}
+
 fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32 {
     let cfg = match config(opts) {
         Ok(c) => c,
@@ -125,18 +200,88 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
         }
     };
     let name = ext.name();
-    let mut sys = System::new(cfg, ext);
+
+    let mut obs = Observer::new();
+    if opts.metrics.is_some() {
+        obs = obs.with_metrics(MetricsRecorder::new(opts.epoch));
+    }
+    if opts.trace.is_some() {
+        obs = obs.with_chrome(ChromeRecorder::new());
+    }
+    if opts.flight > 0 {
+        obs = obs.with_flight(opts.flight);
+    }
+    if opts.vcd.is_some() {
+        obs = obs.with_packet_tap(VCD_PACKET_CAP);
+    }
+
+    let mut sys = System::with_sink(cfg, ext, obs);
     sys.load_program(program);
-    let r = sys.run(opts.max);
-    println!("[{name}] {} instructions, {} cycles (CPI {:.3})", r.instret, r.cycles, r.cpi());
-    println!(
-        "[{name}] forwarded {:.1}% of instructions; FIFO stalls {} cyc; meta-cache {}",
-        r.forward.forwarded_fraction() * 100.0,
-        r.forward.fifo_stall_cycles,
-        r.meta_cache
-    );
-    if !r.console.is_empty() {
-        println!("--- console ---\n{}", String::from_utf8_lossy(&r.console));
+    let r = match sys.try_run(opts.max) {
+        Ok(r) => r,
+        Err(SimError::Deadlock(snap)) => {
+            eprintln!("[{name}] {}", SimError::Deadlock(snap.clone()));
+            let recent = snap.recent_disassembly();
+            if !recent.is_empty() {
+                eprintln!("last commits before the wedge:\n{recent}");
+            }
+            return 4;
+        }
+        Err(e) => {
+            eprintln!("[{name}] {e}");
+            return 4;
+        }
+    };
+
+    // The VCD dump needs both the tapped packets (in the sink) and the
+    // extension's netlist, so write it before consuming `sys`.
+    if let Some(path) = &opts.vcd {
+        let stimulus: Vec<Vec<bool>> = sys
+            .sink()
+            .packets
+            .as_ref()
+            .map(|tap| tap.packets().iter().map(|p| sys.extension().vcd_stimulus(p)).collect())
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        if let Err(e) = write_vcd(&sys.extension().netlist(), &stimulus, &mut out) {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+        let text = String::from_utf8_lossy(&out);
+        let code = write_file(path, &text);
+        if code != 0 {
+            return code;
+        }
+        eprintln!("[{name}] wrote {} fabric cycles to {path}", stimulus.len());
+    }
+
+    let obs = sys.into_sink();
+    if let (Some(path), Some(m)) = (&opts.metrics, &obs.metrics) {
+        if let Err(e) = m.check_against(&r) {
+            eprintln!("internal error: metrics disagree with the run result: {e}");
+            return 4;
+        }
+        let code = write_file(path, &m.to_jsonl(&r));
+        if code != 0 {
+            return code;
+        }
+        eprintln!("[{name}] wrote {} epochs to {path}", m.epochs().len());
+    }
+    if let (Some(path), Some(c)) = (&opts.trace, &obs.chrome) {
+        let code = write_file(path, &c.to_chrome_json());
+        if code != 0 {
+            return code;
+        }
+        eprintln!("[{name}] wrote {} trace events to {path}", c.events().len());
+    }
+
+    if opts.json {
+        println!("{}", serde::to_string_pretty(&r));
+    } else {
+        print!("{}", r.summary());
+        if !r.console.is_empty() {
+            println!("--- console ---\n{}", String::from_utf8_lossy(&r.console));
+        }
     }
     if let Some(trap) = &r.monitor_trap {
         eprintln!("[{name}] {trap}");
@@ -153,7 +298,7 @@ fn run_bare(program: &Program, opts: &Options) -> i32 {
     let exit = loop {
         match core.step(&mut mem, &mut bus) {
             StepResult::Committed(pkt) => {
-                if opts.trace {
+                if opts.commits {
                     println!("{:>10}  {:#010x}  {}", pkt.commit_cycle, pkt.pc, pkt.inst);
                 }
                 if core.stats().instret >= opts.max {
@@ -187,7 +332,9 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: flexsim [--ext umc|dift|bc|sec|mprot|none] [--clock 1x|0.5x|0.25x]\n\
-                 \x20              [--fifo N] [--max N] [--trace] <program.s | workload>"
+                 \x20              [--fifo N] [--max N] [--metrics FILE] [--epoch N]\n\
+                 \x20              [--trace FILE] [--flight-recorder N] [--vcd FILE]\n\
+                 \x20              [--json] [--commits] [--disasm] <program.s | workload>"
             );
             return ExitCode::from(2);
         }

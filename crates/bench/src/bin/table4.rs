@@ -6,16 +6,22 @@
 //!
 //! `--software` additionally runs the §V.C software-instrumentation
 //! baselines on each benchmark.
+//!
+//! `--series <dir>` additionally writes each monitored run's
+//! cycle-resolved epoch metrics as
+//! `<dir>/table4_<workload>_<ext>_<clock>.jsonl`.
 
 use flexcore::software::{run_software_monitored, SoftwareMonitor};
 use flexcore::SystemConfig;
 use flexcore_bench::{
-    baseline_cycles, geomean, paper, run_extension, run_panic_tolerant, ExtKind, MAX_INSTRUCTIONS,
+    baseline_cycles, geomean, paper, run_extension, run_extension_series, run_panic_tolerant,
+    series_dir_from_args, ExtKind, MAX_INSTRUCTIONS,
 };
 use flexcore_workloads::Workload;
 
 fn main() {
     let software = std::env::args().any(|a| a == "--software");
+    let series = series_dir_from_args();
     let configs = [
         ("1X", SystemConfig::fabric_full_speed()),
         ("0.5X", SystemConfig::fabric_half_speed()),
@@ -40,8 +46,20 @@ fn main() {
         for ext in ExtKind::ALL {
             for (cname, cfg) in configs {
                 let w = *w;
+                let series = series.clone();
                 jobs.push((format!("{} under {} at {cname}", w.name(), ext.name()), move || {
-                    run_extension(&w, ext, cfg)
+                    match &series {
+                        Some(dir) => {
+                            let stem = format!(
+                                "table4_{}_{}_{}",
+                                w.name(),
+                                ext.name().to_lowercase(),
+                                cname.to_lowercase()
+                            );
+                            run_extension_series(&w, ext, cfg, dir, &stem)
+                        }
+                        None => run_extension(&w, ext, cfg),
+                    }
                 }));
             }
         }

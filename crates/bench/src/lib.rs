@@ -25,6 +25,6 @@ pub mod paper;
 mod runner;
 
 pub use runner::{
-    baseline_cycles, geomean, run_extension, run_panic_tolerant, ExtKind, JobReport, RunSummary,
-    MAX_INSTRUCTIONS,
+    baseline_cycles, geomean, run_extension, run_extension_series, run_panic_tolerant,
+    series_dir_from_args, ExtKind, JobReport, RunSummary, MAX_INSTRUCTIONS,
 };

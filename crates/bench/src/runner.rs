@@ -1,7 +1,10 @@
 //! Shared simulation runners for the table/figure binaries.
 
+use std::path::{Path, PathBuf};
+
 use flexcore::ext::{Bc, Dift, Sec, Umc};
-use flexcore::{System, SystemConfig};
+use flexcore::obs::{MetricsRecorder, NullSink, TraceSink};
+use flexcore::{RunResult, System, SystemConfig};
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason};
 use flexcore_workloads::Workload;
@@ -78,13 +81,14 @@ pub fn baseline_cycles(workload: &Workload) -> u64 {
     core.quiesced_at()
 }
 
-fn summarize<E: flexcore::Extension>(
+fn monitored<E: flexcore::Extension, S: TraceSink>(
     workload: &Workload,
     config: SystemConfig,
     ext: E,
-) -> RunSummary {
+    sink: S,
+) -> (RunResult, S) {
     let program = workload.program().expect("workload assembles");
-    let mut sys = System::new(config, ext);
+    let mut sys = System::with_sink(config, ext, sink);
     sys.load_program(&program);
     let r = sys.run(MAX_INSTRUCTIONS);
     assert_eq!(
@@ -95,6 +99,10 @@ fn summarize<E: flexcore::Extension>(
         r.exit,
         r.monitor_trap
     );
+    (r, sys.into_sink())
+}
+
+fn condense(r: &RunResult) -> RunSummary {
     RunSummary {
         cycles: r.cycles,
         instret: r.instret,
@@ -112,12 +120,59 @@ fn summarize<E: flexcore::Extension>(
 /// spurious trap (either is a reproduction bug — the workloads are
 /// benign).
 pub fn run_extension(workload: &Workload, ext: ExtKind, config: SystemConfig) -> RunSummary {
-    match ext {
-        ExtKind::Umc => summarize(workload, config, Umc::new()),
-        ExtKind::Dift => summarize(workload, config, Dift::new()),
-        ExtKind::Bc => summarize(workload, config, Bc::new()),
-        ExtKind::Sec => summarize(workload, config, Sec::new()),
+    let (r, NullSink) = match ext {
+        ExtKind::Umc => monitored(workload, config, Umc::new(), NullSink),
+        ExtKind::Dift => monitored(workload, config, Dift::new(), NullSink),
+        ExtKind::Bc => monitored(workload, config, Bc::new(), NullSink),
+        ExtKind::Sec => monitored(workload, config, Sec::new(), NullSink),
+    };
+    condense(&r)
+}
+
+/// The `--series <dir>` flag shared by the figure/table binaries: when
+/// present, every monitored run also emits its cycle-resolved epoch
+/// series as `<dir>/<stem>.jsonl`.
+pub fn series_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--series" {
+            return Some(args.next().expect("--series needs a directory").into());
+        }
     }
+    None
+}
+
+/// Like [`run_extension`], but samples epoch metrics during the run and
+/// writes them as JSONL to `<dir>/<stem>.jsonl` (creating `dir` as
+/// needed). The sampled series is cross-checked against the run's final
+/// aggregate counters before it is written.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`run_extension`], on an
+/// epoch-vs-aggregate mismatch (an instrumentation bug), and on I/O
+/// errors writing the series file.
+pub fn run_extension_series(
+    workload: &Workload,
+    ext: ExtKind,
+    config: SystemConfig,
+    dir: &Path,
+    stem: &str,
+) -> RunSummary {
+    let sampler = MetricsRecorder::new(MetricsRecorder::DEFAULT_EPOCH_CYCLES);
+    let (r, m) = match ext {
+        ExtKind::Umc => monitored(workload, config, Umc::new(), sampler),
+        ExtKind::Dift => monitored(workload, config, Dift::new(), sampler),
+        ExtKind::Bc => monitored(workload, config, Bc::new(), sampler),
+        ExtKind::Sec => monitored(workload, config, Sec::new(), sampler),
+    };
+    if let Err(e) = m.check_against(&r) {
+        panic!("{stem}: epoch series disagrees with the run result: {e}");
+    }
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    let path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&path, m.to_jsonl(&r)).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    condense(&r)
 }
 
 /// Result of one named job executed by [`run_panic_tolerant`].

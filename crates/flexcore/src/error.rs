@@ -4,8 +4,10 @@
 
 use flexcore_mem::BusStats;
 
+use crate::obs::FlightEntry;
+
 /// Diagnostic state captured when the forward-progress watchdog fires.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DeadlockSnapshot {
     /// Core-clock cycle at detection.
     pub cycle: u64,
@@ -13,10 +15,11 @@ pub struct DeadlockSnapshot {
     pub pc: u32,
     /// Instructions committed so far.
     pub instret: u64,
-    /// Forward-FIFO occupancy at detection.
-    pub fifo_occupancy: usize,
+    /// Forward-FIFO occupancy at detection (a `u64` like every other
+    /// serialized counter, for platform-independent output).
+    pub fifo_occupancy: u64,
     /// Configured forward-FIFO depth.
-    pub fifo_depth: usize,
+    pub fifo_depth: u64,
     /// Cycle at which the fabric would next be free (astronomically far
     /// in the future when the fabric is wedged).
     pub fabric_free_at: u64,
@@ -24,6 +27,24 @@ pub struct DeadlockSnapshot {
     pub fabric_stuck: bool,
     /// Shared-bus state at detection.
     pub bus: BusStats,
+    /// The last committed instructions, oldest first — populated when a
+    /// [`FlightRecorder`](crate::obs::FlightRecorder) (or an
+    /// [`Observer`](crate::obs::Observer) carrying one) is installed as
+    /// the system's trace sink; empty otherwise.
+    pub recent: Vec<FlightEntry>,
+}
+
+impl DeadlockSnapshot {
+    /// The flight log as one disassembled line per commit (empty string
+    /// when no flight recorder was installed).
+    pub fn recent_disassembly(&self) -> String {
+        let mut out = String::new();
+        for e in &self.recent {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl std::fmt::Display for DeadlockSnapshot {
@@ -38,7 +59,11 @@ impl std::fmt::Display for DeadlockSnapshot {
             self.fifo_depth,
             self.fabric_free_at,
             if self.fabric_stuck { " (fabric wedged)" } else { "" },
-        )
+        )?;
+        if !self.recent.is_empty() {
+            write!(f, " ({} recent commits recorded)", self.recent.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -109,6 +134,7 @@ mod tests {
             fabric_free_at: u64::MAX / 2,
             fabric_stuck: true,
             bus: BusStats::default(),
+            recent: Vec::new(),
         };
         let msg = SimError::Deadlock(snap).to_string();
         assert!(msg.contains("deadlock"));

@@ -230,6 +230,21 @@ impl Extension for Bc {
     /// color adder for propagation, and the write-lane placement
     /// network. The 4-bit register tag file is a shadow register-file
     /// macro.
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        // Input order: addr[32], is_load, is_store, is_alu,
+        // ptr_color[4], val_color[4], src2_color[4], tag_word[32].
+        let mut s = Vec::with_capacity(79);
+        super::push_bits(&mut s, pkt.addr, 32);
+        s.push(pkt.class.is_load());
+        s.push(pkt.class.is_store());
+        s.push(pkt.class.is_alu());
+        super::push_bits(&mut s, 0, 4); // ptr_color: shadow register file
+        super::push_bits(&mut s, 0, 4); // val_color likewise
+        super::push_bits(&mut s, 0, 4); // src2_color likewise
+        super::push_bits(&mut s, 0, 32); // tag_word comes from the meta cache
+        s
+    }
+
     fn netlist(&self) -> Netlist {
         let mut b = NetlistBuilder::new("bc");
         let addr = b.input_bus(32);

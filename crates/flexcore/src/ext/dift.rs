@@ -307,6 +307,22 @@ impl Extension for Dift {
     /// path plus 1-bit tag propagation, the policy register, and the
     /// jump-check logic. The 1-bit-per-register tag file is the shadow
     /// register-file macro.
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        // Input order: addr[32], is_load, is_store, is_alu, is_jmpl,
+        // tag_src1, tag_src2, imm_op, tag_word[32].
+        let mut s = Vec::with_capacity(72);
+        super::push_bits(&mut s, pkt.addr, 32);
+        s.push(pkt.class.is_load());
+        s.push(pkt.class.is_store());
+        s.push(pkt.class.is_alu());
+        s.push(pkt.class == InstrClass::Jmpl);
+        s.push(false); // tag_src1 comes from the shadow register file
+        s.push(false); // tag_src2 likewise
+        s.push(pkt.src2.is_none()); // no source register 2 ⇒ immediate
+        super::push_bits(&mut s, 0, 32); // tag_word comes from the meta cache
+        s
+    }
+
     fn netlist(&self) -> Netlist {
         let mut b = NetlistBuilder::new("dift");
         let addr = b.input_bus(32);

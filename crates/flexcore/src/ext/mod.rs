@@ -242,6 +242,38 @@ pub trait Extension {
     /// The extension's datapath as a gate-level netlist, used by the
     /// Table III cost models (FPGA LUT mapping and ASIC synthesis).
     fn netlist(&self) -> Netlist;
+
+    /// Maps one forwarded packet onto the netlist's primary inputs —
+    /// one stimulus vector per fabric cycle for waveform (VCD) dumps.
+    ///
+    /// The default packs the raw Table II FIFO entry bits across the
+    /// inputs (truncating or zero-padding); extensions override it to
+    /// drive their actual input layout. Fields a real datapath would
+    /// read from the meta-data cache or shadow register file (not from
+    /// the FIFO entry) are driven to zero.
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        let n = self.netlist().inputs().len();
+        let words = pkt.pack();
+        (0..n)
+            .map(|i| {
+                let bits = TracePacket::WIDTH_BITS as usize;
+                if i < bits {
+                    words[i / 32] >> (i % 32) & 1 == 1
+                } else {
+                    false
+                }
+            })
+            .collect()
+    }
+}
+
+/// Pushes the low `n` bits of `v`, LSB first (the bit order of
+/// [`NetlistBuilder::input_bus`](flexcore_fabric::NetlistBuilder::input_bus)),
+/// onto a stimulus vector.
+pub(crate) fn push_bits(out: &mut Vec<bool>, v: u32, n: usize) {
+    for i in 0..n {
+        out.push(v >> i & 1 == 1);
+    }
 }
 
 /// Meta-data address of the 1-bit-per-word tag for the data word at

@@ -143,6 +143,16 @@ impl Extension for Sec {
     /// subtractor, a logic unit, a barrel shifter, mod-3 residue trees
     /// for multiply/divide checking, and the final comparator — by far
     /// the largest extension, matching the paper's Table III.
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        // Input order: a[32], b[32], res[32], opsel[5].
+        let mut s = Vec::with_capacity(101);
+        super::push_bits(&mut s, pkt.srcv1, 32);
+        super::push_bits(&mut s, pkt.srcv2, 32);
+        super::push_bits(&mut s, pkt.result, 32);
+        super::push_bits(&mut s, pkt.class.index() as u32, 5);
+        s
+    }
+
     fn netlist(&self) -> Netlist {
         let mut b = NetlistBuilder::new("sec");
         let a_in = b.input_bus(32);

@@ -241,6 +241,16 @@ impl Extension for Umc {
     /// The UMC datapath (§IV.A, Figure 3a): meta-data address
     /// translation (shift + add to a base register), a 5→32 bit-select
     /// decoder, tag update/check logic, and pipeline registers.
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        // Input order: addr[32], is_load, is_store, tag_word[32].
+        let mut s = Vec::with_capacity(66);
+        super::push_bits(&mut s, pkt.addr, 32);
+        s.push(pkt.class.is_load());
+        s.push(pkt.class.is_store());
+        super::push_bits(&mut s, 0, 32); // tag_word comes from the meta cache
+        s
+    }
+
     fn netlist(&self) -> Netlist {
         let mut b = NetlistBuilder::new("umc");
         let addr = b.input_bus(32);

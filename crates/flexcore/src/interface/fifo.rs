@@ -99,6 +99,16 @@ impl ForwardFifo {
         }
     }
 
+    /// Resident entries right now, *without* retiring anything —
+    /// unlike [`occupancy`](ForwardFifo::occupancy), which advances
+    /// the retire clock first. This is the value
+    /// [`peak_occupancy`](ForwardFifo::peak_occupancy) tracks after
+    /// each push, so occupancy samples taken here are exactly
+    /// consistent with the peak.
+    pub fn resident(&self) -> usize {
+        self.dequeues.len()
+    }
+
     /// Cycle at which the FIFO drains completely (the EMPTY signal;
     /// used before traps and at program end).
     pub fn empty_at(&self, now: u64) -> u64 {

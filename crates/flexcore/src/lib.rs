@@ -62,9 +62,12 @@
 pub mod ext;
 pub mod faults;
 pub mod interface;
+pub mod obs;
 pub mod software;
 
 mod error;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod shadow;
 mod stats;
 mod system;

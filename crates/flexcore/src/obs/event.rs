@@ -1,0 +1,169 @@
+//! The event taxonomy emitted by the [`System`](crate::System) hook
+//! points.
+
+use flexcore_isa::InstrClass;
+
+/// One instrumentation event, stamped in core-clock cycles.
+///
+/// Events are small `Copy` scalars so constructing one is cheap even
+/// when a sink is installed; with the default
+/// [`NullSink`](crate::obs::NullSink) the construction is guarded by
+/// [`TraceSink::ENABLED`](crate::obs::TraceSink::ENABLED) and compiled
+/// out entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction committed.
+    Commit {
+        /// Core-clock cycle of the commit.
+        cycle: u64,
+        /// PC of the committed instruction.
+        pc: u32,
+        /// Committed-instruction count *after* this commit (1-based).
+        instret: u64,
+        /// Instruction class.
+        class: InstrClass,
+    },
+    /// A packet passed the forwarding filter and was sent toward the
+    /// fabric.
+    Forward {
+        /// Commit cycle of the forwarded instruction.
+        cycle: u64,
+        /// Instruction class.
+        class: InstrClass,
+    },
+    /// A packet was dropped instead of forwarded.
+    Drop {
+        /// Commit cycle of the dropped instruction.
+        cycle: u64,
+        /// Instruction class.
+        class: InstrClass,
+        /// `true` when dropped by the
+        /// [`DropWithAccounting`](crate::OverflowPolicy::DropWithAccounting)
+        /// overflow policy under an `Always` forward policy; `false`
+        /// for an `IfNotFull` drop.
+        overflow: bool,
+    },
+    /// An entry was enqueued into the forward FIFO.
+    FifoEnqueue {
+        /// Cycle of the enqueue (after any commit stall).
+        cycle: u64,
+        /// Scheduled fabric dequeue cycle of the entry.
+        dequeue_at: u64,
+        /// Resident entries immediately after the enqueue — the
+        /// occupancy sample whose running max equals
+        /// [`ForwardStats::peak_occupancy`](crate::ForwardStats::peak_occupancy).
+        occupancy: u64,
+    },
+    /// The commit stage stalled (full FIFO back-pressure, or waiting
+    /// for a co-processor acknowledgment).
+    CommitStall {
+        /// Cycle the stall began.
+        cycle: u64,
+        /// Cycle the commit stage resumed (`until - cycle` stall
+        /// cycles, matching
+        /// [`ForwardStats::fifo_stall_cycles`](crate::ForwardStats::fifo_stall_cycles)).
+        until: u64,
+    },
+    /// The fabric processed one forwarded packet.
+    FabricSpan {
+        /// Cycle the fabric started on the packet.
+        start: u64,
+        /// Cycle the fabric finished (aligned to the fabric clock).
+        end: u64,
+        /// PC of the instruction the packet describes.
+        pc: u32,
+        /// Instruction class.
+        class: InstrClass,
+        /// Meta-data reads issued while processing.
+        meta_reads: u64,
+        /// Meta-data writes issued while processing.
+        meta_writes: u64,
+    },
+    /// Meta-data cache misses observed while processing one packet.
+    MetaMiss {
+        /// Fabric start cycle of the packet that missed.
+        cycle: u64,
+        /// Number of misses (reads + writes).
+        count: u64,
+    },
+    /// Shared-bus activity on behalf of the fabric while processing one
+    /// packet.
+    BusGrant {
+        /// Fabric start cycle of the packet.
+        cycle: u64,
+        /// Bus transfers granted to the fabric.
+        transfers: u64,
+        /// Cycles the fabric waited for the bus.
+        wait_cycles: u64,
+    },
+    /// A bitstream transfer failed validation and was re-transferred.
+    BitstreamRetry {
+        /// 0-based attempt number that failed.
+        attempt: u32,
+    },
+    /// The fault injector applied one fault.
+    FaultInjected {
+        /// Commit cycle the fault landed on.
+        cycle: u64,
+        /// Committed-instruction count at injection.
+        instret: u64,
+    },
+    /// A monitor trap was raised (the TRAP signal was scheduled).
+    Trap {
+        /// Core-clock cycle at which the signal asserts (§III.C: the
+        /// exception is imprecise; commits continue until then).
+        cycle: u64,
+        /// PC of the violating instruction.
+        pc: u32,
+        /// Committed-instruction count at the violation.
+        instret: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The core-clock cycle this event is stamped with (the span start
+    /// for [`FabricSpan`](TraceEvent::FabricSpan), 0 for
+    /// [`BitstreamRetry`](TraceEvent::BitstreamRetry), which happens
+    /// outside simulated time).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Forward { cycle, .. }
+            | TraceEvent::Drop { cycle, .. }
+            | TraceEvent::FifoEnqueue { cycle, .. }
+            | TraceEvent::CommitStall { cycle, .. }
+            | TraceEvent::MetaMiss { cycle, .. }
+            | TraceEvent::BusGrant { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::Trap { cycle, .. } => cycle,
+            TraceEvent::FabricSpan { start, .. } => start,
+            TraceEvent::BitstreamRetry { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accessor_covers_every_variant() {
+        let ev = TraceEvent::FabricSpan {
+            start: 7,
+            end: 9,
+            pc: 0,
+            class: InstrClass::Ld,
+            meta_reads: 1,
+            meta_writes: 0,
+        };
+        assert_eq!(ev.cycle(), 7);
+        assert_eq!(TraceEvent::BitstreamRetry { attempt: 2 }.cycle(), 0);
+        assert_eq!(TraceEvent::CommitStall { cycle: 12, until: 20 }.cycle(), 12);
+    }
+
+    #[test]
+    fn events_are_small() {
+        // The hot loop constructs these; keep them register-friendly.
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+    }
+}

@@ -5,6 +5,7 @@ use flexcore_mem::{BusStats, CacheStats};
 use flexcore_pipeline::{CoreStats, ExitReason};
 
 use crate::ext::MonitorTrap;
+use crate::obs::FlightEntry;
 
 /// Forwarding statistics (the data behind the paper's Figure 4).
 #[derive(Clone, Copy, Debug, Default)]
@@ -19,8 +20,9 @@ pub struct ForwardStats {
     pub per_class: [u64; NUM_INSTR_CLASSES],
     /// Cycles the commit stage stalled on a full FIFO.
     pub fifo_stall_cycles: u64,
-    /// Peak FIFO occupancy.
-    pub peak_occupancy: usize,
+    /// Peak FIFO occupancy. A `u64` like every other counter here so
+    /// serialized results are platform-independent.
+    pub peak_occupancy: u64,
 }
 
 impl ForwardStats {
@@ -91,6 +93,11 @@ pub struct RunResult {
     pub resilience: ResilienceStats,
     /// Console output produced by the program.
     pub console: Vec<u8>,
+    /// The last committed instructions, oldest first — populated when a
+    /// [`FlightRecorder`](crate::obs::FlightRecorder) (or an
+    /// [`Observer`](crate::obs::Observer) carrying one) is installed as
+    /// the system's trace sink; empty otherwise.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl RunResult {
@@ -101,6 +108,78 @@ impl RunResult {
         } else {
             self.cycles as f64 / self.instret as f64
         }
+    }
+
+    /// A human-readable summary table (the `flexsim` default output).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        fn cache_line(out: &mut String, name: &str, s: &CacheStats) {
+            let _ = writeln!(
+                out,
+                "{name:<18}{} accesses, {} misses ({:.2}% miss), {} writebacks",
+                s.accesses(),
+                s.read_misses + s.write_misses,
+                s.miss_ratio() * 100.0,
+                s.writebacks,
+            );
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<18}{:?}", "exit", self.exit);
+        if let Some(trap) = &self.monitor_trap {
+            let _ = writeln!(out, "{:<18}{trap}", "monitor trap");
+            if let Some(skid) = self.trap_skid {
+                let _ = writeln!(out, "{:<18}{skid} instructions (imprecise, §III.C)", "trap skid");
+            }
+        }
+        let _ = writeln!(out, "{:<18}{}", "cycles", self.cycles);
+        let _ = writeln!(out, "{:<18}{}", "instret", self.instret);
+        let _ = writeln!(out, "{:<18}{:.4}", "cpi", self.cpi());
+        let _ = writeln!(
+            out,
+            "{:<18}{} of {} committed ({:.2}%), {} dropped",
+            "forwarded",
+            self.forward.forwarded,
+            self.forward.committed,
+            self.forward.forwarded_fraction() * 100.0,
+            self.forward.dropped,
+        );
+        let _ = writeln!(
+            out,
+            "{:<18}{} stall cycles, peak occupancy {}",
+            "forward fifo", self.forward.fifo_stall_cycles, self.forward.peak_occupancy,
+        );
+        cache_line(&mut out, "icache", &self.icache);
+        cache_line(&mut out, "dcache", &self.dcache);
+        cache_line(&mut out, "meta cache", &self.meta_cache);
+        let _ = writeln!(
+            out,
+            "{:<18}{} busy cycles; core {} xfers ({} wait), fabric {} xfers ({} wait)",
+            "bus",
+            self.bus.busy_cycles,
+            self.bus.core_transfers,
+            self.bus.core_wait_cycles,
+            self.bus.fabric_transfers,
+            self.bus.fabric_wait_cycles,
+        );
+        if self.resilience != ResilienceStats::default() {
+            let _ = writeln!(
+                out,
+                "{:<18}{} faults, {} packets corrupted, {} overflow drops, {} bitstream retries",
+                "resilience",
+                self.resilience.faults_injected,
+                self.resilience.packets_corrupted,
+                self.resilience.dropped_overflow,
+                self.resilience.bitstream_retries,
+            );
+        }
+        if !self.flight.is_empty() {
+            let _ =
+                writeln!(out, "last {} commits (instret cycle pc disassembly):", self.flight.len());
+            for e in &self.flight {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+        out
     }
 }
 

@@ -12,6 +12,7 @@ use crate::faults::{
     FaultTarget, PacketField,
 };
 use crate::interface::{Cfgr, ForwardFifo, ForwardPolicy};
+use crate::obs::{NullSink, TraceEvent, TraceSink};
 use crate::stats::{ForwardStats, ResilienceStats, RunResult};
 use crate::ShadowRegFile;
 
@@ -215,9 +216,13 @@ impl SystemConfig {
 /// A complete FlexCore system: core + shared bus + meta-data cache +
 /// core–fabric interface + one monitoring extension.
 ///
+/// The second type parameter is the instrumentation sink (see
+/// [`crate::obs`]). It defaults to [`NullSink`], which compiles every
+/// hook point away; [`System::with_sink`] installs a recording sink.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
-pub struct System<E: Extension> {
+pub struct System<E: Extension, S: TraceSink = NullSink> {
     config: SystemConfig,
     core: Core,
     mem: MainMemory,
@@ -241,11 +246,21 @@ pub struct System<E: Extension> {
     /// Set when the commit stage detects it can never make progress;
     /// `try_run` converts it into `SimError::Deadlock`.
     wedged: Option<DeadlockSnapshot>,
+    sink: S,
 }
 
 impl<E: Extension> System<E> {
-    /// Builds a system around `ext`.
+    /// Builds a system around `ext` with no instrumentation (the
+    /// [`NullSink`] — zero overhead).
     pub fn new(config: SystemConfig, ext: E) -> System<E> {
+        System::with_sink(config, ext, NullSink)
+    }
+}
+
+impl<E: Extension, S: TraceSink> System<E, S> {
+    /// Builds a system around `ext` with `sink` receiving every
+    /// instrumentation event (see [`crate::obs`]).
+    pub fn with_sink(config: SystemConfig, ext: E, sink: S) -> System<E, S> {
         let cfgr = ext.cfgr();
         System {
             config,
@@ -265,6 +280,25 @@ impl<E: Extension> System<E> {
             resilience: ResilienceStats::default(),
             fabric_stuck: false,
             wedged: None,
+            sink,
+        }
+    }
+
+    /// The installed trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the system, returning the sink (and whatever it
+    /// recorded) — the usual way to extract metrics after a run.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if S::ENABLED {
+            self.sink.event(ev);
         }
     }
 
@@ -366,11 +400,12 @@ impl<E: Extension> System<E> {
             cycle: now,
             pc: self.core.pc(),
             instret: self.core.stats().instret,
-            fifo_occupancy: self.fifo.occupancy(now),
-            fifo_depth: self.fifo.depth(),
+            fifo_occupancy: self.fifo.occupancy(now) as u64,
+            fifo_depth: self.fifo.depth() as u64,
             fabric_free_at: self.fabric_free_at,
             fabric_stuck: self.fabric_stuck,
             bus: self.bus.stats(),
+            recent: self.sink.flight_log(),
         }
     }
 
@@ -384,6 +419,16 @@ impl<E: Extension> System<E> {
             return (self.fabric_free_at, None);
         }
         let start = self.align_up(enq.max(self.fabric_free_at));
+        // Meta-cache and bus activity attributable to this packet is
+        // derived from statistics deltas around the extension call, so
+        // the mem crate needs no sink plumbing of its own.
+        let (miss0, xfer0, wait0) = if S::ENABLED {
+            let m = self.meta.stats();
+            let b = self.bus.stats();
+            (m.read_misses + m.write_misses, b.fabric_transfers, b.fabric_wait_cycles)
+        } else {
+            (0, 0, 0)
+        };
         let period = self.grid();
         let mut env = ExtEnv::with_period(
             &mut self.meta,
@@ -405,8 +450,30 @@ impl<E: Extension> System<E> {
             Err(t) => (None, Some(t)),
         };
         let ready = env.ready_at();
+        let (meta_reads, meta_writes) = env.meta_ops();
         let finish = self.align_up(ready).max(start + self.grid());
         self.fabric_free_at = finish;
+        if S::ENABLED {
+            self.sink.event(TraceEvent::FabricSpan {
+                start,
+                end: finish,
+                pc: pkt.pc,
+                class: pkt.class,
+                meta_reads,
+                meta_writes,
+            });
+            let m = self.meta.stats();
+            let misses = (m.read_misses + m.write_misses) - miss0;
+            if misses > 0 {
+                self.sink.event(TraceEvent::MetaMiss { cycle: start, count: misses });
+            }
+            let b = self.bus.stats();
+            let transfers = b.fabric_transfers - xfer0;
+            let wait_cycles = b.fabric_wait_cycles - wait0;
+            if transfers > 0 || wait_cycles > 0 {
+                self.sink.event(TraceEvent::BusGrant { cycle: start, transfers, wait_cycles });
+            }
+        }
         if let Some(t) = trap {
             // Imprecise exception: the TRAP signal reaches the core
             // only once the extension's pipeline stage carrying the
@@ -415,8 +482,14 @@ impl<E: Extension> System<E> {
             // precise restart).
             if self.monitor_trap.is_none() {
                 let assert_at = finish + self.grid() * u64::from(self.ext.pipeline_stages());
+                let trap_ev = TraceEvent::Trap {
+                    cycle: assert_at,
+                    pc: t.pc,
+                    instret: self.forward.committed,
+                };
                 self.monitor_trap = Some(t);
                 self.pending_trap = Some((assert_at, self.forward.committed));
+                self.emit(trap_ev);
             }
         }
         (start, ret)
@@ -426,6 +499,10 @@ impl<E: Extension> System<E> {
     /// in-flight packet, or the meta-data cache.
     fn apply_fault(&mut self, action: FaultAction, pkt: &mut TracePacket) {
         self.resilience.faults_injected += 1;
+        self.emit(TraceEvent::FaultInjected {
+            cycle: pkt.commit_cycle,
+            instret: self.forward.committed,
+        });
         match action {
             FaultAction::FlipResult { mask } => {
                 pkt.result ^= mask;
@@ -470,6 +547,17 @@ impl<E: Extension> System<E> {
                 self.apply_fault(action, &mut pkt);
             }
         }
+        if S::ENABLED {
+            // After fault injection, so the flight recorder remembers
+            // what actually entered architectural state.
+            self.sink.event(TraceEvent::Commit {
+                cycle: pkt.commit_cycle,
+                pc: pkt.pc,
+                instret: self.forward.committed,
+                class: pkt.class,
+            });
+            self.sink.commit_packet(&pkt);
+        }
         let mut policy = self.cfgr.policy(pkt.class);
         if !policy.forwards() {
             return;
@@ -485,11 +573,13 @@ impl<E: Extension> System<E> {
             ForwardPolicy::IfNotFull => {
                 if self.fifo.is_full(now) {
                     self.forward.dropped += 1;
+                    self.emit(TraceEvent::Drop { cycle: now, class: pkt.class, overflow: false });
                     return;
                 }
                 self.record_forward(&pkt);
                 let (start, _) = self.process_on_fabric(&pkt, now);
                 self.fifo.push(now, start);
+                self.emit_enqueue(now, start);
             }
             ForwardPolicy::Always => {
                 let enq = if self.fifo.is_full(now) {
@@ -505,11 +595,17 @@ impl<E: Extension> System<E> {
                                 return;
                             }
                             self.core.stall_until(free_at);
+                            self.emit(TraceEvent::CommitStall { cycle: now, until: free_at });
                             free_at
                         }
                         OverflowPolicy::DropWithAccounting => {
                             self.forward.dropped += 1;
                             self.resilience.dropped_overflow += 1;
+                            self.emit(TraceEvent::Drop {
+                                cycle: now,
+                                class: pkt.class,
+                                overflow: true,
+                            });
                             return;
                         }
                     }
@@ -519,12 +615,14 @@ impl<E: Extension> System<E> {
                 self.record_forward(&pkt);
                 let (start, _) = self.process_on_fabric(&pkt, enq);
                 self.fifo.push(enq, start);
+                self.emit_enqueue(enq, start);
             }
             ForwardPolicy::WaitForAck => {
                 self.record_forward(&pkt);
                 let (start, ret) = self.process_on_fabric(&pkt, now);
                 let ack = self.fabric_free_at.max(start);
                 self.core.stall_until(ack);
+                self.emit(TraceEvent::CommitStall { cycle: now, until: ack });
                 if let (Some(v), Some(rd)) = (ret, pkt.dest) {
                     // BFIFO return value lands in the destination
                     // register.
@@ -544,6 +642,21 @@ impl<E: Extension> System<E> {
     fn record_forward(&mut self, pkt: &TracePacket) {
         self.forward.forwarded += 1;
         self.forward.per_class[pkt.class.index()] += 1;
+        if S::ENABLED {
+            self.sink.event(TraceEvent::Forward { cycle: pkt.commit_cycle, class: pkt.class });
+            self.sink.forward_packet(pkt);
+        }
+    }
+
+    /// Samples FIFO occupancy right after a push — [`ForwardFifo`]
+    /// updates its peak from the same post-push count, so the running
+    /// max of these samples equals [`ForwardStats::peak_occupancy`].
+    #[inline]
+    fn emit_enqueue(&mut self, cycle: u64, dequeue_at: u64) {
+        if S::ENABLED {
+            let occupancy = self.fifo.resident() as u64;
+            self.sink.event(TraceEvent::FifoEnqueue { cycle, dequeue_at, occupancy });
+        }
     }
 
     /// Runs until the program exits, a monitor trap is delivered, or
@@ -641,6 +754,7 @@ impl<E: Extension> System<E> {
                     last_error = e.to_string();
                     if attempt < limit {
                         self.resilience.bitstream_retries += 1;
+                        self.emit(TraceEvent::BitstreamRetry { attempt });
                     }
                 }
             }
@@ -667,7 +781,7 @@ impl<E: Extension> System<E> {
             .max(self.fifo.empty_at(self.core.cycle()))
             .max(self.fabric_free_at.max(self.core.cycle()));
         self.forward.fifo_stall_cycles = self.core.stats().external_stall_cycles;
-        self.forward.peak_occupancy = self.fifo.peak_occupancy();
+        self.forward.peak_occupancy = self.fifo.peak_occupancy() as u64;
         let trap_skid = self
             .pending_trap
             .map(|(_, at_violation)| self.forward.committed.saturating_sub(at_violation));
@@ -685,6 +799,7 @@ impl<E: Extension> System<E> {
             bus: self.bus.stats(),
             resilience: self.resilience,
             console: self.core.console().to_vec(),
+            flight: self.sink.flight_log(),
         }
     }
 }

@@ -47,6 +47,8 @@ mod bus;
 mod cache;
 mod mainmem;
 mod metacache;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod storebuf;
 
 pub use bus::{BusMaster, BusStats, SdramTiming, SystemBus};

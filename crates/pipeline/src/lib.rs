@@ -61,6 +61,8 @@
 mod alu;
 mod config;
 mod core;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod stats;
 mod trace;
 

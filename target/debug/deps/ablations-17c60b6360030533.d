@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-17c60b6360030533.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-17c60b6360030533.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-775d1f323ecc1e0d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-775d1f323ecc1e0d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-90a18f825bc95797.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-90a18f825bc95797: tests/ablations.rs
+
+tests/ablations.rs:

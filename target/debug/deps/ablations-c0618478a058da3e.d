@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-c0618478a058da3e.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-c0618478a058da3e.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

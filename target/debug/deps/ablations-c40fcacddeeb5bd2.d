@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c40fcacddeeb5bd2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-c40fcacddeeb5bd2.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

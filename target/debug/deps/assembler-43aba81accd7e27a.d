@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assembler-43aba81accd7e27a.d: crates/bench/benches/assembler.rs
+
+/root/repo/target/debug/deps/libassembler-43aba81accd7e27a.rmeta: crates/bench/benches/assembler.rs
+
+crates/bench/benches/assembler.rs:

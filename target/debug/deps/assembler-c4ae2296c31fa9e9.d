@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assembler-c4ae2296c31fa9e9.d: crates/bench/benches/assembler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassembler-c4ae2296c31fa9e9.rmeta: crates/bench/benches/assembler.rs Cargo.toml
+
+crates/bench/benches/assembler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

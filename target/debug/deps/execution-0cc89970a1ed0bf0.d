@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/execution-0cc89970a1ed0bf0.d: crates/pipeline/tests/execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecution-0cc89970a1ed0bf0.rmeta: crates/pipeline/tests/execution.rs Cargo.toml
+
+crates/pipeline/tests/execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/execution-b7f530f43cb00897.d: crates/pipeline/tests/execution.rs
+
+/root/repo/target/debug/deps/execution-b7f530f43cb00897: crates/pipeline/tests/execution.rs
+
+crates/pipeline/tests/execution.rs:

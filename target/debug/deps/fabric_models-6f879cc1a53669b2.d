@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_models-6f879cc1a53669b2.d: crates/bench/benches/fabric_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_models-6f879cc1a53669b2.rmeta: crates/bench/benches/fabric_models.rs Cargo.toml
+
+crates/bench/benches/fabric_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_models-8bf6698efbf0bd87.d: crates/bench/benches/fabric_models.rs
+
+/root/repo/target/debug/deps/libfabric_models-8bf6698efbf0bd87.rmeta: crates/bench/benches/fabric_models.rs
+
+crates/bench/benches/fabric_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-26d6adb224972bf5.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-26d6adb224972bf5: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-a1549d8dab6a17f1.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-a1549d8dab6a17f1.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-1cbfa2c7d61e9ad6.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/libfaultsweep-1cbfa2c7d61e9ad6.rmeta: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faultsweep-3580b8996cb36d0f.d: crates/bench/src/bin/faultsweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaultsweep-3580b8996cb36d0f.rmeta: crates/bench/src/bin/faultsweep.rs Cargo.toml
+
+crates/bench/src/bin/faultsweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

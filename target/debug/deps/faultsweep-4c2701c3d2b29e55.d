@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-4c2701c3d2b29e55.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/libfaultsweep-4c2701c3d2b29e55.rmeta: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

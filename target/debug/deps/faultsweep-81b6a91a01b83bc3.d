@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-81b6a91a01b83bc3.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/libfaultsweep-81b6a91a01b83bc3.rmeta: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-97e34884e393dd65.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/faultsweep-97e34884e393dd65: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-a9a334c39e29f1a8.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/libfaultsweep-a9a334c39e29f1a8.rmeta: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

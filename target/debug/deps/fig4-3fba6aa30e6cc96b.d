@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3fba6aa30e6cc96b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-3fba6aa30e6cc96b.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

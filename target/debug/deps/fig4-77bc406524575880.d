@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-77bc406524575880.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-77bc406524575880.rmeta: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

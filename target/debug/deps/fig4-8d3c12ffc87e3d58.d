@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8d3c12ffc87e3d58.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8d3c12ffc87e3d58: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-69306449cc083292.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-69306449cc083292.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-70ab3ea38c300df6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-70ab3ea38c300df6.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-720d846bf0f012bc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-720d846bf0f012bc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/flexcore-1a35b5b3504b6451.d: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/obs/mod.rs crates/flexcore/src/obs/chrome.rs crates/flexcore/src/obs/event.rs crates/flexcore/src/obs/flight.rs crates/flexcore/src/obs/metrics.rs crates/flexcore/src/obs/sink.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/serde_impls.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore-1a35b5b3504b6451.rmeta: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/obs/mod.rs crates/flexcore/src/obs/chrome.rs crates/flexcore/src/obs/event.rs crates/flexcore/src/obs/flight.rs crates/flexcore/src/obs/metrics.rs crates/flexcore/src/obs/sink.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/serde_impls.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs Cargo.toml
+
+crates/flexcore/src/lib.rs:
+crates/flexcore/src/ext/mod.rs:
+crates/flexcore/src/ext/bc.rs:
+crates/flexcore/src/ext/dift.rs:
+crates/flexcore/src/ext/mprot.rs:
+crates/flexcore/src/ext/sec.rs:
+crates/flexcore/src/ext/umc.rs:
+crates/flexcore/src/faults.rs:
+crates/flexcore/src/interface/mod.rs:
+crates/flexcore/src/interface/cfgr.rs:
+crates/flexcore/src/interface/fifo.rs:
+crates/flexcore/src/obs/mod.rs:
+crates/flexcore/src/obs/chrome.rs:
+crates/flexcore/src/obs/event.rs:
+crates/flexcore/src/obs/flight.rs:
+crates/flexcore/src/obs/metrics.rs:
+crates/flexcore/src/obs/sink.rs:
+crates/flexcore/src/software.rs:
+crates/flexcore/src/error.rs:
+crates/flexcore/src/serde_impls.rs:
+crates/flexcore/src/shadow.rs:
+crates/flexcore/src/stats.rs:
+crates/flexcore/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/flexcore-9469b30de66e4496.d: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/software.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
+/root/repo/target/debug/deps/flexcore-9469b30de66e4496.d: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/obs/mod.rs crates/flexcore/src/obs/chrome.rs crates/flexcore/src/obs/event.rs crates/flexcore/src/obs/flight.rs crates/flexcore/src/obs/metrics.rs crates/flexcore/src/obs/sink.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
 
-/root/repo/target/debug/deps/libflexcore-9469b30de66e4496.rmeta: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/software.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
+/root/repo/target/debug/deps/libflexcore-9469b30de66e4496.rmeta: crates/flexcore/src/lib.rs crates/flexcore/src/ext/mod.rs crates/flexcore/src/ext/bc.rs crates/flexcore/src/ext/dift.rs crates/flexcore/src/ext/mprot.rs crates/flexcore/src/ext/sec.rs crates/flexcore/src/ext/umc.rs crates/flexcore/src/faults.rs crates/flexcore/src/interface/mod.rs crates/flexcore/src/interface/cfgr.rs crates/flexcore/src/interface/fifo.rs crates/flexcore/src/obs/mod.rs crates/flexcore/src/obs/chrome.rs crates/flexcore/src/obs/event.rs crates/flexcore/src/obs/flight.rs crates/flexcore/src/obs/metrics.rs crates/flexcore/src/obs/sink.rs crates/flexcore/src/software.rs crates/flexcore/src/error.rs crates/flexcore/src/shadow.rs crates/flexcore/src/stats.rs crates/flexcore/src/system.rs
 
 crates/flexcore/src/lib.rs:
 crates/flexcore/src/ext/mod.rs:
@@ -9,10 +9,18 @@ crates/flexcore/src/ext/dift.rs:
 crates/flexcore/src/ext/mprot.rs:
 crates/flexcore/src/ext/sec.rs:
 crates/flexcore/src/ext/umc.rs:
+crates/flexcore/src/faults.rs:
 crates/flexcore/src/interface/mod.rs:
 crates/flexcore/src/interface/cfgr.rs:
 crates/flexcore/src/interface/fifo.rs:
+crates/flexcore/src/obs/mod.rs:
+crates/flexcore/src/obs/chrome.rs:
+crates/flexcore/src/obs/event.rs:
+crates/flexcore/src/obs/flight.rs:
+crates/flexcore/src/obs/metrics.rs:
+crates/flexcore/src/obs/sink.rs:
 crates/flexcore/src/software.rs:
+crates/flexcore/src/error.rs:
 crates/flexcore/src/shadow.rs:
 crates/flexcore/src/stats.rs:
 crates/flexcore/src/system.rs:

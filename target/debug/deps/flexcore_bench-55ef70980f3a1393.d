@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexcore_bench-55ef70980f3a1393.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexcore_bench-55ef70980f3a1393.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexcore_bench-55ef70980f3a1393.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexcore_bench-7327d98cf38bf5d2.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexcore_bench-7327d98cf38bf5d2.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexcore_bench-ac4f480ea0cb53ef.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_bench-ac4f480ea0cb53ef.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,10 @@
-/root/repo/target/debug/deps/flexcore_fabric-46fcc351fb7df8c1.d: crates/fabric/src/lib.rs crates/fabric/src/calib.rs crates/fabric/src/bitstream.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+/root/repo/target/debug/deps/flexcore_fabric-46fcc351fb7df8c1.d: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
 
-/root/repo/target/debug/deps/libflexcore_fabric-46fcc351fb7df8c1.rmeta: crates/fabric/src/lib.rs crates/fabric/src/calib.rs crates/fabric/src/bitstream.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+/root/repo/target/debug/deps/libflexcore_fabric-46fcc351fb7df8c1.rmeta: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
 
 crates/fabric/src/lib.rs:
-crates/fabric/src/calib.rs:
 crates/fabric/src/bitstream.rs:
+crates/fabric/src/calib.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/lutmap.rs:
 crates/fabric/src/netlist.rs:

@@ -1,10 +1,10 @@
-/root/repo/target/debug/deps/flexcore_fabric-4a229bf2ae310bc1.d: crates/fabric/src/lib.rs crates/fabric/src/calib.rs crates/fabric/src/bitstream.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+/root/repo/target/debug/deps/flexcore_fabric-4a229bf2ae310bc1.d: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
 
-/root/repo/target/debug/deps/libflexcore_fabric-4a229bf2ae310bc1.rmeta: crates/fabric/src/lib.rs crates/fabric/src/calib.rs crates/fabric/src/bitstream.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
+/root/repo/target/debug/deps/libflexcore_fabric-4a229bf2ae310bc1.rmeta: crates/fabric/src/lib.rs crates/fabric/src/bitstream.rs crates/fabric/src/calib.rs crates/fabric/src/cost.rs crates/fabric/src/lutmap.rs crates/fabric/src/netlist.rs crates/fabric/src/vcd.rs
 
 crates/fabric/src/lib.rs:
-crates/fabric/src/calib.rs:
 crates/fabric/src/bitstream.rs:
+crates/fabric/src/calib.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/lutmap.rs:
 crates/fabric/src/netlist.rs:

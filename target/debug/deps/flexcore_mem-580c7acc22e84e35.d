@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexcore_mem-580c7acc22e84e35.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_mem-580c7acc22e84e35.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/serde_impls.rs:
+crates/mem/src/storebuf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

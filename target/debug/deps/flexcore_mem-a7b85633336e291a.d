@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexcore_mem-a7b85633336e291a.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/debug/deps/libflexcore_mem-a7b85633336e291a.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/serde_impls.rs:
+crates/mem/src/storebuf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexcore_pipeline-c2856ebc7e64d486.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/libflexcore_pipeline-c2856ebc7e64d486.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/serde_impls.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

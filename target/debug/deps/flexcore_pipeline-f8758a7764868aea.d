@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexcore_pipeline-f8758a7764868aea.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/debug/deps/flexcore_pipeline-f8758a7764868aea: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/serde_impls.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexcore_suite-22af565125f16c82.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-22af565125f16c82.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflexcore_suite-22af565125f16c82.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexcore_suite-29d92b300a327877.d: src/lib.rs
+
+/root/repo/target/debug/deps/flexcore_suite-29d92b300a327877: src/lib.rs
+
+src/lib.rs:

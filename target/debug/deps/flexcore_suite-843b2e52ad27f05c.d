@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexcore_suite-843b2e52ad27f05c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_suite-843b2e52ad27f05c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexcore_suite-c25214470e1abfcf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_suite-c25214470e1abfcf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

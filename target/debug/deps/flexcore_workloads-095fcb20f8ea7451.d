@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flexcore_workloads-095fcb20f8ea7451.d: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs
+
+/root/repo/target/debug/deps/libflexcore_workloads-095fcb20f8ea7451.rmeta: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/basicmath.rs:
+crates/workloads/src/bitcount.rs:
+crates/workloads/src/crc32.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gmac.rs:
+crates/workloads/src/qsort.rs:
+crates/workloads/src/sha.rs:
+crates/workloads/src/stringsearch.rs:

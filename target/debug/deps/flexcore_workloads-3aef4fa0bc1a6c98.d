@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flexcore_workloads-3aef4fa0bc1a6c98.d: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexcore_workloads-3aef4fa0bc1a6c98.rmeta: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/basicmath.rs:
+crates/workloads/src/bitcount.rs:
+crates/workloads/src/crc32.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gmac.rs:
+crates/workloads/src/qsort.rs:
+crates/workloads/src/sha.rs:
+crates/workloads/src/stringsearch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsim-221b2f3a3da99270.d: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsim-221b2f3a3da99270.rmeta: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+crates/bench/src/bin/flexsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-329ffa475b363091.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/libflexsim-329ffa475b363091.rmeta: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

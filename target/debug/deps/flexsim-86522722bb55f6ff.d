@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-86522722bb55f6ff.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/flexsim-86522722bb55f6ff: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

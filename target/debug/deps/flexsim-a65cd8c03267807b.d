@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsim-a65cd8c03267807b.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/debug/deps/libflexsim-a65cd8c03267807b.rmeta: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsim-bbc2eab9f59d436d.d: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsim-bbc2eab9f59d436d.rmeta: crates/bench/src/bin/flexsim.rs Cargo.toml
+
+crates/bench/src/bin/flexsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-0f631bdabe3c87a4.d: crates/pipeline/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-0f631bdabe3c87a4.rmeta: crates/pipeline/tests/golden.rs Cargo.toml
+
+crates/pipeline/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-c3f2046ec1d89f59.d: crates/pipeline/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-c3f2046ec1d89f59: crates/pipeline/tests/golden.rs
+
+crates/pipeline/tests/golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_control_flow-75f875f8bb8ae2cd.d: crates/pipeline/tests/golden_control_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_control_flow-75f875f8bb8ae2cd.rmeta: crates/pipeline/tests/golden_control_flow.rs Cargo.toml
+
+crates/pipeline/tests/golden_control_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_control_flow-9cff21212e57be6c.d: crates/pipeline/tests/golden_control_flow.rs
+
+/root/repo/target/debug/deps/golden_control_flow-9cff21212e57be6c: crates/pipeline/tests/golden_control_flow.rs
+
+crates/pipeline/tests/golden_control_flow.rs:

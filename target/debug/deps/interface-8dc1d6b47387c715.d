@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interface-8dc1d6b47387c715.d: tests/interface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterface-8dc1d6b47387c715.rmeta: tests/interface.rs Cargo.toml
+
+tests/interface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interface-c18697a2b72c4105.d: tests/interface.rs
+
+/root/repo/target/debug/deps/interface-c18697a2b72c4105: tests/interface.rs
+
+tests/interface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mem_subsystem-3e73ac3179b4a220.d: crates/bench/benches/mem_subsystem.rs
+
+/root/repo/target/debug/deps/libmem_subsystem-3e73ac3179b4a220.rmeta: crates/bench/benches/mem_subsystem.rs
+
+crates/bench/benches/mem_subsystem.rs:

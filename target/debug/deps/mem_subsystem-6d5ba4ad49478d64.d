@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mem_subsystem-6d5ba4ad49478d64.d: crates/bench/benches/mem_subsystem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmem_subsystem-6d5ba4ad49478d64.rmeta: crates/bench/benches/mem_subsystem.rs Cargo.toml
+
+crates/bench/benches/mem_subsystem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring-4e5d500a66f17dc9.d: tests/monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring-4e5d500a66f17dc9.rmeta: tests/monitoring.rs Cargo.toml
+
+tests/monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

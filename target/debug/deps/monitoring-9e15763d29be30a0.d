@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-9e15763d29be30a0.d: tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-9e15763d29be30a0: tests/monitoring.rs
+
+tests/monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlists-8435eee5d106e736.d: crates/flexcore/tests/netlists.rs
+
+/root/repo/target/debug/deps/netlists-8435eee5d106e736: crates/flexcore/tests/netlists.rs
+
+crates/flexcore/tests/netlists.rs:

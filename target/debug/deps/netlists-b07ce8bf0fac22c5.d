@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netlists-b07ce8bf0fac22c5.d: crates/flexcore/tests/netlists.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlists-b07ce8bf0fac22c5.rmeta: crates/flexcore/tests/netlists.rs Cargo.toml
+
+crates/flexcore/tests/netlists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-1119b763b75c8fd4.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-1119b763b75c8fd4: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-462fa4f2e653a954.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-462fa4f2e653a954: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-41f83cca70e6df91.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-41f83cca70e6df91: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b03a286c16099dcd.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b03a286c16099dcd.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

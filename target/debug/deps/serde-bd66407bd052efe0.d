@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bd66407bd052efe0.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bd66407bd052efe0.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

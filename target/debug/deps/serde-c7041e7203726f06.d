@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c7041e7203726f06.d: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c7041e7203726f06.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c7041e7203726f06.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e6eceecb2dc51758.d: crates/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e6eceecb2dc51758.rmeta: crates/serde/src/lib.rs Cargo.toml
+
+crates/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

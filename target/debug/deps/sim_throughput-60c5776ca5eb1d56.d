@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_throughput-60c5776ca5eb1d56.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/debug/deps/libsim_throughput-60c5776ca5eb1d56.rmeta: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

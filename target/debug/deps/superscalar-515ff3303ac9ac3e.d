@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-515ff3303ac9ac3e.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/superscalar-515ff3303ac9ac3e: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-63d1fe4ce82eb383.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/libsuperscalar-63d1fe4ce82eb383.rmeta: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superscalar-7ebeaadc164b9e84.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/debug/deps/libsuperscalar-7ebeaadc164b9e84.rmeta: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

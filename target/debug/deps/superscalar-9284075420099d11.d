@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superscalar-9284075420099d11.d: crates/bench/src/bin/superscalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperscalar-9284075420099d11.rmeta: crates/bench/src/bin/superscalar.rs Cargo.toml
+
+crates/bench/src/bin/superscalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-c9e31f62ae7de8b8.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-c9e31f62ae7de8b8: tests/system_properties.rs
+
+tests/system_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_properties-f4805cd7a0d67535.d: tests/system_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_properties-f4805cd7a0d67535.rmeta: tests/system_properties.rs Cargo.toml
+
+tests/system_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4479a884a9011ab6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4479a884a9011ab6.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

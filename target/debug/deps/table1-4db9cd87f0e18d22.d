@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4db9cd87f0e18d22.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4db9cd87f0e18d22: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

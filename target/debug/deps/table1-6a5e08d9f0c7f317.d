@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6a5e08d9f0c7f317.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-6a5e08d9f0c7f317.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1bd9c2c257819a64.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-1bd9c2c257819a64.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2fb56a43f0c38445.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-2fb56a43f0c38445.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a7759966c50eba24.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a7759966c50eba24: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

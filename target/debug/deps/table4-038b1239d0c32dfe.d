@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-038b1239d0c32dfe.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-038b1239d0c32dfe.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

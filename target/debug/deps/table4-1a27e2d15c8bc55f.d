@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-1a27e2d15c8bc55f.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-1a27e2d15c8bc55f.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-7613a71b761fca1d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-7613a71b761fca1d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

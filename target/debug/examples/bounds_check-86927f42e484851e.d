@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounds_check-86927f42e484851e.d: examples/bounds_check.rs
+
+/root/repo/target/debug/examples/bounds_check-86927f42e484851e: examples/bounds_check.rs
+
+examples/bounds_check.rs:

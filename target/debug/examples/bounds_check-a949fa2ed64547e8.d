@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounds_check-a949fa2ed64547e8.d: examples/bounds_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounds_check-a949fa2ed64547e8.rmeta: examples/bounds_check.rs Cargo.toml
+
+examples/bounds_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

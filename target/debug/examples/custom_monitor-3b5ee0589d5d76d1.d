@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_monitor-3b5ee0589d5d76d1.d: examples/custom_monitor.rs
+
+/root/repo/target/debug/examples/custom_monitor-3b5ee0589d5d76d1: examples/custom_monitor.rs
+
+examples/custom_monitor.rs:

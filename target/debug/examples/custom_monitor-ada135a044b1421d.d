@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_monitor-ada135a044b1421d.d: examples/custom_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_monitor-ada135a044b1421d.rmeta: examples/custom_monitor.rs Cargo.toml
+
+examples/custom_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dift_attack-6088697a7d4ec037.d: examples/dift_attack.rs
+
+/root/repo/target/debug/examples/dift_attack-6088697a7d4ec037: examples/dift_attack.rs
+
+examples/dift_attack.rs:

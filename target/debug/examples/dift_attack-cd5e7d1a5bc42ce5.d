@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dift_attack-cd5e7d1a5bc42ce5.d: examples/dift_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdift_attack-cd5e7d1a5bc42ce5.rmeta: examples/dift_attack.rs Cargo.toml
+
+examples/dift_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fifo_sweep-36cf0f720e06e507.d: examples/fifo_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfifo_sweep-36cf0f720e06e507.rmeta: examples/fifo_sweep.rs Cargo.toml
+
+examples/fifo_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fifo_sweep-fd2ebb05a753aee2.d: examples/fifo_sweep.rs
+
+/root/repo/target/debug/examples/fifo_sweep-fd2ebb05a753aee2: examples/fifo_sweep.rs
+
+examples/fifo_sweep.rs:

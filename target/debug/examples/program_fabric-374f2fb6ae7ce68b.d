@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/program_fabric-374f2fb6ae7ce68b.d: examples/program_fabric.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogram_fabric-374f2fb6ae7ce68b.rmeta: examples/program_fabric.rs Cargo.toml
+
+examples/program_fabric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_fabric-3d7d106c7f7ded72.d: examples/program_fabric.rs
+
+/root/repo/target/debug/examples/program_fabric-3d7d106c7f7ded72: examples/program_fabric.rs
+
+examples/program_fabric.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5fb8938b862c2281.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5fb8938b862c2281: examples/quickstart.rs
+
+examples/quickstart.rs:

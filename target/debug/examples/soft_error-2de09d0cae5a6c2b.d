@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/soft_error-2de09d0cae5a6c2b.d: examples/soft_error.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoft_error-2de09d0cae5a6c2b.rmeta: examples/soft_error.rs Cargo.toml
+
+examples/soft_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

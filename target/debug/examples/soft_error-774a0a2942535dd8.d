@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soft_error-774a0a2942535dd8.d: examples/soft_error.rs
+
+/root/repo/target/debug/examples/soft_error-774a0a2942535dd8: examples/soft_error.rs
+
+examples/soft_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7fc3834df97e0cc4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7fc3834df97e0cc4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faultsweep-835274a78954e6e1.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/release/deps/faultsweep-835274a78954e6e1: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-6b39267d73836bcf.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-6b39267d73836bcf: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-0000aa4d936c9c4e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-0000aa4d936c9c4e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexcore_bench-bc30b1ab3c675a2e.d: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexcore_bench-bc30b1ab3c675a2e.rlib: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexcore_bench-bc30b1ab3c675a2e.rmeta: crates/bench/src/lib.rs crates/bench/src/microbench.rs crates/bench/src/paper.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexcore_mem-963976918f09e95a.d: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/release/deps/libflexcore_mem-963976918f09e95a.rlib: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs
+
+/root/repo/target/release/deps/libflexcore_mem-963976918f09e95a.rmeta: crates/mem/src/lib.rs crates/mem/src/bus.rs crates/mem/src/cache.rs crates/mem/src/mainmem.rs crates/mem/src/metacache.rs crates/mem/src/serde_impls.rs crates/mem/src/storebuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bus.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/mainmem.rs:
+crates/mem/src/metacache.rs:
+crates/mem/src/serde_impls.rs:
+crates/mem/src/storebuf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexcore_pipeline-b54a70f9494aa40b.d: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/release/deps/libflexcore_pipeline-b54a70f9494aa40b.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+/root/repo/target/release/deps/libflexcore_pipeline-b54a70f9494aa40b.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/alu.rs crates/pipeline/src/config.rs crates/pipeline/src/core.rs crates/pipeline/src/serde_impls.rs crates/pipeline/src/stats.rs crates/pipeline/src/trace.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/alu.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/core.rs:
+crates/pipeline/src/serde_impls.rs:
+crates/pipeline/src/stats.rs:
+crates/pipeline/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexcore_suite-54beafb405770e11.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexcore_suite-54beafb405770e11.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexcore_suite-54beafb405770e11.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/flexcore_workloads-016bc816ee9e95c2.d: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs
+
+/root/repo/target/release/deps/libflexcore_workloads-016bc816ee9e95c2.rlib: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs
+
+/root/repo/target/release/deps/libflexcore_workloads-016bc816ee9e95c2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/basicmath.rs crates/workloads/src/bitcount.rs crates/workloads/src/crc32.rs crates/workloads/src/dijkstra.rs crates/workloads/src/fft.rs crates/workloads/src/gmac.rs crates/workloads/src/qsort.rs crates/workloads/src/sha.rs crates/workloads/src/stringsearch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/basicmath.rs:
+crates/workloads/src/bitcount.rs:
+crates/workloads/src/crc32.rs:
+crates/workloads/src/dijkstra.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gmac.rs:
+crates/workloads/src/qsort.rs:
+crates/workloads/src/sha.rs:
+crates/workloads/src/stringsearch.rs:

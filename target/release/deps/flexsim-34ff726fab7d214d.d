@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsim-34ff726fab7d214d.d: crates/bench/src/bin/flexsim.rs
+
+/root/repo/target/release/deps/flexsim-34ff726fab7d214d: crates/bench/src/bin/flexsim.rs
+
+crates/bench/src/bin/flexsim.rs:

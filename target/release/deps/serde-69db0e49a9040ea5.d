@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-69db0e49a9040ea5.d: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-69db0e49a9040ea5.rlib: crates/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-69db0e49a9040ea5.rmeta: crates/serde/src/lib.rs
+
+crates/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-a3b6001b4ee098f2.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-a3b6001b4ee098f2: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-b40bc6ceba1ee917.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-b40bc6ceba1ee917: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/superscalar-dbd447958d153227.d: crates/bench/src/bin/superscalar.rs
+
+/root/repo/target/release/deps/superscalar-dbd447958d153227: crates/bench/src/bin/superscalar.rs
+
+crates/bench/src/bin/superscalar.rs:

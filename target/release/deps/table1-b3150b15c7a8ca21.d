@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b3150b15c7a8ca21.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b3150b15c7a8ca21: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

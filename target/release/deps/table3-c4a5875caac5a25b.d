@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-c4a5875caac5a25b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-c4a5875caac5a25b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

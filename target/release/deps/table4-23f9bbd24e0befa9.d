@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-23f9bbd24e0befa9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-23f9bbd24e0befa9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

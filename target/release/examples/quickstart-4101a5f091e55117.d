@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4101a5f091e55117.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4101a5f091e55117: examples/quickstart.rs
+
+examples/quickstart.rs:

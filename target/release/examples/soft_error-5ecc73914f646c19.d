@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/soft_error-5ecc73914f646c19.d: examples/soft_error.rs
+
+/root/repo/target/release/examples/soft_error-5ecc73914f646c19: examples/soft_error.rs
+
+examples/soft_error.rs:

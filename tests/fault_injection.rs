@@ -217,7 +217,7 @@ proptest! {
         let r = overflow_run(depth, OverflowPolicy::DropWithAccounting, 10_000_000);
         prop_assert_eq!(r.exit, ExitReason::Halt(0));
         prop_assert!(r.monitor_trap.is_none(), "drops must not fake a trap");
-        prop_assert!(r.forward.peak_occupancy <= depth);
+        prop_assert!(r.forward.peak_occupancy <= depth as u64);
         prop_assert_eq!(r.forward.dropped, r.resilience.dropped_overflow);
         prop_assert!(r.forward.forwarded + r.forward.dropped <= r.forward.committed);
         // Sec forwards every ALU op: nothing else may be unaccounted.

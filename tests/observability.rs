@@ -1,0 +1,242 @@
+//! End-to-end observability properties: the epoch metrics series sums
+//! (or maxes) back to the run's aggregate counters on every workload,
+//! the exporters emit valid deterministic JSON, the flight recorder
+//! freezes pre-trap context, and VCD dumps match the netlist interface.
+
+use flexcore_suite::asm::assemble;
+use flexcore_suite::fabric::{vcd_signal_count, write_vcd};
+use flexcore_suite::flexcore::ext::{Dift, Sec, Umc};
+use flexcore_suite::flexcore::obs::{
+    ChromeRecorder, MetricsRecorder, Observer, PacketTap, TraceSink,
+};
+use flexcore_suite::flexcore::{Extension, OverflowPolicy, RunResult, System, SystemConfig};
+use flexcore_suite::pipeline::ExitReason;
+use flexcore_suite::workloads::Workload;
+use proptest::prelude::*;
+
+/// An ALU-heavy counted loop: cheap to simulate, forwards plenty of
+/// packets under SEC.
+fn alu_loop() -> flexcore_suite::asm::Program {
+    assemble(
+        "
+        start:  set 200, %o0
+                set 0, %o1
+        loop:   add %o1, 3, %o1
+                xor %o1, %o0, %o2
+                sub %o2, 1, %o3
+                subcc %o0, 1, %o0
+                bne loop
+                nop
+                ta 0
+        ",
+    )
+    .expect("test program assembles")
+}
+
+fn run_with_sink<E: Extension, S: TraceSink>(
+    program: &flexcore_suite::asm::Program,
+    config: SystemConfig,
+    ext: E,
+    sink: S,
+) -> (RunResult, S) {
+    let mut sys = System::with_sink(config, ext, sink);
+    sys.load_program(program);
+    let r = sys.run(200_000_000);
+    (r, sys.into_sink())
+}
+
+// ------------------------------------------------- series consistency
+
+/// The headline invariant: on all six paper workloads, summing the
+/// epoch series reproduces the aggregate counters bit-for-bit (and the
+/// occupancy peak maxes back).
+#[test]
+fn epoch_series_sums_to_aggregates_on_every_workload() {
+    for workload in Workload::all() {
+        let program = workload.program().expect("workload assembles");
+        // DIFT forwards the most instruction classes; a shallow FIFO at
+        // half fabric speed also produces back-pressure stalls.
+        let config = SystemConfig::fabric_half_speed().with_fifo_depth(8);
+        let (r, m) = run_with_sink(&program, config, Dift::new(), MetricsRecorder::new(1000));
+        assert_eq!(r.exit, ExitReason::Halt(0), "{} failed", workload.name());
+
+        let epochs = m.epochs();
+        assert!(!epochs.is_empty(), "{}: no epochs sampled", workload.name());
+        let committed: u64 = epochs.iter().map(|e| e.committed).sum();
+        let forwarded: u64 = epochs.iter().map(|e| e.forwarded).sum();
+        let dropped: u64 = epochs.iter().map(|e| e.dropped).sum();
+        let stalls: u64 = epochs.iter().map(|e| e.fifo_stall_cycles).sum();
+        let peak: u64 = epochs.iter().map(|e| e.occ_peak).max().unwrap_or(0);
+        assert_eq!(committed, r.forward.committed, "{}: committed", workload.name());
+        assert_eq!(forwarded, r.forward.forwarded, "{}: forwarded", workload.name());
+        assert_eq!(dropped, r.forward.dropped, "{}: dropped", workload.name());
+        assert_eq!(stalls, r.forward.fifo_stall_cycles, "{}: stalls", workload.name());
+        assert_eq!(peak, r.forward.peak_occupancy, "{}: peak occupancy", workload.name());
+
+        // And the recorder's own cross-check agrees (it also covers
+        // per-class counts, meta misses, bus transfers, faults).
+        m.check_against(&r).unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+    }
+}
+
+/// Dropped packets (the overflow-accounting path) land in the series
+/// too, not just the aggregate counter.
+#[test]
+fn drop_accounting_reaches_the_epoch_series() {
+    let config = SystemConfig::fabric_quarter_speed()
+        .with_fifo_depth(2)
+        .with_overflow_policy(OverflowPolicy::DropWithAccounting);
+    let (r, m) = run_with_sink(&alu_loop(), config, Sec::new(), MetricsRecorder::new(100));
+    assert_eq!(r.exit, ExitReason::Halt(0));
+    assert!(r.forward.dropped > 0, "depth-2 FIFO at 0.25X must overflow");
+    let dropped: u64 = m.epochs().iter().map(|e| e.dropped).sum();
+    assert_eq!(dropped, r.forward.dropped);
+    m.check_against(&r).expect("series consistent");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The epoch width is a presentation choice: any width yields a
+    /// series whose totals match the aggregates exactly.
+    #[test]
+    fn totals_are_invariant_under_epoch_width(width in 1u64..3000) {
+        let config = SystemConfig::fabric_quarter_speed().with_fifo_depth(4);
+        let (r, m) =
+            run_with_sink(&alu_loop(), config, Sec::new(), MetricsRecorder::new(width));
+        prop_assert_eq!(r.exit, ExitReason::Halt(0));
+        prop_assert!(r.forward.fifo_stall_cycles > 0, "the shallow FIFO must stall");
+        let check = m.check_against(&r);
+        prop_assert!(check.is_ok(), "width {}: {:?}", width, check);
+    }
+}
+
+// ----------------------------------------------------- JSON exporters
+
+#[test]
+fn metrics_jsonl_is_deterministic_and_parseable() {
+    let mk = || {
+        let config = SystemConfig::fabric_quarter_speed().with_fifo_depth(4);
+        let (r, m) = run_with_sink(&alu_loop(), config, Sec::new(), MetricsRecorder::new(100));
+        m.to_jsonl(&r)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b, "same program, same config: byte-identical JSONL");
+
+    let lines: Vec<&str> = a.lines().collect();
+    assert!(lines.len() >= 3, "meta + epochs + total");
+    for line in &lines {
+        serde::from_str(line).unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+    }
+    let meta = serde::from_str(lines[0]).unwrap();
+    assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+    let total = serde::from_str(lines[lines.len() - 1]).unwrap();
+    assert_eq!(total.get("type").and_then(|v| v.as_str()), Some("total"));
+    assert!(total.get("committed").and_then(|v| v.as_u64()).unwrap() > 0);
+}
+
+#[test]
+fn chrome_trace_is_valid_and_perfetto_shaped() {
+    let config = SystemConfig::fabric_quarter_speed().with_fifo_depth(4);
+    let (r, c) = run_with_sink(&alu_loop(), config, Sec::new(), ChromeRecorder::new());
+    assert_eq!(r.exit, ExitReason::Halt(0));
+
+    let json = c.to_chrome_json();
+    let v = serde::from_str(&json).expect("trace parses as JSON");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+    assert!(events.len() > 3, "metadata plus real events");
+    let mut phases = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("every event has ph");
+        assert!(ev.get("pid").and_then(|p| p.as_u64()).is_some(), "every event has pid");
+        phases.insert(ph.to_string());
+    }
+    assert!(phases.contains("M"), "process/thread metadata present");
+    assert!(phases.contains("X"), "fabric spans present");
+    assert!(phases.contains("C"), "FIFO occupancy counter present");
+}
+
+#[test]
+fn run_result_json_round_trips() {
+    let config = SystemConfig::fabric_quarter_speed().with_fifo_depth(4);
+    let (r, _) = run_with_sink(&alu_loop(), config, Sec::new(), Observer::new().with_flight(4));
+    let v = serde::from_str(&serde::to_string(&r)).expect("RunResult serializes to valid JSON");
+    assert_eq!(v.get("cycles").and_then(|c| c.as_u64()), Some(r.cycles));
+    assert_eq!(v.get("instret").and_then(|c| c.as_u64()), Some(r.instret));
+    assert_eq!(v.get("exit").and_then(|e| e.get("kind")).and_then(|k| k.as_str()), Some("halt"));
+    let flight = v.get("flight").and_then(|f| f.as_array()).expect("flight array");
+    assert_eq!(flight.len(), r.flight.len());
+    assert_eq!(flight.len(), 4, "ring holds the last 4 commits");
+}
+
+// ----------------------------------------------------- flight recorder
+
+/// FlexCore traps are imprecise (§III.C): the frozen log's newest entry
+/// is the violating instruction, and the live log keeps the skid that
+/// committed after it.
+#[test]
+fn flight_recorder_freezes_the_violating_instruction() {
+    let program = assemble(
+        "start: set 0x8000, %o0
+                ld [%o0], %o1     ! read-before-write: UMC must trap
+                add %o1, 1, %o2
+                add %o2, 1, %o3
+                ta 0",
+    )
+    .expect("assembles");
+    let (r, obs) = run_with_sink(
+        &program,
+        SystemConfig::fabric_half_speed(),
+        Umc::new(),
+        Observer::new().with_flight(8),
+    );
+    assert!(r.monitor_trap.is_some(), "read-before-write must trap");
+
+    let flight = obs.flight.expect("flight recorder installed");
+    let frozen = flight.at_trap().expect("trap context frozen");
+    assert!(!frozen.is_empty() && frozen.len() <= 8);
+    let newest = frozen.last().unwrap();
+    assert!(
+        newest.inst.to_string().starts_with("ld"),
+        "newest frozen entry is the violating load, got: {}",
+        newest.inst
+    );
+    // The live log (attached to RunResult) advanced past the freeze
+    // point by exactly the trap skid.
+    let live_last = r.flight.last().expect("live log non-empty");
+    assert_eq!(
+        live_last.instret - newest.instret,
+        r.trap_skid.expect("imprecise trap has a skid"),
+        "live log advanced by the reported skid"
+    );
+}
+
+// ----------------------------------------------------------------- VCD
+
+#[test]
+fn vcd_dump_matches_the_netlist_interface() {
+    let (r, obs) = run_with_sink(
+        &alu_loop(),
+        SystemConfig::fabric_quarter_speed(),
+        Sec::new(),
+        Observer::new().with_packet_tap(16),
+    );
+    assert_eq!(r.exit, ExitReason::Halt(0));
+    let tap: &PacketTap = obs.packets.as_ref().expect("tap installed");
+    assert!(!tap.packets().is_empty(), "SEC forwards ALU ops");
+
+    let ext = Sec::new();
+    let netlist = ext.netlist();
+    let stimulus: Vec<Vec<bool>> = tap.packets().iter().map(|p| ext.vcd_stimulus(p)).collect();
+    for s in &stimulus {
+        assert_eq!(s.len(), netlist.inputs().len(), "one bit per netlist input");
+    }
+    let mut out = Vec::new();
+    write_vcd(&netlist, &stimulus, &mut out).expect("vcd writes");
+    let text = String::from_utf8(out).expect("vcd is ascii");
+    assert!(text.starts_with("$date"), "vcd header");
+    assert!(text.contains("$enddefinitions"));
+    let vars = text.lines().filter(|l| l.trim_start().starts_with("$var")).count();
+    assert_eq!(vars, vcd_signal_count(&netlist), "one $var per signal");
+}
