@@ -26,14 +26,14 @@ fn program() -> Program {
 fn run_system<E: Extension>(program: &Program, ext: E) -> u64 {
     let mut sys = System::new(SystemConfig::fabric_half_speed(), ext);
     sys.load_program(program);
-    sys.run(BUDGET).cycles
+    sys.try_run(BUDGET).expect("simulation error").cycles
 }
 
 fn run_observed<E: Extension>(program: &Program, ext: E) -> u64 {
     let sampler = MetricsRecorder::new(MetricsRecorder::DEFAULT_EPOCH_CYCLES);
     let mut sys = System::with_sink(SystemConfig::fabric_half_speed(), ext, sampler);
     sys.load_program(program);
-    sys.run(BUDGET).cycles
+    sys.try_run(BUDGET).expect("simulation error").cycles
 }
 
 fn main() {

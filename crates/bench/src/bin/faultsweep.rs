@@ -20,6 +20,22 @@
 //!
 //! Options: `--seed N` (default 0xf1ec), `--trials N` per workload for
 //! campaign 1 (default 100).
+//!
+//! Campaign robustness options:
+//!
+//! * `--lockstep` — every faulted run also steps an ISA-level golden
+//!   model; architectural corruption the extension misses is caught as
+//!   a lockstep divergence and counted as detected.
+//! * `--progress FILE` — append one JSONL record per finished trial.
+//! * `--resume` — with `--progress`, skip trials already recorded in
+//!   the file (deterministic seeds make the skip exact), so an
+//!   interrupted campaign continues from its last checkpoint instead
+//!   of starting over.
+//! * `--checkpoint-every N` — flush buffered progress records to disk
+//!   every N trials (default 25).
+
+use std::collections::HashMap;
+use std::io::Write as _;
 
 use flexcore::ext::{Bc, Dift, ExtEnv, Sec, Umc};
 use flexcore::faults::{FaultModel, FaultPlan, FaultRng, FaultSchedule, FaultTarget};
@@ -84,13 +100,22 @@ impl Extension for CommitProfiler {
 }
 
 /// What one faulted simulation did.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Outcome {
     trapped: bool,
+    diverged: bool,
     deadlocked: bool,
     over_budget: bool,
     faults_injected: u64,
     trap_skid: Option<u64>,
+}
+
+impl Outcome {
+    /// The fault was caught — by the extension's own trap or (under
+    /// `--lockstep`) by the golden model.
+    fn detected(&self) -> bool {
+        self.trapped || self.diverged
+    }
 }
 
 fn run_one<E: Extension>(
@@ -98,43 +123,205 @@ fn run_one<E: Extension>(
     config: SystemConfig,
     ext: E,
     plan: &FaultPlan,
+    lockstep: bool,
 ) -> Outcome {
     let program = workload.program().expect("workload assembles");
     let mut sys = System::new(config, ext);
     sys.load_program(&program);
     sys.arm_faults(plan.clone());
+    if lockstep {
+        sys.enable_lockstep();
+    }
     match sys.try_run(MAX_INSTRUCTIONS) {
         Ok(r) => Outcome {
             trapped: r.monitor_trap.is_some(),
-            deadlocked: false,
-            over_budget: false,
             faults_injected: r.resilience.faults_injected,
             trap_skid: r.trap_skid,
+            ..Outcome::default()
         },
-        Err(SimError::Deadlock(_)) => Outcome {
-            trapped: false,
-            deadlocked: true,
-            over_budget: false,
-            faults_injected: 0,
-            trap_skid: None,
-        },
-        Err(_) => Outcome {
-            trapped: false,
-            deadlocked: false,
-            over_budget: true,
-            faults_injected: 0,
-            trap_skid: None,
-        },
+        Err(SimError::Divergence(_)) => Outcome { diverged: true, ..Outcome::default() },
+        Err(SimError::Deadlock(_)) => Outcome { deadlocked: true, ..Outcome::default() },
+        Err(_) => Outcome { over_budget: true, ..Outcome::default() },
     }
 }
 
-fn run_kind(workload: &Workload, ext: ExtKind, config: SystemConfig, plan: &FaultPlan) -> Outcome {
+fn run_kind(
+    workload: &Workload,
+    ext: ExtKind,
+    config: SystemConfig,
+    plan: &FaultPlan,
+    lockstep: bool,
+) -> Outcome {
     match ext {
-        ExtKind::Umc => run_one(workload, config, Umc::new(), plan),
-        ExtKind::Dift => run_one(workload, config, Dift::new(), plan),
-        ExtKind::Bc => run_one(workload, config, Bc::new(), plan),
-        ExtKind::Sec => run_one(workload, config, Sec::new(), plan),
+        ExtKind::Umc => run_one(workload, config, Umc::new(), plan, lockstep),
+        ExtKind::Dift => run_one(workload, config, Dift::new(), plan, lockstep),
+        ExtKind::Bc => run_one(workload, config, Bc::new(), plan, lockstep),
+        ExtKind::Sec => run_one(workload, config, Sec::new(), plan, lockstep),
     }
+}
+
+/// Per-trial progress log (JSONL): lets an interrupted campaign resume
+/// without redoing finished trials. The first line records the
+/// campaign parameters; resuming with different parameters is refused
+/// (the trial labels would not mean the same runs).
+struct ProgressLog {
+    path: Option<String>,
+    done: HashMap<String, Outcome>,
+    pending: Vec<String>,
+    flush_every: usize,
+    reused: u64,
+}
+
+impl ProgressLog {
+    fn header(seed: u64, trials: usize, lockstep: bool) -> String {
+        serde::to_string(
+            &serde::Value::object()
+                .field("seed", &seed)
+                .field("trials", &(trials as u64))
+                .field("lockstep", &lockstep)
+                .build(),
+        )
+    }
+
+    fn open(
+        path: Option<String>,
+        resume: bool,
+        flush_every: usize,
+        seed: u64,
+        trials: usize,
+        lockstep: bool,
+    ) -> Result<ProgressLog, String> {
+        let mut log = ProgressLog {
+            path,
+            done: HashMap::new(),
+            pending: Vec::new(),
+            flush_every: flush_every.max(1),
+            reused: 0,
+        };
+        let Some(p) = &log.path else {
+            return Ok(log);
+        };
+        let header = ProgressLog::header(seed, trials, lockstep);
+        match std::fs::read_to_string(p) {
+            Ok(text) if resume => {
+                let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+                match lines.next() {
+                    Some(first) if first == header => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "{p}: was written with different campaign parameters; \
+                             re-run with the original --seed/--trials/--lockstep or start fresh"
+                        ))
+                    }
+                    None => {}
+                }
+                for line in lines {
+                    let v = serde::from_str(line).map_err(|e| format!("{p}: {e}"))?;
+                    let label = v
+                        .get("label")
+                        .and_then(serde::Value::as_str)
+                        .ok_or_else(|| format!("{p}: record without a label"))?;
+                    log.done.insert(label.to_string(), decode_outcome(&v)?);
+                }
+                Ok(log)
+            }
+            _ => {
+                // Fresh campaign: truncate and stamp the parameters.
+                std::fs::write(p, format!("{header}\n")).map_err(|e| format!("{p}: {e}"))?;
+                Ok(log)
+            }
+        }
+    }
+
+    fn record(&mut self, label: &str, o: Outcome) {
+        if self.path.is_none() {
+            return;
+        }
+        let obj = serde::Value::object()
+            .field("label", &label)
+            .field("trapped", &o.trapped)
+            .field("diverged", &o.diverged)
+            .field("deadlocked", &o.deadlocked)
+            .field("over_budget", &o.over_budget)
+            .field("faults_injected", &o.faults_injected)
+            .field("trap_skid", &o.trap_skid);
+        self.pending.push(serde::to_string(&obj.build()));
+        if self.pending.len() >= self.flush_every {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(p) = &self.path else {
+            return;
+        };
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut text = self.pending.join("\n");
+        text.push('\n');
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .open(p)
+            .and_then(|mut f| f.write_all(text.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("faultsweep: {p}: {e} (progress not saved)");
+        }
+        self.pending.clear();
+    }
+}
+
+fn decode_bool(v: &serde::Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(serde::Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("progress record missing boolean `{key}`")),
+    }
+}
+
+fn decode_outcome(v: &serde::Value) -> Result<Outcome, String> {
+    Ok(Outcome {
+        trapped: decode_bool(v, "trapped")?,
+        diverged: decode_bool(v, "diverged")?,
+        deadlocked: decode_bool(v, "deadlocked")?,
+        over_budget: decode_bool(v, "over_budget")?,
+        faults_injected: v
+            .get("faults_injected")
+            .and_then(serde::Value::as_u64)
+            .ok_or("progress record missing `faults_injected`")?,
+        trap_skid: v.get("trap_skid").and_then(serde::Value::as_u64),
+    })
+}
+
+/// [`run_panic_tolerant`] with a resume cache: trials already in the
+/// progress log come back instantly; fresh trials run and are
+/// recorded. Reports keep submission order either way.
+fn run_with_progress<F>(
+    jobs: Vec<(String, F)>,
+    progress: &mut ProgressLog,
+) -> Vec<flexcore_bench::JobReport<Outcome>>
+where
+    F: FnOnce() -> Outcome + Send + 'static,
+{
+    let mut slots: Vec<Option<flexcore_bench::JobReport<Outcome>>> = Vec::new();
+    let mut fresh = Vec::new();
+    let mut fresh_slots = Vec::new();
+    for (i, (label, job)) in jobs.into_iter().enumerate() {
+        if let Some(&o) = progress.done.get(&label) {
+            progress.reused += 1;
+            slots.push(Some(flexcore_bench::JobReport { label, outcome: Ok(o) }));
+        } else {
+            slots.push(None);
+            fresh_slots.push(i);
+            fresh.push((label, job));
+        }
+    }
+    for (i, rep) in fresh_slots.into_iter().zip(run_panic_tolerant(fresh)) {
+        if let Ok(o) = &rep.outcome {
+            progress.record(&rep.label, *o);
+        }
+        slots[i] = Some(rep);
+    }
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
 }
 
 fn paper_config(ext: ExtKind) -> SystemConfig {
@@ -177,13 +364,42 @@ fn arg_value(name: &str) -> Option<u64> {
     parsed
 }
 
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => {
+            eprintln!("faultsweep: {name} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let seed = arg_value("--seed").unwrap_or(0xf1ec);
     let trials = arg_value("--trials").unwrap_or(100) as usize;
+    let lockstep = std::env::args().any(|a| a == "--lockstep");
+    let resume = std::env::args().any(|a| a == "--resume");
+    let progress_path = arg_string("--progress");
+    let flush_every = arg_value("--checkpoint-every").unwrap_or(25) as usize;
+    if resume && progress_path.is_none() {
+        eprintln!("faultsweep: --resume needs --progress FILE to resume from");
+        std::process::exit(2);
+    }
+    let mut progress =
+        match ProgressLog::open(progress_path, resume, flush_every, seed, trials, lockstep) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("faultsweep: {e}");
+                std::process::exit(2);
+            }
+        };
     let workloads = [Workload::sha(), Workload::bitcount()];
 
     println!(
-        "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload)"
+        "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload{})",
+        if lockstep { ", lockstep golden model on" } else { "" }
     );
     println!("{}", "=".repeat(78));
 
@@ -210,19 +426,21 @@ fn main() {
                         FaultSchedule::AtCommit(site),
                         FaultModel::Mask(1 << bit),
                     );
-                    run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan)
+                    run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan, lockstep)
                 })
             })
             .collect();
-        let reports = run_panic_tolerant(jobs);
+        let reports = run_with_progress(jobs, &mut progress);
         let mut detected = 0u64;
+        let mut diverged = 0u64;
         let mut silent = 0u64;
         let mut hung = 0u64;
         let mut skids = Vec::new();
         for rep in &reports {
             match &rep.outcome {
-                Ok(o) if o.trapped => {
+                Ok(o) if o.detected() => {
                     detected += 1;
+                    diverged += u64::from(o.diverged);
                     skids.extend(o.trap_skid);
                 }
                 Ok(o) if o.deadlocked || o.over_budget => hung += 1,
@@ -250,6 +468,12 @@ fn main() {
             coverage * 100.0,
             mean_skid,
         );
+        if diverged > 0 {
+            println!(
+                "  ({diverged} of the {detected} detections came from lockstep divergence, \
+                 which fires before the imprecise SEC trap)"
+            );
+        }
     }
     println!("coverage target ≥ 90.0%: {}", if all_pass { "PASS" } else { "FAIL" });
 
@@ -263,7 +487,7 @@ fn main() {
     ];
 
     println!("\nRate × target sweep (Bernoulli faults/commit; cell = outcome:faults-injected)");
-    println!("  outcome key: trap / ok (ran clean) / dead (deadlock) / budget");
+    println!("  outcome key: trap / div (lockstep divergence) / ok (ran clean) / dead / budget");
     let mut clean_false_traps = 0u64;
     for workload in &workloads {
         println!("\n{} ({} per-million rates: {:?})", workload.name(), rates.len(), rates);
@@ -290,19 +514,21 @@ fn main() {
                                     FaultModel::BitFlip { bits: 1 },
                                 );
                             }
-                            run_kind(&w, ext, paper_config(ext), &plan)
+                            run_kind(&w, ext, paper_config(ext), &plan, lockstep)
                         })
                     })
                     .collect();
-                let reports = run_panic_tolerant(jobs);
+                let reports = run_with_progress(jobs, &mut progress);
                 print!("{:<6}{:<11}", ext.name(), tname);
                 for (ri, rep) in reports.iter().enumerate() {
                     let cell = match &rep.outcome {
                         Ok(o) => {
-                            if rates[ri] == 0 && o.trapped {
+                            if rates[ri] == 0 && o.detected() {
                                 clean_false_traps += 1;
                             }
-                            let tag = if o.trapped {
+                            let tag = if o.diverged {
+                                "div"
+                            } else if o.trapped {
                                 "trap"
                             } else if o.deadlocked {
                                 "dead"
@@ -322,10 +548,14 @@ fn main() {
         }
     }
     println!(
-        "\nclean-run (rate 0) false traps across all extensions/targets: {} ({})",
+        "\nclean-run (rate 0) false traps/divergences across all extensions/targets: {} ({})",
         clean_false_traps,
         if clean_false_traps == 0 { "PASS" } else { "FAIL" }
     );
+    progress.flush();
+    if progress.reused > 0 {
+        println!("resumed: {} trials reused from the progress file", progress.reused);
+    }
     println!("\nre-run with the same --seed to reproduce these numbers exactly");
     if !all_pass || clean_false_traps != 0 {
         std::process::exit(1);

@@ -17,6 +17,13 @@
 //!   --json                               print the full run result as JSON
 //!   --commits                            print every committed instruction (bare core)
 //!   --disasm                             print the assembled listing and exit
+//!   --checkpoint-every <N>               write a checkpoint every N committed instructions
+//!   --checkpoint-path <file>             where checkpoints go (default: flexsim.ckpt.json)
+//!   --quit-after-checkpoint              exit 0 after the first checkpoint (deterministic
+//!                                        stand-in for an interrupted run)
+//!   --resume <file>                      restore a checkpoint before running
+//!   --lockstep                           step an ISA-level golden model commit-for-commit
+//!                                        and fail on any architectural divergence
 //!
 //! Workload names: sha gmac stringsearch fft basicmath bitcount
 //!                  crc32 qsort dijkstra
@@ -33,12 +40,22 @@
 //! The observability outputs (`--metrics`, `--trace`, `--flight-recorder`,
 //! `--vcd`, `--json`) require a monitoring extension: they observe the
 //! [`System`] commit/forward path, which the bare core does not have.
+//! The same goes for `--checkpoint-every`/`--resume`/`--lockstep`:
+//! checkpointing and golden-model lockstep are [`System`]-level
+//! machinery.
+//!
+//! A `--resume`d run must be built the same way as the one that wrote
+//! the checkpoint: same program, same `--ext`, `--clock`, and `--fifo`.
+//! The restored run finishes with output bit-identical to the
+//! uninterrupted run, so `flexsim sha --ext umc --json` and the pair
+//! "checkpoint, then resume" can be `diff`ed directly (CI does).
 
 use std::process::ExitCode;
 
+use flexcore::checkpoint::Snapshot;
 use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
-use flexcore::obs::{ChromeRecorder, MetricsRecorder, Observer};
-use flexcore::{SimError, System, SystemConfig};
+use flexcore::obs::{ChromeRecorder, MetricsRecorder, Observer, TraceSink};
+use flexcore::{RunOutcome, RunResult, SimError, System, SystemConfig};
 use flexcore_asm::{assemble, Program};
 use flexcore_fabric::write_vcd;
 use flexcore_mem::{MainMemory, SystemBus};
@@ -64,6 +81,11 @@ struct Options {
     flight: usize,
     vcd: Option<String>,
     json: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: String,
+    quit_after_checkpoint: bool,
+    resume: Option<String>,
+    lockstep: bool,
 }
 
 impl Options {
@@ -74,6 +96,12 @@ impl Options {
             || self.flight > 0
             || self.vcd.is_some()
             || self.json
+    }
+
+    /// Whether any flag that needs [`System`]-level checkpoint or
+    /// lockstep machinery is set.
+    fn wants_system(&self) -> bool {
+        self.checkpoint_every.is_some() || self.resume.is_some() || self.lockstep
     }
 }
 
@@ -92,6 +120,11 @@ fn parse_args() -> Result<Options, String> {
         flight: 0,
         vcd: None,
         json: false,
+        checkpoint_every: None,
+        checkpoint_path: "flexsim.ckpt.json".into(),
+        quit_after_checkpoint: false,
+        resume: None,
+        lockstep: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -132,6 +165,23 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--commits" => opts.commits = true,
             "--disasm" => opts.disasm = true,
+            "--checkpoint-every" => {
+                let n: u64 = args
+                    .next()
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be > 0".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--checkpoint-path" => {
+                opts.checkpoint_path = args.next().ok_or("--checkpoint-path needs a file")?;
+            }
+            "--quit-after-checkpoint" => opts.quit_after_checkpoint = true,
+            "--resume" => opts.resume = Some(args.next().ok_or("--resume needs a file")?),
+            "--lockstep" => opts.lockstep = true,
             "--help" | "-h" => return Err("help".into()),
             other if opts.input.is_empty() => opts.input = other.to_string(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -144,6 +194,14 @@ fn parse_args() -> Result<Options, String> {
         return Err("--metrics/--trace/--flight-recorder/--vcd/--json observe the monitored \
              commit path; pick an extension with --ext umc|dift|bc|sec|mprot"
             .into());
+    }
+    if opts.ext == "none" && opts.wants_system() {
+        return Err("--checkpoint-every/--resume/--lockstep need the full system model; \
+             pick an extension with --ext umc|dift|bc|sec|mprot"
+            .into());
+    }
+    if opts.quit_after_checkpoint && opts.checkpoint_every.is_none() {
+        return Err("--quit-after-checkpoint needs --checkpoint-every".into());
     }
     Ok(opts)
 }
@@ -191,6 +249,47 @@ fn write_file(path: &str, contents: &str) -> i32 {
     }
 }
 
+/// What driving the system produced: a finished run, or a clean early
+/// exit after `--quit-after-checkpoint` wrote its checkpoint.
+#[allow(clippy::large_enum_variant)] // Finished is the overwhelmingly common case
+enum Driven {
+    Finished(RunResult),
+    QuitAfterCheckpoint,
+}
+
+/// Runs the system, writing a checkpoint every `--checkpoint-every`
+/// commits (if requested).
+fn drive<E: Extension, S: TraceSink>(
+    sys: &mut System<E, S>,
+    opts: &Options,
+    name: &str,
+) -> Result<Result<Driven, SimError>, i32> {
+    let Some(every) = opts.checkpoint_every else {
+        return Ok(sys.try_run(opts.max).map(Driven::Finished));
+    };
+    loop {
+        let next = sys.core().stats().instret.saturating_add(every);
+        match sys.try_run_until(opts.max, next) {
+            Ok(RunOutcome::Done(r)) => return Ok(Ok(Driven::Finished(r))),
+            Ok(RunOutcome::Paused { instret, cycle }) => {
+                let json = sys.snapshot().to_json();
+                if let Err(e) = std::fs::write(&opts.checkpoint_path, json) {
+                    eprintln!("error: {}: {e}", opts.checkpoint_path);
+                    return Err(2);
+                }
+                eprintln!(
+                    "[{name}] checkpoint at instret {instret} (cycle {cycle}) -> {}",
+                    opts.checkpoint_path
+                );
+                if opts.quit_after_checkpoint {
+                    return Ok(Ok(Driven::QuitAfterCheckpoint));
+                }
+            }
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+}
+
 fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32 {
     let cfg = match config(opts) {
         Ok(c) => c,
@@ -217,9 +316,35 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
 
     let mut sys = System::with_sink(cfg, ext, obs);
     sys.load_program(program);
-    let r = match sys.try_run(opts.max) {
-        Ok(r) => r,
-        Err(SimError::Deadlock(snap)) => {
+    if let Some(path) = &opts.resume {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        };
+        let snap = match Snapshot::from_json(&json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = sys.restore(&snap) {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+        eprintln!("[{name}] resumed from {path} at instret {}", sys.core().stats().instret);
+    }
+    if opts.lockstep {
+        sys.enable_lockstep();
+    }
+    let r = match drive(&mut sys, opts, name) {
+        Err(code) => return code,
+        Ok(Ok(Driven::QuitAfterCheckpoint)) => return 0,
+        Ok(Ok(Driven::Finished(r))) => r,
+        Ok(Err(SimError::Deadlock(snap))) => {
             eprintln!("[{name}] {}", SimError::Deadlock(snap.clone()));
             let recent = snap.recent_disassembly();
             if !recent.is_empty() {
@@ -227,11 +352,31 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
             }
             return 4;
         }
-        Err(e) => {
+        Ok(Err(SimError::Divergence(report))) => {
+            eprintln!("[{name}] lockstep divergence: {report}");
+            if !report.dut_recent.is_empty() {
+                eprintln!("last pipeline commits:");
+                for c in &report.dut_recent {
+                    eprintln!("  {c}");
+                }
+            }
+            if !report.golden_recent.is_empty() {
+                eprintln!("last golden-model commits:");
+                for c in &report.golden_recent {
+                    eprintln!("  {c}");
+                }
+            }
+            return 4;
+        }
+        Ok(Err(e)) => {
             eprintln!("[{name}] {e}");
             return 4;
         }
     };
+    if opts.lockstep {
+        let checked = sys.lockstep().map_or(0, |c| c.commits_checked());
+        eprintln!("[{name}] lockstep: {checked} commits agreed with the golden model");
+    }
 
     // The VCD dump needs both the tapped packets (in the sink) and the
     // extension's netlist, so write it before consuming `sys`.
@@ -334,6 +479,8 @@ fn main() -> ExitCode {
                 "usage: flexsim [--ext umc|dift|bc|sec|mprot|none] [--clock 1x|0.5x|0.25x]\n\
                  \x20              [--fifo N] [--max N] [--metrics FILE] [--epoch N]\n\
                  \x20              [--trace FILE] [--flight-recorder N] [--vcd FILE]\n\
+                 \x20              [--checkpoint-every N] [--checkpoint-path FILE]\n\
+                 \x20              [--quit-after-checkpoint] [--resume FILE] [--lockstep]\n\
                  \x20              [--json] [--commits] [--disasm] <program.s | workload>"
             );
             return ExitCode::from(2);

@@ -90,7 +90,7 @@ fn monitored<E: flexcore::Extension, S: TraceSink>(
     let program = workload.program().expect("workload assembles");
     let mut sys = System::with_sink(config, ext, sink);
     sys.load_program(&program);
-    let r = sys.run(MAX_INSTRUCTIONS);
+    let r = sys.try_run(MAX_INSTRUCTIONS).expect("simulation error");
     assert_eq!(
         r.exit,
         ExitReason::Halt(0),

@@ -4,6 +4,7 @@
 
 use flexcore_mem::BusStats;
 
+use crate::lockstep::DivergenceReport;
 use crate::obs::FlightEntry;
 
 /// Diagnostic state captured when the forward-progress watchdog fires.
@@ -89,6 +90,13 @@ pub enum SimError {
         /// Instructions committed by then.
         instret: u64,
     },
+    /// The cycle-level core disagreed with the ISA-level golden model
+    /// while lockstep checking
+    /// ([`System::enable_lockstep`](crate::System::enable_lockstep))
+    /// was active. Carries a minimized [`DivergenceReport`]: the last
+    /// commits of both models, the architectural-state delta, and the
+    /// frozen flight-recorder ring.
+    Divergence(Box<DivergenceReport>),
     /// Corruption that graceful degradation could not absorb — e.g. a
     /// bitstream that still fails its checksum after the configured
     /// number of reload attempts.
@@ -109,6 +117,7 @@ impl std::fmt::Display for SimError {
             SimError::CycleBudgetExceeded { budget, cycle, instret } => {
                 write!(f, "cycle budget exceeded: {cycle} > {budget} after {instret} instructions")
             }
+            SimError::Divergence(report) => write!(f, "lockstep divergence: {report}"),
             SimError::UnrecoverableCorruption { context, attempts, detail } => write!(
                 f,
                 "unrecoverable corruption in {context} after {attempts} attempt(s): {detail}"

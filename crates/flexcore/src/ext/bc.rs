@@ -79,6 +79,16 @@ impl Extension for Bc {
         "BC"
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        vec![self.checks]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if let [checks] = *state {
+            self.checks = checks;
+        }
+    }
+
     fn descriptor(&self) -> ExtensionDescriptor {
         ExtensionDescriptor {
             abbrev: "BC",

@@ -164,6 +164,19 @@ impl Extension for Dift {
         "DIFT"
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        // The policy register is software-writable at run time (the
+        // SET_POLICY cpop), so it is run-time state, not configuration.
+        vec![u64::from(self.policy), self.checks]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if let [policy, checks] = *state {
+            self.policy = policy as u32;
+            self.checks = checks;
+        }
+    }
+
     fn descriptor(&self) -> ExtensionDescriptor {
         ExtensionDescriptor {
             abbrev: "DIFT",

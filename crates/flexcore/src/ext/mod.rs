@@ -239,6 +239,24 @@ pub trait Extension {
     /// UMC marks the image as written). Default: nothing.
     fn on_program_load(&mut self, _base: u32, _len: u32, _env: &mut ExtEnv<'_>) {}
 
+    /// The extension's mutable run-time state as a flat word vector,
+    /// for checkpointing. Meta-data lives in the meta-data cache and
+    /// shadow register file (captured separately by
+    /// [`System::snapshot`](crate::System::snapshot)); this hook covers
+    /// only state held inside the extension itself — counters, policy
+    /// registers, and the like. Configuration fixed at construction
+    /// (granularities, netlists) must not be included. Default: empty.
+    fn snapshot_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](Extension::snapshot_state). Called on an
+    /// extension constructed the same way as the one snapshotted; a
+    /// mismatched vector indicates a foreign checkpoint and may be
+    /// ignored or partially applied. Default: nothing.
+    fn restore_state(&mut self, _state: &[u64]) {}
+
     /// The extension's datapath as a gate-level netlist, used by the
     /// Table III cost models (FPGA LUT mapping and ASIC synthesis).
     fn netlist(&self) -> Netlist;

@@ -105,6 +105,16 @@ impl Extension for Mprot {
         "MPROT"
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        vec![self.checks]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if let [checks] = *state {
+            self.checks = checks;
+        }
+    }
+
     fn descriptor(&self) -> ExtensionDescriptor {
         ExtensionDescriptor {
             abbrev: "MPROT",

@@ -59,6 +59,17 @@ impl Extension for Sec {
         "SEC"
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        vec![self.checked, self.residue_checked]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if let [checked, residue_checked] = *state {
+            self.checked = checked;
+            self.residue_checked = residue_checked;
+        }
+    }
+
     fn descriptor(&self) -> ExtensionDescriptor {
         ExtensionDescriptor {
             abbrev: "SEC",

@@ -133,6 +133,16 @@ impl Extension for Umc {
         "UMC"
     }
 
+    fn snapshot_state(&self) -> Vec<u64> {
+        vec![self.traps_checked]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        if let [traps_checked] = *state {
+            self.traps_checked = traps_checked;
+        }
+    }
+
     fn descriptor(&self) -> ExtensionDescriptor {
         ExtensionDescriptor {
             abbrev: "UMC",

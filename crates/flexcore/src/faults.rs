@@ -53,6 +53,14 @@ impl FaultRng {
         FaultRng { state: seed }
     }
 
+    /// The current generator state. Feeding it back into
+    /// [`FaultRng::new`] resumes the stream at exactly this position
+    /// (SplitMix64 state *is* its seed), which is how checkpoints
+    /// preserve fault-injection determinism across a restore.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 random bits (SplitMix64 step).
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -319,6 +327,22 @@ struct SpecState {
     exhausted: bool,
 }
 
+/// Complete checkpointable run-time state of a [`FaultInjector`] (see
+/// [`FaultInjector::snapshot`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultInjectorSnapshot {
+    /// Per-spec generator positions, in spec order.
+    pub rng_states: Vec<u64>,
+    /// Per-spec one-shot flags, in spec order.
+    pub exhausted: Vec<bool>,
+    /// Every fault applied so far.
+    pub log: Vec<FaultEvent>,
+    /// Every bitstream strike applied so far.
+    pub bitstream_log: Vec<BitstreamStrike>,
+    /// Bitstream transfer attempts seen so far.
+    pub bitstream_attempts: u64,
+}
+
 /// Executes a [`FaultPlan`] deterministically and logs every strike.
 pub struct FaultInjector {
     specs: Vec<SpecState>,
@@ -436,6 +460,47 @@ impl FaultInjector {
             actions.push(action);
         }
         actions
+    }
+
+    /// Captures the injector's complete run-time state: per-spec
+    /// generator positions and one-shot flags, both event logs, and the
+    /// bitstream attempt counter. The specs themselves are construction
+    /// state (the re-armed plan supplies them on restore).
+    pub fn snapshot(&self) -> FaultInjectorSnapshot {
+        FaultInjectorSnapshot {
+            rng_states: self.specs.iter().map(|s| s.rng.state()).collect(),
+            exhausted: self.specs.iter().map(|s| s.exhausted).collect(),
+            log: self.log.clone(),
+            bitstream_log: self.bitstream_log.clone(),
+            bitstream_attempts: self.bitstream_attempts,
+        }
+    }
+
+    /// Restores state captured by [`FaultInjector::snapshot`] onto an
+    /// injector rebuilt from the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's spec count does not match
+    /// this injector's (the plans differ).
+    pub fn restore(&mut self, snap: &FaultInjectorSnapshot) -> Result<(), String> {
+        if snap.rng_states.len() != self.specs.len() || snap.exhausted.len() != self.specs.len() {
+            return Err(format!(
+                "fault plan mismatch: snapshot has {} spec(s), injector has {}",
+                snap.rng_states.len(),
+                self.specs.len()
+            ));
+        }
+        for (st, (&state, &exhausted)) in
+            self.specs.iter_mut().zip(snap.rng_states.iter().zip(&snap.exhausted))
+        {
+            st.rng = FaultRng::new(state);
+            st.exhausted = exhausted;
+        }
+        self.log = snap.log.clone();
+        self.bitstream_log = snap.bitstream_log.clone();
+        self.bitstream_attempts = snap.bitstream_attempts;
+        Ok(())
     }
 
     /// Corrupts one serialized bitstream transfer in place (if any

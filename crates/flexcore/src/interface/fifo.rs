@@ -32,6 +32,18 @@ pub struct ForwardFifo {
     peak_occupancy: usize,
 }
 
+/// Complete checkpointable state of a [`ForwardFifo`] (the depth is
+/// construction state and is not included).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FifoSnapshot {
+    /// Scheduled dequeue time of each resident entry, oldest first.
+    pub dequeues: Vec<u64>,
+    /// Total commit-stall cycles caused by a full FIFO.
+    pub stall_cycles: u64,
+    /// Highest occupancy observed.
+    pub peak_occupancy: u64,
+}
+
 impl ForwardFifo {
     /// Creates a FIFO with `depth` entries (the paper's default is 64).
     ///
@@ -123,6 +135,23 @@ impl ForwardFifo {
     /// Highest occupancy observed.
     pub fn peak_occupancy(&self) -> usize {
         self.peak_occupancy
+    }
+
+    /// Captures the FIFO's complete run-time state.
+    pub fn snapshot(&self) -> FifoSnapshot {
+        FifoSnapshot {
+            dequeues: self.dequeues.iter().copied().collect(),
+            stall_cycles: self.stall_cycles,
+            peak_occupancy: self.peak_occupancy as u64,
+        }
+    }
+
+    /// Restores state captured by [`ForwardFifo::snapshot`] onto a FIFO
+    /// of the same configured depth.
+    pub fn restore(&mut self, snap: &FifoSnapshot) {
+        self.dequeues = snap.dequeues.iter().copied().collect();
+        self.stall_cycles = snap.stall_cycles;
+        self.peak_occupancy = snap.peak_occupancy as usize;
     }
 }
 

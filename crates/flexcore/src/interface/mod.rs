@@ -22,7 +22,7 @@ mod cfgr;
 mod fifo;
 
 pub use cfgr::{Cfgr, ForwardPolicy};
-pub use fifo::ForwardFifo;
+pub use fifo::{FifoSnapshot, ForwardFifo};
 
 /// Which direction a Table II field travels.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

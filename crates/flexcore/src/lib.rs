@@ -34,6 +34,15 @@
 //!   the SEC story end-to-end. Paired with the typed [`SimError`]
 //!   returned by [`System::try_run`], whose forward-progress watchdog
 //!   turns would-be hangs into [`SimError::Deadlock`] diagnostics.
+//! * [`checkpoint`] — complete-state snapshots ([`Snapshot`], via
+//!   [`System::snapshot`]/[`System::restore`]) with delta-compressed
+//!   memory: interrupt a run at any commit boundary, restore, and the
+//!   final [`RunResult`] is bit-identical to the uninterrupted run.
+//! * [`lockstep`] — an ISA-level golden model stepped
+//!   commit-for-commit with the cycle-level pipeline
+//!   ([`System::enable_lockstep`]); any architectural disagreement
+//!   surfaces as [`SimError::Divergence`] carrying a minimized
+//!   [`DivergenceReport`].
 //!
 //! # Example: catching an uninitialized read
 //!
@@ -50,7 +59,7 @@
 //! ")?;
 //! let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
 //! sys.load_program(&program);
-//! let result = sys.run(1_000_000);
+//! let result = sys.try_run(1_000_000).expect("simulation error");
 //! assert!(result.monitor_trap.is_some(), "UMC caught the bug");
 //! # Ok::<(), flexcore_asm::AsmError>(())
 //! ```
@@ -59,9 +68,11 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod ext;
 pub mod faults;
 pub mod interface;
+pub mod lockstep;
 pub mod obs;
 pub mod software;
 
@@ -72,9 +83,11 @@ mod shadow;
 mod stats;
 mod system;
 
+pub use checkpoint::{RestoreError, Snapshot};
 pub use error::{DeadlockSnapshot, SimError};
 pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
 pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};
+pub use lockstep::{DivergenceReport, LockstepChecker};
 pub use shadow::ShadowRegFile;
 pub use stats::{ForwardStats, ResilienceStats, RunResult};
-pub use system::{Implementation, OverflowPolicy, System, SystemConfig};
+pub use system::{Implementation, OverflowPolicy, RunOutcome, System, SystemConfig};

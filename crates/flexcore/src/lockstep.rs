@@ -1,0 +1,398 @@
+//! Lockstep golden-model divergence detection.
+//!
+//! The cycle-level [`System`](crate::System) models *timing*; the
+//! ISA-level interpreter in [`flexcore_isa::interp`] models only
+//! *architecture*. When lockstep checking is enabled
+//! ([`System::enable_lockstep`](crate::System::enable_lockstep)), the
+//! system steps the interpreter commit-for-commit alongside the
+//! pipeline and diffs architectural state at every commit: PC, the
+//! fetched instruction word, the full register file, and the condition
+//! codes. Memory effects are checked transitively — the golden model
+//! executes loads and stores against its own private memory image, so
+//! a corrupted store or a flipped data word surfaces as a register
+//! mismatch at the next load that observes it.
+//!
+//! On the first mismatch the system freezes the installed
+//! [`FlightRecorder`](crate::obs::FlightRecorder) ring into a minimized
+//! [`DivergenceReport`] (the last commits of both models plus the state
+//! delta) and [`System::try_run`](crate::System::try_run) returns
+//! [`SimError::Divergence`](crate::SimError::Divergence).
+//!
+//! Faults confined to the monitoring path — corrupted FFIFO packets,
+//! poisoned meta-data, a wedged fabric — do **not** diverge: the golden
+//! model checks the main core's architectural state, which those
+//! faults leave intact. Faults that strike architectural state (ALU
+//! results, registers, data or text memory) do.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use flexcore_isa::interp::{Memory32, RefCore, RefStep};
+use flexcore_isa::{Reg, NUM_REGS};
+use flexcore_mem::MainMemory;
+use flexcore_pipeline::{Core, TracePacket};
+
+use crate::obs::FlightEntry;
+
+/// Adapter implementing the ISA-level [`Memory32`] byte interface on
+/// the system's [`MainMemory`] (the two crates are independent, so
+/// neither can implement the other's trait directly).
+#[derive(Clone, Debug)]
+struct RefMem(MainMemory);
+
+impl Memory32 for RefMem {
+    fn read_u8(&self, addr: u32) -> u8 {
+        self.0.read_u8(addr)
+    }
+
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        self.0.write_u8(addr, value);
+    }
+}
+
+/// One commit as remembered in the divergence rings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockstepCommit {
+    /// 1-based commit index (matching `ForwardStats::committed`).
+    pub index: u64,
+    /// Program counter.
+    pub pc: u32,
+    /// The fetched instruction word.
+    pub inst_word: u32,
+}
+
+impl fmt::Display for LockstepCommit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#010x} {:#010x}", self.index, self.pc, self.inst_word)
+    }
+}
+
+/// One architectural register on which the two models disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegMismatch {
+    /// Register index (1..=31; `%g0` cannot mismatch).
+    pub reg: u8,
+    /// The cycle-level core's value.
+    pub dut: u32,
+    /// The golden model's value.
+    pub golden: u32,
+}
+
+/// Everything captured at the first lockstep mismatch: where the two
+/// models disagree, the last commits of both, and the frozen
+/// flight-recorder ring (empty unless a
+/// [`FlightRecorder`](crate::obs::FlightRecorder) sink is installed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DivergenceReport {
+    /// 1-based commit index at which the divergence was detected.
+    pub commit_index: u64,
+    /// Core-clock cycle of that commit.
+    pub cycle: u64,
+    /// Human-readable classification of the first observed mismatch.
+    pub reason: String,
+    /// The cycle-level core's PC at the divergent commit.
+    pub dut_pc: u32,
+    /// The golden model's PC at the divergent commit.
+    pub golden_pc: u32,
+    /// The instruction word the cycle-level core committed.
+    pub dut_inst_word: u32,
+    /// The instruction word the golden model fetched.
+    pub golden_inst_word: u32,
+    /// Registers on which the two models disagree, ascending by index.
+    pub reg_mismatches: Vec<RegMismatch>,
+    /// Condition-code mismatch as `(dut, golden)` NZVC bits, if any.
+    pub icc_mismatch: Option<(u8, u8)>,
+    /// The cycle-level core's last commits, oldest first (the divergent
+    /// commit is last).
+    pub dut_recent: Vec<LockstepCommit>,
+    /// The golden model's last commits, oldest first.
+    pub golden_recent: Vec<LockstepCommit>,
+    /// The flight-recorder ring frozen at detection (disassembled
+    /// commit history; empty without a flight-recorder sink).
+    pub flight: Vec<FlightEntry>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at commit {} (cycle {}): {}; dut pc {:#010x} golden pc {:#010x}",
+            self.commit_index, self.cycle, self.reason, self.dut_pc, self.golden_pc,
+        )?;
+        if !self.reg_mismatches.is_empty() {
+            write!(f, "; {} register mismatch(es):", self.reg_mismatches.len())?;
+            for m in &self.reg_mismatches {
+                write!(f, " r{}={:#010x}/{:#010x}", m.reg, m.dut, m.golden)?;
+            }
+        }
+        if let Some((dut, golden)) = self.icc_mismatch {
+            write!(f, "; icc {dut:#06b}/{golden:#06b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How many consecutive annulled delay slots the golden model may
+/// consume while catching up to one pipeline commit. SPARC annuls at
+/// most the single delay slot of each branch, so anything past a small
+/// bound means the models have lost alignment.
+const MAX_CATCHUP_ANNULS: u32 = 4;
+
+/// Steps an ISA-level [`RefCore`] commit-for-commit against the
+/// cycle-level pipeline and reports the first architectural
+/// disagreement.
+#[derive(Clone, Debug)]
+pub struct LockstepChecker {
+    golden: RefCore,
+    mem: RefMem,
+    window: usize,
+    dut_recent: VecDeque<LockstepCommit>,
+    golden_recent: VecDeque<LockstepCommit>,
+    commits_checked: u64,
+}
+
+impl LockstepChecker {
+    /// Ring depth of the per-model recent-commit logs in a
+    /// [`DivergenceReport`].
+    pub const DEFAULT_WINDOW: usize = 16;
+
+    /// Builds a checker synchronized to the core's current
+    /// architectural state, with a private copy of `mem` for the golden
+    /// model. `window` bounds the recent-commit rings (clamped to ≥ 1).
+    pub fn new(core: &Core, mem: &MainMemory, window: usize) -> LockstepChecker {
+        let mut regs = [0u32; NUM_REGS];
+        for r in Reg::all() {
+            regs[r.index()] = core.reg(r);
+        }
+        LockstepChecker {
+            golden: RefCore::synced(regs, core.icc(), core.pc(), core.npc(), core.annul_pending()),
+            mem: RefMem(mem.clone()),
+            window: window.max(1),
+            dut_recent: VecDeque::new(),
+            golden_recent: VecDeque::new(),
+            commits_checked: 0,
+        }
+    }
+
+    /// Commits compared so far without divergence.
+    pub fn commits_checked(&self) -> u64 {
+        self.commits_checked
+    }
+
+    /// The golden model (e.g. to inspect its state in tests).
+    pub fn golden(&self) -> &RefCore {
+        &self.golden
+    }
+
+    /// Reconciliation hook for platform-defined register writes the ISA
+    /// does not model: the BFIFO return value a `WaitForAck` forward
+    /// writes into the destination register. The system mirrors that
+    /// write into the golden model so the device-defined value does not
+    /// read as a divergence.
+    pub fn adopt_reg(&mut self, r: Reg, value: u32) {
+        self.golden.set_reg(r, value);
+    }
+
+    fn push_recent(&mut self, dut: LockstepCommit, golden: LockstepCommit) {
+        if self.dut_recent.len() == self.window {
+            self.dut_recent.pop_front();
+            self.golden_recent.pop_front();
+        }
+        self.dut_recent.push_back(dut);
+        self.golden_recent.push_back(golden);
+    }
+
+    fn report(&self, pkt: &TracePacket, commit_index: u64, reason: String) -> DivergenceReport {
+        DivergenceReport {
+            commit_index,
+            cycle: pkt.commit_cycle,
+            reason,
+            dut_pc: pkt.pc,
+            golden_pc: self.golden.pc(),
+            dut_inst_word: pkt.inst_word,
+            golden_inst_word: 0,
+            reg_mismatches: Vec::new(),
+            icc_mismatch: None,
+            dut_recent: self.dut_recent.iter().copied().collect(),
+            golden_recent: self.golden_recent.iter().copied().collect(),
+            flight: Vec::new(),
+        }
+    }
+
+    /// Steps the golden model past the commit described by `pkt` and
+    /// diffs architectural state against `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DivergenceReport`] for the first mismatch. The
+    /// report's `flight` field is filled in by the system, which owns
+    /// the trace sink.
+    pub fn check_commit(
+        &mut self,
+        pkt: &TracePacket,
+        core: &Core,
+        commit_index: u64,
+    ) -> Result<(), Box<DivergenceReport>> {
+        let mut annuls = 0;
+        let rc = loop {
+            match self.golden.step(&mut self.mem) {
+                RefStep::Committed(rc) => break rc,
+                RefStep::Annulled => {
+                    annuls += 1;
+                    if annuls > MAX_CATCHUP_ANNULS {
+                        return Err(Box::new(self.report(
+                            pkt,
+                            commit_index,
+                            format!(
+                                "golden model annulled {annuls} consecutive slots \
+                                 without committing (models lost alignment)"
+                            ),
+                        )));
+                    }
+                }
+                RefStep::Exited(e) => {
+                    return Err(Box::new(self.report(
+                        pkt,
+                        commit_index,
+                        format!("golden model exited ({e:?}) but the core committed"),
+                    )));
+                }
+            }
+        };
+        let dut = LockstepCommit { index: commit_index, pc: pkt.pc, inst_word: pkt.inst_word };
+        let golden = LockstepCommit { index: commit_index, pc: rc.pc, inst_word: rc.inst_word };
+        self.push_recent(dut, golden);
+
+        let mut reg_mismatches = Vec::new();
+        for r in Reg::all() {
+            let (d, g) = (core.reg(r), self.golden.reg(r));
+            if d != g {
+                reg_mismatches.push(RegMismatch { reg: r.index() as u8, dut: d, golden: g });
+            }
+        }
+        let icc_mismatch = (core.icc() != self.golden.icc())
+            .then(|| (core.icc().to_bits(), self.golden.icc().to_bits()));
+        if pkt.pc != rc.pc
+            || pkt.inst_word != rc.inst_word
+            || !reg_mismatches.is_empty()
+            || icc_mismatch.is_some()
+        {
+            let reason = if pkt.pc != rc.pc {
+                "program counters diverged".to_string()
+            } else if pkt.inst_word != rc.inst_word {
+                "instruction words diverged (text image differs)".to_string()
+            } else if let Some(m) = reg_mismatches.first() {
+                format!("register file diverged (first at r{})", m.reg)
+            } else {
+                "condition codes diverged".to_string()
+            };
+            let mut rep = self.report(pkt, commit_index, reason);
+            rep.golden_inst_word = rc.inst_word;
+            rep.reg_mismatches = reg_mismatches;
+            rep.icc_mismatch = icc_mismatch;
+            return Err(Box::new(rep));
+        }
+        self.commits_checked += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore_asm::assemble;
+    use flexcore_mem::SystemBus;
+    use flexcore_pipeline::{CoreConfig, StepResult};
+
+    fn run_lockstep(src: &str) -> (Core, LockstepChecker) {
+        let program = assemble(src).expect("assembles");
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut core = Core::new(CoreConfig::leon3());
+        core.load_program(&program, &mut mem);
+        let mut ck = LockstepChecker::new(&core, &mem, 8);
+        let mut commits = 0;
+        loop {
+            match core.step(&mut mem, &mut bus) {
+                StepResult::Committed(pkt) => {
+                    commits += 1;
+                    ck.check_commit(&pkt, &core, commits).expect("no divergence");
+                }
+                StepResult::Annulled => {}
+                StepResult::Exited(_) => break,
+            }
+        }
+        (core, ck)
+    }
+
+    #[test]
+    fn clean_run_never_diverges() {
+        let (_, ck) = run_lockstep(
+            "start:  mov 10, %o0
+                     mov 0, %o1
+             loop:   add %o1, %o0, %o1
+                     subcc %o0, 1, %o0
+                     bne loop
+                     nop
+                     ta 0",
+        );
+        assert!(ck.commits_checked() >= 32);
+    }
+
+    #[test]
+    fn loads_and_stores_stay_in_sync() {
+        let (_, ck) = run_lockstep(
+            "start:  set 0x8000, %o0
+                     mov 7, %o1
+                     st %o1, [%o0]
+                     ld [%o0], %o2
+                     stb %o1, [%o0 + 9]
+                     ldsb [%o0 + 9], %o3
+                     ta 0",
+        );
+        assert!(ck.commits_checked() >= 7);
+    }
+
+    #[test]
+    fn corrupted_register_is_detected_at_that_commit() {
+        let program = assemble(
+            "start:  mov 1, %o0
+                     add %o0, 2, %o1
+                     add %o1, 3, %o2
+                     ta 0",
+        )
+        .expect("assembles");
+        let mut mem = MainMemory::new();
+        let mut bus = SystemBus::default();
+        let mut core = Core::new(CoreConfig::leon3());
+        core.load_program(&program, &mut mem);
+        let mut ck = LockstepChecker::new(&core, &mem, 8);
+        let mut commits = 0;
+        let mut diverged = None;
+        loop {
+            match core.step(&mut mem, &mut bus) {
+                StepResult::Committed(pkt) => {
+                    commits += 1;
+                    if commits == 2 {
+                        // A soft error lands in %o1 right at commit.
+                        let v = core.reg(Reg::O1);
+                        core.set_reg(Reg::O1, v ^ 0x10);
+                    }
+                    if let Err(rep) = ck.check_commit(&pkt, &core, commits) {
+                        diverged = Some(rep);
+                        break;
+                    }
+                }
+                StepResult::Annulled => {}
+                StepResult::Exited(_) => break,
+            }
+        }
+        let rep = diverged.expect("divergence detected");
+        assert_eq!(rep.commit_index, 2);
+        assert_eq!(rep.reg_mismatches.len(), 1);
+        assert_eq!(rep.reg_mismatches[0].reg, Reg::O1.index() as u8);
+        assert_eq!(rep.reg_mismatches[0].dut ^ rep.reg_mismatches[0].golden, 0x10);
+        assert_eq!(rep.dut_recent.len(), 2, "divergent commit is in the ring");
+        assert!(rep.to_string().contains("register file diverged"));
+    }
+}

@@ -6,6 +6,7 @@ use serde::{Serialize, Value};
 
 use crate::error::{DeadlockSnapshot, SimError};
 use crate::ext::MonitorTrap;
+use crate::lockstep::{DivergenceReport, LockstepCommit, RegMismatch};
 use crate::obs::FlightEntry;
 use crate::stats::{ForwardStats, ResilienceStats, RunResult};
 
@@ -82,11 +83,61 @@ impl Serialize for DeadlockSnapshot {
     }
 }
 
+impl Serialize for LockstepCommit {
+    fn to_value(&self) -> Value {
+        Value::object()
+            .field("index", &self.index)
+            .field("pc", &format!("{:#010x}", self.pc))
+            .field("inst_word", &format!("{:#010x}", self.inst_word))
+            .build()
+    }
+}
+
+impl Serialize for RegMismatch {
+    fn to_value(&self) -> Value {
+        Value::object()
+            .field("reg", &u64::from(self.reg))
+            .field("dut", &format!("{:#010x}", self.dut))
+            .field("golden", &format!("{:#010x}", self.golden))
+            .build()
+    }
+}
+
+impl Serialize for DivergenceReport {
+    fn to_value(&self) -> Value {
+        Value::object()
+            .field("commit_index", &self.commit_index)
+            .field("cycle", &self.cycle)
+            .field("reason", &self.reason)
+            .field("dut_pc", &format!("{:#010x}", self.dut_pc))
+            .field("golden_pc", &format!("{:#010x}", self.golden_pc))
+            .field("dut_inst_word", &format!("{:#010x}", self.dut_inst_word))
+            .field("golden_inst_word", &format!("{:#010x}", self.golden_inst_word))
+            .field("reg_mismatches", &self.reg_mismatches)
+            .raw(
+                "icc_mismatch",
+                self.icc_mismatch.map_or(Value::Null, |(dut, golden)| {
+                    Value::object()
+                        .field("dut", &u64::from(dut))
+                        .field("golden", &u64::from(golden))
+                        .build()
+                }),
+            )
+            .field("dut_recent", &self.dut_recent)
+            .field("golden_recent", &self.golden_recent)
+            .field("flight", &self.flight)
+            .build()
+    }
+}
+
 impl Serialize for SimError {
     fn to_value(&self) -> Value {
         match self {
             SimError::Deadlock(snap) => {
                 Value::object().field("kind", &"deadlock").field("detail", snap).build()
+            }
+            SimError::Divergence(report) => {
+                Value::object().field("kind", &"divergence").field("detail", &**report).build()
             }
             SimError::CycleBudgetExceeded { budget, cycle, instret } => Value::object()
                 .field("kind", &"cycle_budget_exceeded")

@@ -8,7 +8,7 @@ use crate::ext::MonitorTrap;
 use crate::obs::FlightEntry;
 
 /// Forwarding statistics (the data behind the paper's Figure 4).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ForwardStats {
     /// Instructions committed by the core.
     pub committed: u64,
@@ -62,7 +62,11 @@ pub struct ResilienceStats {
 }
 
 /// The complete result of a [`System`](crate::System) run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — checkpoint round-trip tests use
+/// it to assert that an interrupted-and-restored run reproduces the
+/// uninterrupted run bit for bit.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Why the core stopped.
     pub exit: ExitReason,

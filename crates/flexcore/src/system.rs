@@ -5,6 +5,7 @@ use flexcore_fabric::LutMapping;
 use flexcore_mem::{CacheConfig, MainMemory, MetaDataCache, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult, TracePacket};
 
+use crate::checkpoint::{self, RestoreError, Snapshot, SNAPSHOT_FORMAT};
 use crate::error::{DeadlockSnapshot, SimError};
 use crate::ext::{ExtEnv, Extension, MonitorTrap};
 use crate::faults::{
@@ -12,6 +13,7 @@ use crate::faults::{
     FaultTarget, PacketField,
 };
 use crate::interface::{Cfgr, ForwardFifo, ForwardPolicy};
+use crate::lockstep::{DivergenceReport, LockstepChecker};
 use crate::obs::{NullSink, TraceEvent, TraceSink};
 use crate::stats::{ForwardStats, ResilienceStats, RunResult};
 use crate::ShadowRegFile;
@@ -60,6 +62,23 @@ pub enum OverflowPolicy {
     ///
     /// [`ResilienceStats::dropped_overflow`]: crate::ResilienceStats::dropped_overflow
     DropWithAccounting,
+}
+
+/// What [`System::try_run_until`] produced: a finished run, or a pause
+/// at a commit boundary (the moment to call [`System::snapshot`]).
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Done is the overwhelmingly common case
+pub enum RunOutcome {
+    /// The run finished: program exit, monitor trap, or instruction
+    /// limit.
+    Done(RunResult),
+    /// The run paused at the requested commit boundary.
+    Paused {
+        /// Instructions committed so far.
+        instret: u64,
+        /// Core-clock cycle at the pause.
+        cycle: u64,
+    },
 }
 
 /// Configuration of a [`System`].
@@ -246,6 +265,15 @@ pub struct System<E: Extension, S: TraceSink = NullSink> {
     /// Set when the commit stage detects it can never make progress;
     /// `try_run` converts it into `SimError::Deadlock`.
     wedged: Option<DeadlockSnapshot>,
+    /// Memory image as it stood right after [`System::load_program`] —
+    /// the baseline that [`System::snapshot`] delta-compresses against.
+    baseline_mem: Option<MainMemory>,
+    /// The golden-model checker, when
+    /// [`System::enable_lockstep`] is active.
+    lockstep: Option<LockstepChecker>,
+    /// Set by the commit-path lockstep check; `try_run` converts it
+    /// into [`SimError::Divergence`].
+    diverged: Option<Box<DivergenceReport>>,
     sink: S,
 }
 
@@ -280,6 +308,9 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             resilience: ResilienceStats::default(),
             fabric_stuck: false,
             wedged: None,
+            baseline_mem: None,
+            lockstep: None,
+            diverged: None,
             sink,
         }
     }
@@ -345,6 +376,9 @@ impl<E: Extension, S: TraceSink> System<E, S> {
         // Leave the meta cache cold and its statistics clean.
         self.meta.flush(&mut self.mem);
         self.meta = MetaDataCache::new(self.config.meta_cache);
+        // The checkpoint baseline: the complete image (text, data, and
+        // the extension's flushed meta-data) as of time zero.
+        self.baseline_mem = Some(self.mem.clone());
     }
 
     /// Installs a fault-injection campaign. Replaces any previous plan;
@@ -395,7 +429,7 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     }
 
     /// Captures diagnostic state for a deadlock report.
-    fn snapshot(&mut self, now: u64) -> DeadlockSnapshot {
+    fn deadlock_snapshot(&mut self, now: u64) -> DeadlockSnapshot {
         DeadlockSnapshot {
             cycle: now,
             pc: self.core.pc(),
@@ -558,6 +592,17 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             });
             self.sink.commit_packet(&pkt);
         }
+        if let Some(checker) = &mut self.lockstep {
+            // Golden-model comparison happens after fault injection so
+            // an architectural-state strike is caught at the very
+            // commit it lands on.
+            if let Err(mut report) = checker.check_commit(&pkt, &self.core, self.forward.committed)
+            {
+                report.flight = self.sink.flight_log();
+                self.diverged = Some(report);
+                return;
+            }
+        }
         let mut policy = self.cfgr.policy(pkt.class);
         if !policy.forwards() {
             return;
@@ -591,7 +636,7 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                             // system has effectively deadlocked.
                             let free_at = self.fifo.empty_slot_at(now);
                             if free_at.saturating_sub(now) > self.config.watchdog_cycles {
-                                self.wedged = Some(self.snapshot(now));
+                                self.wedged = Some(self.deadlock_snapshot(now));
                                 return;
                             }
                             self.core.stall_until(free_at);
@@ -627,6 +672,11 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                     // BFIFO return value lands in the destination
                     // register.
                     self.core.set_reg(rd, v);
+                    // The golden model has no fabric; mirror the BFIFO
+                    // write so it stays in sync.
+                    if let Some(checker) = &mut self.lockstep {
+                        checker.adopt_reg(rd, v);
+                    }
                 }
                 // Waiting for the acknowledgment makes the exception
                 // precise: deliver before the next instruction.
@@ -663,9 +713,14 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     /// `max_instructions` commit. Returns the full result.
     ///
     /// Compatibility wrapper over [`System::try_run`]: panics on a
-    /// [`SimError`] (deadlock, cycle-budget exhaustion). Harnesses that
-    /// must survive wedged configurations — fault-injection campaigns
-    /// in particular — should call `try_run` instead.
+    /// [`SimError`] (deadlock, cycle-budget exhaustion, lockstep
+    /// divergence). Harnesses that must survive wedged configurations —
+    /// fault-injection campaigns in particular — should call `try_run`
+    /// instead.
+    #[deprecated(
+        since = "0.4.0",
+        note = "panics on SimError; use System::try_run and handle the error"
+    )]
     pub fn run(&mut self, max_instructions: u64) -> RunResult {
         match self.try_run(max_instructions) {
             Ok(result) => result,
@@ -677,14 +732,53 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     /// `max_instructions` commit — or until the simulation itself
     /// fails: a forward-progress watchdog detects deadlock (no commit
     /// possible within `watchdog_cycles`, or the fabric can never
-    /// drain), or the configured cycle budget is exceeded.
+    /// drain), the configured cycle budget is exceeded, or the
+    /// lockstep golden model diverges.
     pub fn try_run(&mut self, max_instructions: u64) -> Result<RunResult, SimError> {
+        match self.run_internal(max_instructions, None)? {
+            RunOutcome::Done(result) => Ok(result),
+            RunOutcome::Paused { .. } => unreachable!("no pause point was requested"),
+        }
+    }
+
+    /// Like [`System::try_run`], but additionally pauses (returning
+    /// [`RunOutcome::Paused`]) once at least `pause_at` instructions
+    /// have committed — the hook checkpointing harnesses use to call
+    /// [`System::snapshot`] at a deterministic commit boundary and
+    /// resume with another `try_run_until`/`try_run` call.
+    ///
+    /// The pause lands exactly at a commit boundary, so the sequence
+    /// pause → [`snapshot`](System::snapshot) →
+    /// [`restore`](System::restore) (into a fresh, identically built
+    /// system) → continue reproduces the uninterrupted run bit for bit.
+    pub fn try_run_until(
+        &mut self,
+        max_instructions: u64,
+        pause_at: u64,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_internal(max_instructions, Some(pause_at))
+    }
+
+    fn run_internal(
+        &mut self,
+        max_instructions: u64,
+        pause_at: Option<u64>,
+    ) -> Result<RunOutcome, SimError> {
         let mut last_commit_cycle = self.core.cycle();
         loop {
+            if let Some(report) = self.diverged.take() {
+                return Err(SimError::Divergence(report));
+            }
             if let Some(snap) = self.wedged.take() {
                 return Err(SimError::Deadlock(snap));
             }
             let cycle = self.core.cycle();
+            if let Some(pause) = pause_at {
+                let instret = self.core.stats().instret;
+                if instret >= pause {
+                    return Ok(RunOutcome::Paused { instret, cycle });
+                }
+            }
             if let Some(budget) = self.config.cycle_budget {
                 if cycle > budget {
                     return Err(SimError::CycleBudgetExceeded {
@@ -695,7 +789,7 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                 }
             }
             if cycle.saturating_sub(last_commit_cycle) > self.config.watchdog_cycles {
-                let snap = self.snapshot(cycle);
+                let snap = self.deadlock_snapshot(cycle);
                 return Err(SimError::Deadlock(snap));
             }
             if let (Some((assert_at, _)), Some(trap)) = (self.pending_trap, &self.monitor_trap) {
@@ -719,10 +813,10 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                         // The core waits for EMPTY before completing;
                         // a wedged fabric never drains the FIFO, so
                         // the program can never actually finish.
-                        let snap = self.snapshot(cycle);
+                        let snap = self.deadlock_snapshot(cycle);
                         return Err(SimError::Deadlock(snap));
                     }
-                    return Ok(self.finalize(exit));
+                    return Ok(RunOutcome::Done(self.finalize(exit)));
                 }
             }
         }
@@ -764,6 +858,146 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             attempts: limit + 1,
             detail: last_error,
         })
+    }
+
+    /// Captures the complete checkpointable state of the system (see
+    /// [`crate::checkpoint`] for the restore contract). Meaningful at
+    /// any commit boundary — in practice right after
+    /// [`System::try_run_until`] returns
+    /// [`RunOutcome::Paused`](crate::RunOutcome::Paused).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            format: SNAPSHOT_FORMAT,
+            ext_name: self.ext.name().to_string(),
+            fifo_depth: self.fifo.depth() as u64,
+            core: self.core.snapshot(),
+            mem_pages: checkpoint::mem_delta(self.baseline_mem.as_ref(), &self.mem),
+            meta: self.meta.snapshot(),
+            bus_busy_until: self.bus.busy_until(),
+            bus_stats: self.bus.stats(),
+            shadow: flexcore_isa::Reg::all().map(|r| self.shadow.tag(r)).collect(),
+            ext_state: self.ext.snapshot_state(),
+            fifo: self.fifo.snapshot(),
+            fabric_free_at: self.fabric_free_at,
+            forward: self.forward,
+            monitor_trap: self.monitor_trap.clone(),
+            pending_trap: self.pending_trap,
+            faults: self.faults.as_ref().map(FaultInjector::snapshot),
+            resilience: self.resilience,
+            fabric_stuck: self.fabric_stuck,
+        }
+    }
+
+    /// Restores a [`Snapshot`] taken from an identically built system:
+    /// same [`SystemConfig`], same extension, same
+    /// [`load_program`](System::load_program) call, and the same
+    /// re-armed fault plan (if one was armed). After a successful
+    /// restore, continuing the run reproduces the uninterrupted run's
+    /// [`RunResult`] bit for bit. Lockstep checking, if enabled, is
+    /// re-synchronized to the restored state; trace-sink state is not
+    /// part of the snapshot and restarts empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RestoreError`] when the snapshot does not match this
+    /// system's construction (format version, extension, FIFO depth,
+    /// fault-plan shape); the system is left unmodified in that case.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), RestoreError> {
+        if snap.format != SNAPSHOT_FORMAT {
+            return Err(RestoreError::new(format!(
+                "unsupported snapshot format {} (this build reads {SNAPSHOT_FORMAT})",
+                snap.format
+            )));
+        }
+        if snap.ext_name != self.ext.name() {
+            return Err(RestoreError::new(format!(
+                "snapshot was taken with extension `{}`, this system runs `{}`",
+                snap.ext_name,
+                self.ext.name()
+            )));
+        }
+        if snap.fifo_depth != self.fifo.depth() as u64 {
+            return Err(RestoreError::new(format!(
+                "snapshot FIFO depth {} != configured depth {}",
+                snap.fifo_depth,
+                self.fifo.depth()
+            )));
+        }
+        if snap.shadow.len() != flexcore_isa::NUM_REGS {
+            return Err(RestoreError::new(format!(
+                "snapshot has {} shadow tags, expected {}",
+                snap.shadow.len(),
+                flexcore_isa::NUM_REGS
+            )));
+        }
+        match (&snap.faults, &mut self.faults) {
+            (Some(fs), Some(inj)) => inj.restore(fs).map_err(RestoreError::new)?,
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(RestoreError::new(
+                    "snapshot carries fault-injector state but no plan is armed \
+                     (re-arm the original FaultPlan before restoring)",
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(RestoreError::new(
+                    "a fault plan is armed but the snapshot carries no injector state",
+                ))
+            }
+        }
+        let mut mem = self.baseline_mem.clone().unwrap_or_default();
+        checkpoint::apply_delta(&mut mem, &snap.mem_pages);
+        self.mem = mem;
+        self.core.restore(&snap.core);
+        self.meta.restore(&snap.meta);
+        self.bus.restore(snap.bus_busy_until, snap.bus_stats);
+        for (r, &tag) in flexcore_isa::Reg::all().zip(&snap.shadow) {
+            self.shadow.set_tag(r, tag);
+        }
+        self.ext.restore_state(&snap.ext_state);
+        self.fifo.restore(&snap.fifo);
+        self.fabric_free_at = snap.fabric_free_at;
+        self.forward = snap.forward;
+        self.monitor_trap = snap.monitor_trap.clone();
+        self.pending_trap = snap.pending_trap;
+        self.resilience = snap.resilience;
+        self.fabric_stuck = snap.fabric_stuck;
+        self.wedged = None;
+        self.diverged = None;
+        if self.lockstep.is_some() {
+            // Re-seed the golden model from the restored state.
+            self.enable_lockstep();
+        }
+        Ok(())
+    }
+
+    /// Turns on lockstep golden-model checking from the core's current
+    /// state: an ISA-level functional reference
+    /// ([`crate::lockstep::LockstepChecker`]) steps commit-for-commit
+    /// with the pipeline and any architectural disagreement makes the
+    /// run return [`SimError::Divergence`] with a minimized
+    /// [`DivergenceReport`]. Call after
+    /// [`load_program`](System::load_program) (or at any commit
+    /// boundary).
+    pub fn enable_lockstep(&mut self) {
+        self.lockstep =
+            Some(LockstepChecker::new(&self.core, &self.mem, LockstepChecker::DEFAULT_WINDOW));
+    }
+
+    /// Turns lockstep checking off.
+    pub fn disable_lockstep(&mut self) {
+        self.lockstep = None;
+    }
+
+    /// Whether lockstep checking is active.
+    pub fn lockstep_enabled(&self) -> bool {
+        self.lockstep.is_some()
+    }
+
+    /// The lockstep checker, when enabled (e.g. to read
+    /// [`commits_checked`](LockstepChecker::commits_checked)).
+    pub fn lockstep(&self) -> Option<&LockstepChecker> {
+        self.lockstep.as_ref()
     }
 
     fn finalize(&mut self, exit: ExitReason) -> RunResult {

@@ -45,6 +45,7 @@ mod decode;
 mod disasm;
 mod encode;
 mod inst;
+pub mod interp;
 mod opcode;
 mod reg;
 

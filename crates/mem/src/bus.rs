@@ -178,6 +178,14 @@ impl SystemBus {
     pub fn timing(&self) -> SdramTiming {
         self.timing
     }
+
+    /// Restores the busy-until timeline and statistics (for
+    /// checkpointing). The SDRAM timing is construction state and is
+    /// not changed.
+    pub fn restore(&mut self, busy_until: u64, stats: BusStats) {
+        self.busy_until = busy_until;
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

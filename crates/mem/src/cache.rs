@@ -137,6 +137,31 @@ struct Line {
 
 const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
 
+/// One cache line's replacement state, as captured by
+/// [`TimingCache::snapshot`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineState {
+    /// Stored tag.
+    pub tag: u32,
+    /// Valid bit.
+    pub valid: bool,
+    /// Dirty bit (write-back caches only).
+    pub dirty: bool,
+    /// LRU timestamp (bigger = more recent).
+    pub lru: u64,
+}
+
+/// Complete checkpointable state of a [`TimingCache`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacheSnapshot {
+    /// Every line, ways-within-set major order (the internal layout).
+    pub lines: Vec<LineState>,
+    /// The LRU stamp counter.
+    pub stamp: u64,
+    /// Accumulated statistics.
+    pub stats: CacheStats,
+}
+
 /// Outcome of a cache access: what the timing model must pay for.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Lookup {
@@ -260,6 +285,40 @@ impl TimingCache {
             self.stats.writebacks += 1;
         }
         Lookup { hit: false, refill: true, writeback_of }
+    }
+
+    /// Captures the complete replacement state (tags, valid/dirty bits,
+    /// LRU stamps, statistics) for checkpointing.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| LineState { tag: l.tag, valid: l.valid, dirty: l.dirty, lru: l.lru })
+                .collect(),
+            stamp: self.stamp,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`TimingCache::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's line count does not match this cache's
+    /// geometry (snapshots only restore onto an identically configured
+    /// cache).
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        assert_eq!(
+            snap.lines.len(),
+            self.lines.len(),
+            "cache snapshot line count does not match geometry"
+        );
+        for (line, s) in self.lines.iter_mut().zip(&snap.lines) {
+            *line = Line { tag: s.tag, valid: s.valid, dirty: s.dirty, lru: s.lru };
+        }
+        self.stamp = snap.stamp;
+        self.stats = snap.stats;
     }
 
     /// Whether `addr` is currently resident (no state change).

@@ -52,7 +52,9 @@ mod serde_impls;
 mod storebuf;
 
 pub use bus::{BusMaster, BusStats, SdramTiming, SystemBus};
-pub use cache::{CacheConfig, CacheStats, Lookup, TimingCache, WritePolicy};
+pub use cache::{
+    CacheConfig, CacheSnapshot, CacheStats, LineState, Lookup, TimingCache, WritePolicy,
+};
 pub use mainmem::MainMemory;
-pub use metacache::{MetaAccess, MetaDataCache};
+pub use metacache::{MetaAccess, MetaCacheSnapshot, MetaDataCache};
 pub use storebuf::StoreBuffer;

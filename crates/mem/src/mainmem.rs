@@ -100,6 +100,28 @@ impl MainMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// The page size used by [`MainMemory::page_indices`] /
+    /// [`MainMemory::page_bytes`], in bytes.
+    pub const PAGE_BYTES: usize = PAGE_SIZE;
+
+    /// Indices of every resident page, sorted ascending. A page's base
+    /// address is `index << 12`.
+    ///
+    /// Checkpointing uses this (together with
+    /// [`MainMemory::page_bytes`]) to delta-compress memory against a
+    /// baseline image without walking the whole 32-bit address space.
+    pub fn page_indices(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The raw bytes of a resident page, or `None` if the page has
+    /// never been touched (and therefore reads as zero).
+    pub fn page_bytes(&self, index: u32) -> Option<&[u8]> {
+        self.pages.get(&index).map(|p| &p[..])
+    }
 }
 
 #[cfg(test)]

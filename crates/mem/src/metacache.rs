@@ -17,6 +17,16 @@ pub struct MetaAccess {
     pub ready_at: u64,
 }
 
+/// Complete checkpointable state of a [`MetaDataCache`]: the tag array
+/// plus every resident line's bytes, sorted by line base address.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MetaCacheSnapshot {
+    /// Tag/LRU/statistics state.
+    pub tags: crate::CacheSnapshot,
+    /// `(line base address, line bytes)`, sorted by base.
+    pub lines: Vec<(u32, Vec<u8>)>,
+}
+
 /// The reconfigurable fabric's private L1 cache for meta-data.
 ///
 /// Per the paper (§III.D): "The meta-data cache is almost identical to
@@ -189,6 +199,29 @@ impl MetaDataCache {
         let old = u32::from_be_bytes([line[off], line[off + 1], line[off + 2], line[off + 3]]);
         line[off..off + 4].copy_from_slice(&(old ^ mask).to_be_bytes());
         true
+    }
+
+    /// Captures the complete cache state (tag array plus resident line
+    /// data, sorted by line base) for checkpointing.
+    pub fn snapshot(&self) -> MetaCacheSnapshot {
+        let mut lines: Vec<(u32, Vec<u8>)> =
+            self.data.iter().map(|(&base, line)| (base, line.clone())).collect();
+        lines.sort_unstable_by_key(|&(base, _)| base);
+        MetaCacheSnapshot { tags: self.tags.snapshot(), lines }
+    }
+
+    /// Restores state captured by [`MetaDataCache::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match this cache's geometry.
+    pub fn restore(&mut self, snap: &MetaCacheSnapshot) {
+        self.tags.restore(&snap.tags);
+        self.data.clear();
+        for (base, line) in &snap.lines {
+            assert_eq!(line.len(), self.line_bytes as usize, "meta line size mismatch");
+            self.data.insert(*base, line.clone());
+        }
     }
 
     /// Writes every resident line back to memory and empties the cache.

@@ -74,6 +74,22 @@ impl StoreBuffer {
     pub fn in_flight(&self, now: u64) -> usize {
         self.pending.iter().filter(|&&d| d > now).count()
     }
+
+    /// Completion times of every pending store, oldest first (for
+    /// checkpointing).
+    pub fn pending_completions(&self) -> Vec<u64> {
+        self.pending.iter().copied().collect()
+    }
+
+    /// Restores the pending-store timeline and stall accounting
+    /// captured by [`StoreBuffer::pending_completions`] /
+    /// [`StoreBuffer::stall_cycles`]. The depth is construction state
+    /// and is not changed.
+    pub fn restore(&mut self, pending: &[u64], stall_cycles: u64) {
+        self.pending.clear();
+        self.pending.extend(pending.iter().copied());
+        self.stall_cycles = stall_cycles;
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,45 @@ pub enum StepResult {
     Exited(ExitReason),
 }
 
+/// Complete checkpointable state of a [`Core`]: architectural state
+/// (registers, condition codes, pc/npc window), microarchitectural
+/// state (cache tags, store buffer, commit slot, cycle counter), and
+/// accounting (statistics, console output, exit status).
+///
+/// Captured by [`Core::snapshot`] and reapplied by [`Core::restore`]
+/// onto a core built with the same [`CoreConfig`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct CoreSnapshot {
+    /// Architectural register file.
+    pub regs: [u32; 32],
+    /// Condition codes, as [`IccFlags::to_bits`] (NZVC).
+    pub icc: u8,
+    /// Current program counter.
+    pub pc: u32,
+    /// Next program counter (delay-slot window).
+    pub npc: u32,
+    /// Whether the next fetch is an annulled delay slot.
+    pub annul_next: bool,
+    /// Core-clock cycle count.
+    pub cycle: u64,
+    /// I-cache tag/LRU state.
+    pub icache: flexcore_mem::CacheSnapshot,
+    /// D-cache tag/LRU state.
+    pub dcache: flexcore_mem::CacheSnapshot,
+    /// Pending store completions, oldest first.
+    pub storebuf_pending: Vec<u64>,
+    /// Store-buffer stall accounting.
+    pub storebuf_stalls: u64,
+    /// Execution statistics.
+    pub stats: CoreStats,
+    /// Console bytes produced so far.
+    pub console: Vec<u8>,
+    /// Exit status, if execution has stopped.
+    pub exited: Option<ExitReason>,
+    /// Commit-group slot (for `commit_width > 1`).
+    pub commit_slot: u32,
+}
+
 /// The Leon3-like in-order core.
 ///
 /// See the [crate docs](crate) for the modeling approach and an
@@ -189,6 +228,60 @@ impl Core {
     /// drained.
     pub fn quiesced_at(&self) -> u64 {
         self.storebuf.drained_at(self.cycle)
+    }
+
+    /// Next program counter (the second half of the SPARC delay-slot
+    /// window). Lockstep verification uses this to seed a reference
+    /// model mid-run.
+    pub fn npc(&self) -> u32 {
+        self.npc
+    }
+
+    /// Whether the next fetch will be annulled (the slot of a taken
+    /// `ba,a` or an untaken annulling branch).
+    pub fn annul_pending(&self) -> bool {
+        self.annul_next
+    }
+
+    /// Captures the complete core state for checkpointing.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            regs: self.regs,
+            icc: self.icc.to_bits(),
+            pc: self.pc,
+            npc: self.npc,
+            annul_next: self.annul_next,
+            cycle: self.cycle,
+            icache: self.icache.snapshot(),
+            dcache: self.dcache.snapshot(),
+            storebuf_pending: self.storebuf.pending_completions(),
+            storebuf_stalls: self.storebuf.stall_cycles(),
+            stats: self.stats,
+            console: self.console.clone(),
+            exited: self.exited,
+            commit_slot: self.commit_slot,
+        }
+    }
+
+    /// Restores state captured by [`Core::snapshot`].
+    ///
+    /// The core must have been constructed with the same
+    /// [`CoreConfig`] as the snapshotted one; the cache restore panics
+    /// on a geometry mismatch.
+    pub fn restore(&mut self, snap: &CoreSnapshot) {
+        self.regs = snap.regs;
+        self.icc = IccFlags::from_bits(snap.icc);
+        self.pc = snap.pc;
+        self.npc = snap.npc;
+        self.annul_next = snap.annul_next;
+        self.cycle = snap.cycle;
+        self.icache.restore(&snap.icache);
+        self.dcache.restore(&snap.dcache);
+        self.storebuf.restore(&snap.storebuf_pending, snap.storebuf_stalls);
+        self.stats = snap.stats;
+        self.console = snap.console.clone();
+        self.exited = snap.exited;
+        self.commit_slot = snap.commit_slot;
     }
 
     fn operand2(&self, op2: Operand2) -> u32 {

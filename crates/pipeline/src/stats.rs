@@ -8,7 +8,7 @@ use flexcore_isa::{InstrClass, NUM_INSTR_CLASSES};
 /// [`Core::icache_stats`](crate::Core::icache_stats) /
 /// [`Core::dcache_stats`](crate::Core::dcache_stats)); bus statistics on
 /// the [`SystemBus`](flexcore_mem::SystemBus).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Committed (architecturally executed) instructions.
     pub instret: u64,

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
         let mut sys = System::new(SystemConfig::fabric_half_speed(), Bc::new());
         sys.load_program(&program);
-        Ok(sys.run(100_000))
+        Ok(sys.try_run(100_000).expect("simulation error"))
     };
 
     // 8 writes: exactly fills A. In bounds.

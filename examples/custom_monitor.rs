@@ -140,7 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys =
         System::new(SystemConfig::fabric_half_speed(), WriteProfiler::new(0xa000..0xb000));
     sys.load_program(&program);
-    let result = sys.run(100_000);
+    let result = sys.try_run(100_000).expect("simulation error");
 
     println!("stores profiled: {}", sys.extension().stores_seen);
     println!(

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Dift::new());
     sys.load_program(&program);
-    let result = sys.run(100_000);
+    let result = sys.try_run(100_000).expect("simulation error");
 
     match &result.monitor_trap {
         Some(trap) => println!("DIFT detected the attack: {trap}"),
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Dift::new());
     sys.load_program(&benign);
-    let result = sys.run(100_000);
+    let result = sys.try_run(100_000).expect("simulation error");
     assert!(result.monitor_trap.is_none());
     println!("benign indirect jump passed (no false positive)");
     Ok(())

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = SystemConfig::fabric_half_speed().with_fifo_depth(depth);
         let mut sys = System::new(cfg, Dift::new());
         sys.load_program(&program);
-        let r = sys.run(10_000_000);
+        let r = sys.try_run(10_000_000).expect("simulation error");
         println!(
             "{:>6} {:>10} {:>12.3} {:>12} {:>6}",
             depth,

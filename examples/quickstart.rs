@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. FlexCore with UMC on the fabric at half the core clock.
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
     sys.load_program(&program);
-    let result = sys.run(100_000);
+    let result = sys.try_run(100_000).expect("simulation error");
     match &result.monitor_trap {
         Some(trap) => println!("with UMC:     {trap}"),
         None => println!("with UMC:     no trap?!"),

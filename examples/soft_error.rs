@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fault-free run: the checker stays silent.
     let mut sys = System::new(SystemConfig::fabric_quarter_speed(), Sec::new());
     sys.load_program(&program()?);
-    let clean = sys.run(100_000);
+    let clean = sys.try_run(100_000).expect("simulation error");
     assert!(clean.monitor_trap.is_none());
     println!(
         "fault-free:  {} ALU ops checked exactly, {} by residue — no trap",

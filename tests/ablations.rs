@@ -11,7 +11,7 @@ fn run<E: Extension>(cfg: SystemConfig, ext: E) -> RunResult {
     let program = Workload::bitcount().program().unwrap();
     let mut sys = System::new(cfg, ext);
     sys.load_program(&program);
-    let r = sys.run(100_000_000);
+    let r = sys.try_run(100_000_000).expect("simulation error");
     assert_eq!(r.exit, ExitReason::Halt(0), "{:?}", r.monitor_trap);
     r
 }
@@ -72,14 +72,14 @@ fn precise_exceptions_have_zero_skid() {
     // Imprecise (default): skid >= 1 at a slow fabric clock.
     let mut sys = System::new(SystemConfig::fabric_quarter_speed(), Umc::new());
     sys.load_program(&program);
-    let imprecise = sys.run(100_000);
+    let imprecise = sys.try_run(100_000).expect("simulation error");
     assert!(imprecise.trap_skid.unwrap() >= 1);
     // Precise (ack per instruction): the violating instruction is the
     // last to commit.
     let mut sys =
         System::new(SystemConfig::fabric_quarter_speed().with_precise_exceptions(), Umc::new());
     sys.load_program(&program);
-    let precise = sys.run(100_000);
+    let precise = sys.try_run(100_000).expect("simulation error");
     assert_eq!(precise.trap_skid, Some(0));
     assert!(matches!(precise.exit, ExitReason::MonitorTrap { .. }));
 }

@@ -117,6 +117,7 @@ fn wedged_fabric_is_a_deadlock_error_not_a_hang() {
 
 #[test]
 #[should_panic(expected = "simulation error")]
+#[allow(deprecated)] // the deprecated wrapper's panic behavior is what's under test
 fn legacy_run_panics_on_deadlock_instead_of_hanging() {
     let config =
         SystemConfig::fabric_quarter_speed().with_fifo_depth(4).with_watchdog_cycles(5_000);

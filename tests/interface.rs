@@ -88,7 +88,7 @@ fn run_probe(
     probe.busywork = busywork;
     let mut sys = System::new(cfg, probe);
     sys.load_program(&program);
-    let r = sys.run(100_000);
+    let r = sys.try_run(100_000).expect("simulation error");
     let seen = sys.extension().seen;
     (seen, r)
 }
@@ -159,7 +159,7 @@ fn wait_for_ack_returns_bfifo_value_to_the_destination_register() {
     .unwrap();
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Probe::new(cfgr));
     sys.load_program(&program);
-    let r = sys.run(100_000);
+    let r = sys.try_run(100_000).expect("simulation error");
     assert_eq!(r.exit, ExitReason::Halt(0));
     assert_eq!(sys.core().reg(flexcore_suite::isa::Reg::O3), 0xfeed_beef);
 }

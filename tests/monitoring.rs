@@ -13,7 +13,7 @@ fn run<E: Extension>(src: &str, ext: E) -> flexcore_suite::flexcore::RunResult {
     let program = assemble(src).expect("assembles");
     let mut sys = System::new(SystemConfig::fabric_half_speed(), ext);
     sys.load_program(&program);
-    sys.run(1_000_000)
+    sys.try_run(1_000_000).expect("simulation error")
 }
 
 // ---------------------------------------------------------------- UMC
@@ -201,7 +201,7 @@ fn sec_detects_injected_faults_at_every_bit_position() {
         sys.load_program(&program);
         // Instruction 7 is the second loop `add`.
         sys.inject_result_fault(7, bit);
-        let r = sys.run(100_000);
+        let r = sys.try_run(100_000).expect("simulation error");
         assert!(r.monitor_trap.is_some(), "bit {bit} escaped");
     }
 }
@@ -324,7 +324,7 @@ fn monitored_runs_preserve_program_results() {
     let program = w.program().unwrap();
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Dift::new());
     sys.load_program(&program);
-    assert_eq!(sys.run(100_000_000).exit, ExitReason::Halt(0));
+    assert_eq!(sys.try_run(100_000_000).expect("simulation error").exit, ExitReason::Halt(0));
 }
 
 #[test]
@@ -343,7 +343,7 @@ fn traps_are_imprecise_but_always_delivered() {
     .unwrap();
     let mut sys = System::new(SystemConfig::fabric_quarter_speed(), Umc::new());
     sys.load_program(&program);
-    let r = sys.run(100_000);
+    let r = sys.try_run(100_000).expect("simulation error");
     assert!(matches!(r.exit, ExitReason::MonitorTrap { .. }), "{:?}", r.exit);
     let skid = r.trap_skid.expect("trap fired");
     assert!(skid >= 1, "imprecise delivery lets later instructions commit: skid {skid}");
@@ -365,7 +365,7 @@ fn traps_report_the_offending_pc() {
     let bugpc = program.symbol("bugpc").unwrap();
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
     sys.load_program(&program);
-    let r = sys.run(100_000);
+    let r = sys.try_run(100_000).expect("simulation error");
     // The `set` is two instructions; the load is 8 bytes past bugpc.
     assert_eq!(r.monitor_trap.unwrap().pc, bugpc + 8);
 }

@@ -41,7 +41,7 @@ fn run_with_sink<E: Extension, S: TraceSink>(
 ) -> (RunResult, S) {
     let mut sys = System::with_sink(config, ext, sink);
     sys.load_program(program);
-    let r = sys.run(200_000_000);
+    let r = sys.try_run(200_000_000).expect("simulation error");
     (r, sys.into_sink())
 }
 

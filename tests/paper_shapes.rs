@@ -28,7 +28,7 @@ fn monitored<E: Extension>(w: &Workload, cfg: SystemConfig, ext: E) -> (u64, f64
     let program = w.program().unwrap();
     let mut sys = System::new(cfg, ext);
     sys.load_program(&program);
-    let r = sys.run(100_000_000);
+    let r = sys.try_run(100_000_000).expect("simulation error");
     assert_eq!(r.exit, ExitReason::Halt(0), "{}: {:?}", w.name(), r.monitor_trap);
     (r.cycles, r.forward.forwarded_fraction())
 }
@@ -178,7 +178,7 @@ fn meta_data_traffic_is_real() {
     let program = w.program().unwrap();
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Bc::new());
     sys.load_program(&program);
-    let r = sys.run(100_000_000);
+    let r = sys.try_run(100_000_000).expect("simulation error");
     assert_eq!(r.exit, ExitReason::Halt(0));
     assert!(r.meta_cache.accesses() > 100_000, "{}", r.meta_cache.accesses());
     assert!(r.meta_cache.miss_ratio() > 0.001, "{}", r.meta_cache.miss_ratio());

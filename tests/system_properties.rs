@@ -78,7 +78,7 @@ fn run_monitored2<E: Extension>(insts: &[Instruction], ext: E) -> (Vec<u32>, u64
             mem.write_u32(a, img.read_u32(a));
         }
     }
-    let r = sys.run(1_000_000);
+    let r = sys.try_run(1_000_000).expect("simulation error");
     assert_eq!(r.exit, ExitReason::Halt(0), "monitor trap? {:?}", r.monitor_trap);
     (Reg::all().map(|reg| sys.core().reg(reg)).collect(), r.cycles)
 }
