@@ -33,14 +33,25 @@
 //!   of starting over.
 //! * `--checkpoint-every N` — flush buffered progress records to disk
 //!   every N trials (default 25).
+//! * `--recover` — run every campaign-1 trial under the
+//!   rollback-and-replay [`Supervisor`] and triage it against a clean
+//!   reference run of the same workload: **Masked** (absorbed, output
+//!   matches), **Detected-Recovered** (caught, rolled back, replayed to
+//!   a matching output), **SDC** (silent data corruption — completed
+//!   with the wrong output), or **DUE** (detected but unrecoverable).
+//!   The campaign fails (exit 1) on any SDC or unclassified trial; add
+//!   `--lockstep` so architectural corruption SEC misses is detected
+//!   (and therefore recovered) instead of going silent. Campaigns 2–3
+//!   are unchanged by this flag.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 
 use flexcore::ext::{Bc, Dift, ExtEnv, Sec, Umc};
 use flexcore::faults::{FaultModel, FaultPlan, FaultRng, FaultSchedule, FaultTarget};
+use flexcore::recovery::{FaultOutcome, RecoveryPolicy, Supervisor};
 use flexcore::{
-    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, SimError, System,
+    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, RunResult, SimError, System,
     SystemConfig,
 };
 use flexcore_bench::{run_panic_tolerant, ExtKind, MAX_INSTRUCTIONS};
@@ -108,6 +119,11 @@ struct Outcome {
     over_budget: bool,
     faults_injected: u64,
     trap_skid: Option<u64>,
+    /// Fault-outcome triage — only populated by `--recover` trials.
+    triage: Option<FaultOutcome>,
+    /// Cycles of rolled-back work replayed by recovery — only
+    /// populated by `--recover` trials.
+    mttr: Option<u64>,
 }
 
 impl Outcome {
@@ -145,6 +161,53 @@ fn run_one<E: Extension>(
     }
 }
 
+/// One campaign-1 trial under the rollback-and-replay supervisor,
+/// triaged against a clean reference run of the same workload.
+fn run_one_supervised(
+    workload: &Workload,
+    config: SystemConfig,
+    plan: &FaultPlan,
+    lockstep: bool,
+    reference: &RunResult,
+) -> Outcome {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(config, Sec::new());
+    sys.load_program(&program);
+    sys.arm_faults(plan.clone());
+    if lockstep {
+        sys.enable_lockstep();
+    }
+    let mut sup = Supervisor::new(sys, RecoveryPolicy::default());
+    let result = sup.run(MAX_INSTRUCTIONS);
+    let report = sup.report();
+    let triage = FaultOutcome::classify(report, &result, reference);
+    let mut o = match result {
+        Ok(r) => Outcome {
+            trapped: r.monitor_trap.is_some(),
+            faults_injected: r.resilience.faults_injected,
+            trap_skid: r.trap_skid,
+            ..Outcome::default()
+        },
+        Err(SimError::Divergence(_)) => Outcome { diverged: true, ..Outcome::default() },
+        Err(SimError::Deadlock(_)) => Outcome { deadlocked: true, ..Outcome::default() },
+        Err(_) => Outcome { over_budget: true, ..Outcome::default() },
+    };
+    o.triage = Some(triage);
+    o.mttr = Some(report.mttr_cycles);
+    o
+}
+
+/// The clean (fault-free) campaign-1 reference run the triage compares
+/// against.
+fn reference_run(workload: &Workload, config: SystemConfig) -> RunResult {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(config, Sec::new());
+    sys.load_program(&program);
+    let r = sys.try_run(MAX_INSTRUCTIONS).expect("clean reference run completes");
+    assert!(r.monitor_trap.is_none(), "clean reference run must not trap");
+    r
+}
+
 fn run_kind(
     workload: &Workload,
     ext: ExtKind,
@@ -173,14 +236,51 @@ struct ProgressLog {
 }
 
 impl ProgressLog {
-    fn header(seed: u64, trials: usize, lockstep: bool) -> String {
+    fn header(seed: u64, trials: usize, lockstep: bool, recover: bool) -> String {
         serde::to_string(
             &serde::Value::object()
                 .field("seed", &seed)
                 .field("trials", &(trials as u64))
                 .field("lockstep", &lockstep)
+                .field("recover", &recover)
                 .build(),
         )
+    }
+
+    /// One line per parameter that differs between what the progress
+    /// file was stamped with and what this invocation requested —
+    /// that's the fix-it information a refused `--resume` needs.
+    fn header_diff(
+        stamped: &serde::Value,
+        seed: u64,
+        trials: usize,
+        lockstep: bool,
+        recover: bool,
+    ) -> Vec<String> {
+        let mut diffs = Vec::new();
+        let mut check_u64 = |key: &str, requested: u64| match stamped
+            .get(key)
+            .and_then(serde::Value::as_u64)
+        {
+            Some(s) if s == requested => {}
+            Some(s) => diffs.push(format!("  {key}: file has {s}, this run requested {requested}")),
+            None => diffs.push(format!("  {key}: not stamped in the file (requested {requested})")),
+        };
+        check_u64("seed", seed);
+        check_u64("trials", trials as u64);
+        let mut check_bool = |key: &str, requested: bool| match stamped.get(key) {
+            Some(serde::Value::Bool(s)) if *s == requested => {}
+            Some(serde::Value::Bool(s)) => {
+                diffs.push(format!("  {key}: file has {s}, this run requested {requested}"));
+            }
+            _ => diffs.push(format!("  {key}: not stamped in the file (requested {requested})")),
+        };
+        check_bool("lockstep", lockstep);
+        check_bool("recover", recover);
+        if diffs.is_empty() {
+            diffs.push("  (header is not valid JSON or field order changed)".into());
+        }
+        diffs
     }
 
     fn open(
@@ -190,6 +290,7 @@ impl ProgressLog {
         seed: u64,
         trials: usize,
         lockstep: bool,
+        recover: bool,
     ) -> Result<ProgressLog, String> {
         let mut log = ProgressLog {
             path,
@@ -201,17 +302,23 @@ impl ProgressLog {
         let Some(p) = &log.path else {
             return Ok(log);
         };
-        let header = ProgressLog::header(seed, trials, lockstep);
+        let header = ProgressLog::header(seed, trials, lockstep, recover);
         match std::fs::read_to_string(p) {
             Ok(text) if resume => {
                 let mut lines = text.lines().filter(|l| !l.trim().is_empty());
                 match lines.next() {
                     Some(first) if first == header => {}
-                    Some(_) => {
+                    Some(first) => {
+                        let stamped = serde::from_str(first)
+                            .unwrap_or_else(|_| serde::Value::object().build());
+                        let diffs =
+                            ProgressLog::header_diff(&stamped, seed, trials, lockstep, recover);
                         return Err(format!(
-                            "{p}: was written with different campaign parameters; \
-                             re-run with the original --seed/--trials/--lockstep or start fresh"
-                        ))
+                            "{p}: was written with different campaign parameters \
+                             (the trial labels would not mean the same runs):\n{}\n\
+                             re-run with the stamped parameters or start fresh",
+                            diffs.join("\n")
+                        ));
                     }
                     None => {}
                 }
@@ -237,7 +344,7 @@ impl ProgressLog {
         if self.path.is_none() {
             return;
         }
-        let obj = serde::Value::object()
+        let mut obj = serde::Value::object()
             .field("label", &label)
             .field("trapped", &o.trapped)
             .field("diverged", &o.diverged)
@@ -245,6 +352,9 @@ impl ProgressLog {
             .field("over_budget", &o.over_budget)
             .field("faults_injected", &o.faults_injected)
             .field("trap_skid", &o.trap_skid);
+        if let Some(t) = o.triage {
+            obj = obj.field("triage", &t.label()).field("mttr", &o.mttr.unwrap_or(0));
+        }
         self.pending.push(serde::to_string(&obj.build()));
         if self.pending.len() >= self.flush_every {
             self.flush();
@@ -278,6 +388,10 @@ fn decode_bool(v: &serde::Value, key: &str) -> Result<bool, String> {
     }
 }
 
+fn triage_from_label(label: &str) -> Option<FaultOutcome> {
+    FaultOutcome::ALL.into_iter().find(|o| o.label() == label)
+}
+
 fn decode_outcome(v: &serde::Value) -> Result<Outcome, String> {
     Ok(Outcome {
         trapped: decode_bool(v, "trapped")?,
@@ -289,6 +403,10 @@ fn decode_outcome(v: &serde::Value) -> Result<Outcome, String> {
             .and_then(serde::Value::as_u64)
             .ok_or("progress record missing `faults_injected`")?,
         trap_skid: v.get("trap_skid").and_then(serde::Value::as_u64),
+        // Absent in records written without --recover; the header
+        // check already guarantees we never mix the two modes.
+        triage: v.get("triage").and_then(serde::Value::as_str).and_then(triage_from_label),
+        mttr: v.get("mttr").and_then(serde::Value::as_u64),
     })
 }
 
@@ -381,38 +499,67 @@ fn main() {
     let trials = arg_value("--trials").unwrap_or(100) as usize;
     let lockstep = std::env::args().any(|a| a == "--lockstep");
     let resume = std::env::args().any(|a| a == "--resume");
+    let recover = std::env::args().any(|a| a == "--recover");
     let progress_path = arg_string("--progress");
     let flush_every = arg_value("--checkpoint-every").unwrap_or(25) as usize;
     if resume && progress_path.is_none() {
         eprintln!("faultsweep: --resume needs --progress FILE to resume from");
         std::process::exit(2);
     }
-    let mut progress =
-        match ProgressLog::open(progress_path, resume, flush_every, seed, trials, lockstep) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("faultsweep: {e}");
-                std::process::exit(2);
-            }
-        };
+    let mut progress = match ProgressLog::open(
+        progress_path,
+        resume,
+        flush_every,
+        seed,
+        trials,
+        lockstep,
+        recover,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("faultsweep: {e}");
+            std::process::exit(2);
+        }
+    };
     let workloads = [Workload::sha(), Workload::bitcount()];
 
     println!(
-        "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload{})",
-        if lockstep { ", lockstep golden model on" } else { "" }
+        "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload{}{})",
+        if lockstep { ", lockstep golden model on" } else { "" },
+        if recover { ", rollback-and-replay recovery on" } else { "" }
     );
     println!("{}", "=".repeat(78));
 
     // ── Campaign 1: SEC detection coverage on single-bit ALU-result flips ──
-    println!("\nSEC detection coverage (single-bit flips of ALU results, paper 0.25X config)");
-    println!(
-        "{:<12}{:>8}{:>10}{:>10}{:>10}{:>11}{:>12}",
-        "benchmark", "trials", "detected", "silent", "hung", "coverage", "mean skid"
-    );
+    // Under --recover the same trials (same labels, same seeds, same
+    // fault sites) run under the rollback-and-replay supervisor and are
+    // triaged against a clean reference run instead of merely counted
+    // as detected/silent.
+    if recover {
+        println!(
+            "\nSEC soft-error recovery triage (single-bit ALU flips under the supervisor, \
+             paper 0.25X config)"
+        );
+        println!(
+            "{:<12}{:>8}{:>9}{:>11}{:>6}{:>6}{:>9}{:>13}",
+            "benchmark", "trials", "masked", "recovered", "sdc", "due", "unclass", "mean mttr"
+        );
+    } else {
+        println!("\nSEC detection coverage (single-bit flips of ALU results, paper 0.25X config)");
+        println!(
+            "{:<12}{:>8}{:>10}{:>10}{:>10}{:>11}{:>12}",
+            "benchmark", "trials", "detected", "silent", "hung", "coverage", "mean skid"
+        );
+    }
     let mut all_pass = true;
+    let mut total_sdc = 0u64;
+    let mut total_unclassified = 0u64;
+    let mut total_recovered = 0u64;
+    let mut mttr_sum = 0u64;
     for workload in &workloads {
         let sites = profile_alu_commits(workload);
         assert!(!sites.is_empty(), "{} has ALU commits", workload.name());
+        let reference = recover.then(|| reference_run(workload, paper_config(ExtKind::Sec)));
         let jobs = (0..trials)
             .map(|t| {
                 let w = *workload;
@@ -420,62 +567,125 @@ fn main() {
                 let trial_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 let site = sites[FaultRng::new(trial_seed).below(sites_len) as usize];
                 let bit = FaultRng::new(trial_seed.rotate_left(17)).below(32) as u32;
+                let reference = reference.clone();
                 (format!("{} trial {t}", w.name()), move || {
                     let plan = FaultPlan::new(trial_seed).inject(
                         FaultTarget::CommitResult,
                         FaultSchedule::AtCommit(site),
                         FaultModel::Mask(1 << bit),
                     );
-                    run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan, lockstep)
+                    match &reference {
+                        Some(r) => {
+                            run_one_supervised(&w, paper_config(ExtKind::Sec), &plan, lockstep, r)
+                        }
+                        None => {
+                            run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan, lockstep)
+                        }
+                    }
                 })
             })
             .collect();
         let reports = run_with_progress(jobs, &mut progress);
-        let mut detected = 0u64;
-        let mut diverged = 0u64;
-        let mut silent = 0u64;
-        let mut hung = 0u64;
-        let mut skids = Vec::new();
-        for rep in &reports {
-            match &rep.outcome {
-                Ok(o) if o.detected() => {
-                    detected += 1;
-                    diverged += u64::from(o.diverged);
-                    skids.extend(o.trap_skid);
-                }
-                Ok(o) if o.deadlocked || o.over_budget => hung += 1,
-                Ok(_) => silent += 1,
-                Err(msg) => {
-                    silent += 1;
-                    eprintln!("  {} panicked: {msg}", rep.label);
+        if recover {
+            let mut counts: HashMap<FaultOutcome, u64> = HashMap::new();
+            let mut unclassified = 0u64;
+            let mut workload_mttr = 0u64;
+            for rep in &reports {
+                match &rep.outcome {
+                    Ok(o) => match o.triage {
+                        Some(t) => {
+                            *counts.entry(t).or_default() += 1;
+                            if t == FaultOutcome::DetectedRecovered {
+                                total_recovered += 1;
+                                workload_mttr += o.mttr.unwrap_or(0);
+                            }
+                        }
+                        None => unclassified += 1,
+                    },
+                    Err(msg) => {
+                        unclassified += 1;
+                        eprintln!("  {} panicked: {msg}", rep.label);
+                    }
                 }
             }
-        }
-        let coverage = detected as f64 / trials as f64;
-        let mean_skid = if skids.is_empty() {
-            0.0
-        } else {
-            skids.iter().sum::<u64>() as f64 / skids.len() as f64
-        };
-        all_pass &= coverage >= 0.90;
-        println!(
-            "{:<12}{:>8}{:>10}{:>10}{:>10}{:>10.1}%{:>12.1}",
-            workload.name(),
-            trials,
-            detected,
-            silent,
-            hung,
-            coverage * 100.0,
-            mean_skid,
-        );
-        if diverged > 0 {
+            let n = |t: FaultOutcome| counts.get(&t).copied().unwrap_or(0);
+            let recovered = n(FaultOutcome::DetectedRecovered);
+            let mean_mttr =
+                if recovered == 0 { 0.0 } else { workload_mttr as f64 / recovered as f64 };
             println!(
-                "  ({diverged} of the {detected} detections came from lockstep divergence, \
-                 which fires before the imprecise SEC trap)"
+                "{:<12}{:>8}{:>9}{:>11}{:>6}{:>6}{:>9}{:>13.1}",
+                workload.name(),
+                trials,
+                n(FaultOutcome::Masked),
+                recovered,
+                n(FaultOutcome::Sdc),
+                n(FaultOutcome::Due),
+                unclassified,
+                mean_mttr,
             );
+            total_sdc += n(FaultOutcome::Sdc);
+            total_unclassified += unclassified;
+            mttr_sum += workload_mttr;
+        } else {
+            let mut detected = 0u64;
+            let mut diverged = 0u64;
+            let mut silent = 0u64;
+            let mut hung = 0u64;
+            let mut skids = Vec::new();
+            for rep in &reports {
+                match &rep.outcome {
+                    Ok(o) if o.detected() => {
+                        detected += 1;
+                        diverged += u64::from(o.diverged);
+                        skids.extend(o.trap_skid);
+                    }
+                    Ok(o) if o.deadlocked || o.over_budget => hung += 1,
+                    Ok(_) => silent += 1,
+                    Err(msg) => {
+                        silent += 1;
+                        eprintln!("  {} panicked: {msg}", rep.label);
+                    }
+                }
+            }
+            let coverage = detected as f64 / trials as f64;
+            let mean_skid = if skids.is_empty() {
+                0.0
+            } else {
+                skids.iter().sum::<u64>() as f64 / skids.len() as f64
+            };
+            all_pass &= coverage >= 0.90;
+            println!(
+                "{:<12}{:>8}{:>10}{:>10}{:>10}{:>10.1}%{:>12.1}",
+                workload.name(),
+                trials,
+                detected,
+                silent,
+                hung,
+                coverage * 100.0,
+                mean_skid,
+            );
+            if diverged > 0 {
+                println!(
+                    "  ({diverged} of the {detected} detections came from lockstep divergence, \
+                     which fires before the imprecise SEC trap)"
+                );
+            }
         }
     }
-    println!("coverage target ≥ 90.0%: {}", if all_pass { "PASS" } else { "FAIL" });
+    if recover {
+        let campaign_mttr =
+            if total_recovered == 0 { 0.0 } else { mttr_sum as f64 / total_recovered as f64 };
+        println!(
+            "campaign MTTR: {campaign_mttr:.1} cycles mean over {total_recovered} recovered trials"
+        );
+        all_pass &= total_sdc == 0 && total_unclassified == 0;
+        println!(
+            "recovery gate (0 SDC, 0 unclassified): {}",
+            if total_sdc == 0 && total_unclassified == 0 { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!("coverage target ≥ 90.0%: {}", if all_pass { "PASS" } else { "FAIL" });
+    }
 
     // ── Campaigns 2+3: rate × target sweep (rate 0 = clean false-trap check) ──
     let rates: [u64; 4] = [0, 10, 100, 1000];

@@ -24,6 +24,11 @@
 //!   --resume <file>                      restore a checkpoint before running
 //!   --lockstep                           step an ISA-level golden model commit-for-commit
 //!                                        and fail on any architectural divergence
+//!   --recover                            run under the rollback-and-replay supervisor:
+//!                                        checkpoint in memory every --checkpoint-every
+//!                                        commits (default 10000) and walk the escalation
+//!                                        ladder (replay, bitstream reload, degraded mode)
+//!                                        on any monitor trap or simulation error
 //!
 //! Workload names: sha gmac stringsearch fft basicmath bitcount
 //!                  crc32 qsort dijkstra
@@ -55,6 +60,7 @@ use std::process::ExitCode;
 use flexcore::checkpoint::Snapshot;
 use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
 use flexcore::obs::{ChromeRecorder, MetricsRecorder, Observer, TraceSink};
+use flexcore::recovery::{RecoveryPolicy, Supervisor};
 use flexcore::{RunOutcome, RunResult, SimError, System, SystemConfig};
 use flexcore_asm::{assemble, Program};
 use flexcore_fabric::write_vcd;
@@ -86,6 +92,7 @@ struct Options {
     quit_after_checkpoint: bool,
     resume: Option<String>,
     lockstep: bool,
+    recover: bool,
 }
 
 impl Options {
@@ -101,7 +108,7 @@ impl Options {
     /// Whether any flag that needs [`System`]-level checkpoint or
     /// lockstep machinery is set.
     fn wants_system(&self) -> bool {
-        self.checkpoint_every.is_some() || self.resume.is_some() || self.lockstep
+        self.checkpoint_every.is_some() || self.resume.is_some() || self.lockstep || self.recover
     }
 }
 
@@ -125,6 +132,7 @@ fn parse_args() -> Result<Options, String> {
         quit_after_checkpoint: false,
         resume: None,
         lockstep: false,
+        recover: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -182,6 +190,7 @@ fn parse_args() -> Result<Options, String> {
             "--quit-after-checkpoint" => opts.quit_after_checkpoint = true,
             "--resume" => opts.resume = Some(args.next().ok_or("--resume needs a file")?),
             "--lockstep" => opts.lockstep = true,
+            "--recover" => opts.recover = true,
             "--help" | "-h" => return Err("help".into()),
             other if opts.input.is_empty() => opts.input = other.to_string(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -202,6 +211,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.quit_after_checkpoint && opts.checkpoint_every.is_none() {
         return Err("--quit-after-checkpoint needs --checkpoint-every".into());
+    }
+    if opts.recover && (opts.quit_after_checkpoint || opts.resume.is_some()) {
+        return Err("--recover keeps its checkpoints in memory; it cannot be combined with \
+             --quit-after-checkpoint or --resume"
+            .into());
     }
     Ok(opts)
 }
@@ -340,7 +354,26 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
     if opts.lockstep {
         sys.enable_lockstep();
     }
-    let r = match drive(&mut sys, opts, name) {
+    let mut recoveries = 0;
+    let driven = if opts.recover {
+        let policy = RecoveryPolicy {
+            checkpoint_every: opts.checkpoint_every.unwrap_or(10_000),
+            ..RecoveryPolicy::default()
+        };
+        let mut sup = Supervisor::new(sys, policy);
+        let outcome = sup.run(opts.max);
+        let report = sup.report().clone();
+        sys = sup.into_system();
+        recoveries = report.errors_detected;
+        if report.errors_detected > 0 || report.checkpoints_taken > 0 {
+            eprintln!("[{name}] recovery report:");
+            eprint!("{report}");
+        }
+        Ok(outcome.map(Driven::Finished))
+    } else {
+        drive(&mut sys, opts, name)
+    };
+    let r = match driven {
         Err(code) => return code,
         Ok(Ok(Driven::QuitAfterCheckpoint)) => return 0,
         Ok(Ok(Driven::Finished(r))) => r,
@@ -402,9 +435,14 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
 
     let obs = sys.into_sink();
     if let (Some(path), Some(m)) = (&opts.metrics, &obs.metrics) {
-        if let Err(e) = m.check_against(&r) {
-            eprintln!("internal error: metrics disagree with the run result: {e}");
-            return 4;
+        // A recovered run replays rolled-back windows, so the epoch
+        // series legitimately holds more commits than the final result;
+        // the bit-exact cross-check only applies to uninterrupted runs.
+        if recoveries == 0 {
+            if let Err(e) = m.check_against(&r) {
+                eprintln!("internal error: metrics disagree with the run result: {e}");
+                return 4;
+            }
         }
         let code = write_file(path, &m.to_jsonl(&r));
         if code != 0 {
@@ -481,7 +519,8 @@ fn main() -> ExitCode {
                  \x20              [--trace FILE] [--flight-recorder N] [--vcd FILE]\n\
                  \x20              [--checkpoint-every N] [--checkpoint-path FILE]\n\
                  \x20              [--quit-after-checkpoint] [--resume FILE] [--lockstep]\n\
-                 \x20              [--json] [--commits] [--disasm] <program.s | workload>"
+                 \x20              [--recover] [--json] [--commits] [--disasm]\n\
+                 \x20              <program.s | workload>"
             );
             return ExitCode::from(2);
         }

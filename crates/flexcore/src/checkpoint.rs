@@ -35,8 +35,9 @@ use crate::interface::FifoSnapshot;
 use crate::stats::{ForwardStats, ResilienceStats};
 
 /// Version tag embedded in every serialized snapshot; restore rejects
-/// other versions.
-pub const SNAPSHOT_FORMAT: u32 = 1;
+/// other versions. Version 2 widened the resilience counter array from
+/// 5 to 7 entries (degraded-mode accounting).
+pub const SNAPSHOT_FORMAT: u32 = 2;
 
 /// Word-level difference of one 4-KB page against the baseline image
 /// captured at [`load_program`](crate::System::load_program).
@@ -479,6 +480,8 @@ mod json {
                 s.dropped_overflow,
                 s.bitstream_retries,
                 s.bitstream_reloads,
+                s.unmonitored_commits,
+                s.suppressed_checks,
             ]
             .iter()
             .map(|&v| Value::U64(v))
@@ -489,14 +492,16 @@ mod json {
     fn resilience_from(v: &Value) -> R<ResilienceStats> {
         let items = v.as_array().ok_or_else(|| err("resilience stats are not an array"))?;
         let n = u64_list(items, "resilience stat")?;
-        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads]:
-            [u64; 5] = n.try_into().map_err(|_| err("resilience stats need exactly 5 counters"))?;
+        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads, unmonitored_commits, suppressed_checks]:
+            [u64; 7] = n.try_into().map_err(|_| err("resilience stats need exactly 7 counters"))?;
         Ok(ResilienceStats {
             faults_injected,
             packets_corrupted,
             dropped_overflow,
             bitstream_retries,
             bitstream_reloads,
+            unmonitored_commits,
+            suppressed_checks,
         })
     }
 

@@ -110,6 +110,20 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// A short stable tag naming the error class — recovery reports and
+    /// triage logs key on it ("deadlock", "cycle-budget", "divergence",
+    /// "corruption").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::Deadlock(_) => "deadlock",
+            SimError::CycleBudgetExceeded { .. } => "cycle-budget",
+            SimError::Divergence(_) => "divergence",
+            SimError::UnrecoverableCorruption { .. } => "corruption",
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -54,13 +54,21 @@ pub struct Dift {
     policy: u32,
     granularity: TagGranularity,
     checks: u64,
+    bypassed: bool,
+    suppressed: u64,
 }
 
 impl Dift {
     /// Creates the extension with the default policy (check indirect
     /// jumps) and per-word tags, as in the paper's prototype.
     pub fn new() -> Dift {
-        Dift { policy: POLICY_CHECK_JUMPS, granularity: TagGranularity::PerWord, checks: 0 }
+        Dift {
+            policy: POLICY_CHECK_JUMPS,
+            granularity: TagGranularity::PerWord,
+            checks: 0,
+            bypassed: false,
+            suppressed: 0,
+        }
     }
 
     /// Creates the byte-granular variant of footnote 2.
@@ -210,11 +218,31 @@ impl Extension for Dift {
         4
     }
 
+    fn bypass(&mut self) {
+        self.bypassed = true;
+    }
+
+    fn rearm(&mut self) {
+        self.bypassed = false;
+    }
+
+    fn bypassed(&self) -> bool {
+        self.bypassed
+    }
+
+    fn suppressed_checks(&self) -> u64 {
+        self.suppressed
+    }
+
     fn process(
         &mut self,
         pkt: &TracePacket,
         env: &mut ExtEnv<'_>,
     ) -> Result<Option<u32>, MonitorTrap> {
+        if self.bypassed {
+            self.suppressed += 1;
+            return Ok(None);
+        }
         match pkt.inst {
             Instruction::Alu { rd, rs1, op2, .. } => {
                 // Destination taint = OR of the source taints

@@ -9,12 +9,14 @@
 pub mod bc;
 pub mod dift;
 pub mod mprot;
+pub mod nop;
 pub mod sec;
 pub mod umc;
 
 pub use bc::Bc;
 pub use dift::Dift;
 pub use mprot::Mprot;
+pub use nop::Nop;
 pub use sec::Sec;
 pub use umc::Umc;
 
@@ -256,6 +258,27 @@ pub trait Extension {
     /// mismatched vector indicates a foreign checkpoint and may be
     /// ignored or partially applied. Default: nothing.
     fn restore_state(&mut self, _state: &[u64]) {}
+
+    /// Puts the extension into degraded (bypassed) mode: every
+    /// subsequent packet is acknowledged without being checked, and
+    /// [`suppressed_checks`](Extension::suppressed_checks) counts what
+    /// was skipped. The recovery supervisor calls this when the
+    /// escalation ladder gives up on monitored re-execution; the
+    /// default is a no-op for extensions without a bypass path.
+    fn bypass(&mut self) {}
+
+    /// Leaves degraded mode and resumes checking. Default: no-op.
+    fn rearm(&mut self) {}
+
+    /// Whether the extension is currently bypassed. Default: `false`.
+    fn bypassed(&self) -> bool {
+        false
+    }
+
+    /// Number of checks skipped while bypassed. Default: `0`.
+    fn suppressed_checks(&self) -> u64 {
+        0
+    }
 
     /// The extension's datapath as a gate-level netlist, used by the
     /// Table III cost models (FPGA LUT mapping and ASIC synthesis).

@@ -350,6 +350,11 @@ pub struct FaultInjector {
     log: Vec<FaultEvent>,
     bitstream_log: Vec<BitstreamStrike>,
     bitstream_attempts: u64,
+    /// While `false`, polls decide nothing and draw nothing: the
+    /// per-spec generator streams stay frozen, so a re-armed injector
+    /// resumes exactly where it left off. Recovery replays disarm the
+    /// plan so the restored run re-executes fault-free.
+    armed: bool,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -382,7 +387,29 @@ impl FaultInjector {
             log: Vec::new(),
             bitstream_log: Vec::new(),
             bitstream_attempts: 0,
+            armed: true,
         }
+    }
+
+    /// Stops deciding faults without touching generator state or the
+    /// logs. A disarmed injector's [`poll_commit`] and
+    /// [`corrupt_bitstream`] strike nothing; the plan can be re-armed
+    /// later and resumes deterministically.
+    ///
+    /// [`poll_commit`]: FaultInjector::poll_commit
+    /// [`corrupt_bitstream`]: FaultInjector::corrupt_bitstream
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Re-enables a [disarmed](FaultInjector::disarm) injector.
+    pub fn rearm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Whether the injector is currently deciding faults.
+    pub fn armed(&self) -> bool {
+        self.armed
     }
 
     /// The plan seed.
@@ -415,6 +442,9 @@ impl FaultInjector {
     /// them, and returns them for the system to apply.
     pub fn poll_commit(&mut self, commit: u64, cycle: u64) -> Vec<FaultAction> {
         let mut actions = Vec::new();
+        if !self.armed {
+            return actions;
+        }
         for st in &mut self.specs {
             if st.exhausted || matches!(st.spec.target, FaultTarget::Bitstream) {
                 continue;
@@ -506,6 +536,9 @@ impl FaultInjector {
     /// Corrupts one serialized bitstream transfer in place (if any
     /// `Bitstream` spec fires for this attempt). Returns the strike.
     pub fn corrupt_bitstream(&mut self, stream: &mut [u8]) -> Option<BitstreamStrike> {
+        if !self.armed {
+            return None;
+        }
         self.bitstream_attempts += 1;
         let attempt = self.bitstream_attempts;
         if stream.is_empty() {
@@ -564,6 +597,29 @@ mod tests {
         }
         assert_eq!(a.log(), b.log());
         assert!(!a.log().is_empty(), "plan produced no faults in 500 commits");
+    }
+
+    #[test]
+    fn disarmed_injector_strikes_nothing_and_resumes_exactly() {
+        let (mut armed, mut toggled) = (FaultInjector::new(&plan()), FaultInjector::new(&plan()));
+        for commit in 1..=100 {
+            assert_eq!(armed.poll_commit(commit, commit), toggled.poll_commit(commit, commit));
+        }
+        // A disarmed window decides nothing and freezes the streams...
+        toggled.disarm();
+        for commit in 101..=200 {
+            assert!(toggled.poll_commit(commit, commit).is_empty());
+            let mut bytes = [0xffu8; 16];
+            assert!(toggled.corrupt_bitstream(&mut bytes).is_none());
+            assert_eq!(bytes, [0xffu8; 16], "disarmed bitstream transfer untouched");
+        }
+        // ...so re-arming replays the same decisions the armed twin
+        // makes for the same commit indices.
+        toggled.rearm();
+        for commit in 101..=200 {
+            assert_eq!(armed.poll_commit(commit, commit), toggled.poll_commit(commit, commit));
+        }
+        assert_eq!(armed.log(), toggled.log());
     }
 
     #[test]

@@ -43,6 +43,11 @@
 //!   ([`System::enable_lockstep`]); any architectural disagreement
 //!   surfaces as [`SimError::Divergence`] carrying a minimized
 //!   [`DivergenceReport`].
+//! * [`recovery`] — the supervised rollback-and-replay layer on top of
+//!   all of the above: a [`Supervisor`] checkpoints the system, walks
+//!   an escalation ladder (replay → bitstream reload → degraded mode →
+//!   abort) on any detected error, and [`FaultOutcome::classify`]
+//!   triages each trial as Masked / Detected-Recovered / SDC / DUE.
 //!
 //! # Example: catching an uninitialized read
 //!
@@ -74,6 +79,7 @@ pub mod faults;
 pub mod interface;
 pub mod lockstep;
 pub mod obs;
+pub mod recovery;
 pub mod software;
 
 mod error;
@@ -88,6 +94,7 @@ pub use error::{DeadlockSnapshot, SimError};
 pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
 pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};
 pub use lockstep::{DivergenceReport, LockstepChecker};
+pub use recovery::{FaultOutcome, RecoveryAttempt, RecoveryPolicy, RecoveryReport, Supervisor};
 pub use shadow::ShadowRegFile;
 pub use stats::{ForwardStats, ResilienceStats, RunResult};
 pub use system::{Implementation, OverflowPolicy, RunOutcome, System, SystemConfig};

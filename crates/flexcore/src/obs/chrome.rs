@@ -162,6 +162,13 @@ mod export {
                 .field("s", &"t")
                 .raw("args", Value::object().field("instret", &instret).build())
                 .build(),
+            TraceEvent::Recovery { cycle, rung } => base("recovery", "i", cycle, TID_CORE)
+                .field("s", &"g")
+                .raw("args", Value::object().field("rung", &rung).build())
+                .build(),
+            TraceEvent::DegradedEnter { cycle } => {
+                base("degraded-enter", "i", cycle, TID_CORE).field("s", &"g").build()
+            }
             TraceEvent::Trap { cycle, pc, instret } => base("trap", "i", cycle, TID_CORE)
                 .field("s", &"g")
                 .raw(

@@ -108,6 +108,22 @@ pub enum TraceEvent {
         /// Committed-instruction count at injection.
         instret: u64,
     },
+    /// The recovery supervisor restored a checkpoint and resumed
+    /// execution (one rung of the escalation ladder).
+    Recovery {
+        /// Core-clock cycle of the restored snapshot (execution resumes
+        /// from here).
+        cycle: u64,
+        /// Escalation rung that handled the error: 1 = replay, 2 =
+        /// replay after a bitstream reload, 3 = degraded-mode entry.
+        rung: u32,
+    },
+    /// The system entered degraded mode: monitoring is bypassed and
+    /// commits are counted as unmonitored.
+    DegradedEnter {
+        /// Core-clock cycle at entry.
+        cycle: u64,
+    },
     /// A monitor trap was raised (the TRAP signal was scheduled).
     Trap {
         /// Core-clock cycle at which the signal asserts (§III.C: the
@@ -135,6 +151,8 @@ impl TraceEvent {
             | TraceEvent::MetaMiss { cycle, .. }
             | TraceEvent::BusGrant { cycle, .. }
             | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::Recovery { cycle, .. }
+            | TraceEvent::DegradedEnter { cycle }
             | TraceEvent::Trap { cycle, .. } => cycle,
             TraceEvent::FabricSpan { start, .. } => start,
             TraceEvent::BitstreamRetry { .. } => 0,
@@ -159,6 +177,8 @@ mod tests {
         assert_eq!(ev.cycle(), 7);
         assert_eq!(TraceEvent::BitstreamRetry { attempt: 2 }.cycle(), 0);
         assert_eq!(TraceEvent::CommitStall { cycle: 12, until: 20 }.cycle(), 12);
+        assert_eq!(TraceEvent::Recovery { cycle: 33, rung: 1 }.cycle(), 33);
+        assert_eq!(TraceEvent::DegradedEnter { cycle: 44 }.cycle(), 44);
     }
 
     #[test]

@@ -77,6 +77,14 @@ impl FlightRecorder {
     pub fn at_trap(&self) -> Option<&[FlightEntry]> {
         self.at_trap.as_deref()
     }
+
+    /// Discards the frozen trap snapshot so the next trap freezes a
+    /// fresh one. The recovery supervisor calls this after a successful
+    /// restore — the pre-recovery snapshot describes a timeline that was
+    /// rolled back.
+    pub fn rearm(&mut self) {
+        self.at_trap = None;
+    }
 }
 
 impl TraceSink for FlightRecorder {
@@ -103,6 +111,10 @@ impl TraceSink for FlightRecorder {
 
     fn flight_log(&self) -> Vec<FlightEntry> {
         self.ring.iter().copied().collect()
+    }
+
+    fn rearm_flight(&mut self) {
+        self.rearm();
     }
 }
 
@@ -142,6 +154,22 @@ mod tests {
         let frozen = fr.at_trap().expect("trap seen");
         assert_eq!(frozen.last().unwrap().pc, 4, "violating instruction is newest");
         assert_eq!(fr.flight_log().last().unwrap().pc, 8, "live log advanced");
+    }
+
+    #[test]
+    fn rearm_lets_a_second_trap_freeze_a_fresh_snapshot() {
+        let mut fr = FlightRecorder::new(2);
+        fr.commit_packet(&pkt(0, 1));
+        fr.event(TraceEvent::Trap { cycle: 5, pc: 0, instret: 1 });
+        assert_eq!(fr.at_trap().unwrap().last().unwrap().pc, 0);
+        // Recovery rolled the trap back; the stale snapshot goes away.
+        fr.rearm();
+        assert!(fr.at_trap().is_none());
+        fr.commit_packet(&pkt(4, 2));
+        fr.commit_packet(&pkt(8, 3));
+        fr.event(TraceEvent::Trap { cycle: 9, pc: 8, instret: 3 });
+        let frozen = fr.at_trap().expect("second trap freezes again");
+        assert_eq!(frozen.last().unwrap().pc, 8, "fresh snapshot, not the stale one");
     }
 
     #[test]

@@ -240,6 +240,10 @@ impl TraceSink for MetricsRecorder {
                 b.bus_fabric_wait_cycles += wait_cycles;
             }
             TraceEvent::BitstreamRetry { .. } => {}
+            // Recovery rewinds the clock to the restored snapshot, so
+            // binning these would double-count the replayed window;
+            // they are rendered in the Perfetto trace instead.
+            TraceEvent::Recovery { .. } | TraceEvent::DegradedEnter { .. } => {}
             TraceEvent::FaultInjected { cycle, .. } => self.bucket(cycle).faults += 1,
             TraceEvent::Trap { cycle, .. } => self.bucket(cycle).traps += 1,
         }
@@ -316,6 +320,8 @@ mod export {
                 .field("cycles", &r.cycles)
                 .field("instret", &r.instret)
                 .field("cpi", &r.cpi())
+                .field("unmonitored_commits", &r.resilience.unmonitored_commits)
+                .field("suppressed_checks", &r.resilience.suppressed_checks)
                 .build();
             out.push_str(&serde::to_string(&total));
             out.push('\n');

@@ -35,6 +35,11 @@ pub trait TraceSink {
     fn flight_log(&self) -> Vec<FlightEntry> {
         Vec::new()
     }
+
+    /// Re-arms any frozen trap context (see
+    /// [`FlightRecorder::rearm`](crate::obs::FlightRecorder::rearm)) so
+    /// a post-recovery trap freezes fresh state. Default: ignored.
+    fn rearm_flight(&mut self) {}
 }
 
 /// The default sink: observes nothing, costs nothing.
@@ -180,6 +185,12 @@ impl TraceSink for Observer {
 
     fn flight_log(&self) -> Vec<FlightEntry> {
         self.flight.as_ref().map(TraceSink::flight_log).unwrap_or_default()
+    }
+
+    fn rearm_flight(&mut self) {
+        if let Some(f) = &mut self.flight {
+            f.rearm();
+        }
     }
 }
 

@@ -43,6 +43,8 @@ impl Serialize for ResilienceStats {
             .field("dropped_overflow", &self.dropped_overflow)
             .field("bitstream_retries", &self.bitstream_retries)
             .field("bitstream_reloads", &self.bitstream_reloads)
+            .field("unmonitored_commits", &self.unmonitored_commits)
+            .field("suppressed_checks", &self.suppressed_checks)
             .build()
     }
 }

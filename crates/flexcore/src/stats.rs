@@ -59,6 +59,12 @@ pub struct ResilienceStats {
     pub bitstream_retries: u64,
     /// Bitstreams successfully loaded (including after retries).
     pub bitstream_reloads: u64,
+    /// Instructions committed while the system ran in degraded mode
+    /// (monitoring bypassed by the recovery supervisor).
+    pub unmonitored_commits: u64,
+    /// Packets the CFGR would have forwarded for checking but that
+    /// degraded mode suppressed.
+    pub suppressed_checks: u64,
 }
 
 /// The complete result of a [`System`](crate::System) run.
@@ -174,6 +180,15 @@ impl RunResult {
                 self.resilience.packets_corrupted,
                 self.resilience.dropped_overflow,
                 self.resilience.bitstream_retries,
+            );
+        }
+        if self.resilience.unmonitored_commits != 0 || self.resilience.suppressed_checks != 0 {
+            let _ = writeln!(
+                out,
+                "{:<18}{} unmonitored commits, {} suppressed checks",
+                "degraded mode",
+                self.resilience.unmonitored_commits,
+                self.resilience.suppressed_checks,
             );
         }
         if !self.flight.is_empty() {

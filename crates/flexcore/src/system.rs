@@ -274,6 +274,20 @@ pub struct System<E: Extension, S: TraceSink = NullSink> {
     /// Set by the commit-path lockstep check; `try_run` converts it
     /// into [`SimError::Divergence`].
     diverged: Option<Box<DivergenceReport>>,
+    /// Degraded mode: monitoring is bypassed; commits are counted as
+    /// unmonitored instead of being forwarded. Entered by the recovery
+    /// supervisor's rung 3, never by the system itself. Not part of a
+    /// [`Snapshot`] — the supervisor never restores past a degraded
+    /// entry.
+    degraded: bool,
+    /// `(cycle, committed)` at degraded-mode entry, for residency
+    /// accounting.
+    degraded_entry: Option<(u64, u64)>,
+    /// FIFO entries still in flight at each [`System::restore`],
+    /// accumulated across restores. Rollback discards these packets
+    /// un-processed; recovery reports surface the count. Deliberately
+    /// not in the [`Snapshot`] and never reset by a restore.
+    fifo_drained_on_restore: u64,
     sink: S,
 }
 
@@ -311,6 +325,9 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             baseline_mem: None,
             lockstep: None,
             diverged: None,
+            degraded: false,
+            degraded_entry: None,
+            fifo_drained_on_restore: 0,
             sink,
         }
     }
@@ -602,6 +619,15 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                 self.diverged = Some(report);
                 return;
             }
+        }
+        if self.degraded {
+            // Monitoring bypassed: account for what the CFGR *would*
+            // have forwarded, but never touch the FIFO or the fabric.
+            self.resilience.unmonitored_commits += 1;
+            if self.cfgr.policy(pkt.class).forwards() {
+                self.resilience.suppressed_checks += 1;
+            }
+            return;
         }
         let mut policy = self.cfgr.policy(pkt.class);
         if !policy.forwards() {
@@ -945,6 +971,11 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                 ))
             }
         }
+        // Entries still in flight toward the fabric are discarded by
+        // the rollback without ever being processed; account for them
+        // before the FIFO state is replaced. The accumulator survives
+        // the restore by design.
+        self.fifo_drained_on_restore += self.fifo.occupancy(self.core.cycle()) as u64;
         let mut mem = self.baseline_mem.clone().unwrap_or_default();
         checkpoint::apply_delta(&mut mem, &snap.mem_pages);
         self.mem = mem;
@@ -998,6 +1029,82 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     /// [`commits_checked`](LockstepChecker::commits_checked)).
     pub fn lockstep(&self) -> Option<&LockstepChecker> {
         self.lockstep.as_ref()
+    }
+
+    /// Disarms the fault plan, if one is armed: polls decide nothing
+    /// and draw nothing until [`System::rearm_faults`]. The recovery
+    /// supervisor disarms before every replay so the restored run
+    /// re-executes fault-free (see [`FaultInjector::disarm`]).
+    pub fn disarm_faults(&mut self) {
+        if let Some(inj) = &mut self.faults {
+            inj.disarm();
+        }
+    }
+
+    /// Re-arms a previously disarmed fault plan.
+    pub fn rearm_faults(&mut self) {
+        if let Some(inj) = &mut self.faults {
+            inj.rearm();
+        }
+    }
+
+    /// Whether a monitor trap has been raised or is in flight — at a
+    /// pause boundary this means the "clean" state already carries a
+    /// detected error, so it is not a safe restore point.
+    pub fn trap_pending(&self) -> bool {
+        self.monitor_trap.is_some() || self.pending_trap.is_some()
+    }
+
+    /// Enters degraded mode: the extension is bypassed
+    /// ([`Extension::bypass`]) and from the next commit on, nothing is
+    /// forwarded — commits are counted in
+    /// [`ResilienceStats::unmonitored_commits`] and would-have-been
+    /// forwards in [`ResilienceStats::suppressed_checks`].
+    ///
+    /// Rung 3 of the recovery supervisor's escalation ladder; degraded
+    /// mode is one-way (the supervisor never restores past it).
+    pub fn enter_degraded(&mut self) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.ext.bypass();
+        let cycle = self.core.cycle();
+        self.degraded_entry = Some((cycle, self.forward.committed));
+        self.emit(TraceEvent::DegradedEnter { cycle });
+    }
+
+    /// Whether the system is running with monitoring bypassed.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// `(cycle, committed)` at degraded-mode entry, if it happened.
+    pub fn degraded_entry(&self) -> Option<(u64, u64)> {
+        self.degraded_entry
+    }
+
+    /// FIFO entries discarded in flight across every
+    /// [`System::restore`] so far.
+    pub fn fifo_drained_on_restore(&self) -> u64 {
+        self.fifo_drained_on_restore
+    }
+
+    /// Emits a [`TraceEvent::Recovery`] instant at the current (just
+    /// restored) cycle. Called by the supervisor after each successful
+    /// rung so the Perfetto timeline shows where execution rewound to.
+    pub fn note_recovery(&mut self, rung: u32) {
+        let cycle = self.core.cycle();
+        self.emit(TraceEvent::Recovery { cycle, rung });
+    }
+
+    /// Clears the trace sink's frozen trap context (see
+    /// [`TraceSink::rearm_flight`]) — a rolled-back trap's flight
+    /// snapshot describes a discarded timeline.
+    pub fn rearm_flight(&mut self) {
+        if S::ENABLED {
+            self.sink.rearm_flight();
+        }
     }
 
     fn finalize(&mut self, exit: ExitReason) -> RunResult {

@@ -6,23 +6,19 @@
 //! cargo run --release --example fifo_sweep
 //! ```
 
-use flexcore_suite::flexcore::ext::Dift;
+use flexcore_suite::flexcore::ext::{Dift, Nop};
 use flexcore_suite::flexcore::{System, SystemConfig};
-use flexcore_suite::mem::{MainMemory, SystemBus};
-use flexcore_suite::pipeline::{Core, CoreConfig};
 use flexcore_suite::workloads::Workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::sha();
     let program = workload.program()?;
 
-    // Baseline.
-    let mut mem = MainMemory::new();
-    let mut bus = SystemBus::default();
-    let mut core = Core::new(CoreConfig::leon3());
-    core.load_program(&program, &mut mem);
-    core.run(&mut mem, &mut bus, 10_000_000);
-    let base = core.quiesced_at();
+    // Baseline: the Nop extension forwards nothing, so the system runs
+    // at bare-core speed regardless of FIFO depth.
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Nop::new());
+    sys.load_program(&program);
+    let base = sys.try_run(10_000_000).expect("simulation error").cycles;
     println!("workload: {}, baseline {} cycles\n", workload.name(), base);
 
     println!(

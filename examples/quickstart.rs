@@ -7,10 +7,9 @@
 //! ```
 
 use flexcore_suite::asm::assemble;
-use flexcore_suite::flexcore::ext::Umc;
+use flexcore_suite::flexcore::ext::{Nop, Umc};
 use flexcore_suite::flexcore::{System, SystemConfig};
-use flexcore_suite::mem::{MainMemory, SystemBus};
-use flexcore_suite::pipeline::{Core, CoreConfig, ExitReason};
+use flexcore_suite::pipeline::ExitReason;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A program with a bug: it sums five array elements but only
@@ -37,14 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ta 0",
     )?;
 
-    // 1. Bare core: the bug goes unnoticed.
-    let mut mem = MainMemory::new();
-    let mut bus = SystemBus::default();
-    let mut core = Core::new(CoreConfig::leon3());
-    core.load_program(&program, &mut mem);
-    let exit = core.run(&mut mem, &mut bus, 100_000);
-    println!("bare core:    exit = {exit:?} (bug silently ignored)");
-    assert_eq!(exit, ExitReason::Halt(0));
+    // 1. Unmonitored: the Nop extension forwards nothing, so this is
+    //    the bare-core baseline — and the bug goes unnoticed.
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Nop::new());
+    sys.load_program(&program);
+    let baseline = sys.try_run(100_000).expect("simulation error");
+    println!("unmonitored:  exit = {:?} (bug silently ignored)", baseline.exit);
+    assert_eq!(baseline.exit, ExitReason::Halt(0));
+    assert!(baseline.monitor_trap.is_none());
 
     // 2. FlexCore with UMC on the fabric at half the core clock.
     let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
