@@ -1,0 +1,236 @@
+//! Typed diagnostics shared by the software and hardware passes.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// `flexcheck` (and CI) fail only on [`Severity::Error`]; warnings and
+/// notes are reported and archived in the findings artifact but do not
+/// gate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational: stylistic or redundancy observations.
+    Info,
+    /// Suspicious but not provably wrong (or intentionally tolerated).
+    Warning,
+    /// A property violation the artifact must not ship with.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name as it appears in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which check produced a diagnostic.
+///
+/// Software rules analyze assembled [`Program`](flexcore_asm::Program)
+/// images; rules prefixed `Nl` analyze
+/// [`Netlist`](flexcore_fabric::Netlist)s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rule {
+    /// A register is read on some path before any instruction writes
+    /// it (the static counterpart of the UMC extension's
+    /// uninitialized-read trap).
+    UninitRead,
+    /// A conditional branch or trap evaluates the condition codes
+    /// before any `cc`-setting instruction ran.
+    UninitIcc,
+    /// A control-transfer instruction sits in the delay slot of
+    /// another CTI (unpredictable on SPARC V8).
+    DelaySlotCti,
+    /// The delay slot of `ba,a` holds a non-`nop` instruction that is
+    /// always annulled — dead code.
+    AnnulledSlotDead,
+    /// A conditional branch annuls a delay slot that holds only `nop`;
+    /// the annul bit buys nothing.
+    UselessAnnul,
+    /// A branch targets the delay slot of another CTI.
+    BranchIntoDelaySlot,
+    /// Decodable instructions that no control-flow path reaches.
+    UnreachableCode,
+    /// A branch or call target falls outside the loaded image.
+    TargetOutOfImage,
+    /// Execution can run past the end of the image or into a word
+    /// that does not decode.
+    FallsOffImage,
+    /// `restore` executes with no `save` outstanding.
+    RestoreUnderflow,
+    /// A join point is reached with differing save/restore depths.
+    WindowImbalance,
+    /// The program halts with a `save` still open.
+    OpenWindowAtHalt,
+    /// A store whose statically-known address lies outside the image,
+    /// the stack region, and the meta-data region.
+    StoreOutOfImage,
+    /// A store whose statically-known address overwrites reachable
+    /// code (self-modifying code).
+    StoreOverCode,
+    /// A load whose statically-known address lies outside every region
+    /// that is initialized at program load — UMC will trap on it.
+    LoadOutOfImage,
+    /// A register write whose value is never read (liveness).
+    DeadWrite,
+    /// An indirect jump whose target the analysis cannot resolve.
+    IndirectJump,
+    /// A netlist gate references a net index past the gate array.
+    NlDanglingRef,
+    /// A combinational cycle (excluding the legal DFF self-loop hold).
+    NlCombLoop,
+    /// A DFF whose data input was never connected (it holds reset
+    /// forever — legal for config registers, suspicious elsewhere).
+    NlUnconnectedDff,
+    /// Combinational gates unreachable backwards from any primary
+    /// output or flop data input.
+    NlDeadLogic,
+    /// A primary input that no output cone reads.
+    NlFloatingInput,
+    /// Two primary outputs share a name (multiply-driven at the
+    /// word level).
+    NlDuplicateOutput,
+    /// A mapped LUT is wider than K or its truth table is missized.
+    NlLutWidth,
+    /// The bitstream round-trip or LUT-network evaluation disagrees
+    /// with the source netlist.
+    NlBitstreamMismatch,
+}
+
+impl Rule {
+    /// Stable kebab-case rule id (used in JSON artifacts).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UninitRead => "uninit-read",
+            Rule::UninitIcc => "uninit-icc",
+            Rule::DelaySlotCti => "delay-slot-cti",
+            Rule::AnnulledSlotDead => "annulled-slot-dead",
+            Rule::UselessAnnul => "useless-annul",
+            Rule::BranchIntoDelaySlot => "branch-into-delay-slot",
+            Rule::UnreachableCode => "unreachable-code",
+            Rule::TargetOutOfImage => "target-out-of-image",
+            Rule::FallsOffImage => "falls-off-image",
+            Rule::RestoreUnderflow => "restore-underflow",
+            Rule::WindowImbalance => "window-imbalance",
+            Rule::OpenWindowAtHalt => "open-window-at-halt",
+            Rule::StoreOutOfImage => "store-out-of-image",
+            Rule::StoreOverCode => "store-over-code",
+            Rule::LoadOutOfImage => "load-out-of-image",
+            Rule::DeadWrite => "dead-write",
+            Rule::IndirectJump => "indirect-jump",
+            Rule::NlDanglingRef => "nl-dangling-ref",
+            Rule::NlCombLoop => "nl-comb-loop",
+            Rule::NlUnconnectedDff => "nl-unconnected-dff",
+            Rule::NlDeadLogic => "nl-dead-logic",
+            Rule::NlFloatingInput => "nl-floating-input",
+            Rule::NlDuplicateOutput => "nl-duplicate-output",
+            Rule::NlLutWidth => "nl-lut-width",
+            Rule::NlBitstreamMismatch => "nl-bitstream-mismatch",
+        }
+    }
+
+    /// Default severity of this rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::UninitRead
+            | Rule::DelaySlotCti
+            | Rule::TargetOutOfImage
+            | Rule::FallsOffImage
+            | Rule::RestoreUnderflow
+            | Rule::StoreOutOfImage
+            | Rule::LoadOutOfImage
+            | Rule::NlDanglingRef
+            | Rule::NlCombLoop
+            | Rule::NlLutWidth
+            | Rule::NlBitstreamMismatch => Severity::Error,
+            Rule::UninitIcc
+            | Rule::AnnulledSlotDead
+            | Rule::BranchIntoDelaySlot
+            | Rule::UnreachableCode
+            | Rule::WindowImbalance
+            | Rule::OpenWindowAtHalt
+            | Rule::StoreOverCode
+            | Rule::NlDeadLogic
+            | Rule::NlFloatingInput
+            | Rule::NlDuplicateOutput => Severity::Warning,
+            Rule::UselessAnnul | Rule::DeadWrite | Rule::IndirectJump | Rule::NlUnconnectedDff => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub rule: Rule,
+    /// Severity (normally [`Rule::severity`]).
+    pub severity: Severity,
+    /// Program address (software rules) or net index (netlist rules),
+    /// if the finding anchors to one.
+    pub addr: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the rule's default severity.
+    pub fn new(rule: Rule, addr: Option<u32>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { rule, severity: rule.severity(), addr, message: message.into() }
+    }
+
+    /// Whether this finding gates `flexcheck`.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => {
+                write!(f, "{}: {:#010x}: [{}] {}", self.severity, a, self.rule, self.message)
+            }
+            None => write!(f, "{}: [{}] {}", self.severity, self.rule, self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_and_severity() {
+        let d = Diagnostic::new(Rule::UninitRead, Some(0x1000), "read of %l3");
+        assert!(d.is_error());
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("uninit-read"), "{s}");
+        assert!(s.contains("0x00001000"), "{s}");
+    }
+
+    #[test]
+    fn severity_ordering_gates_on_error() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert!(!Diagnostic::new(Rule::DeadWrite, None, "x").is_error());
+    }
+}

@@ -1,0 +1,116 @@
+//! Robustness: the analyzer accepts anything the assembler accepts.
+//! Whatever CFG shape falls out — branches into delay slots, data run
+//! as code, loops with hostile strides — `analyze_program` returns a
+//! report; it never panics, overflows, or fails to terminate.
+
+use flexcore_analysis::analyze_program;
+use flexcore_asm::assemble;
+use proptest::prelude::*;
+
+/// One plausible kernel line: ALU ops with arbitrary immediates,
+/// compares, memory accesses, and branches to the trailer labels.
+/// Stresses the interval domain's wrap handling, branch refinement,
+/// and widening.
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u8..8, -4096i32..=4095).prop_map(|(r, k)| format!("add %l{r}, {k}, %l{r}")),
+        (0u8..8, -4096i32..=4095).prop_map(|(r, k)| format!("sub %l{r}, {k}, %l{r}")),
+        (0u8..8, -4096i32..=4095).prop_map(|(r, k)| format!("cmp %l{r}, {k}")),
+        (0u8..8, 0u8..8, 0u8..8).prop_map(|(a, b, d)| format!("and %l{a}, %l{b}, %l{d}")),
+        (0u8..8, 0u32..32).prop_map(|(r, s)| format!("sll %l{r}, {s}, %o0")),
+        (0u8..8, 0u32..32).prop_map(|(r, s)| format!("srl %l{r}, {s}, %o0")),
+        (0u8..8, -64i32..64).prop_map(|(r, k)| format!("ld [%l{r} + {k}], %o1")),
+        (0u8..8, -64i32..64).prop_map(|(r, k)| format!("st %o1, [%l{r} + {k}]")),
+        (0u8..8,).prop_map(|(r,)| format!("umul %l{r}, %o0, %o1")),
+        prop::sample::select(vec![
+            "bl t0",
+            "bne t1",
+            "bgu t2",
+            "bcs t0",
+            "ble t1",
+            "ba t2",
+            "be,a t0",
+            "bl,a t1",
+            "call t2",
+            "save %sp, -96, %sp",
+            "restore %g0, %g0, %g0",
+            "nop",
+            "ta 0",
+            "tst %o0",
+        ])
+        .prop_map(String::from),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random branchy kernels: every one that assembles analyzes.
+    #[test]
+    fn random_kernels_never_panic_the_analyzer(
+        lines in prop::collection::vec(arb_line(), 0..24),
+    ) {
+        let src = format!(
+            "start: {}\nt0: nop\nt1: nop\nt2: ta 0\nbuf: .space 16",
+            lines.join("\n ")
+        );
+        if let Ok(p) = assemble(&src) {
+            let report = analyze_program(&p);
+            // Sanity on the invariants downstream consumers rely on.
+            for pl in &report.proven_loads {
+                prop_assert!(pl.lo <= pl.hi, "{pl:?}");
+            }
+        }
+    }
+
+    /// Near-miss assembly (valid tokens, shuffled) — same generator
+    /// family as the assembler's own fuzz suite: whatever assembles
+    /// must analyze.
+    #[test]
+    fn token_soup_never_panics_the_analyzer(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "add", "ld", "st", "set", "%g1", "%o0", "%sp", "[", "]", ",",
+                "+", "-", "0x10", "42", "label:", "label", ".word", ".space",
+                ".align", "nop", "ba", "cmp", "!", "sethi", "%hi(x)", "ta",
+            ]),
+            0..30,
+        )
+    ) {
+        let src = words.join(" ");
+        if let Ok(p) = assemble(&src) {
+            let _ = analyze_program(&p);
+        }
+    }
+
+    /// Multi-line soup with branches into odd places (delay slots,
+    /// data) exercises CFG recovery's hazard paths.
+    #[test]
+    fn multiline_soup_never_panics_the_analyzer(
+        lines in prop::collection::vec(
+            prop::sample::select(vec![
+                "x: nop",
+                "nop",
+                ".align 8",
+                ".space 3",
+                ".byte 1, 2",
+                ".half 9",
+                "y: .word x",
+                "ba x",
+                "bne,a x",
+                "ba y",
+                "add %g1, 1, %g1",
+                "cmp %g1, 3",
+                "ta 0",
+                "! comment",
+                "",
+            ]),
+            0..20,
+        )
+    ) {
+        let src = lines.join("\n");
+        if let Ok(p) = assemble(&src) {
+            let _ = analyze_program(&p);
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //!   `[%base]`, which reparses as a zero immediate (value-equivalent).
 
 use flexcore_asm::assemble;
-use flexcore_isa::{decode, Cond, Instruction, Opcode, Operand2, Reg};
+use flexcore_isa::{decode, encode, Cond, Instruction, Opcode, Operand2, Reg};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -94,6 +94,20 @@ proptest! {
     #[test]
     fn control_and_misc_round_trip(inst in arb_other()) {
         prop_assert_eq!(roundtrip(inst).unwrap(), inst);
+    }
+
+    /// The full tool chain closes: encode → decode → disassemble →
+    /// reassemble ends on the *identical machine word*, so no tool in
+    /// the loop loses or invents a field.
+    #[test]
+    fn full_tool_chain_reproduces_the_word(
+        inst in prop_oneof![arb_alu(), arb_mem(), arb_other()],
+    ) {
+        let word = encode(&inst);
+        let text = decode(word).unwrap().to_string();
+        let program = assemble(&format!(".org 0x10000\n{text}"))
+            .unwrap_or_else(|e| panic!("`{text}` does not reassemble: {e}"));
+        prop_assert_eq!(program.words()[0], word, "via `{}`", text);
     }
 }
 

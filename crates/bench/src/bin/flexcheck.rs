@@ -1,0 +1,285 @@
+//! `flexcheck` — static verification of both halves of the FlexCore
+//! artifact, cross-checked against the dynamic monitors.
+//!
+//! ```text
+//! flexcheck [OPTIONS] [workload ...]
+//!
+//! OPTIONS:
+//!   --json <file>   write the findings as a JSON artifact
+//!   --xcheck        additionally run every selected workload under the
+//!                   UMC extension and fail if the dynamic monitor
+//!                   traps on a load the static pass proved initialized
+//!   --max <N>       instruction budget for --xcheck runs (default 200M)
+//!   --quiet         print only errors and the per-target summary
+//!
+//! With no workload arguments, all six paper kernels are analyzed
+//! (sha gmac stringsearch fft basicmath bitcount) along with the five
+//! extension netlists (umc dift bc sec mprot).
+//! ```
+//!
+//! Exit codes: `0` clean, `1` at least one error-severity finding,
+//! `2` usage or harness failure, `3` static/dynamic contradiction in
+//! `--xcheck` mode.
+//!
+//! The `--xcheck` soundness direction: the static must-initialize
+//! analysis under-approximates (it only *proves* loads whose address
+//! it resolves to the loaded image), so every proven load must be
+//! silent under UMC. A UMC trap at a proven location means one of the
+//! two oracles is wrong — either the analysis proved too much or the
+//! monitor's tag pipeline lost an initialization — and either way the
+//! build must not ship.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
+use flexcore::{System, SystemConfig};
+use flexcore_analysis::{analyze_program, lint_netlist, AnalysisReport, Diagnostic, Severity};
+use flexcore_fabric::Netlist;
+use flexcore_workloads::Workload;
+
+/// LUT input count the netlist checks map against (Virtex-5, paper §5).
+const LUT_K: usize = 6;
+
+struct Options {
+    workloads: Vec<String>,
+    json: Option<String>,
+    xcheck: bool,
+    max: u64,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workloads: Vec::new(),
+        json: None,
+        xcheck: false,
+        max: 200_000_000,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = Some(args.next().ok_or("--json needs a file")?),
+            "--xcheck" => opts.xcheck = true,
+            "--max" => {
+                opts.max = args
+                    .next()
+                    .ok_or("--max needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max: {e}"))?;
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if !other.starts_with('-') => opts.workloads.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected_workloads(opts: &Options) -> Result<Vec<Workload>, String> {
+    let all: Vec<Workload> = Workload::all().into_iter().chain(Workload::extra()).collect();
+    if opts.workloads.is_empty() {
+        return Ok(Workload::all().into_iter().collect());
+    }
+    opts.workloads
+        .iter()
+        .map(|name| {
+            all.iter()
+                .find(|w| w.name() == name)
+                .copied()
+                .ok_or_else(|| format!("unknown workload `{name}`"))
+        })
+        .collect()
+}
+
+/// Severity counts of one finding list.
+fn tally(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let count = |s| diags.iter().filter(|d| d.severity == s).count();
+    (count(Severity::Error), count(Severity::Warning), count(Severity::Info))
+}
+
+fn print_findings(target: &str, diags: &[Diagnostic], quiet: bool) {
+    for d in diags {
+        if !quiet || d.is_error() {
+            println!("{target}: {d}");
+        }
+    }
+    let (e, w, i) = tally(diags);
+    println!("[{target}] {e} error(s), {w} warning(s), {i} note(s)");
+}
+
+fn diag_json(d: &Diagnostic) -> serde::Value {
+    let mut obj =
+        serde::Value::object().field("rule", &d.rule.id()).field("severity", &d.severity.name());
+    if let Some(a) = d.addr {
+        obj = obj.field("addr", &a);
+    }
+    obj.field("message", &d.message.as_str()).build()
+}
+
+fn findings_json(name: &str, diags: &[Diagnostic]) -> serde::Value {
+    let (e, w, i) = tally(diags);
+    serde::Value::object()
+        .field("name", &name)
+        .field("errors", &(e as u64))
+        .field("warnings", &(w as u64))
+        .field("infos", &(i as u64))
+        .raw("diagnostics", serde::Value::Array(diags.iter().map(diag_json).collect()))
+        .build()
+}
+
+/// Analyzes one workload program; returns the report for xcheck reuse.
+fn check_workload(w: Workload, opts: &Options) -> Result<AnalysisReport, String> {
+    let program = w.program().map_err(|e| format!("{}: {e}", w.name()))?;
+    let report = analyze_program(&program);
+    print_findings(w.name(), &report.diagnostics, opts.quiet);
+    if !opts.quiet {
+        println!(
+            "[{}] {} blocks, {} reachable instructions, {} proven load(s)",
+            w.name(),
+            report.cfg.blocks().len(),
+            report.cfg.code_len(),
+            report.proven_loads.len()
+        );
+    }
+    Ok(report)
+}
+
+fn extension_netlists() -> Vec<Netlist> {
+    vec![
+        Umc::new().netlist(),
+        Dift::new().netlist(),
+        Bc::new().netlist(),
+        Sec::new().netlist(),
+        Mprot::new().netlist(),
+    ]
+}
+
+/// Result of one `--xcheck` run.
+struct XcheckRow {
+    workload: String,
+    proven: usize,
+    forwarded_loads: u64,
+    trap: Option<String>,
+    contradiction: bool,
+}
+
+/// Runs `w` under UMC and compares the dynamic trap (if any) against
+/// the static proven-load set.
+fn xcheck_workload(w: Workload, report: &AnalysisReport, max: u64) -> Result<XcheckRow, String> {
+    let program = w.program().map_err(|e| format!("{}: {e}", w.name()))?;
+    let mut sys = System::new(SystemConfig::fabric_half_speed(), Umc::new());
+    sys.load_program(&program);
+    let r = sys.try_run(max).map_err(|e| format!("{}: {e}", w.name()))?;
+    let proven: BTreeSet<u32> = report.proven_loads.iter().map(|p| p.pc).collect();
+    let loads = [
+        flexcore_isa::InstrClass::Ld,
+        flexcore_isa::InstrClass::Ldub,
+        flexcore_isa::InstrClass::Lduh,
+        flexcore_isa::InstrClass::Ldsb,
+        flexcore_isa::InstrClass::Ldsh,
+    ]
+    .iter()
+    .map(|&c| r.forward.class_count(c))
+    .sum();
+    let contradiction = r.monitor_trap.as_ref().is_some_and(|t| proven.contains(&t.pc));
+    Ok(XcheckRow {
+        workload: w.name().to_string(),
+        proven: proven.len(),
+        forwarded_loads: loads,
+        trap: r.monitor_trap.as_ref().map(|t| t.to_string()),
+        contradiction,
+    })
+}
+
+fn run() -> Result<u8, String> {
+    let opts = parse_args()?;
+    let workloads = selected_workloads(&opts)?;
+
+    let mut any_error = false;
+    let mut program_values = Vec::new();
+    let mut reports = Vec::new();
+    for &w in &workloads {
+        let report = check_workload(w, &opts)?;
+        any_error |= !report.is_clean();
+        program_values.push(findings_json(w.name(), &report.diagnostics));
+        reports.push(report);
+    }
+
+    let mut netlist_values = Vec::new();
+    for netlist in extension_netlists() {
+        let diags = lint_netlist(&netlist, LUT_K);
+        print_findings(netlist.name(), &diags, opts.quiet);
+        any_error |= diags.iter().any(Diagnostic::is_error);
+        netlist_values.push(findings_json(netlist.name(), &diags));
+    }
+
+    let mut contradictions = 0usize;
+    let mut xcheck_values = Vec::new();
+    if opts.xcheck {
+        for (w, report) in workloads.iter().zip(&reports) {
+            let row = xcheck_workload(*w, report, opts.max)?;
+            println!(
+                "[xcheck {}] {} proven load(s) static, {} loads forwarded to UMC, {}",
+                row.workload,
+                row.proven,
+                row.forwarded_loads,
+                match (&row.trap, row.contradiction) {
+                    (None, _) => "no monitor trap".to_string(),
+                    (Some(t), false) => format!("trap outside the proven set: {t}"),
+                    (Some(t), true) => format!("CONTRADICTION: {t} at a statically proven load"),
+                }
+            );
+            contradictions += usize::from(row.contradiction);
+            let mut obj = serde::Value::object()
+                .field("workload", &row.workload.as_str())
+                .field("static_proven_loads", &(row.proven as u64))
+                .field("dynamic_forwarded_loads", &row.forwarded_loads)
+                .field("contradiction", &row.contradiction);
+            if let Some(t) = &row.trap {
+                obj = obj.field("monitor_trap", &t.as_str());
+            }
+            xcheck_values.push(obj.build());
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        let mut artifact = serde::Value::object()
+            .field("version", &1u64)
+            .raw("programs", serde::Value::Array(program_values))
+            .raw("netlists", serde::Value::Array(netlist_values));
+        if opts.xcheck {
+            artifact = artifact.raw("xcheck", serde::Value::Array(xcheck_values));
+        }
+        std::fs::write(path, serde::to_string_pretty(&artifact.build()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote findings to {path}");
+    }
+
+    if contradictions > 0 {
+        eprintln!(
+            "{contradictions} static/dynamic contradiction(s): the static analysis and the \
+             UMC monitor disagree"
+        );
+        return Ok(3);
+    }
+    Ok(u8::from(any_error))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: flexcheck [--json FILE] [--xcheck] [--max N] [--quiet] [workload ...]\n\
+                 \x20      workloads default to: sha gmac stringsearch fft basicmath bitcount"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

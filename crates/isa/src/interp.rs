@@ -406,7 +406,11 @@ impl RefCore {
 /// ALU reference semantics per the V8 manual: returns the result and
 /// the (possibly unchanged) condition codes, or `None` for a divide by
 /// zero.
-fn ref_alu(op: Opcode, a: u32, b: u32, icc: IccFlags) -> Option<(u32, IccFlags)> {
+///
+/// Public so value analyses (constant propagation in
+/// `flexcore-analysis`) evaluate ALU ops with exactly the golden-model
+/// semantics instead of re-deriving them.
+pub fn ref_alu(op: Opcode, a: u32, b: u32, icc: IccFlags) -> Option<(u32, IccFlags)> {
     fn nz(value: u32) -> (bool, bool) {
         ((value as i32) < 0, value == 0)
     }

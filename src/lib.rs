@@ -8,6 +8,8 @@
 //!
 //! * [`isa`] — SPARC-V8-subset instruction set model
 //! * [`asm`] — two-pass assembler for that ISA
+//! * [`analysis`] — static verification of programs and netlists
+//!   (CFG recovery, dataflow, netlist lint; see the `flexcheck` binary)
 //! * [`mem`] — caches, buses, SDRAM, and the bit-maskable meta-data cache
 //! * [`pipeline`] — Leon3-like in-order core (functional + timing)
 //! * [`fabric`] — reconfigurable-fabric and ASIC cost models
@@ -15,9 +17,11 @@
 //!   extensions, full system)
 //! * [`workloads`] — MiBench-like assembly kernels
 
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub use flexcore;
+pub use flexcore_analysis as analysis;
 pub use flexcore_asm as asm;
 pub use flexcore_fabric as fabric;
 pub use flexcore_isa as isa;
