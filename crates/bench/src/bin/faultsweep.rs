@@ -15,8 +15,14 @@
 //!    against architectural results, registers, FFIFO packets, and
 //!    meta-data lines, with per-extension outcome accounting
 //!    (trap / silent / deadlock / budget), driven through
-//!    [`System::try_run`] so a wedged configuration is a data point,
-//!    not a hang.
+//!    [`System::try_run`](flexcore::System::try_run) so a wedged
+//!    configuration is a data point, not a hang.
+//!
+//! Trial generation, execution, and the JSONL record codec all live in
+//! [`flexcore_bench::trial`], shared verbatim with the `flexserve` job
+//! server — the two cannot drift, and a merged `flexserve` trial log
+//! diffs clean against a `faultsweep` progress log for the same
+//! campaign parameters.
 //!
 //! Options: `--seed N` (default 0xf1ec), `--trials N` per workload for
 //! campaign 1 (default 100).
@@ -30,198 +36,32 @@
 //! * `--resume` — with `--progress`, skip trials already recorded in
 //!   the file (deterministic seeds make the skip exact), so an
 //!   interrupted campaign continues from its last checkpoint instead
-//!   of starting over.
+//!   of starting over. A trailing record truncated by a crash
+//!   mid-append is dropped with a warning (it is re-run), not a fatal
+//!   parse error.
 //! * `--checkpoint-every N` — flush buffered progress records to disk
 //!   every N trials (default 25).
 //! * `--recover` — run every campaign-1 trial under the
-//!   rollback-and-replay [`Supervisor`] and triage it against a clean
-//!   reference run of the same workload: **Masked** (absorbed, output
-//!   matches), **Detected-Recovered** (caught, rolled back, replayed to
-//!   a matching output), **SDC** (silent data corruption — completed
-//!   with the wrong output), or **DUE** (detected but unrecoverable).
-//!   The campaign fails (exit 1) on any SDC or unclassified trial; add
-//!   `--lockstep` so architectural corruption SEC misses is detected
-//!   (and therefore recovered) instead of going silent. Campaigns 2–3
-//!   are unchanged by this flag.
+//!   rollback-and-replay [`Supervisor`](flexcore::Supervisor) and
+//!   triage it against a clean reference run of the same workload:
+//!   **Masked** (absorbed, output matches), **Detected-Recovered**
+//!   (caught, rolled back, replayed to a matching output), **SDC**
+//!   (silent data corruption — completed with the wrong output), or
+//!   **DUE** (detected but unrecoverable). The campaign fails (exit 1)
+//!   on any SDC or unclassified trial; add `--lockstep` so
+//!   architectural corruption SEC misses is detected (and therefore
+//!   recovered) instead of going silent. Campaigns 2–3 are unchanged
+//!   by this flag.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 
-use flexcore::ext::{Bc, Dift, ExtEnv, Sec, Umc};
-use flexcore::faults::{FaultModel, FaultPlan, FaultRng, FaultSchedule, FaultTarget};
-use flexcore::recovery::{FaultOutcome, RecoveryPolicy, Supervisor};
-use flexcore::{
-    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, RunResult, SimError, System,
-    SystemConfig,
+use flexcore::recovery::FaultOutcome;
+use flexcore_bench::trial::{
+    self, CampaignSpec, TrialOutcome, TrialSpec, SWEEP_RATES, SWEEP_TARGETS,
 };
-use flexcore_bench::{run_panic_tolerant, ExtKind, MAX_INSTRUCTIONS};
-use flexcore_fabric::{Netlist, NetlistBuilder};
-use flexcore_isa::Instruction;
-use flexcore_pipeline::TracePacket;
+use flexcore_bench::{run_panic_tolerant, ExtKind};
 use flexcore_workloads::Workload;
-
-/// Cycle budget per faulted run: generous (clean sha needs ~2M) but
-/// bounded, so a corrupted loop counter cannot spin forever.
-const CYCLE_BUDGET: u64 = 50_000_000;
-
-/// Forwards every commit and records the 1-based commit indices of ALU
-/// operations — the population SEC protects. Commit indices here match
-/// `FaultSchedule::AtCommit` exactly: the system polls the injector
-/// with the same counter that orders these packets.
-#[derive(Default)]
-struct CommitProfiler {
-    commits: u64,
-    alu_commits: Vec<u64>,
-}
-
-impl Extension for CommitProfiler {
-    fn name(&self) -> &'static str {
-        "profiler"
-    }
-
-    fn descriptor(&self) -> ExtensionDescriptor {
-        ExtensionDescriptor {
-            abbrev: "PROF",
-            name: "commit profiler",
-            meta_data: &[],
-            transparent_ops: &[],
-            sw_visible_ops: &[],
-        }
-    }
-
-    fn cfgr(&self) -> Cfgr {
-        Cfgr::new().with_classes(|_| true, ForwardPolicy::Always)
-    }
-
-    fn process(
-        &mut self,
-        pkt: &TracePacket,
-        _env: &mut ExtEnv<'_>,
-    ) -> Result<Option<u32>, MonitorTrap> {
-        self.commits += 1;
-        if matches!(pkt.inst, Instruction::Alu { .. }) {
-            self.alu_commits.push(self.commits);
-        }
-        Ok(None)
-    }
-
-    fn netlist(&self) -> Netlist {
-        NetlistBuilder::new("profiler").finish()
-    }
-}
-
-/// What one faulted simulation did.
-#[derive(Clone, Copy, Debug, Default)]
-struct Outcome {
-    trapped: bool,
-    diverged: bool,
-    deadlocked: bool,
-    over_budget: bool,
-    faults_injected: u64,
-    trap_skid: Option<u64>,
-    /// Fault-outcome triage — only populated by `--recover` trials.
-    triage: Option<FaultOutcome>,
-    /// Cycles of rolled-back work replayed by recovery — only
-    /// populated by `--recover` trials.
-    mttr: Option<u64>,
-}
-
-impl Outcome {
-    /// The fault was caught — by the extension's own trap or (under
-    /// `--lockstep`) by the golden model.
-    fn detected(&self) -> bool {
-        self.trapped || self.diverged
-    }
-}
-
-fn run_one<E: Extension>(
-    workload: &Workload,
-    config: SystemConfig,
-    ext: E,
-    plan: &FaultPlan,
-    lockstep: bool,
-) -> Outcome {
-    let program = workload.program().expect("workload assembles");
-    let mut sys = System::new(config, ext);
-    sys.load_program(&program);
-    sys.arm_faults(plan.clone());
-    if lockstep {
-        sys.enable_lockstep();
-    }
-    match sys.try_run(MAX_INSTRUCTIONS) {
-        Ok(r) => Outcome {
-            trapped: r.monitor_trap.is_some(),
-            faults_injected: r.resilience.faults_injected,
-            trap_skid: r.trap_skid,
-            ..Outcome::default()
-        },
-        Err(SimError::Divergence(_)) => Outcome { diverged: true, ..Outcome::default() },
-        Err(SimError::Deadlock(_)) => Outcome { deadlocked: true, ..Outcome::default() },
-        Err(_) => Outcome { over_budget: true, ..Outcome::default() },
-    }
-}
-
-/// One campaign-1 trial under the rollback-and-replay supervisor,
-/// triaged against a clean reference run of the same workload.
-fn run_one_supervised(
-    workload: &Workload,
-    config: SystemConfig,
-    plan: &FaultPlan,
-    lockstep: bool,
-    reference: &RunResult,
-) -> Outcome {
-    let program = workload.program().expect("workload assembles");
-    let mut sys = System::new(config, Sec::new());
-    sys.load_program(&program);
-    sys.arm_faults(plan.clone());
-    if lockstep {
-        sys.enable_lockstep();
-    }
-    let mut sup = Supervisor::new(sys, RecoveryPolicy::default());
-    let result = sup.run(MAX_INSTRUCTIONS);
-    let report = sup.report();
-    let triage = FaultOutcome::classify(report, &result, reference);
-    let mut o = match result {
-        Ok(r) => Outcome {
-            trapped: r.monitor_trap.is_some(),
-            faults_injected: r.resilience.faults_injected,
-            trap_skid: r.trap_skid,
-            ..Outcome::default()
-        },
-        Err(SimError::Divergence(_)) => Outcome { diverged: true, ..Outcome::default() },
-        Err(SimError::Deadlock(_)) => Outcome { deadlocked: true, ..Outcome::default() },
-        Err(_) => Outcome { over_budget: true, ..Outcome::default() },
-    };
-    o.triage = Some(triage);
-    o.mttr = Some(report.mttr_cycles);
-    o
-}
-
-/// The clean (fault-free) campaign-1 reference run the triage compares
-/// against.
-fn reference_run(workload: &Workload, config: SystemConfig) -> RunResult {
-    let program = workload.program().expect("workload assembles");
-    let mut sys = System::new(config, Sec::new());
-    sys.load_program(&program);
-    let r = sys.try_run(MAX_INSTRUCTIONS).expect("clean reference run completes");
-    assert!(r.monitor_trap.is_none(), "clean reference run must not trap");
-    r
-}
-
-fn run_kind(
-    workload: &Workload,
-    ext: ExtKind,
-    config: SystemConfig,
-    plan: &FaultPlan,
-    lockstep: bool,
-) -> Outcome {
-    match ext {
-        ExtKind::Umc => run_one(workload, config, Umc::new(), plan, lockstep),
-        ExtKind::Dift => run_one(workload, config, Dift::new(), plan, lockstep),
-        ExtKind::Bc => run_one(workload, config, Bc::new(), plan, lockstep),
-        ExtKind::Sec => run_one(workload, config, Sec::new(), plan, lockstep),
-    }
-}
 
 /// Per-trial progress log (JSONL): lets an interrupted campaign resume
 /// without redoing finished trials. The first line records the
@@ -229,7 +69,7 @@ fn run_kind(
 /// (the trial labels would not mean the same runs).
 struct ProgressLog {
     path: Option<String>,
-    done: HashMap<String, Outcome>,
+    done: HashMap<String, TrialOutcome>,
     pending: Vec<String>,
     flush_every: usize,
     reused: u64,
@@ -305,14 +145,25 @@ impl ProgressLog {
         let header = ProgressLog::header(seed, trials, lockstep, recover);
         match std::fs::read_to_string(p) {
             Ok(text) if resume => {
-                let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-                match lines.next() {
-                    Some(first) if first == header => {}
+                // A crash (or kill -9) mid-append leaves a truncated
+                // final line; drop that one record and re-run it rather
+                // than poisoning the whole log.
+                let parsed = trial::parse_jsonl_tolerant(&text).map_err(|e| format!("{p}: {e}"))?;
+                if let Some(partial) = &parsed.dropped_partial {
+                    eprintln!(
+                        "faultsweep: {p}: dropped truncated trailing record `{partial}` \
+                         (crash mid-append; the trial will be re-run)"
+                    );
+                    parsed
+                        .repair_file(std::path::Path::new(p))
+                        .map_err(|e| format!("{p}: repairing truncated tail: {e}"))?;
+                }
+                let mut records = parsed.records.into_iter();
+                match records.next() {
+                    Some(first) if serde::to_string(&first) == header => {}
                     Some(first) => {
-                        let stamped = serde::from_str(first)
-                            .unwrap_or_else(|_| serde::Value::object().build());
                         let diffs =
-                            ProgressLog::header_diff(&stamped, seed, trials, lockstep, recover);
+                            ProgressLog::header_diff(&first, seed, trials, lockstep, recover);
                         return Err(format!(
                             "{p}: was written with different campaign parameters \
                              (the trial labels would not mean the same runs):\n{}\n\
@@ -322,13 +173,13 @@ impl ProgressLog {
                     }
                     None => {}
                 }
-                for line in lines {
-                    let v = serde::from_str(line).map_err(|e| format!("{p}: {e}"))?;
+                for v in records {
                     let label = v
                         .get("label")
                         .and_then(serde::Value::as_str)
                         .ok_or_else(|| format!("{p}: record without a label"))?;
-                    log.done.insert(label.to_string(), decode_outcome(&v)?);
+                    let outcome = trial::decode_outcome(&v).map_err(|e| format!("{p}: {e}"))?;
+                    log.done.insert(label.to_string(), outcome);
                 }
                 Ok(log)
             }
@@ -340,22 +191,11 @@ impl ProgressLog {
         }
     }
 
-    fn record(&mut self, label: &str, o: Outcome) {
+    fn record(&mut self, label: &str, o: TrialOutcome) {
         if self.path.is_none() {
             return;
         }
-        let mut obj = serde::Value::object()
-            .field("label", &label)
-            .field("trapped", &o.trapped)
-            .field("diverged", &o.diverged)
-            .field("deadlocked", &o.deadlocked)
-            .field("over_budget", &o.over_budget)
-            .field("faults_injected", &o.faults_injected)
-            .field("trap_skid", &o.trap_skid);
-        if let Some(t) = o.triage {
-            obj = obj.field("triage", &t.label()).field("mttr", &o.mttr.unwrap_or(0));
-        }
-        self.pending.push(serde::to_string(&obj.build()));
+        self.pending.push(serde::to_string(&trial::outcome_record(label, &o)));
         if self.pending.len() >= self.flush_every {
             self.flush();
         }
@@ -381,56 +221,27 @@ impl ProgressLog {
     }
 }
 
-fn decode_bool(v: &serde::Value, key: &str) -> Result<bool, String> {
-    match v.get(key) {
-        Some(serde::Value::Bool(b)) => Ok(*b),
-        _ => Err(format!("progress record missing boolean `{key}`")),
-    }
-}
-
-fn triage_from_label(label: &str) -> Option<FaultOutcome> {
-    FaultOutcome::ALL.into_iter().find(|o| o.label() == label)
-}
-
-fn decode_outcome(v: &serde::Value) -> Result<Outcome, String> {
-    Ok(Outcome {
-        trapped: decode_bool(v, "trapped")?,
-        diverged: decode_bool(v, "diverged")?,
-        deadlocked: decode_bool(v, "deadlocked")?,
-        over_budget: decode_bool(v, "over_budget")?,
-        faults_injected: v
-            .get("faults_injected")
-            .and_then(serde::Value::as_u64)
-            .ok_or("progress record missing `faults_injected`")?,
-        trap_skid: v.get("trap_skid").and_then(serde::Value::as_u64),
-        // Absent in records written without --recover; the header
-        // check already guarantees we never mix the two modes.
-        triage: v.get("triage").and_then(serde::Value::as_str).and_then(triage_from_label),
-        mttr: v.get("mttr").and_then(serde::Value::as_u64),
-    })
-}
-
 /// [`run_panic_tolerant`] with a resume cache: trials already in the
 /// progress log come back instantly; fresh trials run and are
 /// recorded. Reports keep submission order either way.
-fn run_with_progress<F>(
-    jobs: Vec<(String, F)>,
+fn run_with_progress(
+    jobs: Vec<TrialSpec>,
+    reference: Option<&flexcore::RunResult>,
     progress: &mut ProgressLog,
-) -> Vec<flexcore_bench::JobReport<Outcome>>
-where
-    F: FnOnce() -> Outcome + Send + 'static,
-{
-    let mut slots: Vec<Option<flexcore_bench::JobReport<Outcome>>> = Vec::new();
+) -> Vec<flexcore_bench::JobReport<TrialOutcome>> {
+    let mut slots: Vec<Option<flexcore_bench::JobReport<TrialOutcome>>> = Vec::new();
     let mut fresh = Vec::new();
     let mut fresh_slots = Vec::new();
-    for (i, (label, job)) in jobs.into_iter().enumerate() {
-        if let Some(&o) = progress.done.get(&label) {
+    for (i, spec) in jobs.into_iter().enumerate() {
+        if let Some(&o) = progress.done.get(&spec.label) {
             progress.reused += 1;
-            slots.push(Some(flexcore_bench::JobReport { label, outcome: Ok(o) }));
+            slots.push(Some(flexcore_bench::JobReport { label: spec.label, outcome: Ok(o) }));
         } else {
+            let reference = reference.cloned();
             slots.push(None);
             fresh_slots.push(i);
-            fresh.push((label, job));
+            let label = spec.label.clone();
+            fresh.push((label, move || trial::run_trial(&spec, reference.as_ref())));
         }
     }
     for (i, rep) in fresh_slots.into_iter().zip(run_panic_tolerant(fresh)) {
@@ -440,28 +251,6 @@ where
         slots[i] = Some(rep);
     }
     slots.into_iter().map(|s| s.expect("every slot filled")).collect()
-}
-
-fn paper_config(ext: ExtKind) -> SystemConfig {
-    let base = match ext.paper_divisor() {
-        4 => SystemConfig::fabric_quarter_speed(),
-        _ => SystemConfig::fabric_half_speed(),
-    };
-    base.with_cycle_budget(CYCLE_BUDGET)
-}
-
-/// ALU commit indices of one clean run (the fault-site population).
-fn profile_alu_commits(workload: &Workload) -> Vec<u64> {
-    let program = workload.program().expect("workload assembles");
-    let mut sys = System::new(
-        SystemConfig::fabric_full_speed().with_cycle_budget(CYCLE_BUDGET),
-        CommitProfiler::default(),
-    );
-    sys.load_program(&program);
-    let r = sys.try_run(MAX_INSTRUCTIONS).expect("clean profiling run completes");
-    assert!(r.monitor_trap.is_none());
-    assert_eq!(r.forward.committed, r.forward.forwarded, "profiler must see every commit");
-    sys.extension().alu_commits.clone()
 }
 
 fn arg_value(name: &str) -> Option<u64> {
@@ -522,6 +311,7 @@ fn main() {
         }
     };
     let workloads = [Workload::sha(), Workload::bitcount()];
+    let cspec = CampaignSpec { seed, trials, lockstep, recover, ..CampaignSpec::default() };
 
     println!(
         "faultsweep: seeded fault-injection campaign (seed {seed:#x}, {trials} trials/workload{}{})",
@@ -557,35 +347,9 @@ fn main() {
     let mut total_recovered = 0u64;
     let mut mttr_sum = 0u64;
     for workload in &workloads {
-        let sites = profile_alu_commits(workload);
-        assert!(!sites.is_empty(), "{} has ALU commits", workload.name());
-        let reference = recover.then(|| reference_run(workload, paper_config(ExtKind::Sec)));
-        let jobs = (0..trials)
-            .map(|t| {
-                let w = *workload;
-                let sites_len = sites.len() as u64;
-                let trial_seed = seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                let site = sites[FaultRng::new(trial_seed).below(sites_len) as usize];
-                let bit = FaultRng::new(trial_seed.rotate_left(17)).below(32) as u32;
-                let reference = reference.clone();
-                (format!("{} trial {t}", w.name()), move || {
-                    let plan = FaultPlan::new(trial_seed).inject(
-                        FaultTarget::CommitResult,
-                        FaultSchedule::AtCommit(site),
-                        FaultModel::Mask(1 << bit),
-                    );
-                    match &reference {
-                        Some(r) => {
-                            run_one_supervised(&w, paper_config(ExtKind::Sec), &plan, lockstep, r)
-                        }
-                        None => {
-                            run_kind(&w, ExtKind::Sec, paper_config(ExtKind::Sec), &plan, lockstep)
-                        }
-                    }
-                })
-            })
-            .collect();
-        let reports = run_with_progress(jobs, &mut progress);
+        let reference = recover.then(|| trial::reference_run(workload));
+        let jobs = trial::campaign1_trials(&cspec, &[*workload]);
+        let reports = run_with_progress(jobs, reference.as_ref(), &mut progress);
         if recover {
             let mut counts: HashMap<FaultOutcome, u64> = HashMap::new();
             let mut unclassified = 0u64;
@@ -688,73 +452,56 @@ fn main() {
     }
 
     // ── Campaigns 2+3: rate × target sweep (rate 0 = clean false-trap check) ──
-    let rates: [u64; 4] = [0, 10, 100, 1000];
-    let targets: [(&str, FaultTarget); 4] = [
-        ("result", FaultTarget::CommitResult),
-        ("register", FaultTarget::Register),
-        ("fifo-pkt", FaultTarget::FifoPacket),
-        ("metacache", FaultTarget::MetaCache),
-    ];
-
     println!("\nRate × target sweep (Bernoulli faults/commit; cell = outcome:faults-injected)");
     println!("  outcome key: trap / div (lockstep divergence) / ok (ran clean) / dead / budget");
     let mut clean_false_traps = 0u64;
     for workload in &workloads {
-        println!("\n{} ({} per-million rates: {:?})", workload.name(), rates.len(), rates);
+        println!(
+            "\n{} ({} per-million rates: {:?})",
+            workload.name(),
+            SWEEP_RATES.len(),
+            SWEEP_RATES
+        );
         print!("{:<6}{:<11}", "ext", "target");
-        for r in rates {
+        for r in SWEEP_RATES {
             print!("{:>16}", format!("rate {r}"));
         }
         println!();
-        for ext in ExtKind::ALL {
-            for (tname, target) in targets {
-                let jobs = rates
-                    .iter()
-                    .map(|&rate| {
-                        let w = *workload;
-                        let plan_seed = seed
-                            ^ rate.wrapping_mul(0x2545_f491_4f6c_dd1d)
-                            ^ (target_tag(target) << 48);
-                        (format!("{} {} {tname} rate {rate}", w.name(), ext.name()), move || {
-                            let mut plan = FaultPlan::new(plan_seed);
-                            if rate > 0 {
-                                plan = plan.inject(
-                                    target,
-                                    FaultSchedule::Bernoulli { per_million: rate as u32 },
-                                    FaultModel::BitFlip { bits: 1 },
-                                );
-                            }
-                            run_kind(&w, ext, paper_config(ext), &plan, lockstep)
-                        })
-                    })
-                    .collect();
-                let reports = run_with_progress(jobs, &mut progress);
-                print!("{:<6}{:<11}", ext.name(), tname);
-                for (ri, rep) in reports.iter().enumerate() {
-                    let cell = match &rep.outcome {
-                        Ok(o) => {
-                            if rates[ri] == 0 && o.detected() {
-                                clean_false_traps += 1;
-                            }
-                            let tag = if o.diverged {
-                                "div"
-                            } else if o.trapped {
-                                "trap"
-                            } else if o.deadlocked {
-                                "dead"
-                            } else if o.over_budget {
-                                "budget"
-                            } else {
-                                "ok"
-                            };
-                            format!("{tag}:{}", o.faults_injected)
+        // sweep_trials yields workload → extension → target → rate;
+        // chunks of SWEEP_RATES.len() are therefore one (ext, target)
+        // row each, in ExtKind::ALL × SWEEP_TARGETS order.
+        let sweep = trial::sweep_trials(&cspec, &[*workload]);
+        let mut rows = ExtKind::ALL
+            .iter()
+            .flat_map(|ext| SWEEP_TARGETS.iter().map(move |(tname, _)| (*ext, *tname)));
+        for row in sweep.chunks(SWEEP_RATES.len()) {
+            let (ext, tname) = rows.next().expect("one (ext, target) row per chunk");
+            let reports = run_with_progress(row.to_vec(), None, &mut progress);
+            print!("{:<6}{:<11}", ext.name(), tname);
+            for (ri, rep) in reports.iter().enumerate() {
+                let cell = match &rep.outcome {
+                    Ok(o) => {
+                        if SWEEP_RATES[ri] == 0 && o.detected() {
+                            clean_false_traps += 1;
                         }
-                        Err(_) => "panic".to_string(),
-                    };
-                    print!("{cell:>16}");
-                }
-                println!();
+                        let tag = if o.diverged {
+                            "div"
+                        } else if o.trapped {
+                            "trap"
+                        } else if o.deadlocked {
+                            "dead"
+                        } else if o.over_budget {
+                            "budget"
+                        } else {
+                            "ok"
+                        };
+                        format!("{tag}:{}", o.faults_injected)
+                    }
+                    Err(_) => "panic".to_string(),
+                };
+                print!("{cell:>16}");
             }
+            println!();
         }
     }
     println!(
@@ -769,15 +516,5 @@ fn main() {
     println!("\nre-run with the same --seed to reproduce these numbers exactly");
     if !all_pass || clean_false_traps != 0 {
         std::process::exit(1);
-    }
-}
-
-fn target_tag(target: FaultTarget) -> u64 {
-    match target {
-        FaultTarget::CommitResult => 1,
-        FaultTarget::Register => 2,
-        FaultTarget::FifoPacket => 3,
-        FaultTarget::MetaCache => 4,
-        _ => 5,
     }
 }

@@ -23,6 +23,7 @@
 pub mod microbench;
 pub mod paper;
 mod runner;
+pub mod trial;
 
 pub use runner::{
     baseline_cycles, geomean, run_extension, run_extension_series, run_panic_tolerant,

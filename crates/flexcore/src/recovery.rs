@@ -235,6 +235,12 @@ impl FaultOutcome {
             FaultOutcome::Due => "due",
         }
     }
+
+    /// Inverse of [`FaultOutcome::label`] — decodes a triage-log key
+    /// back into the outcome (`None` for anything unrecognized).
+    pub fn from_label(label: &str) -> Option<FaultOutcome> {
+        FaultOutcome::ALL.into_iter().find(|o| o.label() == label)
+    }
 }
 
 impl std::fmt::Display for FaultOutcome {

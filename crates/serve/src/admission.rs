@@ -1,0 +1,88 @@
+//! Typed admission outcomes and the overload accounting trail.
+//!
+//! Admission is where `flexserve` refuses to fall over: the queue has
+//! a bounded depth, so a submission burst cannot grow memory without
+//! limit. Over-depth submissions come back as a typed
+//! [`AdmitError::Rejected`] with a `retry_after_ms` hint (backpressure
+//! the client can act on), and when a higher-priority job arrives at a
+//! full queue the lowest-priority queued job is shed — recorded in a
+//! [`ShedRecord`], never dropped silently.
+
+use crate::job::JobId;
+
+/// Why a job submission was not enqueued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at its depth bound and the new job does not outrank
+    /// any queued job. Retry after the hinted delay.
+    Rejected {
+        /// Queue depth at rejection.
+        depth: usize,
+        /// The configured depth bound.
+        max_depth: usize,
+        /// Backpressure hint: how long to wait before resubmitting,
+        /// scaled by how deep the queue is.
+        retry_after_ms: u64,
+    },
+    /// A job with the same campaign hash is already queued; the work
+    /// would be identical, so the duplicate is refused.
+    Duplicate {
+        /// The queued campaign's id.
+        id: JobId,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Rejected { depth, max_depth, retry_after_ms } => write!(
+                f,
+                "queue full (depth {depth}/{max_depth}); retry after ~{retry_after_ms} ms"
+            ),
+            AdmitError::Duplicate { id } => {
+                write!(f, "campaign {id} is already queued (identical work)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Admission counters — every submission lands in exactly one bucket,
+/// so `admitted + rejected + duplicates` equals the submissions seen
+/// and `shed` says how many admitted jobs were later displaced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Jobs accepted into the queue.
+    pub admitted: u64,
+    /// Submissions refused with [`AdmitError::Rejected`].
+    pub rejected: u64,
+    /// Submissions refused with [`AdmitError::Duplicate`].
+    pub duplicates: u64,
+    /// Queued jobs displaced by higher-priority arrivals.
+    pub shed: u64,
+}
+
+/// One graceful-degradation event: a queued job displaced by a
+/// higher-priority arrival at a full queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShedRecord {
+    /// The displaced campaign.
+    pub id: JobId,
+    /// Its human-readable name.
+    pub name: String,
+    /// Its priority (strictly below the displacer's).
+    pub priority: u8,
+    /// The campaign that took its place.
+    pub displaced_by: JobId,
+}
+
+impl std::fmt::Display for ShedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shed campaign {} (`{}`, priority {}) for higher-priority campaign {}",
+            self.id, self.name, self.priority, self.displaced_by
+        )
+    }
+}

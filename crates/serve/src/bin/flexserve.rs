@@ -1,0 +1,300 @@
+//! `flexserve` — the fault-tolerant sharded campaign job server.
+//!
+//! Submits fault-campaign jobs (sweep spec + workload set + recovery
+//! policy) to a bounded priority queue and drains them across a
+//! supervised work-stealing worker pool, journaling every finished
+//! trial crash-safely so a `kill -9` mid-campaign resumes exactly
+//! (`--resume`) with zero lost and zero duplicated trials.
+//!
+//! ```text
+//! flexserve run   [job flags]... [server flags]...
+//! flexserve bench [--trials N] [--json FILE]
+//! ```
+//!
+//! Job flags (define one inline job; repeat `--spec FILE` for more):
+//!
+//! * `--spec FILE` — JSON job spec (repeatable; fields: name, seed,
+//!   trials, workloads, lockstep, recover, sweep, priority, policy)
+//! * `--job NAME` `--seed N` `--trials N` `--workloads a,b`
+//!   `--lockstep` `--recover` `--sweep` `--priority N`
+//!
+//! Server flags:
+//!
+//! * `--journal-dir DIR` — journal directory (default
+//!   `flexserve-journals`); each campaign gets `<hash>.jsonl` plus a
+//!   `<hash>.trials.jsonl` merged log on completion
+//! * `--workers N` — pool width (default: one per core)
+//! * `--resume` — reuse completed trials from existing journals
+//! * `--max-depth N` — queue admission bound (default 16)
+//! * `--sync-every N` — journal fsync cadence in records (default 8)
+//! * `--stop-after N` — stop claiming trials after N records (soft
+//!   deterministic interruption; `kill -9` is the hard version)
+//! * `--max-attempts N` / `--backoff-base-ms N` — supervision budget
+//! * `--chaos-panic N` — deterministically panic the first attempt of
+//!   ~1/N trials (supervision demo); `--chaos-all-attempts` escalates
+//!   the selected trials to full quarantine
+//! * `--trace FILE` — write a Chrome trace of worker/trial spans
+//!
+//! Exit codes: 0 all jobs completed; 1 quarantined trials or failed
+//! jobs; 2 usage error; 3 interrupted (resume to finish).
+
+use std::path::PathBuf;
+
+use flexcore_serve::{JobSpec, Server, ServerConfig, WorkerPolicy};
+
+fn arg_value(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1).and_then(|v| {
+        v.strip_prefix("0x").map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+    })
+}
+
+fn arg_strings(flag: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flexserve run [--spec FILE]... [--job NAME --seed N --trials N \
+         --workloads a,b --lockstep --recover --sweep --priority N] [--journal-dir DIR] \
+         [--workers N] [--resume] [--max-depth N] [--sync-every N] [--stop-after N] \
+         [--max-attempts N] [--backoff-base-ms N] [--chaos-panic N] [--chaos-all-attempts] \
+         [--trace FILE]\n       flexserve bench [--trials N] [--workloads a,b] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+/// The inline job defined by `--job`/`--seed`/… flags, or the default
+/// job when no `--spec` files were given either.
+fn inline_job() -> Option<JobSpec> {
+    let d = JobSpec::default();
+    let inline_flags_used = arg_value("--seed").is_some()
+        || arg_value("--trials").is_some()
+        || !arg_strings("--job").is_empty()
+        || !arg_strings("--workloads").is_empty()
+        || arg_flag("--lockstep")
+        || arg_flag("--recover")
+        || arg_flag("--sweep")
+        || arg_value("--priority").is_some();
+    if !inline_flags_used && !arg_strings("--spec").is_empty() {
+        return None;
+    }
+    Some(JobSpec {
+        name: arg_strings("--job").pop().unwrap_or(d.name),
+        seed: arg_value("--seed").unwrap_or(d.seed),
+        trials: arg_value("--trials").unwrap_or(d.trials as u64) as usize,
+        workloads: match arg_strings("--workloads").pop() {
+            Some(list) => list.split(',').map(str::to_string).collect(),
+            None => d.workloads,
+        },
+        lockstep: arg_flag("--lockstep"),
+        recover: arg_flag("--recover"),
+        sweep: arg_flag("--sweep"),
+        priority: arg_value("--priority").unwrap_or(u64::from(d.priority)) as u8,
+        policy: d.policy,
+    })
+}
+
+fn worker_policy() -> WorkerPolicy {
+    let d = WorkerPolicy::default();
+    WorkerPolicy {
+        workers: arg_value("--workers").unwrap_or(0) as usize,
+        max_attempts: arg_value("--max-attempts").unwrap_or(u64::from(d.max_attempts)) as u32,
+        backoff_base_ms: arg_value("--backoff-base-ms").unwrap_or(d.backoff_base_ms),
+        backoff_cap_ms: d.backoff_cap_ms,
+        chaos_panic_every: arg_value("--chaos-panic"),
+        chaos_all_attempts: arg_flag("--chaos-all-attempts"),
+    }
+}
+
+fn server_config() -> ServerConfig {
+    let d = ServerConfig::default();
+    ServerConfig {
+        journal_dir: PathBuf::from(
+            arg_strings("--journal-dir").pop().unwrap_or_else(|| "flexserve-journals".into()),
+        ),
+        worker_policy: worker_policy(),
+        max_depth: arg_value("--max-depth").unwrap_or(d.max_depth as u64) as usize,
+        sync_every: arg_value("--sync-every").unwrap_or(d.sync_every as u64) as usize,
+        resume: arg_flag("--resume"),
+        stop_after: arg_value("--stop-after"),
+        trace_path: arg_strings("--trace").pop().map(PathBuf::from),
+    }
+}
+
+fn cmd_run() -> i32 {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for path in arg_strings("--spec") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("flexserve: {path}: {e}");
+                return 2;
+            }
+        };
+        match JobSpec::from_json(&text) {
+            Ok(spec) => jobs.push(spec),
+            Err(e) => {
+                eprintln!("flexserve: {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(spec) = inline_job() {
+        jobs.push(spec);
+    }
+    if jobs.is_empty() {
+        usage();
+    }
+
+    let config = server_config();
+    // Chaos panics are supervised by design; their default-hook
+    // backtraces would drown the report.
+    if config.worker_policy.chaos_panic_every.is_some() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let server = Server::new(config);
+    for spec in jobs {
+        let name = spec.name.clone();
+        match server.submit(spec) {
+            Ok(id) => println!("flexserve: admitted `{name}` as campaign {id}"),
+            Err(e) => println!("flexserve: refused `{name}`: {e}"),
+        }
+    }
+    println!(
+        "flexserve: draining {} queued job(s) on {} worker(s)",
+        server.queue().depth(),
+        server.config().worker_policy.pool_width()
+    );
+
+    let report = match server.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flexserve: {e}");
+            return 2;
+        }
+    };
+    let mut exit = 0;
+    for job in &report.jobs {
+        let s = &job.stats;
+        println!(
+            "flexserve: campaign {} `{}` {}: {} trials (executed {}, reused {}, retried {}, \
+             quarantined {}) in {:.2}s",
+            job.id,
+            job.name,
+            job.state,
+            job.trials,
+            s.executed,
+            s.reused,
+            s.retried,
+            s.quarantined,
+            s.elapsed_us as f64 / 1e6,
+        );
+        println!("flexserve:   journal: {}", job.journal.display());
+        if let Some(merged) = &job.merged_log {
+            println!("flexserve:   merged:  {}", merged.display());
+        }
+        if s.quarantined > 0 || matches!(job.state, flexcore_serve::JobState::Failed(_)) {
+            exit = 1;
+        }
+    }
+    let a = &report.admission;
+    println!(
+        "flexserve: admission: admitted {}, rejected {}, duplicates {}, shed {}",
+        a.admitted, a.rejected, a.duplicates, a.shed
+    );
+    for shed in &report.shed {
+        println!("flexserve: {shed}");
+    }
+    if report.interrupted {
+        println!("flexserve: interrupted by --stop-after; rerun with --resume to finish");
+        return 3;
+    }
+    exit
+}
+
+/// `flexserve bench` — trials/sec at 1, N/2, and N workers, written as
+/// `BENCH_flexserve.json` for the CI benchmark trail.
+fn cmd_bench() -> i32 {
+    let trials = arg_value("--trials").unwrap_or(16) as usize;
+    let out = arg_strings("--json").pop().unwrap_or_else(|| "BENCH_flexserve.json".into());
+    let workloads = match arg_strings("--workloads").pop() {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => JobSpec::default().workloads,
+    };
+    let cores = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut widths = vec![1, (cores / 2).max(1), cores];
+    widths.dedup();
+    println!("flexserve bench: {trials} trials/workload at pool widths {widths:?}");
+
+    let spec = JobSpec { trials, workloads, ..JobSpec::default() };
+    let mut points = Vec::new();
+    for width in widths {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-bench-{}-{width}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::new(ServerConfig {
+            journal_dir: dir.clone(),
+            worker_policy: WorkerPolicy { workers: width, ..WorkerPolicy::default() },
+            ..ServerConfig::default()
+        });
+        if let Err(e) = server.submit(spec.clone()) {
+            eprintln!("flexserve bench: {e}");
+            return 2;
+        }
+        let report = match server.run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("flexserve bench: {e}");
+                return 2;
+            }
+        };
+        let stats = report.jobs[0].stats;
+        let secs = stats.elapsed_us as f64 / 1e6;
+        let rate = stats.executed as f64 / secs.max(1e-9);
+        println!(
+            "  {width:>2} worker(s): {} trials in {secs:.2}s = {rate:.1} trials/s",
+            stats.executed
+        );
+        points.push(
+            serde::Value::object()
+                .field("workers", &(width as u64))
+                .field("trials", &stats.executed)
+                .field("elapsed_us", &stats.elapsed_us)
+                .field("trials_per_sec", &rate)
+                .build(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let doc = serde::Value::object()
+        .field("bench", &"flexserve")
+        .field("trials_per_workload", &(trials as u64))
+        .raw("points", serde::Value::Array(points))
+        .build();
+    if let Err(e) = std::fs::write(&out, serde::to_string(&doc) + "\n") {
+        eprintln!("flexserve bench: {out}: {e}");
+        return 2;
+    }
+    println!("flexserve bench: wrote {out}");
+    0
+}
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    let code = match mode.as_deref() {
+        Some("run") => cmd_run(),
+        Some("bench") => cmd_bench(),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,317 @@
+//! Campaign jobs: what a client submits to `flexserve`.
+//!
+//! A [`JobSpec`] describes one fault campaign — the sweep parameters,
+//! the workload set, and the recovery policy — and deterministically
+//! expands into the same trial list `faultsweep` would run (via
+//! [`flexcore_bench::trial`]). Jobs are keyed by a campaign hash
+//! ([`JobId`]) over the work-defining fields, so a resubmitted or
+//! resumed campaign maps to the same journal file, and two jobs that
+//! would do identical work collide as duplicates at admission.
+
+use flexcore::recovery::RecoveryPolicy;
+use flexcore_bench::trial::{campaign1_trials, sweep_trials, CampaignSpec, TrialSpec};
+use flexcore_workloads::Workload;
+use serde::Value;
+
+/// Stable identity of a campaign: an FNV-1a hash of the canonical
+/// work-defining spec fields (everything except `name` and
+/// `priority`, which affect labeling and scheduling but not the work).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Why a [`JobSpec`] could not be interpreted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSpecError {
+    /// A workload name that is not in the reproduction's kernel set.
+    UnknownWorkload(String),
+    /// The spec asked for an empty workload set or zero trials.
+    EmptyCampaign,
+    /// A spec file/record that does not decode.
+    Malformed(String),
+}
+
+impl std::fmt::Display for JobSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobSpecError::UnknownWorkload(w) => {
+                let known: Vec<&str> = known_workloads().iter().map(|w| w.name()).collect();
+                write!(f, "unknown workload `{w}` (known: {})", known.join(", "))
+            }
+            JobSpecError::EmptyCampaign => {
+                write!(f, "campaign would run zero trials (empty workload set or trials = 0)")
+            }
+            JobSpecError::Malformed(detail) => write!(f, "malformed job spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JobSpecError {}
+
+fn known_workloads() -> Vec<Workload> {
+    let mut all = Workload::all();
+    all.extend(Workload::extra());
+    all
+}
+
+/// One fault-campaign job: the unit of admission, scheduling, and
+/// journaling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable label (not part of the campaign hash).
+    pub name: String,
+    /// Campaign seed — every trial seed derives from it.
+    pub seed: u64,
+    /// Campaign-1 trials per workload (single-bit ALU flips under SEC).
+    pub trials: usize,
+    /// Workload names (resolved against the reproduction kernel set).
+    pub workloads: Vec<String>,
+    /// Step the ISA-level golden model on every trial.
+    pub lockstep: bool,
+    /// Run campaign-1 trials under the rollback-and-replay supervisor
+    /// with Masked/Recovered/SDC/DUE triage.
+    pub recover: bool,
+    /// Also run the rate × target sweep (campaigns 2–3).
+    pub sweep: bool,
+    /// Scheduling priority: higher runs first, and under queue
+    /// overload the lowest-priority queued job is shed first.
+    pub priority: u8,
+    /// Supervisor knobs for `recover` trials.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            name: "campaign".to_string(),
+            seed: 0xf1ec,
+            trials: 8,
+            workloads: vec!["sha".to_string(), "bitcount".to_string()],
+            lockstep: false,
+            recover: false,
+            sweep: false,
+            priority: 1,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// The canonical work-defining serialization — the campaign-hash
+    /// preimage and the string journal headers are checked against on
+    /// resume. Excludes `name` and `priority` deliberately: renaming or
+    /// reprioritizing a campaign must not orphan its journal.
+    pub fn canonical(&self) -> String {
+        let v = Value::object()
+            .field("seed", &self.seed)
+            .field("trials", &(self.trials as u64))
+            .field("workloads", &self.workloads)
+            .field("lockstep", &self.lockstep)
+            .field("recover", &self.recover)
+            .field("sweep", &self.sweep)
+            .field("policy", &self.policy)
+            .build();
+        serde::to_string(&v)
+    }
+
+    /// The campaign hash keying this job's queue slot and journal file.
+    pub fn id(&self) -> JobId {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.canonical().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        JobId(h)
+    }
+
+    /// The journal header record stamped as line 1 of this campaign's
+    /// journal.
+    pub fn header(&self) -> Value {
+        Value::object()
+            .field("flexserve", &1u64)
+            .field("campaign", &self.id().to_string())
+            .field("name", &self.name)
+            .field("spec", &self.canonical())
+            .build()
+    }
+
+    /// Serializes the full spec (spec-file shape; includes `name` and
+    /// `priority`).
+    pub fn to_value(&self) -> Value {
+        Value::object()
+            .field("name", &self.name)
+            .field("seed", &self.seed)
+            .field("trials", &(self.trials as u64))
+            .field("workloads", &self.workloads)
+            .field("lockstep", &self.lockstep)
+            .field("recover", &self.recover)
+            .field("sweep", &self.sweep)
+            .field("priority", &(u64::from(self.priority)))
+            .field("policy", &self.policy)
+            .build()
+    }
+
+    /// Decodes a spec-file object; absent fields keep their defaults.
+    pub fn from_value(v: &Value) -> Result<JobSpec, JobSpecError> {
+        let d = JobSpec::default();
+        let bool_or = |key: &str, fallback: bool| match v.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => fallback,
+        };
+        let spec = JobSpec {
+            name: v.get("name").and_then(Value::as_str).unwrap_or(&d.name).to_string(),
+            seed: v.get("seed").and_then(Value::as_u64).unwrap_or(d.seed),
+            trials: v.get("trials").and_then(Value::as_u64).unwrap_or(d.trials as u64) as usize,
+            workloads: match v.get("workloads") {
+                Some(Value::Array(items)) => {
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_str() {
+                            Some(s) => names.push(s.to_string()),
+                            None => {
+                                return Err(JobSpecError::Malformed(
+                                    "`workloads` must be an array of strings".into(),
+                                ))
+                            }
+                        }
+                    }
+                    names
+                }
+                Some(_) => {
+                    return Err(JobSpecError::Malformed("`workloads` must be an array".into()))
+                }
+                None => d.workloads,
+            },
+            lockstep: bool_or("lockstep", d.lockstep),
+            recover: bool_or("recover", d.recover),
+            sweep: bool_or("sweep", d.sweep),
+            priority: v.get("priority").and_then(Value::as_u64).unwrap_or(u64::from(d.priority))
+                as u8,
+            policy: v.get("policy").map_or(d.policy, RecoveryPolicy::from_value),
+        };
+        spec.resolve_workloads()?;
+        Ok(spec)
+    }
+
+    /// Parses a JSON spec file's contents.
+    pub fn from_json(text: &str) -> Result<JobSpec, JobSpecError> {
+        let v = serde::from_str(text).map_err(|e| JobSpecError::Malformed(e.to_string()))?;
+        JobSpec::from_value(&v)
+    }
+
+    /// Resolves the workload names against the kernel set.
+    pub fn resolve_workloads(&self) -> Result<Vec<Workload>, JobSpecError> {
+        let known = known_workloads();
+        let mut out = Vec::with_capacity(self.workloads.len());
+        for name in &self.workloads {
+            match known.iter().find(|w| w.name() == name.as_str()) {
+                Some(w) => out.push(*w),
+                None => return Err(JobSpecError::UnknownWorkload(name.clone())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands the job into its full trial list — campaign-1 ALU flips
+    /// for every workload, then (with `sweep`) the rate × target sweep
+    /// — in exactly the order `faultsweep` runs and records them, so a
+    /// merged `flexserve` trial log diffs clean against a `faultsweep`
+    /// progress log.
+    pub fn trial_specs(&self) -> Result<Vec<TrialSpec>, JobSpecError> {
+        let workloads = self.resolve_workloads()?;
+        if workloads.is_empty() || self.trials == 0 {
+            return Err(JobSpecError::EmptyCampaign);
+        }
+        let cspec = CampaignSpec {
+            seed: self.seed,
+            trials: self.trials,
+            lockstep: self.lockstep,
+            recover: self.recover,
+            policy: self.policy,
+        };
+        let mut trials = campaign1_trials(&cspec, &workloads);
+        if self.sweep {
+            trials.extend(sweep_trials(&cspec, &workloads));
+        }
+        Ok(trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_hash_ignores_name_and_priority_only() {
+        let a = JobSpec::default();
+        let renamed = JobSpec { name: "other".into(), priority: 7, ..a.clone() };
+        assert_eq!(a.id(), renamed.id(), "name/priority are not work-defining");
+
+        let reseeded = JobSpec { seed: 1, ..a.clone() };
+        assert_ne!(a.id(), reseeded.id());
+        let resized = JobSpec { trials: a.trials + 1, ..a.clone() };
+        assert_ne!(a.id(), resized.id());
+        let swept = JobSpec { sweep: true, ..a.clone() };
+        assert_ne!(a.id(), swept.id());
+        let repoliced = JobSpec {
+            policy: RecoveryPolicy { max_replays: 9, ..RecoveryPolicy::default() },
+            ..a.clone()
+        };
+        assert_ne!(a.id(), repoliced.id());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = JobSpec {
+            name: "soak".into(),
+            seed: 0xabcd,
+            trials: 12,
+            workloads: vec!["bitcount".into()],
+            lockstep: true,
+            recover: true,
+            sweep: true,
+            priority: 3,
+            policy: RecoveryPolicy { checkpoint_every: 512, ..RecoveryPolicy::default() },
+        };
+        let json = serde::to_string(&spec.to_value());
+        let back = JobSpec::from_json(&json).expect("roundtrips");
+        assert_eq!(back, spec);
+        assert_eq!(back.id(), spec.id());
+    }
+
+    #[test]
+    fn unknown_workloads_are_a_typed_error() {
+        let spec = JobSpec { workloads: vec!["doom".into()], ..JobSpec::default() };
+        let err = spec.trial_specs().expect_err("doom is not a kernel");
+        assert_eq!(err, JobSpecError::UnknownWorkload("doom".into()));
+        assert!(err.to_string().contains("sha"), "error lists the known kernels: {err}");
+    }
+
+    #[test]
+    fn trial_expansion_matches_the_faultsweep_shape() {
+        let spec = JobSpec { trials: 2, sweep: true, ..JobSpec::default() };
+        let trials = spec.trial_specs().expect("expands");
+        // campaign-1: 2 trials × 2 workloads; sweep: 2 × 4 ext × 4
+        // targets × 4 rates.
+        assert_eq!(trials.len(), 4 + 128);
+        assert_eq!(trials[0].label, "sha trial 0");
+        assert_eq!(trials[2].label, "bitcount trial 0");
+        assert_eq!(trials[4].label, "sha UMC result rate 0");
+        let labels: std::collections::HashSet<&str> =
+            trials.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels.len(), trials.len(), "labels are unique resume keys");
+    }
+
+    #[test]
+    fn empty_campaigns_are_refused() {
+        let spec = JobSpec { trials: 0, ..JobSpec::default() };
+        assert_eq!(spec.trial_specs().expect_err("zero trials"), JobSpecError::EmptyCampaign);
+        let spec = JobSpec { workloads: Vec::new(), ..JobSpec::default() };
+        assert_eq!(spec.trial_specs().expect_err("no workloads"), JobSpecError::EmptyCampaign);
+    }
+}

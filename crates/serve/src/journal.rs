@@ -1,0 +1,387 @@
+//! Crash-safe JSONL campaign journals, keyed by campaign hash.
+//!
+//! Write path: every record is appended in a **single write** to an
+//! append-mode file and fsynced on an epoch cadence (every
+//! `sync_every` records, and at close), so the journal on disk is
+//! always a prefix of completed trials plus at most one partial line.
+//!
+//! Read path (resume): the journal is parsed with
+//! [`parse_jsonl_tolerant`] — a tail line truncated by `kill -9`
+//! mid-append is dropped, reported, and physically removed from the
+//! file ([`TolerantLog::repair_file`]); the header is checked against
+//! the job's canonical spec so a journal can never replay under the
+//! wrong campaign parameters; and every intact trial record is
+//! returned for reuse. Corruption anywhere before the final line
+//! remains a hard [`JournalError::Corrupt`].
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use flexcore_bench::trial::{self, TrialOutcome};
+use serde::Value;
+
+use crate::worker::TrialFailure;
+
+/// Why a journal could not be opened or replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A record before the final line does not parse or decode — real
+    /// corruption, not a crash artifact.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// What failed to parse/decode.
+        detail: String,
+    },
+    /// The journal was stamped by a campaign with different
+    /// work-defining parameters; replaying under this job would
+    /// mislabel every trial.
+    SpecMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// The canonical spec stamped in the file.
+        stamped: String,
+        /// The canonical spec this job requested.
+        requested: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            JournalError::Corrupt { path, detail } => {
+                write!(f, "{}: corrupt journal: {detail}", path.display())
+            }
+            JournalError::SpecMismatch { path, stamped, requested } => write!(
+                f,
+                "{}: journal belongs to a different campaign\n  stamped:   {stamped}\n  \
+                 requested: {requested}\nsubmit with the stamped parameters or start fresh",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A trial's last journaled state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoggedOutcome {
+    /// The trial completed with this outcome (reused on resume).
+    Done(TrialOutcome),
+    /// The trial was quarantined after repeated worker panics — a
+    /// typed failure, retried on resume (a deterministic trial that
+    /// panicked may have been a victim of chaos or an environment
+    /// fault, and crash recovery owes it another chance).
+    Quarantined {
+        /// Attempts spent before quarantine.
+        attempts: u32,
+        /// The last panic message.
+        detail: String,
+    },
+}
+
+/// What resuming a journal recovered.
+#[derive(Clone, Debug, Default)]
+pub struct JournalRecovery {
+    /// Last journaled state per trial label.
+    pub outcomes: HashMap<String, LoggedOutcome>,
+    /// The dropped crash-partial tail line, when there was one.
+    pub dropped_partial: Option<String>,
+    /// Non-trial event records seen (job lifecycle markers).
+    pub events: u64,
+}
+
+impl JournalRecovery {
+    /// Trials that completed and will be reused (not retried).
+    pub fn completed(&self) -> u64 {
+        self.outcomes.iter().filter(|(_, o)| matches!(o, LoggedOutcome::Done(_))).count() as u64
+    }
+}
+
+/// An append-only campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+    sync_every: usize,
+    since_sync: usize,
+    /// Records appended by this process (excludes replayed ones).
+    pub records_written: u64,
+}
+
+fn io_err(path: &Path, error: std::io::Error) -> JournalError {
+    JournalError::Io { path: path.to_path_buf(), error }
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for a campaign.
+    ///
+    /// `header` is the [`JobSpec::header`](crate::JobSpec::header)
+    /// record; `canonical` is the job's canonical spec string checked
+    /// against an existing file's stamp. With `resume` false an
+    /// existing journal is truncated and restamped; with `resume` true
+    /// its intact records are recovered.
+    pub fn open(
+        path: &Path,
+        header: &Value,
+        canonical: &str,
+        resume: bool,
+        sync_every: usize,
+    ) -> Result<(Journal, JournalRecovery), JournalError> {
+        let mut recovery = JournalRecovery::default();
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err(path, e)),
+        };
+        let mut fresh = true;
+        if let (true, Some(text)) = (resume, &existing) {
+            let parsed = trial::parse_jsonl_tolerant(text)
+                .map_err(|detail| JournalError::Corrupt { path: path.to_path_buf(), detail })?;
+            if parsed.dropped_partial.is_some() {
+                parsed.repair_file(path).map_err(|e| io_err(path, e))?;
+                recovery.dropped_partial = parsed.dropped_partial;
+            }
+            let mut records = parsed.records.into_iter();
+            match records.next() {
+                Some(first) => {
+                    let stamped = first.get("spec").and_then(Value::as_str).unwrap_or("");
+                    if stamped != canonical {
+                        return Err(JournalError::SpecMismatch {
+                            path: path.to_path_buf(),
+                            stamped: stamped.to_string(),
+                            requested: canonical.to_string(),
+                        });
+                    }
+                    fresh = false;
+                }
+                // Nothing intact survived (crash during the header
+                // stamp); restamp from scratch.
+                None => fresh = true,
+            }
+            if !fresh {
+                for v in records {
+                    if v.get("event").is_some() {
+                        recovery.events += 1;
+                        continue;
+                    }
+                    let label = v
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| JournalError::Corrupt {
+                            path: path.to_path_buf(),
+                            detail: "trial record without a label".into(),
+                        })?
+                        .to_string();
+                    let outcome = if matches!(v.get("quarantined"), Some(Value::Bool(true))) {
+                        LoggedOutcome::Quarantined {
+                            attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+                            detail: v
+                                .get("failure")
+                                .and_then(Value::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                        }
+                    } else {
+                        LoggedOutcome::Done(trial::decode_outcome(&v).map_err(|detail| {
+                            JournalError::Corrupt { path: path.to_path_buf(), detail }
+                        })?)
+                    };
+                    // Last record wins: a retried quarantine's success
+                    // supersedes the quarantine record before it.
+                    recovery.outcomes.insert(label, outcome);
+                }
+            }
+        }
+        if fresh {
+            recovery = JournalRecovery::default();
+            let mut text = serde::to_string(header);
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| io_err(path, e))?;
+        }
+        let file =
+            std::fs::OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+        let journal = Journal {
+            path: path.to_path_buf(),
+            file,
+            sync_every: sync_every.max(1),
+            since_sync: 0,
+            records_written: 0,
+        };
+        Ok((journal, recovery))
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append_value(&mut self, v: &Value) -> Result<(), JournalError> {
+        let mut line = serde::to_string(v);
+        line.push('\n');
+        // One write per record: a crash can truncate at most the tail
+        // line, which resume drops and re-runs.
+        self.file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, e))?;
+        self.records_written += 1;
+        self.since_sync += 1;
+        if self.since_sync >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one completed trial (the shared `faultsweep`-shaped
+    /// record).
+    pub fn append_trial(&mut self, label: &str, o: &TrialOutcome) -> Result<(), JournalError> {
+        self.append_value(&trial::outcome_record(label, o))
+    }
+
+    /// Appends a typed quarantine record for a trial that exhausted its
+    /// attempt budget.
+    pub fn append_quarantine(
+        &mut self,
+        label: &str,
+        failure: &TrialFailure,
+    ) -> Result<(), JournalError> {
+        let TrialFailure::Panicked { attempts, last_message } = failure;
+        self.append_value(
+            &Value::object()
+                .field("label", &label)
+                .field("quarantined", &true)
+                .field("attempts", &u64::from(*attempts))
+                .field("failure", &last_message.as_str())
+                .build(),
+        )
+    }
+
+    /// Appends a job-lifecycle event record (`event` field set, so
+    /// trial replay skips it).
+    pub fn append_event(&mut self, event: &str, fields: Value) -> Result<(), JournalError> {
+        let mut obj = Value::object().field("event", &event);
+        if let Value::Object(pairs) = fields {
+            for (k, v) in pairs {
+                obj = obj.raw(&k, v);
+            }
+        }
+        self.append_value(&obj.build())
+    }
+
+    /// Forces buffered appends to disk (fsync) — called automatically
+    /// every `sync_every` records and at the end of a job.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.since_sync = 0;
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        dir
+    }
+
+    fn outcome(n: u64) -> TrialOutcome {
+        TrialOutcome { trapped: true, faults_injected: n, ..TrialOutcome::default() }
+    }
+
+    #[test]
+    fn journal_roundtrips_trials_events_and_quarantines() {
+        let spec = JobSpec::default();
+        let path = tmpdir("roundtrip").join(format!("{}.jsonl", spec.id()));
+        let (mut j, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 2).expect("create");
+        assert_eq!(rec.completed(), 0);
+        j.append_trial("sha trial 0", &outcome(1)).expect("append");
+        j.append_event("job-started", Value::object().field("total", &4u64).build())
+            .expect("append");
+        j.append_quarantine(
+            "sha trial 1",
+            &TrialFailure::Panicked { attempts: 3, last_message: "boom".into() },
+        )
+        .expect("append");
+        j.append_trial("sha trial 2", &outcome(2)).expect("append");
+        j.sync().expect("sync");
+        drop(j);
+
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 2).expect("resume");
+        assert_eq!(rec.events, 1);
+        assert_eq!(rec.completed(), 2);
+        assert_eq!(rec.outcomes.get("sha trial 0"), Some(&LoggedOutcome::Done(outcome(1))));
+        assert_eq!(
+            rec.outcomes.get("sha trial 1"),
+            Some(&LoggedOutcome::Quarantined { attempts: 3, detail: "boom".into() })
+        );
+        assert!(rec.dropped_partial.is_none());
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_repaired_and_the_rest_reused() {
+        let spec = JobSpec::default();
+        let path = tmpdir("tail").join(format!("{}.jsonl", spec.id()));
+        let (mut j, _) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("create");
+        j.append_trial("sha trial 0", &outcome(1)).expect("append");
+        j.append_trial("sha trial 1", &outcome(2)).expect("append");
+        drop(j);
+        // Simulate kill -9 mid-append: chop the last record in half.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 25]).expect("truncate");
+
+        let (mut j, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("resume");
+        assert!(rec.dropped_partial.is_some(), "partial tail reported");
+        assert_eq!(rec.completed(), 1, "only the intact record is reused");
+        // The file was repaired: appending continues on a fresh line.
+        j.append_trial("sha trial 1", &outcome(2)).expect("append after repair");
+        drop(j);
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("reopen");
+        assert_eq!(rec.completed(), 2);
+        assert!(rec.dropped_partial.is_none(), "repair removed the debris");
+    }
+
+    #[test]
+    fn spec_mismatch_is_refused_with_both_specs() {
+        let spec = JobSpec::default();
+        let path = tmpdir("mismatch").join(format!("{}.jsonl", spec.id()));
+        let (_, _) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("create");
+        let other = JobSpec { seed: 99, ..JobSpec::default() };
+        let err = Journal::open(&path, &other.header(), &other.canonical(), true, 1)
+            .expect_err("wrong campaign");
+        let msg = err.to_string();
+        assert!(msg.contains("different campaign"), "{msg}");
+        assert!(msg.contains("\"seed\":99"), "shows the requested spec: {msg}");
+    }
+
+    #[test]
+    fn non_resume_open_truncates_an_existing_journal() {
+        let spec = JobSpec::default();
+        let path = tmpdir("truncate").join(format!("{}.jsonl", spec.id()));
+        let (mut j, _) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("create");
+        j.append_trial("sha trial 0", &outcome(1)).expect("append");
+        drop(j);
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("recreate");
+        assert_eq!(rec.completed(), 0, "fresh open discards history");
+    }
+}

@@ -1,0 +1,64 @@
+//! `flexcore-serve` — the fault-tolerant sharded campaign job server
+//! behind the `flexserve` binary.
+//!
+//! `faultsweep` runs one campaign in the foreground and dies with the
+//! process. This crate productionizes the campaign machinery into a
+//! long-lived service where **every layer survives failure**:
+//!
+//! * [`job`] — campaign jobs: a [`JobSpec`] (sweep spec, workload set,
+//!   recovery policy, priority) keyed by a deterministic campaign
+//!   hash ([`JobId`]), expanded into the exact same
+//!   [`TrialSpec`](flexcore_bench::trial::TrialSpec) list `faultsweep`
+//!   would run — trial generation, execution, and the JSONL record
+//!   codec are shared via [`flexcore_bench::trial`], so the two
+//!   cannot drift.
+//! * [`queue`] + [`admission`] — backpressure-aware admission: the job
+//!   queue has a bounded depth, over-depth submissions come back as a
+//!   typed [`AdmitError::Rejected`] carrying a `retry_after_ms` hint
+//!   (instead of unbounded memory growth), and under overload the
+//!   queue degrades gracefully by shedding the lowest-priority queued
+//!   job — with a [`ShedRecord`] accounting trail, never silently.
+//! * [`worker`] — supervised work-stealing worker pool: one
+//!   [`System`](flexcore::System) per worker, no shared mutable
+//!   simulation state. A panicking trial is isolated with
+//!   `catch_unwind`, retried with bounded exponential backoff, and
+//!   after the attempt budget quarantined as a typed [`TrialFailure`]
+//!   instead of killing the campaign. A deterministic chaos hook
+//!   injects worker panics on demand to prove all of that in CI.
+//! * [`journal`] — crash-safe JSONL journaling keyed by campaign hash:
+//!   every completed trial is appended in one write and fsynced on an
+//!   epoch cadence; on resume a tail line truncated by `kill -9`
+//!   mid-append is dropped (and the file repaired) rather than
+//!   poisoning the log, and every journaled trial is reused — a killed
+//!   server resumes exactly where it left off with zero lost and zero
+//!   duplicated trials.
+//! * [`scheduler`] — the [`Server`]: drains the queue in priority
+//!   order, shards each job's trials across the pool, journals, and
+//!   emits per-job metrics plus Chrome-trace worker/trial spans
+//!   (the observability story of `flexcore::obs`, applied to the
+//!   service itself).
+//!
+//! The end-to-end robustness contract (exercised by the integration
+//! tests and the CI soak): a campaign run under `flexserve` with
+//! injected worker panics, a `kill -9` of the whole server, and queue
+//! saturation completes with a merged trial log byte-identical to a
+//! clean `faultsweep` run, and reports every failure as a typed
+//! outcome.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod job;
+pub mod journal;
+pub mod queue;
+pub mod scheduler;
+pub mod worker;
+
+pub use admission::{AdmissionStats, AdmitError, ShedRecord};
+pub use job::{JobId, JobSpec, JobSpecError};
+pub use journal::{Journal, JournalError, JournalRecovery, LoggedOutcome};
+pub use queue::JobQueue;
+pub use scheduler::{JobState, JobSummary, Server, ServerConfig, ServerReport};
+pub use worker::{run_job, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};

@@ -1,0 +1,200 @@
+//! The bounded, priority-ordered job queue.
+//!
+//! Thread-safe (clients submit while the scheduler drains), bounded
+//! (admission applies backpressure instead of growing without limit),
+//! and accountable (shed jobs leave a [`ShedRecord`] trail).
+
+use std::sync::Mutex;
+
+use crate::admission::{AdmissionStats, AdmitError, ShedRecord};
+use crate::job::{JobId, JobSpec};
+
+/// Per-queued-job backpressure hint: each job ahead of a resubmission
+/// is assumed to cost at least this long, so the hint scales with
+/// depth.
+const RETRY_HINT_MS_PER_JOB: u64 = 500;
+
+#[derive(Debug)]
+struct Queued {
+    spec: JobSpec,
+    id: JobId,
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: Vec<Queued>,
+    stats: AdmissionStats,
+    shed: Vec<ShedRecord>,
+    seq: u64,
+}
+
+/// Bounded priority queue of campaign jobs.
+#[derive(Debug)]
+pub struct JobQueue {
+    max_depth: usize,
+    inner: Mutex<Inner>,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `max_depth` queued jobs
+    /// (clamped to ≥ 1).
+    pub fn new(max_depth: usize) -> JobQueue {
+        JobQueue { max_depth: max_depth.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned queue mutex means a panic while holding the lock;
+        // the queue state itself is just Vec bookkeeping, so recover it
+        // rather than cascading the panic into every other client.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Submits a job, applying admission control:
+    ///
+    /// * duplicate campaign hash → typed [`AdmitError::Duplicate`];
+    /// * full queue, but the new job outranks the lowest-priority
+    ///   queued job → that job is shed (recorded) and the new one
+    ///   admitted — graceful degradation under overload;
+    /// * full queue otherwise → typed [`AdmitError::Rejected`] with a
+    ///   `retry_after_ms` backpressure hint.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let id = spec.id();
+        let mut inner = self.locked();
+        if inner.jobs.iter().any(|q| q.id == id) {
+            inner.stats.duplicates += 1;
+            return Err(AdmitError::Duplicate { id });
+        }
+        if inner.jobs.len() >= self.max_depth {
+            // Shed the lowest-priority queued job iff strictly below
+            // the newcomer; among equals the newest submission goes
+            // (oldest work has waited longest and keeps its slot).
+            let victim = inner
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.spec.priority < spec.priority)
+                .min_by_key(|(_, q)| (q.spec.priority, std::cmp::Reverse(q.seq)))
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let gone = inner.jobs.remove(i);
+                    inner.stats.shed += 1;
+                    inner.shed.push(ShedRecord {
+                        id: gone.id,
+                        name: gone.spec.name,
+                        priority: gone.spec.priority,
+                        displaced_by: id,
+                    });
+                }
+                None => {
+                    inner.stats.rejected += 1;
+                    let depth = inner.jobs.len();
+                    return Err(AdmitError::Rejected {
+                        depth,
+                        max_depth: self.max_depth,
+                        retry_after_ms: depth as u64 * RETRY_HINT_MS_PER_JOB,
+                    });
+                }
+            }
+        }
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.jobs.push(Queued { spec, id, seq });
+        inner.stats.admitted += 1;
+        Ok(id)
+    }
+
+    /// Removes and returns the next job: highest priority first, FIFO
+    /// within a priority.
+    pub fn pop(&self) -> Option<JobSpec> {
+        let mut inner = self.locked();
+        let best = inner
+            .jobs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, q)| (q.spec.priority, std::cmp::Reverse(q.seq)))
+            .map(|(i, _)| i)?;
+        Some(inner.jobs.remove(best).spec)
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.locked().jobs.len()
+    }
+
+    /// Admission counters so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.locked().stats
+    }
+
+    /// The accounting trail of every shed job, in shedding order.
+    pub fn shed_log(&self) -> Vec<ShedRecord> {
+        self.locked().shed.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, seed: u64, priority: u8) -> JobSpec {
+        JobSpec { name: name.into(), seed, priority, ..JobSpec::default() }
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.submit(job("low-a", 1, 1)).expect("admitted");
+        q.submit(job("high", 2, 5)).expect("admitted");
+        q.submit(job("low-b", 3, 1)).expect("admitted");
+        assert_eq!(q.pop().expect("job").name, "high");
+        assert_eq!(q.pop().expect("job").name, "low-a");
+        assert_eq!(q.pop().expect("job").name, "low-b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn duplicates_are_typed() {
+        let q = JobQueue::new(8);
+        let id = q.submit(job("a", 1, 1)).expect("admitted");
+        // Same work-defining fields, different name: same campaign.
+        let err = q.submit(job("a-again", 1, 3)).expect_err("duplicate");
+        assert_eq!(err, AdmitError::Duplicate { id });
+        assert_eq!(q.stats().duplicates, 1);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure_hint() {
+        let q = JobQueue::new(2);
+        q.submit(job("a", 1, 2)).expect("admitted");
+        q.submit(job("b", 2, 2)).expect("admitted");
+        let err = q.submit(job("c", 3, 2)).expect_err("equal priority cannot displace");
+        let AdmitError::Rejected { depth, max_depth, retry_after_ms } = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert_eq!((depth, max_depth), (2, 2));
+        assert!(retry_after_ms > 0, "the hint tells the client when to retry");
+        assert_eq!(q.stats().rejected, 1);
+    }
+
+    #[test]
+    fn overload_sheds_the_lowest_priority_with_accounting() {
+        let q = JobQueue::new(2);
+        let low = q.submit(job("low", 1, 1)).expect("admitted");
+        q.submit(job("mid", 2, 3)).expect("admitted");
+        let high = q.submit(job("high", 3, 5)).expect("displaces the low job");
+        assert_eq!(q.depth(), 2);
+        let shed = q.shed_log();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, low);
+        assert_eq!(shed[0].name, "low");
+        assert_eq!(shed[0].displaced_by, high);
+        assert_eq!(q.stats(), AdmissionStats { admitted: 3, rejected: 0, duplicates: 0, shed: 1 });
+        // The shed job is really gone; the survivors drain by priority.
+        assert_eq!(q.pop().expect("job").name, "high");
+        assert_eq!(q.pop().expect("job").name, "mid");
+        assert!(q.pop().is_none());
+    }
+}

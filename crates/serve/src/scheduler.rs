@@ -1,0 +1,511 @@
+//! The campaign server: drains the job queue in priority order, shards
+//! each job across the supervised worker pool, journals every record
+//! crash-safely, and reports per-job summaries plus an optional Chrome
+//! trace of worker/trial spans.
+//!
+//! Per job, the flow is: expand the [`JobSpec`] into its trial list →
+//! open (or resume) the campaign-hash-keyed journal → skip every trial
+//! the journal already completed → run the rest on the pool, appending
+//! each record as it completes → stamp a terminal event and write the
+//! merged trial log. The merged log (`<id>.trials.jsonl`) holds the
+//! final outcome of every trial in submission order — byte-identical
+//! to the records a clean single-threaded `faultsweep` run would
+//! write, which is the server's end-to-end correctness check.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use flexcore_bench::trial::{self, TrialOutcome, TrialSpec};
+use serde::Value;
+
+use crate::admission::{AdmissionStats, AdmitError, ShedRecord};
+use crate::job::{JobId, JobSpec};
+use crate::journal::{Journal, JournalError, LoggedOutcome};
+use crate::queue::JobQueue;
+use crate::worker::{run_job, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory holding one journal (and one merged trial log) per
+    /// campaign hash.
+    pub journal_dir: PathBuf,
+    /// Worker-pool supervision policy.
+    pub worker_policy: WorkerPolicy,
+    /// Queue depth bound (admission backpressure kicks in above it).
+    pub max_depth: usize,
+    /// Journal fsync cadence, in records.
+    pub sync_every: usize,
+    /// Resume existing journals instead of restarting campaigns.
+    pub resume: bool,
+    /// Soft interruption: stop claiming new trials once this many
+    /// records have been executed across the whole run (tests and the
+    /// CI soak use it to interrupt at a deterministic point; `kill -9`
+    /// is the hard version).
+    pub stop_after: Option<u64>,
+    /// Where to write the Chrome trace of worker/trial spans.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            journal_dir: PathBuf::from("flexserve-journals"),
+            worker_policy: WorkerPolicy::default(),
+            max_depth: 16,
+            sync_every: 8,
+            resume: false,
+            stop_after: None,
+            trace_path: None,
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Every trial has a completed outcome.
+    Completed,
+    /// Interrupted by the `stop_after` budget; the journal holds the
+    /// completed prefix and a resume finishes the rest.
+    Interrupted,
+    /// The spec could not be expanded into trials.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobState::Completed => write!(f, "completed"),
+            JobState::Interrupted => write!(f, "interrupted"),
+            JobState::Failed(detail) => write!(f, "failed: {detail}"),
+        }
+    }
+}
+
+/// One drained job's summary.
+#[derive(Clone, Debug)]
+pub struct JobSummary {
+    /// The campaign hash.
+    pub id: JobId,
+    /// The job's human-readable name.
+    pub name: String,
+    /// Total trials in the campaign.
+    pub trials: u64,
+    /// Pool statistics (executed/reused/retried/quarantined/...).
+    pub stats: JobRunStats,
+    /// Terminal state.
+    pub state: JobState,
+    /// The journal file.
+    pub journal: PathBuf,
+    /// The merged trial log, written when the job completed.
+    pub merged_log: Option<PathBuf>,
+}
+
+/// What one [`Server::run`] drain did.
+#[derive(Clone, Debug, Default)]
+pub struct ServerReport {
+    /// Per-job summaries, in drain (priority) order.
+    pub jobs: Vec<JobSummary>,
+    /// Admission counters at the end of the drain.
+    pub admission: AdmissionStats,
+    /// Accounting trail of jobs shed under overload.
+    pub shed: Vec<ShedRecord>,
+    /// The drain stopped early on the `stop_after` budget.
+    pub interrupted: bool,
+}
+
+impl ServerReport {
+    /// Trials quarantined across all jobs.
+    pub fn quarantined(&self) -> u64 {
+        self.jobs.iter().map(|j| j.stats.quarantined).sum()
+    }
+}
+
+/// The campaign job server.
+#[derive(Debug)]
+pub struct Server {
+    queue: JobQueue,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with an empty queue.
+    pub fn new(config: ServerConfig) -> Server {
+        Server { queue: JobQueue::new(config.max_depth), config }
+    }
+
+    /// The configuration the server runs under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Submits a job through admission control.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        self.queue.submit(spec)
+    }
+
+    /// The underlying queue (admission stats, depth, shed log).
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// This campaign's journal path under the configured directory.
+    pub fn journal_path(&self, id: JobId) -> PathBuf {
+        self.config.journal_dir.join(format!("{id}.jsonl"))
+    }
+
+    /// This campaign's merged trial-log path.
+    pub fn merged_log_path(&self, id: JobId) -> PathBuf {
+        self.config.journal_dir.join(format!("{id}.trials.jsonl"))
+    }
+
+    /// Drains the queue: runs every queued job in priority order,
+    /// journaling as it goes. Returns when the queue is empty or the
+    /// `stop_after` budget is spent.
+    pub fn run(&self) -> Result<ServerReport, JournalError> {
+        std::fs::create_dir_all(&self.config.journal_dir)
+            .map_err(|e| JournalError::Io { path: self.config.journal_dir.clone(), error: e })?;
+        let mut report = ServerReport::default();
+        let mut budget = self.config.stop_after;
+        let mut spans: Vec<(String, TrialRecord)> = Vec::new();
+        let mut trace_base_us = 0u64;
+        while let Some(spec) = self.queue.pop() {
+            if budget == Some(0) {
+                report.interrupted = true;
+                break;
+            }
+            let summary = self.run_one(&spec, budget, &mut spans, trace_base_us)?;
+            if let Some(b) = budget.as_mut() {
+                *b = b.saturating_sub(summary.stats.executed);
+            }
+            trace_base_us += summary.stats.elapsed_us;
+            if summary.state == JobState::Interrupted {
+                report.interrupted = true;
+                report.jobs.push(summary);
+                break;
+            }
+            report.jobs.push(summary);
+        }
+        report.admission = self.queue.stats();
+        report.shed = self.queue.shed_log();
+        if let Some(path) = &self.config.trace_path {
+            std::fs::write(path, trace_json(&spans, self.config.worker_policy.pool_width()))
+                .map_err(|e| JournalError::Io { path: path.clone(), error: e })?;
+        }
+        Ok(report)
+    }
+
+    fn run_one(
+        &self,
+        spec: &JobSpec,
+        budget: Option<u64>,
+        spans: &mut Vec<(String, TrialRecord)>,
+        trace_base_us: u64,
+    ) -> Result<JobSummary, JournalError> {
+        let id = spec.id();
+        let journal_path = self.journal_path(id);
+        let mut summary = JobSummary {
+            id,
+            name: spec.name.clone(),
+            trials: 0,
+            stats: JobRunStats::default(),
+            state: JobState::Completed,
+            journal: journal_path.clone(),
+            merged_log: None,
+        };
+        let trials = match spec.trial_specs() {
+            Ok(trials) => trials,
+            Err(e) => {
+                summary.state = JobState::Failed(e.to_string());
+                return Ok(summary);
+            }
+        };
+        summary.trials = trials.len() as u64;
+
+        let (mut journal, recovery) = Journal::open(
+            &journal_path,
+            &spec.header(),
+            &spec.canonical(),
+            self.config.resume,
+            self.config.sync_every,
+        )?;
+        // Completed trials are reused; quarantined ones get a fresh
+        // chance on resume.
+        let mut outcomes: HashMap<String, TrialOutcome> = HashMap::new();
+        let mut skip: HashSet<String> = HashSet::new();
+        for (label, logged) in &recovery.outcomes {
+            if let LoggedOutcome::Done(o) = logged {
+                outcomes.insert(label.clone(), *o);
+                skip.insert(label.clone());
+            }
+        }
+        journal.append_event(
+            "job-started",
+            Value::object()
+                .field("total", &summary.trials)
+                .field("reused", &(skip.len() as u64))
+                .build(),
+        )?;
+
+        let mut journal_err: Option<JournalError> = None;
+        let stats = run_job(&trials, &skip, &self.config.worker_policy, budget, |record| {
+            if journal_err.is_some() {
+                return;
+            }
+            let append = match &record.outcome {
+                Ok(outcome) => {
+                    outcomes.insert(record.label.clone(), *outcome);
+                    journal.append_trial(&record.label, outcome)
+                }
+                Err(failure) => journal.append_quarantine(&record.label, failure),
+            };
+            if let Err(e) = append {
+                journal_err = Some(e);
+            }
+            spans.push((
+                spec.name.clone(),
+                TrialRecord { start_us: trace_base_us + record.start_us, ..record.clone() },
+            ));
+        });
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+        summary.stats = stats;
+
+        if stats.remaining > 0 {
+            summary.state = JobState::Interrupted;
+            journal.append_event(
+                "job-interrupted",
+                Value::object()
+                    .field("executed", &stats.executed)
+                    .field("remaining", &stats.remaining)
+                    .build(),
+            )?;
+            journal.sync()?;
+            return Ok(summary);
+        }
+
+        journal.append_event(
+            "job-done",
+            Value::object()
+                .field("executed", &stats.executed)
+                .field("reused", &stats.reused)
+                .field("retried", &stats.retried)
+                .field("quarantined", &stats.quarantined)
+                .build(),
+        )?;
+        journal.sync()?;
+
+        // The merged log: every trial's final outcome, in submission
+        // order — the byte-level contract with `faultsweep`. Only
+        // written when every trial actually has an outcome; a campaign
+        // with quarantined holes keeps its journal but gets no merged
+        // log until a resume heals it.
+        if trials.iter().all(|t| outcomes.contains_key(&t.label)) {
+            let merged = self.merged_log_path(id);
+            write_merged_log(&merged, &trials, &outcomes)
+                .map_err(|e| JournalError::Io { path: merged.clone(), error: e })?;
+            summary.merged_log = Some(merged);
+        }
+        Ok(summary)
+    }
+}
+
+fn write_merged_log(
+    path: &Path,
+    trials: &[TrialSpec],
+    outcomes: &HashMap<String, TrialOutcome>,
+) -> std::io::Result<()> {
+    let mut text = String::new();
+    for spec in trials {
+        if let Some(outcome) = outcomes.get(&spec.label) {
+            text.push_str(&serde::to_string(&trial::outcome_record(&spec.label, outcome)));
+            text.push('\n');
+        }
+    }
+    std::fs::write(path, text)
+}
+
+/// Renders worker/trial spans as Chrome trace-event JSON (the same
+/// `traceEvents` shape `flexcore::obs` emits for the simulator, here
+/// applied to the service: one timeline thread per worker, one `X`
+/// span per trial attempt run).
+fn trace_json(spans: &[(String, TrialRecord)], workers: usize) -> String {
+    const PID: u64 = 1;
+    let mut events = vec![Value::object()
+        .field("name", &"process_name")
+        .field("ph", &"M")
+        .field("pid", &PID)
+        .raw("args", Value::object().field("name", &"flexserve").build())
+        .build()];
+    for worker in 0..workers {
+        events.push(
+            Value::object()
+                .field("name", &"thread_name")
+                .field("ph", &"M")
+                .field("pid", &PID)
+                .field("tid", &(worker as u64 + 1))
+                .raw("args", Value::object().field("name", &format!("worker-{worker}")).build())
+                .build(),
+        );
+    }
+    for (job, r) in spans {
+        let quarantined = matches!(r.outcome, Err(TrialFailure::Panicked { .. }));
+        events.push(
+            Value::object()
+                .field("name", &r.label)
+                .field("ph", &"X")
+                .field("ts", &r.start_us)
+                .field("dur", &r.dur_us)
+                .field("pid", &PID)
+                .field("tid", &(r.worker as u64 + 1))
+                .raw(
+                    "args",
+                    Value::object()
+                        .field("job", job)
+                        .field("attempts", &u64::from(r.attempts))
+                        .field("quarantined", &quarantined)
+                        .build(),
+                )
+                .build(),
+        );
+    }
+    let doc = Value::object()
+        .raw("traceEvents", Value::Array(events))
+        .field("displayTimeUnit", &"ms")
+        .raw("otherData", Value::object().field("clock", &"wall-microseconds").build())
+        .build();
+    serde::to_string(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        dir
+    }
+
+    fn small_job(name: &str, trials: usize) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            trials,
+            workloads: vec!["bitcount".into()],
+            ..JobSpec::default()
+        }
+    }
+
+    fn config(dir: &Path) -> ServerConfig {
+        ServerConfig {
+            journal_dir: dir.to_path_buf(),
+            worker_policy: WorkerPolicy { workers: 2, ..WorkerPolicy::default() },
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn drains_completes_and_writes_the_merged_log_in_order() {
+        let dir = tmpdir("drain");
+        let server = Server::new(config(&dir));
+        let spec = small_job("drain", 4);
+        server.submit(spec.clone()).expect("admitted");
+        let report = server.run().expect("drains");
+        assert_eq!(report.jobs.len(), 1);
+        let job = &report.jobs[0];
+        assert_eq!(job.state, JobState::Completed);
+        assert_eq!(job.stats.executed, 4);
+
+        // The merged log matches a single-threaded reference, line for
+        // line, in submission order.
+        let merged =
+            std::fs::read_to_string(job.merged_log.as_ref().expect("written")).expect("read");
+        let expected: String = spec
+            .trial_specs()
+            .expect("expands")
+            .iter()
+            .map(|t| {
+                serde::to_string(&trial::outcome_record(&t.label, &trial::run_trial(t, None)))
+                    + "\n"
+            })
+            .collect();
+        assert_eq!(merged, expected, "merged log is bit-identical to the clean run");
+    }
+
+    #[test]
+    fn interrupted_drain_resumes_to_the_identical_merged_log() {
+        let dir = tmpdir("resume");
+        let spec = small_job("resume", 6);
+
+        // Clean reference merged log.
+        let clean_dir = tmpdir("resume-clean");
+        let clean = Server::new(config(&clean_dir));
+        clean.submit(spec.clone()).expect("admitted");
+        let clean_report = clean.run().expect("drains");
+        let clean_log =
+            std::fs::read_to_string(clean_report.jobs[0].merged_log.as_ref().expect("log"))
+                .expect("read");
+
+        // Interrupt after 2 records, then resume.
+        let mut cfg = config(&dir);
+        cfg.stop_after = Some(2);
+        let server = Server::new(cfg);
+        server.submit(spec.clone()).expect("admitted");
+        let report = server.run().expect("drains");
+        assert!(report.interrupted);
+        assert_eq!(report.jobs[0].state, JobState::Interrupted);
+        assert!(report.jobs[0].merged_log.is_none(), "no merged log until completion");
+
+        let mut cfg = config(&dir);
+        cfg.resume = true;
+        let server = Server::new(cfg);
+        server.submit(spec.clone()).expect("admitted");
+        let report = server.run().expect("drains");
+        let job = &report.jobs[0];
+        assert_eq!(job.state, JobState::Completed);
+        assert!(job.stats.reused >= 2, "journaled trials were reused, not rerun");
+        assert_eq!(job.stats.reused + job.stats.executed, 6, "zero lost, zero duplicated");
+        let resumed_log =
+            std::fs::read_to_string(job.merged_log.as_ref().expect("log")).expect("read");
+        assert_eq!(resumed_log, clean_log, "resume reproduces the clean run exactly");
+    }
+
+    #[test]
+    fn failed_spec_is_a_typed_summary_not_a_crash() {
+        let dir = tmpdir("failed");
+        let server = Server::new(config(&dir));
+        server
+            .submit(JobSpec { workloads: vec!["doom".into()], ..JobSpec::default() })
+            .expect("admission does not expand trials");
+        let report = server.run().expect("drains");
+        let JobState::Failed(detail) = &report.jobs[0].state else {
+            panic!("expected failure, got {:?}", report.jobs[0].state);
+        };
+        assert!(detail.contains("doom"), "{detail}");
+    }
+
+    #[test]
+    fn trace_file_holds_worker_and_trial_spans() {
+        let dir = tmpdir("trace");
+        let mut cfg = config(&dir);
+        cfg.trace_path = Some(dir.join("trace.json"));
+        let server = Server::new(cfg);
+        server.submit(small_job("trace", 3)).expect("admitted");
+        server.run().expect("drains");
+        let doc = serde::from_str(&std::fs::read_to_string(dir.join("trace.json")).expect("read"))
+            .expect("valid JSON");
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(events)) => events,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        // 1 process meta + 2 worker metas + 3 trial spans.
+        assert_eq!(events.len(), 6);
+        let span = events.iter().find(|e| e.get("ph").and_then(Value::as_str) == Some("X"));
+        let span = span.expect("at least one trial span");
+        assert!(span.get("dur").and_then(Value::as_u64).is_some());
+    }
+}

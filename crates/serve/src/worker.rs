@@ -1,0 +1,439 @@
+//! The supervised, work-stealing trial worker pool.
+//!
+//! [`run_job`] shards a job's trial list across `std` threads. Each
+//! worker claims trials from a shared atomic cursor (work stealing —
+//! no static partition, so a slow trial never idles the other
+//! workers) and builds its own fresh [`System`](flexcore::System) per
+//! trial via [`trial::run_trial`]; there is no shared mutable
+//! simulation state anywhere.
+//!
+//! Workers are supervised, not trusted: every attempt runs under
+//! `catch_unwind`, a panicking trial is retried with bounded
+//! exponential backoff, and after [`WorkerPolicy::max_attempts`] it
+//! is quarantined as a typed [`TrialFailure`] — one poisoned trial
+//! cannot take down the campaign, and the failure is reported, never
+//! swallowed. A deterministic chaos hook injects panics on demand so
+//! the supervision path itself is exercised in tests and CI.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use flexcore::RunResult;
+use flexcore_bench::trial::{self, TrialOutcome, TrialSpec};
+
+/// Supervision knobs for the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPolicy {
+    /// Pool width; `0` means one worker per available core.
+    pub workers: usize,
+    /// Attempts per trial before quarantine (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per subsequent attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Chaos hook: panic the **first** attempt of every trial whose
+    /// label hash is divisible by this, proving isolation + retry.
+    pub chaos_panic_every: Option<u64>,
+    /// Chaos escalation: panic *every* attempt of the selected trials,
+    /// forcing them through the full quarantine path.
+    pub chaos_all_attempts: bool,
+}
+
+impl Default for WorkerPolicy {
+    fn default() -> WorkerPolicy {
+        WorkerPolicy {
+            workers: 0,
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+            chaos_panic_every: None,
+            chaos_all_attempts: false,
+        }
+    }
+}
+
+impl WorkerPolicy {
+    /// The resolved pool width.
+    pub fn pool_width(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(4, usize::from),
+            n => n,
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        Duration::from_millis(self.backoff_cap_ms.min(self.backoff_base_ms << shift))
+    }
+
+    fn chaos_hits(&self, label: &str, attempt: u32) -> bool {
+        let Some(every) = self.chaos_panic_every else { return false };
+        if !(attempt == 1 || self.chaos_all_attempts) {
+            return false;
+        }
+        fnv1a(label.as_bytes()).is_multiple_of(every.max(1))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A trial that exhausted its supervision budget — the typed terminal
+/// failure a campaign reports instead of crashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrialFailure {
+    /// Every attempt panicked.
+    Panicked {
+        /// Attempts spent (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The final panic's message.
+        last_message: String,
+    },
+}
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let TrialFailure::Panicked { attempts, last_message } = self;
+        write!(f, "quarantined after {attempts} panicking attempts (last: {last_message})")
+    }
+}
+
+/// One trial's execution record, delivered to the journaling callback
+/// in completion order.
+#[derive(Clone, Debug)]
+pub struct TrialRecord {
+    /// Submission index in the job's full trial list.
+    pub index: usize,
+    /// The trial label (the resume key).
+    pub label: String,
+    /// Which worker ran the final attempt.
+    pub worker: usize,
+    /// Attempts spent (1 = clean first try).
+    pub attempts: u32,
+    /// The outcome, or the typed quarantine failure.
+    pub outcome: Result<TrialOutcome, TrialFailure>,
+    /// Microseconds from job start to the first attempt's start.
+    pub start_us: u64,
+    /// Microseconds spent across all attempts (including backoff).
+    pub dur_us: u64,
+}
+
+/// What a [`run_job`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobRunStats {
+    /// Trials executed to completion (including quarantines).
+    pub executed: u64,
+    /// Trials skipped because the journal already had them.
+    pub reused: u64,
+    /// Trials that succeeded only after ≥ 1 panicking attempt.
+    pub retried: u64,
+    /// Trials quarantined as [`TrialFailure`].
+    pub quarantined: u64,
+    /// Individual panicking attempts observed (supervised, not fatal).
+    pub panics: u64,
+    /// Trials left unclaimed because a stop was requested.
+    pub remaining: u64,
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Wall-clock time inside the pool, microseconds.
+    pub elapsed_us: u64,
+}
+
+struct Attempted {
+    outcome: Result<TrialOutcome, TrialFailure>,
+    attempts: u32,
+}
+
+/// Runs one trial under supervision: `catch_unwind` isolation, bounded
+/// exponential backoff between attempts, typed quarantine at budget.
+fn supervised(spec: &TrialSpec, reference: Option<&RunResult>, policy: &WorkerPolicy) -> Attempted {
+    let budget = policy.max_attempts.max(1);
+    let mut last_message = String::new();
+    for attempt in 1..=budget {
+        if attempt > 1 {
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+        let chaos = policy.chaos_hits(&spec.label, attempt);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if chaos {
+                panic!("chaos: injected worker panic for `{}`", spec.label);
+            }
+            trial::run_trial(spec, reference)
+        }));
+        match result {
+            Ok(outcome) => {
+                return Attempted { outcome: Ok(outcome), attempts: attempt };
+            }
+            Err(payload) => {
+                last_message = panic_message(payload.as_ref());
+            }
+        }
+    }
+    Attempted {
+        outcome: Err(TrialFailure::Panicked { attempts: budget, last_message }),
+        attempts: budget,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Precomputes the clean reference run per workload for supervised
+/// (`recover`) trials, so the pool amortizes one reference per
+/// workload instead of one per trial.
+fn reference_map(trials: &[TrialSpec]) -> HashMap<&str, RunResult> {
+    let mut refs = HashMap::new();
+    for spec in trials {
+        if spec.recover && !refs.contains_key(spec.workload.name()) {
+            refs.insert(spec.workload.name(), trial::reference_run(&spec.workload));
+        }
+    }
+    refs
+}
+
+/// Shards `trials` across a supervised work-stealing pool.
+///
+/// Trials whose label is in `skip` are counted as reused and never
+/// claimed (journal resume). `on_record` runs on the calling thread in
+/// completion order — journal there without locking. When `stop_after`
+/// is `Some(n)`, no new trials are claimed once `n` records have been
+/// delivered (in-flight trials still finish and are delivered), which
+/// is how tests and the soak interrupt a campaign at a deterministic
+/// point.
+pub fn run_job<F>(
+    trials: &[TrialSpec],
+    skip: &HashSet<String>,
+    policy: &WorkerPolicy,
+    stop_after: Option<u64>,
+    mut on_record: F,
+) -> JobRunStats
+where
+    F: FnMut(&TrialRecord),
+{
+    let started = Instant::now();
+    let pending: Vec<(usize, &TrialSpec)> =
+        trials.iter().enumerate().filter(|(_, t)| !skip.contains(&t.label)).collect();
+    let mut stats = JobRunStats {
+        reused: (trials.len() - pending.len()) as u64,
+        workers: policy.pool_width().max(1),
+        ..JobRunStats::default()
+    };
+    if !pending.is_empty() {
+        let refs = reference_map(trials);
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = std::sync::mpsc::channel::<TrialRecord>();
+        std::thread::scope(|scope| {
+            for worker in 0..stats.workers {
+                let tx = tx.clone();
+                let (pending, refs, cursor, stop) = (&pending, &refs, &cursor, &stop);
+                scope.spawn(move || {
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let claim = cursor.fetch_add(1, Ordering::AcqRel);
+                        let Some((index, spec)) = pending.get(claim).copied() else { break };
+                        let start_us = started.elapsed().as_micros() as u64;
+                        let reference = refs.get(spec.workload.name());
+                        let done = supervised(spec, reference, policy);
+                        let record = TrialRecord {
+                            index,
+                            label: spec.label.clone(),
+                            worker,
+                            attempts: done.attempts,
+                            outcome: done.outcome,
+                            start_us,
+                            dur_us: started.elapsed().as_micros() as u64 - start_us,
+                        };
+                        // The receiver outlives the scope body; a send
+                        // can only fail if the main thread panicked,
+                        // and then the scope is tearing down anyway.
+                        if tx.send(record).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for record in rx {
+                stats.executed += 1;
+                match &record.outcome {
+                    Ok(_) if record.attempts > 1 => {
+                        stats.retried += 1;
+                        stats.panics += u64::from(record.attempts - 1);
+                    }
+                    Ok(_) => {}
+                    Err(TrialFailure::Panicked { attempts, .. }) => {
+                        stats.quarantined += 1;
+                        stats.panics += u64::from(*attempts);
+                    }
+                }
+                on_record(&record);
+                if stop_after.is_some_and(|n| stats.executed >= n) {
+                    stop.store(true, Ordering::Release);
+                }
+            }
+        });
+        let claimed = cursor.load(Ordering::Acquire).min(pending.len());
+        stats.remaining = (pending.len() - claimed) as u64;
+    }
+    stats.elapsed_us = started.elapsed().as_micros() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore::recovery::RecoveryPolicy;
+    use flexcore_bench::trial::CampaignSpec;
+    use flexcore_workloads::Workload;
+
+    fn bitcount() -> Workload {
+        *Workload::all().iter().find(|w| w.name() == "bitcount").expect("bitcount exists")
+    }
+
+    fn small_trials(n: usize) -> Vec<TrialSpec> {
+        let cspec = CampaignSpec {
+            seed: 0xf1ec,
+            trials: n,
+            lockstep: false,
+            recover: false,
+            policy: RecoveryPolicy::default(),
+        };
+        trial::campaign1_trials(&cspec, &[bitcount()])
+    }
+
+    /// Runs `f` with panic output silenced (chaos tests panic on
+    /// purpose; their backtraces are noise).
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn pool_matches_single_threaded_outcomes() {
+        let trials = small_trials(4);
+        let mut solo: Vec<(String, TrialOutcome)> =
+            trials.iter().map(|t| (t.label.clone(), trial::run_trial(t, None))).collect();
+        solo.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut pooled: Vec<(String, TrialOutcome)> = Vec::new();
+        let policy = WorkerPolicy { workers: 3, ..WorkerPolicy::default() };
+        let stats = run_job(&trials, &HashSet::new(), &policy, None, |r| {
+            pooled.push((r.label.clone(), r.outcome.clone().expect("no chaos, no panics")));
+        });
+        pooled.sort_by(|a, b| a.0.cmp(&b.0));
+
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.workers, 3);
+        assert_eq!(pooled, solo, "sharding must not change any outcome");
+    }
+
+    #[test]
+    fn skip_set_is_reused_not_rerun() {
+        let trials = small_trials(4);
+        let skip: HashSet<String> =
+            [trials[0].label.clone(), trials[2].label.clone()].into_iter().collect();
+        let mut seen = Vec::new();
+        let stats = run_job(
+            &trials,
+            &skip,
+            &WorkerPolicy { workers: 2, ..WorkerPolicy::default() },
+            None,
+            |r| {
+                seen.push(r.label.clone());
+            },
+        );
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.executed, 2);
+        assert!(!seen.contains(&trials[0].label));
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_and_retried() {
+        let trials = small_trials(4);
+        let policy = WorkerPolicy {
+            workers: 2,
+            backoff_base_ms: 1,
+            chaos_panic_every: Some(1), // every trial's first attempt panics
+            ..WorkerPolicy::default()
+        };
+        let mut records = Vec::new();
+        let stats = quiet_panics(|| {
+            run_job(&trials, &HashSet::new(), &policy, None, |r| records.push(r.clone()))
+        });
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.retried, 4, "every trial needed a retry");
+        assert_eq!(stats.quarantined, 0, "second attempts succeed");
+        assert_eq!(stats.panics, 4);
+        for r in &records {
+            assert_eq!(r.attempts, 2);
+            assert!(r.outcome.is_ok(), "retry recovered `{}`", r.label);
+        }
+        // Retried outcomes are still the deterministic ones.
+        let clean = trial::run_trial(&trials[0], None);
+        let retried = &records.iter().find(|r| r.label == trials[0].label).expect("ran").outcome;
+        assert_eq!(retried.as_ref().expect("ok"), &clean);
+    }
+
+    #[test]
+    fn exhausted_attempts_quarantine_with_typed_failure() {
+        let trials = small_trials(2);
+        let policy = WorkerPolicy {
+            workers: 1,
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            chaos_panic_every: Some(1),
+            chaos_all_attempts: true,
+            ..WorkerPolicy::default()
+        };
+        let mut records = Vec::new();
+        let stats = quiet_panics(|| {
+            run_job(&trials, &HashSet::new(), &policy, None, |r| records.push(r.clone()))
+        });
+        assert_eq!(stats.quarantined, 2);
+        assert_eq!(stats.panics, 6, "3 attempts per trial, all supervised");
+        let Err(TrialFailure::Panicked { attempts, last_message }) = &records[0].outcome else {
+            panic!("expected quarantine, got {:?}", records[0].outcome);
+        };
+        assert_eq!(*attempts, 3);
+        assert!(last_message.contains("chaos"), "failure carries the panic message");
+    }
+
+    #[test]
+    fn stop_after_halts_claiming_but_loses_nothing_delivered() {
+        let trials = small_trials(8);
+        let mut seen = 0u64;
+        let stats = run_job(
+            &trials,
+            &HashSet::new(),
+            &WorkerPolicy { workers: 1, ..WorkerPolicy::default() },
+            Some(3),
+            |_| seen += 1,
+        );
+        assert_eq!(seen, stats.executed);
+        assert!(stats.executed >= 3, "the stop threshold was reached");
+        assert!(stats.executed < 8, "the stop actually interrupted the job");
+        assert_eq!(stats.remaining + stats.executed, 8, "every trial is accounted for");
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end robustness contract of the `flexserve` campaign service:
+//! interruption at *any* trial + resume reproduces the clean run's
+//! trial log bit-for-bit; chaos panics are supervised into retries or
+//! typed quarantines; saturation is typed backpressure, not collapse.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use flexcore_bench::trial;
+use flexcore_serve::{
+    AdmitError, JobSpec, JobState, LoggedOutcome, Server, ServerConfig, TrialFailure, WorkerPolicy,
+};
+use proptest::prelude::*;
+
+const TRIALS: usize = 6;
+
+fn job() -> JobSpec {
+    JobSpec {
+        name: "contract".into(),
+        trials: TRIALS,
+        workloads: vec!["bitcount".into()],
+        ..JobSpec::default()
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexserve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+fn config(dir: &Path, workers: usize) -> ServerConfig {
+    ServerConfig {
+        journal_dir: dir.to_path_buf(),
+        worker_policy: WorkerPolicy { workers, backoff_base_ms: 1, ..WorkerPolicy::default() },
+        ..ServerConfig::default()
+    }
+}
+
+/// The clean single-threaded trial log — exactly what `faultsweep`
+/// would append for this campaign — computed once.
+fn clean_log() -> &'static str {
+    static LOG: OnceLock<String> = OnceLock::new();
+    LOG.get_or_init(|| {
+        job()
+            .trial_specs()
+            .expect("expands")
+            .iter()
+            .map(|t| {
+                serde::to_string(&trial::outcome_record(&t.label, &trial::run_trial(t, None)))
+                    + "\n"
+            })
+            .collect()
+    })
+}
+
+fn merged_log_of(dir: &Path, workers: usize, resume: bool, stop_after: Option<u64>) -> JobState {
+    let mut cfg = config(dir, workers);
+    cfg.resume = resume;
+    cfg.stop_after = stop_after;
+    let server = Server::new(cfg);
+    server.submit(job()).expect("admitted");
+    let report = server.run().expect("drains");
+    report.jobs[0].state.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite 3: a campaign interrupted at an arbitrary trial and
+    /// resumed produces a trial log bit-identical to the uninterrupted
+    /// run — across pool widths, with zero lost and zero duplicated
+    /// trials.
+    #[test]
+    fn interrupted_campaign_resumes_bit_identically(
+        stop_at in 1u64..(TRIALS as u64),
+        workers in 1usize..4,
+    ) {
+        let dir = tmpdir(&format!("prop-{stop_at}-{workers}"));
+
+        // Phase 1: interrupt after `stop_at` records. With several
+        // workers, trials already in flight at the stop still finish,
+        // so a late stop can complete the whole job — both terminal
+        // states are legitimate here.
+        let state = merged_log_of(&dir, workers, false, Some(stop_at));
+        prop_assert!(
+            state == JobState::Interrupted || state == JobState::Completed,
+            "unexpected state {state:?}"
+        );
+
+        // Phase 2: resume to completion on a different pool width.
+        let mut cfg = config(&dir, 4 - workers);
+        cfg.resume = true;
+        let server = Server::new(cfg);
+        server.submit(job()).expect("admitted");
+        let report = server.run().expect("drains");
+        let done = &report.jobs[0];
+        prop_assert_eq!(&done.state, &JobState::Completed);
+        prop_assert!(done.stats.reused >= stop_at, "journaled prefix was reused");
+        prop_assert_eq!(
+            done.stats.reused + done.stats.executed,
+            TRIALS as u64,
+            "zero lost, zero duplicated"
+        );
+        let merged = std::fs::read_to_string(done.merged_log.as_ref().expect("merged log"))
+            .expect("readable");
+        prop_assert_eq!(merged, clean_log(), "resumed log differs from the clean run");
+    }
+}
+
+/// Chaos panics on every trial's first attempt are retried into the
+/// exact clean outcomes — supervision changes nothing observable.
+#[test]
+fn chaos_retries_do_not_change_the_log() {
+    let dir = tmpdir("chaos-retry");
+    let mut cfg = config(&dir, 2);
+    cfg.worker_policy.chaos_panic_every = Some(1);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let server = Server::new(cfg);
+    server.submit(job()).expect("admitted");
+    let report = server.run().expect("drains");
+    std::panic::set_hook(prev);
+
+    let done = &report.jobs[0];
+    assert_eq!(done.state, JobState::Completed);
+    assert_eq!(done.stats.retried, TRIALS as u64, "every trial panicked once, then recovered");
+    assert_eq!(done.stats.quarantined, 0);
+    let merged =
+        std::fs::read_to_string(done.merged_log.as_ref().expect("merged log")).expect("readable");
+    assert_eq!(merged, clean_log(), "retried outcomes must equal clean outcomes");
+}
+
+/// Exhausted chaos becomes a typed quarantine in the journal, and a
+/// resume without chaos heals the campaign to the clean log.
+#[test]
+fn quarantine_is_typed_and_heals_on_resume() {
+    let dir = tmpdir("chaos-quarantine");
+    let mut cfg = config(&dir, 2);
+    cfg.worker_policy.chaos_panic_every = Some(1);
+    cfg.worker_policy.chaos_all_attempts = true;
+    cfg.worker_policy.max_attempts = 2;
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let server = Server::new(cfg);
+    server.submit(job()).expect("admitted");
+    let report = server.run().expect("drains");
+    std::panic::set_hook(prev);
+
+    let done = &report.jobs[0];
+    assert_eq!(done.stats.quarantined, TRIALS as u64, "all trials exhausted their attempts");
+    assert_eq!(report.quarantined(), TRIALS as u64);
+    assert!(done.merged_log.is_none(), "no merged log while trials are missing");
+
+    // The journal records the failures as typed outcomes...
+    let spec = job();
+    let (_, recovery) =
+        flexcore_serve::Journal::open(&done.journal, &spec.header(), &spec.canonical(), true, 8)
+            .expect("journal replays");
+    let quarantined = recovery
+        .outcomes
+        .values()
+        .filter(|o| matches!(o, LoggedOutcome::Quarantined { .. }))
+        .count();
+    assert_eq!(quarantined, TRIALS, "every quarantine is journaled, none swallowed");
+
+    // ...and a chaos-free resume retries them to the clean log.
+    let state = merged_log_of(&dir, 2, true, None);
+    assert_eq!(state, JobState::Completed);
+    let merged =
+        std::fs::read_to_string(dir.join(format!("{}.trials.jsonl", spec.id()))).expect("readable");
+    assert_eq!(merged, clean_log(), "healed campaign matches the clean run");
+}
+
+/// The typed quarantine failure carries the attempt budget and panic
+/// message (exercised through the public worker API).
+#[test]
+fn worker_failure_type_carries_the_evidence() {
+    let trials = job().trial_specs().expect("expands");
+    let policy = WorkerPolicy {
+        workers: 1,
+        max_attempts: 2,
+        backoff_base_ms: 1,
+        chaos_panic_every: Some(1),
+        chaos_all_attempts: true,
+        ..WorkerPolicy::default()
+    };
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failures = Vec::new();
+    flexcore_serve::run_job(&trials[..1], &HashSet::new(), &policy, None, |r| {
+        failures.push(r.outcome.clone());
+    });
+    std::panic::set_hook(prev);
+    let Err(TrialFailure::Panicked { attempts, last_message }) = &failures[0] else {
+        panic!("expected a typed quarantine, got {:?}", failures[0]);
+    };
+    assert_eq!(*attempts, 2);
+    assert!(last_message.contains("chaos"), "got: {last_message}");
+}
+
+/// Queue saturation: typed rejection with a backpressure hint for
+/// equal-priority work, graceful shedding (with accounting) for
+/// higher-priority work — and the surviving jobs still complete.
+#[test]
+fn saturation_is_backpressure_not_collapse() {
+    let dir = tmpdir("saturation");
+    let mut cfg = config(&dir, 2);
+    cfg.max_depth = 1;
+    let server = Server::new(cfg);
+    let low = JobSpec { name: "low".into(), seed: 1, trials: 2, priority: 1, ..job() };
+    let low_id = server.submit(low).expect("admitted");
+
+    // Same priority: typed rejection with a retry hint.
+    let peer = JobSpec { name: "peer".into(), seed: 2, trials: 2, priority: 1, ..job() };
+    let Err(AdmitError::Rejected { retry_after_ms, .. }) = server.submit(peer) else {
+        panic!("expected typed backpressure");
+    };
+    assert!(retry_after_ms > 0);
+
+    // Higher priority: the low job is shed, with an accounting trail.
+    let high = JobSpec { name: "high".into(), seed: 3, trials: 2, priority: 5, ..job() };
+    let high_id = server.submit(high).expect("displaces the low job");
+    let report = server.run().expect("drains");
+    assert_eq!(report.jobs.len(), 1, "only the surviving job ran");
+    assert_eq!(report.jobs[0].id, high_id);
+    assert_eq!(report.jobs[0].state, JobState::Completed);
+    assert_eq!(report.shed.len(), 1);
+    assert_eq!(report.shed[0].id, low_id);
+    assert_eq!(report.shed[0].displaced_by, high_id);
+    assert_eq!(report.admission.rejected, 1);
+    assert_eq!(report.admission.shed, 1);
+}
