@@ -2,19 +2,22 @@
 //! the full FlexCore system under each extension.
 //!
 //! The `system_100k_instructions/*` rows are the observability
-//! *disabled-path* reference: `System::new` installs the [`NullSink`],
-//! whose `ENABLED = false` compiles every instrumentation hook out, so
-//! these rows must not move when the `obs` layer changes. The
-//! `observed_100k_instructions/*` rows run the same simulations with a
-//! live metrics sampler to show what turning the sampler on costs.
+//! *disabled-path* reference: `System::new` installs the [`NullSink`]
+//! and the [`NullPhaseClock`], whose `ENABLED = false` compiles every
+//! instrumentation hook out, so these rows must not move when the
+//! `obs` or telemetry layers change. The `observed_100k_instructions/*`
+//! rows run the same simulations with a live metrics sampler, and the
+//! `profiled_100k_instructions/*` rows with the live phase profiler,
+//! to show what turning each on costs.
 
 use flexcore::ext::{Bc, Dift, Sec, Umc};
-use flexcore::obs::MetricsRecorder;
+use flexcore::obs::{MetricsRecorder, NullSink};
 use flexcore::{Extension, System, SystemConfig};
 use flexcore_asm::Program;
 use flexcore_bench::microbench::Harness;
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig};
+use flexcore_telemetry::PhaseProfiler;
 use flexcore_workloads::Workload;
 
 const BUDGET: u64 = 100_000;
@@ -32,6 +35,17 @@ fn run_system<E: Extension>(program: &Program, ext: E) -> u64 {
 fn run_observed<E: Extension>(program: &Program, ext: E) -> u64 {
     let sampler = MetricsRecorder::new(MetricsRecorder::DEFAULT_EPOCH_CYCLES);
     let mut sys = System::with_sink(SystemConfig::fabric_half_speed(), ext, sampler);
+    sys.load_program(program);
+    sys.try_run(BUDGET).expect("simulation error").cycles
+}
+
+fn run_profiled<E: Extension>(program: &Program, ext: E) -> u64 {
+    let mut sys = System::with_profiler(
+        SystemConfig::fabric_half_speed(),
+        ext,
+        NullSink,
+        PhaseProfiler::new(),
+    );
     sys.load_program(program);
     sys.try_run(BUDGET).expect("simulation error").cycles
 }
@@ -55,4 +69,7 @@ fn main() {
 
     h.run("observed_100k_instructions/umc", || run_observed(&program, Umc::new()));
     h.run("observed_100k_instructions/dift", || run_observed(&program, Dift::new()));
+
+    h.run("profiled_100k_instructions/umc", || run_profiled(&program, Umc::new()));
+    h.run("profiled_100k_instructions/dift", || run_profiled(&program, Dift::new()));
 }

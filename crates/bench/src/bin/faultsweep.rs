@@ -60,7 +60,8 @@ use flexcore::recovery::FaultOutcome;
 use flexcore_bench::trial::{
     self, CampaignSpec, TrialOutcome, TrialSpec, SWEEP_RATES, SWEEP_TARGETS,
 };
-use flexcore_bench::{run_panic_tolerant, ExtKind};
+use flexcore_bench::{run_panic_tolerant_observed, ExtKind};
+use flexcore_telemetry::RateMeter;
 use flexcore_workloads::Workload;
 
 /// Per-trial progress log (JSONL): lets an interrupted campaign resume
@@ -244,7 +245,16 @@ fn run_with_progress(
             fresh.push((label, move || trial::run_trial(&spec, reference.as_ref())));
         }
     }
-    for (i, rep) in fresh_slots.into_iter().zip(run_panic_tolerant(fresh)) {
+    // Rate/ETA progress goes to stderr: CI tees and diffs stdout
+    // between runs, and wall-clock rates legitimately differ.
+    let meter = RateMeter::start();
+    let reports = run_panic_tolerant_observed(fresh, |done, total, _| {
+        eprintln!(
+            "faultsweep: {done}/{total} fresh trials  {}",
+            meter.progress_column(done as u64, total as u64)
+        );
+    });
+    for (i, rep) in fresh_slots.into_iter().zip(reports) {
         if let Ok(o) = &rep.outcome {
             progress.record(&rep.label, *o);
         }

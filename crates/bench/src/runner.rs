@@ -7,6 +7,7 @@ use flexcore::obs::{MetricsRecorder, NullSink, TraceSink};
 use flexcore::{RunResult, System, SystemConfig};
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason};
+use flexcore_telemetry::{PhaseProfiler, PhaseStats};
 use flexcore_workloads::Workload;
 
 /// Instruction budget per simulation (well above any workload's need;
@@ -129,6 +130,51 @@ pub fn run_extension(workload: &Workload, ext: ExtKind, config: SystemConfig) ->
     condense(&r)
 }
 
+fn monitored_profiled<E: flexcore::Extension>(
+    workload: &Workload,
+    config: SystemConfig,
+    ext: E,
+) -> (RunResult, PhaseStats) {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::with_profiler(config, ext, NullSink, PhaseProfiler::new());
+    sys.load_program(&program);
+    let r = sys.try_run(MAX_INSTRUCTIONS).expect("simulation error");
+    assert_eq!(
+        r.exit,
+        ExitReason::Halt(0),
+        "{} under monitoring failed: {:?} / {:?}",
+        workload.name(),
+        r.exit,
+        r.monitor_trap
+    );
+    (r, sys.into_profiler().into_stats())
+}
+
+/// Like [`run_extension`], but with the phase profiler attached:
+/// returns the full [`RunResult`] (including `host_ns`) plus the
+/// per-phase host-time attribution — the data behind `flexprof`.
+pub fn run_extension_profiled(
+    workload: &Workload,
+    ext: ExtKind,
+    config: SystemConfig,
+) -> (RunResult, PhaseStats) {
+    match ext {
+        ExtKind::Umc => monitored_profiled(workload, config, Umc::new()),
+        ExtKind::Dift => monitored_profiled(workload, config, Dift::new()),
+        ExtKind::Bc => monitored_profiled(workload, config, Bc::new()),
+        ExtKind::Sec => monitored_profiled(workload, config, Sec::new()),
+    }
+}
+
+/// The paper-faithful system configuration for an extension: fabric at
+/// half the core clock for UMC/DIFT/BC, a quarter for SEC (§V.C).
+pub fn paper_config(ext: ExtKind) -> SystemConfig {
+    match ext.paper_divisor() {
+        4 => SystemConfig::fabric_quarter_speed(),
+        _ => SystemConfig::fabric_half_speed(),
+    }
+}
+
 /// The `--series <dir>` flag shared by the figure/table binaries: when
 /// present, every monitored run also emits its cycle-resolved epoch
 /// series as `<dir>/<stem>.jsonl`.
@@ -206,8 +252,25 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
+    run_panic_tolerant_observed(jobs, |_, _, _| {})
+}
+
+/// [`run_panic_tolerant`] with a completion callback: `on_done(done,
+/// total, report)` fires on the calling thread as each job is joined
+/// (in submission order within a batch), which is where `faultsweep`
+/// hangs its rate/ETA progress line.
+pub fn run_panic_tolerant_observed<T, F, C>(
+    jobs: Vec<(String, F)>,
+    mut on_done: C,
+) -> Vec<JobReport<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+    C: FnMut(usize, usize, &JobReport<T>),
+{
     let width = std::thread::available_parallelism().map_or(4, usize::from).max(1);
-    let mut reports = Vec::with_capacity(jobs.len());
+    let total = jobs.len();
+    let mut reports = Vec::with_capacity(total);
     let mut queue = jobs.into_iter();
     loop {
         let handles: Vec<_> = queue
@@ -221,6 +284,7 @@ where
         for (label, handle) in handles {
             let outcome = handle.join().map_err(panic_message);
             reports.push(JobReport { label, outcome });
+            on_done(reports.len(), total, reports.last().expect("just pushed"));
         }
     }
     reports

@@ -219,6 +219,12 @@ impl Serialize for RunResult {
             .field("resilience", &self.resilience)
             .field("console", &String::from_utf8_lossy(&self.console).into_owned())
             .field("flight", &self.flight)
+            // Host-time measurement fields all carry the `host_` prefix
+            // so determinism gates can filter them (`grep -v '"host_'`):
+            // wall-clock legitimately differs between identical runs.
+            .field("host_ns", &self.host_ns)
+            .field("host_sim_insns_per_sec", &self.sim_insns_per_sec())
+            .field("host_sim_cycles_per_sec", &self.sim_cycles_per_sec())
             .build()
     }
 }

@@ -69,10 +69,14 @@ pub struct ResilienceStats {
 
 /// The complete result of a [`System`](crate::System) run.
 ///
-/// `PartialEq` compares every field — checkpoint round-trip tests use
-/// it to assert that an interrupted-and-restored run reproduces the
-/// uninterrupted run bit for bit.
-#[derive(Clone, Debug, PartialEq)]
+/// `PartialEq` compares every *architectural* field — checkpoint
+/// round-trip tests use it to assert that an interrupted-and-restored
+/// run reproduces the uninterrupted run bit for bit. [`host_ns`]
+/// (host wall-clock, which legitimately differs between two identical
+/// simulations) is excluded from equality by the manual impl below.
+///
+/// [`host_ns`]: RunResult::host_ns
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Why the core stopped.
     pub exit: ExitReason,
@@ -108,6 +112,32 @@ pub struct RunResult {
     /// [`Observer`](crate::obs::Observer) carrying one) is installed as
     /// the system's trace sink; empty otherwise.
     pub flight: Vec<FlightEntry>,
+    /// Host wall-clock nanoseconds spent inside the run loop
+    /// (accumulated across checkpoint/resume segments). Measurement,
+    /// not architectural state: excluded from `PartialEq` and from the
+    /// byte-determinism contracts on serialized results.
+    pub host_ns: u64,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `host_ns` — two bit-identical simulations
+        // still take different amounts of host time.
+        self.exit == other.exit
+            && self.monitor_trap == other.monitor_trap
+            && self.trap_skid == other.trap_skid
+            && self.cycles == other.cycles
+            && self.instret == other.instret
+            && self.forward == other.forward
+            && self.core == other.core
+            && self.icache == other.icache
+            && self.dcache == other.dcache
+            && self.meta_cache == other.meta_cache
+            && self.bus == other.bus
+            && self.resilience == other.resilience
+            && self.console == other.console
+            && self.flight == other.flight
+    }
 }
 
 impl RunResult {
@@ -117,6 +147,31 @@ impl RunResult {
             0.0
         } else {
             self.cycles as f64 / self.instret as f64
+        }
+    }
+
+    /// Host wall-clock seconds spent in the run loop.
+    pub fn host_secs(&self) -> f64 {
+        self.host_ns as f64 / 1e9
+    }
+
+    /// Simulated instructions committed per host second (0.0 when no
+    /// host time was measured).
+    pub fn sim_insns_per_sec(&self) -> f64 {
+        if self.host_ns == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.host_secs()
+        }
+    }
+
+    /// Simulated core-clock cycles per host second (0.0 when no host
+    /// time was measured).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.host_ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.host_secs()
         }
     }
 
@@ -144,6 +199,16 @@ impl RunResult {
         let _ = writeln!(out, "{:<18}{}", "cycles", self.cycles);
         let _ = writeln!(out, "{:<18}{}", "instret", self.instret);
         let _ = writeln!(out, "{:<18}{:.4}", "cpi", self.cpi());
+        if self.host_ns > 0 {
+            let _ = writeln!(out, "{:<18}{:.3}s", "host time", self.host_secs());
+            let _ = writeln!(
+                out,
+                "{:<18}{:.0} sim insns/s, {:.0} sim cycles/s",
+                "host rate",
+                self.sim_insns_per_sec(),
+                self.sim_cycles_per_sec(),
+            );
+        }
         let _ = writeln!(
             out,
             "{:<18}{} of {} committed ({:.2}%), {} dropped",

@@ -4,6 +4,7 @@ use flexcore_asm::Program;
 use flexcore_fabric::LutMapping;
 use flexcore_mem::{CacheConfig, MainMemory, MetaDataCache, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult, TracePacket};
+use flexcore_telemetry::{NullPhaseClock, Phase, PhaseClock};
 
 use crate::checkpoint::{self, RestoreError, Snapshot, SNAPSHOT_FORMAT};
 use crate::error::{DeadlockSnapshot, SimError};
@@ -239,9 +240,17 @@ impl SystemConfig {
 /// [`crate::obs`]). It defaults to [`NullSink`], which compiles every
 /// hook point away; [`System::with_sink`] installs a recording sink.
 ///
+/// The third type parameter is the host-time phase clock (see
+/// [`flexcore_telemetry`]). It defaults to [`NullPhaseClock`], which
+/// likewise compiles every profiling hook away;
+/// [`System::with_profiler`] installs a live
+/// [`PhaseProfiler`](flexcore_telemetry::PhaseProfiler) that
+/// attributes host wall-clock to simulator phases (the `flexprof`
+/// entry point).
+///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
-pub struct System<E: Extension, S: TraceSink = NullSink> {
+pub struct System<E: Extension, S: TraceSink = NullSink, P: PhaseClock = NullPhaseClock> {
     config: SystemConfig,
     core: Core,
     mem: MainMemory,
@@ -288,7 +297,13 @@ pub struct System<E: Extension, S: TraceSink = NullSink> {
     /// un-processed; recovery reports surface the count. Deliberately
     /// not in the [`Snapshot`] and never reset by a restore.
     fifo_drained_on_restore: u64,
+    /// Host wall-clock nanoseconds spent inside the run loop so far,
+    /// accumulated across `try_run`/`try_run_until` segments. Not part
+    /// of a [`Snapshot`] (host time is not architectural state) and
+    /// excluded from [`RunResult`] equality.
+    host_ns: u64,
     sink: S,
+    prof: P,
 }
 
 impl<E: Extension> System<E> {
@@ -301,8 +316,17 @@ impl<E: Extension> System<E> {
 
 impl<E: Extension, S: TraceSink> System<E, S> {
     /// Builds a system around `ext` with `sink` receiving every
-    /// instrumentation event (see [`crate::obs`]).
+    /// instrumentation event (see [`crate::obs`]). The phase clock
+    /// stays off ([`NullPhaseClock`]).
     pub fn with_sink(config: SystemConfig, ext: E, sink: S) -> System<E, S> {
+        System::with_profiler(config, ext, sink, NullPhaseClock)
+    }
+}
+
+impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
+    /// Builds a system around `ext` with `sink` receiving trace events
+    /// and `prof` attributing host wall-clock to simulator phases.
+    pub fn with_profiler(config: SystemConfig, ext: E, sink: S, prof: P) -> System<E, S, P> {
         let cfgr = ext.cfgr();
         System {
             config,
@@ -328,7 +352,9 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             degraded: false,
             degraded_entry: None,
             fifo_drained_on_restore: 0,
+            host_ns: 0,
             sink,
+            prof,
         }
     }
 
@@ -341,6 +367,18 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     /// recorded) — the usual way to extract metrics after a run.
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// The installed phase clock (e.g. to read
+    /// [`PhaseClock::stats`] after a profiled run).
+    pub fn profiler(&self) -> &P {
+        &self.prof
+    }
+
+    /// Consumes the system, returning the phase clock and whatever it
+    /// attributed.
+    pub fn into_profiler(self) -> P {
+        self.prof
     }
 
     #[inline]
@@ -470,6 +508,15 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             return (self.fabric_free_at, None);
         }
         let start = self.align_up(enq.max(self.fabric_free_at));
+        // Host-time attribution: the whole extension call is one
+        // FabricEval span, minus whatever the ExtEnv charges to
+        // MetaCache inside it — the two phases never double-book.
+        let fab_span = self.prof.begin();
+        let meta_ns0 = if P::ENABLED {
+            self.prof.stats().map_or(0, |s| s.total_ns(Phase::MetaCache))
+        } else {
+            0
+        };
         // Meta-cache and bus activity attributable to this packet is
         // derived from statistics deltas around the extension call, so
         // the mem crate needs no sink plumbing of its own.
@@ -496,12 +543,28 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             // The fabric must decode the raw instruction word itself.
             env.charge_fabric_cycle();
         }
+        if P::ENABLED {
+            if let Some(stats) = self.prof.stats_mut() {
+                env.attach_profiler(stats);
+            }
+        }
         let (ret, trap) = match self.ext.process(pkt, &mut env) {
             Ok(ret) => (ret, None),
             Err(t) => (None, Some(t)),
         };
         let ready = env.ready_at();
         let (meta_reads, meta_writes) = env.meta_ops();
+        if P::ENABLED {
+            if let Some(t) = fab_span {
+                let elapsed = t.elapsed().as_nanos() as u64;
+                let meta_ns = self
+                    .prof
+                    .stats()
+                    .map_or(0, |s| s.total_ns(Phase::MetaCache))
+                    .saturating_sub(meta_ns0);
+                self.prof.record(Phase::FabricEval, elapsed.saturating_sub(meta_ns));
+            }
+        }
         let finish = self.align_up(ready).max(start + self.grid());
         self.fabric_free_at = finish;
         if S::ENABLED {
@@ -639,6 +702,14 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             policy = ForwardPolicy::WaitForAck;
         }
         let now = pkt.commit_cycle;
+        // Host-time attribution: the forwarding-policy bookkeeping and
+        // FIFO traffic below is one Fifo span, minus whatever the
+        // nested `process_on_fabric` call attributes to other phases.
+        // Early-return paths (drops, wedge detection) lose their span —
+        // best-effort, and those paths are off the profiled hot loop.
+        let fifo_span = self.prof.begin();
+        let nested_ns0 =
+            if P::ENABLED { self.prof.stats().map_or(0, |s| s.grand_total_ns()) } else { 0 };
         match policy {
             ForwardPolicy::Ignore => {}
             ForwardPolicy::IfNotFull => {
@@ -713,6 +784,14 @@ impl<E: Extension, S: TraceSink> System<E, S> {
                 }
             }
         }
+        if P::ENABLED {
+            if let Some(t) = fifo_span {
+                let elapsed = t.elapsed().as_nanos() as u64;
+                let nested =
+                    self.prof.stats().map_or(0, |s| s.grand_total_ns()).saturating_sub(nested_ns0);
+                self.prof.record(Phase::Fifo, elapsed.saturating_sub(nested));
+            }
+        }
     }
 
     fn record_forward(&mut self, pkt: &TracePacket) {
@@ -785,7 +864,27 @@ impl<E: Extension, S: TraceSink> System<E, S> {
         self.run_internal(max_instructions, Some(pause_at))
     }
 
+    /// Wraps the run loop with host wall-clock accounting: every
+    /// segment's elapsed time accumulates into `host_ns`, which
+    /// [`RunResult::summary`] turns into simulated-insns/sec and
+    /// simulated-cycles/sec. Two clock reads per `try_run` segment —
+    /// unconditional, profiler or not.
     fn run_internal(
+        &mut self,
+        max_instructions: u64,
+        pause_at: Option<u64>,
+    ) -> Result<RunOutcome, SimError> {
+        let started = std::time::Instant::now();
+        let mut out = self.run_loop(max_instructions, pause_at);
+        self.host_ns = self.host_ns.saturating_add(started.elapsed().as_nanos() as u64);
+        if let Ok(RunOutcome::Done(result)) = &mut out {
+            // `finalize` ran before this segment's clock stopped.
+            result.host_ns = self.host_ns;
+        }
+        out
+    }
+
+    fn run_loop(
         &mut self,
         max_instructions: u64,
         pause_at: Option<u64>,
@@ -827,7 +926,7 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             if self.core.stats().instret >= max_instructions {
                 self.core.halt(ExitReason::InstructionLimit);
             }
-            match self.core.step(&mut self.mem, &mut self.bus) {
+            match self.core.step_phased(&mut self.mem, &mut self.bus, &mut self.prof) {
                 StepResult::Committed(pkt) => {
                     last_commit_cycle = self.core.cycle();
                     self.on_commit(pkt);
@@ -892,6 +991,21 @@ impl<E: Extension, S: TraceSink> System<E, S> {
     /// [`System::try_run_until`] returns
     /// [`RunOutcome::Paused`](crate::RunOutcome::Paused).
     pub fn snapshot(&self) -> Snapshot {
+        self.capture_snapshot()
+    }
+
+    /// [`System::snapshot`] with the capture time charged to
+    /// [`Phase::Checkpoint`] on the installed phase clock (free with
+    /// the default [`NullPhaseClock`]). Checkpointing harnesses that
+    /// profile should call this instead of `snapshot`.
+    pub fn snapshot_profiled(&mut self) -> Snapshot {
+        let span = self.prof.begin();
+        let snap = self.capture_snapshot();
+        self.prof.commit(Phase::Checkpoint, span);
+        snap
+    }
+
+    fn capture_snapshot(&self) -> Snapshot {
         Snapshot {
             format: SNAPSHOT_FORMAT,
             ext_name: self.ext.name().to_string(),
@@ -1141,6 +1255,7 @@ impl<E: Extension, S: TraceSink> System<E, S> {
             resilience: self.resilience,
             console: self.core.console().to_vec(),
             flight: self.sink.flight_log(),
+            host_ns: self.host_ns,
         }
     }
 }

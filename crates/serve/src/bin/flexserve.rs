@@ -34,6 +34,12 @@
 //!   ~1/N trials (supervision demo); `--chaos-all-attempts` escalates
 //!   the selected trials to full quarantine
 //! * `--trace FILE` — write a Chrome trace of worker/trial spans
+//! * `--status FILE` — write a live `status.json` heartbeat
+//!   (atomically replaced after every trial: queue depth, busy
+//!   workers, trial counters, journal write/fsync latency histograms,
+//!   trials/sec, monotone `seq`)
+//! * `--progress` — per-trial progress lines with rate and ETA on
+//!   stderr (stdout stays byte-deterministic)
 //!
 //! Exit codes: 0 all jobs completed; 1 quarantined trials or failed
 //! jobs; 2 usage error; 3 interrupted (resume to finish).
@@ -69,7 +75,8 @@ fn usage() -> ! {
          --workloads a,b --lockstep --recover --sweep --priority N] [--journal-dir DIR] \
          [--workers N] [--resume] [--max-depth N] [--sync-every N] [--stop-after N] \
          [--max-attempts N] [--backoff-base-ms N] [--chaos-panic N] [--chaos-all-attempts] \
-         [--trace FILE]\n       flexserve bench [--trials N] [--workloads a,b] [--json FILE]"
+         [--trace FILE] [--status FILE] [--progress]\n       flexserve bench [--trials N] \
+         [--workloads a,b] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -129,6 +136,8 @@ fn server_config() -> ServerConfig {
         resume: arg_flag("--resume"),
         stop_after: arg_value("--stop-after"),
         trace_path: arg_strings("--trace").pop().map(PathBuf::from),
+        status_path: arg_strings("--status").pop().map(PathBuf::from),
+        progress: arg_flag("--progress"),
     }
 }
 

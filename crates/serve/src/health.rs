@@ -1,0 +1,214 @@
+//! Live service health: a metrics registry snapshotted into an
+//! atomically-replaced `status.json` heartbeat.
+//!
+//! The server keeps one [`HealthMetrics`] — typed handles into a
+//! [`Registry`](flexcore_telemetry::Registry) — and updates it from
+//! the hot path with lock-free atomic RMWs (queue depth and busy
+//! workers as gauges, trial/backpressure/shed counts as counters,
+//! journal write/fsync latencies as log₂ histograms). A [`Heartbeat`]
+//! serializes the registry plus a monotone `seq` and a trials/sec rate
+//! into a temp file and renames it over `status.json`, so an external
+//! reader (the CI soak, an operator's `watch cat`) always sees a
+//! complete, parseable document — never a torn half-write — even while
+//! the server is being `kill -9`ed.
+
+use std::path::{Path, PathBuf};
+
+use flexcore_telemetry::{Counter, Gauge, Histogram, RateMeter, Registry};
+use serde::{Serialize, Value};
+
+use crate::admission::AdmissionStats;
+
+/// Typed handles into the server's metric registry.
+///
+/// Cloning is cheap (each handle is an `Arc` over atomics) and clones
+/// share storage, so the scheduler thread and the heartbeat writer can
+/// hold the same metrics without coordination.
+#[derive(Debug)]
+pub struct HealthMetrics {
+    registry: Registry,
+    /// Jobs currently queued (sampled from the job queue).
+    pub queue_depth: Gauge,
+    /// Workers currently executing a trial attempt.
+    pub busy_workers: Gauge,
+    /// Trials across all drained jobs (executed + reused).
+    pub trials_total: Counter,
+    /// Trials executed to completion this process (incl. quarantines).
+    pub trials_executed: Counter,
+    /// Trials reused from journals instead of rerun.
+    pub trials_reused: Counter,
+    /// Trials that succeeded only after ≥ 1 panicking attempt.
+    pub trials_retried: Counter,
+    /// Trials quarantined after exhausting their attempt budget.
+    pub trials_quarantined: Counter,
+    /// Submissions refused with a backpressure hint.
+    pub backpressure_rejections: Counter,
+    /// Queued jobs shed under overload.
+    pub jobs_shed: Counter,
+    /// Journal record append latency, nanoseconds (log₂ buckets).
+    pub journal_write_ns: Histogram,
+    /// Journal fsync latency, nanoseconds (log₂ buckets).
+    pub journal_fsync_ns: Histogram,
+}
+
+impl HealthMetrics {
+    /// A fresh registry with every server metric registered (so the
+    /// heartbeat schema is stable from the first write, before any
+    /// trial has run).
+    pub fn new() -> HealthMetrics {
+        let registry = Registry::new();
+        HealthMetrics {
+            queue_depth: registry.gauge("queue_depth"),
+            busy_workers: registry.gauge("busy_workers"),
+            trials_total: registry.counter("trials_total"),
+            trials_executed: registry.counter("trials_executed"),
+            trials_reused: registry.counter("trials_reused"),
+            trials_retried: registry.counter("trials_retried"),
+            trials_quarantined: registry.counter("trials_quarantined"),
+            backpressure_rejections: registry.counter("backpressure_rejections"),
+            jobs_shed: registry.counter("jobs_shed"),
+            journal_write_ns: registry.histogram("journal_write_ns"),
+            journal_fsync_ns: registry.histogram("journal_fsync_ns"),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for text exposition or ad-hoc reads).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Brings the admission counters up to the queue's cumulative
+    /// [`AdmissionStats`] (counters only move forward, so this adds
+    /// the delta since the last sync).
+    pub fn sync_admission(&self, stats: &AdmissionStats) {
+        let rejections = &self.backpressure_rejections;
+        rejections.add(stats.rejected.saturating_sub(rejections.get()));
+        self.jobs_shed.add(stats.shed.saturating_sub(self.jobs_shed.get()));
+    }
+}
+
+impl Default for HealthMetrics {
+    fn default() -> HealthMetrics {
+        HealthMetrics::new()
+    }
+}
+
+/// Writes the `status.json` heartbeat: registry snapshot + monotone
+/// sequence number + uptime + trials/sec, replaced atomically.
+#[derive(Debug)]
+pub struct Heartbeat {
+    path: PathBuf,
+    tmp: PathBuf,
+    seq: u64,
+    clock: RateMeter,
+}
+
+impl Heartbeat {
+    /// A heartbeat that will write to `path`. The temp file lives next
+    /// to the target (`<path>.tmp`) so the rename stays within one
+    /// filesystem and is atomic.
+    pub fn new(path: &Path) -> Heartbeat {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        Heartbeat {
+            path: path.to_path_buf(),
+            tmp: PathBuf::from(tmp),
+            seq: 0,
+            clock: RateMeter::start(),
+        }
+    }
+
+    /// The heartbeat's target path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Heartbeats written so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Snapshots `metrics` and atomically replaces `status.json`.
+    ///
+    /// `seq` increments on every write, so a reader polling across a
+    /// kill/resume of the *same* heartbeat sees it strictly increase;
+    /// a fresh process restarts at 1 (the soak checks monotonicity
+    /// within each process lifetime).
+    pub fn write(&mut self, metrics: &HealthMetrics) -> std::io::Result<()> {
+        self.seq += 1;
+        let executed = metrics.trials_executed.get();
+        let doc = Value::object()
+            .field("service", &"flexserve")
+            .field("seq", &self.seq)
+            .field("uptime_secs", &self.clock.elapsed_secs())
+            .field("trials_per_sec", &self.clock.rate(executed))
+            .raw("metrics", metrics.registry().to_value())
+            .build();
+        let mut text = serde::to_string_pretty(&doc);
+        text.push('\n');
+        std::fs::write(&self.tmp, text)?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("flexserve-health-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn heartbeat_is_parseable_and_seq_is_monotone() {
+        let path = tmpfile("monotone");
+        let metrics = HealthMetrics::new();
+        metrics.trials_executed.add(3);
+        metrics.queue_depth.set(2);
+        metrics.journal_write_ns.record(1500);
+        let mut hb = Heartbeat::new(&path);
+        let mut last_seq = 0;
+        for _ in 0..3 {
+            hb.write(&metrics).expect("heartbeat writes");
+            let doc = serde::from_str(&std::fs::read_to_string(&path).expect("read"))
+                .expect("status.json parses");
+            let seq = doc.get("seq").and_then(Value::as_u64).expect("seq present");
+            assert!(seq > last_seq, "seq strictly increases ({last_seq} -> {seq})");
+            last_seq = seq;
+            let m = doc.get("metrics").expect("metrics nested");
+            assert_eq!(m.get("trials_executed").and_then(Value::as_u64), Some(3));
+            assert_eq!(m.get("queue_depth").and_then(Value::as_u64), Some(2));
+            let wr = m.get("journal_write_ns").expect("histogram present");
+            assert_eq!(wr.get("count").and_then(Value::as_u64), Some(1));
+        }
+        assert!(!hb.tmp.exists(), "the temp file never lingers");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schema_is_complete_before_any_activity() {
+        let path = tmpfile("schema");
+        let mut hb = Heartbeat::new(&path);
+        hb.write(&HealthMetrics::new()).expect("heartbeat writes");
+        let doc = serde::from_str(&std::fs::read_to_string(&path).expect("read"))
+            .expect("status.json parses");
+        let m = doc.get("metrics").expect("metrics nested");
+        for key in [
+            "queue_depth",
+            "busy_workers",
+            "trials_total",
+            "trials_executed",
+            "trials_reused",
+            "trials_retried",
+            "trials_quarantined",
+            "backpressure_rejections",
+            "jobs_shed",
+            "journal_write_ns",
+            "journal_fsync_ns",
+        ] {
+            assert!(m.get(key).is_some(), "metric `{key}` registered up front");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

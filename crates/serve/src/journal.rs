@@ -19,6 +19,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use flexcore_bench::trial::{self, TrialOutcome};
+use flexcore_telemetry::Histogram;
 use serde::Value;
 
 use crate::worker::TrialFailure;
@@ -117,6 +118,8 @@ pub struct Journal {
     since_sync: usize,
     /// Records appended by this process (excludes replayed ones).
     pub records_written: u64,
+    write_ns: Option<Histogram>,
+    fsync_ns: Option<Histogram>,
 }
 
 fn io_err(path: &Path, error: std::io::Error) -> JournalError {
@@ -218,6 +221,8 @@ impl Journal {
             sync_every: sync_every.max(1),
             since_sync: 0,
             records_written: 0,
+            write_ns: None,
+            fsync_ns: None,
         };
         Ok((journal, recovery))
     }
@@ -227,12 +232,25 @@ impl Journal {
         &self.path
     }
 
+    /// Installs latency histograms: `write_ns` times each record's
+    /// single `write(2)`, `fsync_ns` times each `fsync`. Without this
+    /// call the journal takes no clock readings at all.
+    pub fn instrument(&mut self, write_ns: Histogram, fsync_ns: Histogram) {
+        self.write_ns = Some(write_ns);
+        self.fsync_ns = Some(fsync_ns);
+    }
+
     fn append_value(&mut self, v: &Value) -> Result<(), JournalError> {
         let mut line = serde::to_string(v);
         line.push('\n');
         // One write per record: a crash can truncate at most the tail
         // line, which resume drops and re-runs.
-        self.file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, e))?;
+        let span = self.write_ns.as_ref().map(|_| std::time::Instant::now());
+        let wrote = self.file.write_all(line.as_bytes()).map_err(|e| io_err(&self.path, e));
+        if let (Some(h), Some(t)) = (&self.write_ns, span) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
+        wrote?;
         self.records_written += 1;
         self.since_sync += 1;
         if self.since_sync >= self.sync_every {
@@ -281,7 +299,12 @@ impl Journal {
     /// every `sync_every` records and at the end of a job.
     pub fn sync(&mut self) -> Result<(), JournalError> {
         self.since_sync = 0;
-        self.file.sync_all().map_err(|e| io_err(&self.path, e))
+        let span = self.fsync_ns.as_ref().map(|_| std::time::Instant::now());
+        let synced = self.file.sync_all().map_err(|e| io_err(&self.path, e));
+        if let (Some(h), Some(t)) = (&self.fsync_ns, span) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
+        synced
     }
 }
 

@@ -37,6 +37,14 @@
 //!   emits per-job metrics plus Chrome-trace worker/trial spans
 //!   (the observability story of `flexcore::obs`, applied to the
 //!   service itself).
+//! * [`health`] — live service health on
+//!   [`flexcore_telemetry`](flexcore_telemetry)'s lock-free registry:
+//!   queue depth and busy workers as gauges, trial/backpressure/shed
+//!   counts as counters, journal write/fsync latency as log₂
+//!   histograms — snapshotted after every trial into an
+//!   atomically-replaced `status.json` heartbeat with a monotone
+//!   `seq`, so an external watcher never reads a torn document even
+//!   across a `kill -9`.
 //!
 //! The end-to-end robustness contract (exercised by the integration
 //! tests and the CI soak): a campaign run under `flexserve` with
@@ -50,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod health;
 pub mod job;
 pub mod journal;
 pub mod queue;
@@ -57,8 +66,9 @@ pub mod scheduler;
 pub mod worker;
 
 pub use admission::{AdmissionStats, AdmitError, ShedRecord};
+pub use health::{HealthMetrics, Heartbeat};
 pub use job::{JobId, JobSpec, JobSpecError};
 pub use journal::{Journal, JournalError, JournalRecovery, LoggedOutcome};
 pub use queue::JobQueue;
 pub use scheduler::{JobState, JobSummary, Server, ServerConfig, ServerReport};
-pub use worker::{run_job, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
+pub use worker::{run_job, run_job_observed, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};

@@ -16,13 +16,15 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 use flexcore_bench::trial::{self, TrialOutcome, TrialSpec};
+use flexcore_telemetry::RateMeter;
 use serde::Value;
 
 use crate::admission::{AdmissionStats, AdmitError, ShedRecord};
+use crate::health::{HealthMetrics, Heartbeat};
 use crate::job::{JobId, JobSpec};
 use crate::journal::{Journal, JournalError, LoggedOutcome};
 use crate::queue::JobQueue;
-use crate::worker::{run_job, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
+use crate::worker::{run_job_observed, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
 
 /// Server knobs.
 #[derive(Clone, Debug)]
@@ -45,6 +47,14 @@ pub struct ServerConfig {
     pub stop_after: Option<u64>,
     /// Where to write the Chrome trace of worker/trial spans.
     pub trace_path: Option<PathBuf>,
+    /// Where to write the live `status.json` heartbeat (atomically
+    /// replaced after every trial record); `None` disables health
+    /// reporting entirely.
+    pub status_path: Option<PathBuf>,
+    /// Emit a per-record progress line (done/total, trials/sec, ETA)
+    /// on **stderr** — stdout stays reserved for the report, which CI
+    /// diffs byte-for-byte between runs.
+    pub progress: bool,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +67,8 @@ impl Default for ServerConfig {
             resume: false,
             stop_after: None,
             trace_path: None,
+            status_path: None,
+            progress: false,
         }
     }
 }
@@ -170,12 +182,26 @@ impl Server {
         let mut budget = self.config.stop_after;
         let mut spans: Vec<(String, TrialRecord)> = Vec::new();
         let mut trace_base_us = 0u64;
+        // The heartbeat is written before the first job so an external
+        // watcher sees a complete (if all-zero) status.json immediately;
+        // only this first write propagates its IO error — later writes
+        // are best-effort because a full disk must not kill a campaign
+        // whose journal writes still succeed.
+        let mut health: Option<(HealthMetrics, Heartbeat)> =
+            self.config.status_path.as_ref().map(|p| (HealthMetrics::new(), Heartbeat::new(p)));
+        if let Some((metrics, heartbeat)) = health.as_mut() {
+            metrics.queue_depth.set(self.queue.depth() as u64);
+            metrics.sync_admission(&self.queue.stats());
+            heartbeat
+                .write(metrics)
+                .map_err(|e| JournalError::Io { path: heartbeat.path().to_path_buf(), error: e })?;
+        }
         while let Some(spec) = self.queue.pop() {
             if budget == Some(0) {
                 report.interrupted = true;
                 break;
             }
-            let summary = self.run_one(&spec, budget, &mut spans, trace_base_us)?;
+            let summary = self.run_one(&spec, budget, &mut spans, trace_base_us, &mut health)?;
             if let Some(b) = budget.as_mut() {
                 *b = b.saturating_sub(summary.stats.executed);
             }
@@ -189,6 +215,11 @@ impl Server {
         }
         report.admission = self.queue.stats();
         report.shed = self.queue.shed_log();
+        if let Some((metrics, heartbeat)) = health.as_mut() {
+            metrics.queue_depth.set(self.queue.depth() as u64);
+            metrics.sync_admission(&report.admission);
+            let _ = heartbeat.write(metrics);
+        }
         if let Some(path) = &self.config.trace_path {
             std::fs::write(path, trace_json(&spans, self.config.worker_policy.pool_width()))
                 .map_err(|e| JournalError::Io { path: path.clone(), error: e })?;
@@ -202,6 +233,7 @@ impl Server {
         budget: Option<u64>,
         spans: &mut Vec<(String, TrialRecord)>,
         trace_base_us: u64,
+        health: &mut Option<(HealthMetrics, Heartbeat)>,
     ) -> Result<JobSummary, JournalError> {
         let id = spec.id();
         let journal_path = self.journal_path(id);
@@ -240,6 +272,15 @@ impl Server {
                 skip.insert(label.clone());
             }
         }
+        let busy = if let Some((metrics, _)) = health.as_ref() {
+            journal.instrument(metrics.journal_write_ns.clone(), metrics.journal_fsync_ns.clone());
+            metrics.trials_total.add(summary.trials);
+            metrics.trials_reused.add(skip.len() as u64);
+            metrics.queue_depth.set(self.queue.depth() as u64);
+            Some(metrics.busy_workers.clone())
+        } else {
+            None
+        };
         journal.append_event(
             "job-started",
             Value::object()
@@ -248,26 +289,56 @@ impl Server {
                 .build(),
         )?;
 
+        let meter = RateMeter::start();
+        let todo = summary.trials - skip.len() as u64;
+        let mut done = 0u64;
         let mut journal_err: Option<JournalError> = None;
-        let stats = run_job(&trials, &skip, &self.config.worker_policy, budget, |record| {
-            if journal_err.is_some() {
-                return;
-            }
-            let append = match &record.outcome {
-                Ok(outcome) => {
-                    outcomes.insert(record.label.clone(), *outcome);
-                    journal.append_trial(&record.label, outcome)
+        let stats = run_job_observed(
+            &trials,
+            &skip,
+            &self.config.worker_policy,
+            budget,
+            busy.as_ref(),
+            |record| {
+                if journal_err.is_some() {
+                    return;
                 }
-                Err(failure) => journal.append_quarantine(&record.label, failure),
-            };
-            if let Err(e) = append {
-                journal_err = Some(e);
-            }
-            spans.push((
-                spec.name.clone(),
-                TrialRecord { start_us: trace_base_us + record.start_us, ..record.clone() },
-            ));
-        });
+                let append = match &record.outcome {
+                    Ok(outcome) => {
+                        outcomes.insert(record.label.clone(), *outcome);
+                        journal.append_trial(&record.label, outcome)
+                    }
+                    Err(failure) => journal.append_quarantine(&record.label, failure),
+                };
+                if let Err(e) = append {
+                    journal_err = Some(e);
+                }
+                spans.push((
+                    spec.name.clone(),
+                    TrialRecord { start_us: trace_base_us + record.start_us, ..record.clone() },
+                ));
+                done += 1;
+                if self.config.progress {
+                    // Stderr, not stdout: the stdout report is diffed
+                    // byte-for-byte between runs by CI, and wall-clock
+                    // rates legitimately differ.
+                    eprintln!(
+                        "flexserve: `{}` {done}/{todo} trials  {}",
+                        spec.name,
+                        meter.progress_column(done, todo),
+                    );
+                }
+                if let Some((metrics, heartbeat)) = health.as_mut() {
+                    metrics.trials_executed.inc();
+                    match &record.outcome {
+                        Ok(_) if record.attempts > 1 => metrics.trials_retried.inc(),
+                        Ok(_) => {}
+                        Err(TrialFailure::Panicked { .. }) => metrics.trials_quarantined.inc(),
+                    }
+                    let _ = heartbeat.write(metrics);
+                }
+            },
+        );
         if let Some(e) = journal_err {
             return Err(e);
         }
@@ -486,6 +557,39 @@ mod tests {
             panic!("expected failure, got {:?}", report.jobs[0].state);
         };
         assert!(detail.contains("doom"), "{detail}");
+    }
+
+    #[test]
+    fn status_heartbeat_tracks_the_drain_live() {
+        let dir = tmpdir("status");
+        let mut cfg = config(&dir);
+        cfg.status_path = Some(dir.join("status.json"));
+        let server = Server::new(cfg);
+        server.submit(small_job("status", 4)).expect("admitted");
+        let report = server.run().expect("drains");
+        assert_eq!(report.jobs[0].stats.executed, 4);
+
+        let doc = serde::from_str(&std::fs::read_to_string(dir.join("status.json")).expect("read"))
+            .expect("status.json parses");
+        // Initial write + 4 per-record writes + final write.
+        assert_eq!(doc.get("seq").and_then(Value::as_u64), Some(6));
+        let m = doc.get("metrics").expect("metrics nested");
+        assert_eq!(m.get("trials_total").and_then(Value::as_u64), Some(4));
+        assert_eq!(m.get("trials_executed").and_then(Value::as_u64), Some(4));
+        assert_eq!(m.get("trials_quarantined").and_then(Value::as_u64), Some(0));
+        assert_eq!(m.get("queue_depth").and_then(Value::as_u64), Some(0), "drained");
+        assert_eq!(m.get("busy_workers").and_then(Value::as_u64), Some(0), "pool idle");
+        // Every appended record went through the instrumented write
+        // path: header event + 4 trials + done event.
+        let writes = m.get("journal_write_ns").expect("histogram");
+        assert_eq!(writes.get("count").and_then(Value::as_u64), Some(6));
+        assert!(
+            m.get("journal_fsync_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_u64)
+                .is_some_and(|n| n >= 1),
+            "the end-of-job fsync was timed"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use flexcore::RunResult;
 use flexcore_bench::trial::{self, TrialOutcome, TrialSpec};
+use flexcore_telemetry::Gauge;
 
 /// Supervision knobs for the worker pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -221,6 +222,24 @@ pub fn run_job<F>(
     skip: &HashSet<String>,
     policy: &WorkerPolicy,
     stop_after: Option<u64>,
+    on_record: F,
+) -> JobRunStats
+where
+    F: FnMut(&TrialRecord),
+{
+    run_job_observed(trials, skip, policy, stop_after, None, on_record)
+}
+
+/// [`run_job`] with an optional busy-worker gauge: raised when a
+/// worker claims a trial, lowered when the record is handed off — the
+/// live "how parallel is the pool right now" signal behind the
+/// `flexserve` status heartbeat. `None` costs nothing.
+pub fn run_job_observed<F>(
+    trials: &[TrialSpec],
+    skip: &HashSet<String>,
+    policy: &WorkerPolicy,
+    stop_after: Option<u64>,
+    busy: Option<&Gauge>,
     mut on_record: F,
 ) -> JobRunStats
 where
@@ -252,7 +271,13 @@ where
                         let Some((index, spec)) = pending.get(claim).copied() else { break };
                         let start_us = started.elapsed().as_micros() as u64;
                         let reference = refs.get(spec.workload.name());
+                        if let Some(g) = busy {
+                            g.inc();
+                        }
                         let done = supervised(spec, reference, policy);
+                        if let Some(g) = busy {
+                            g.dec();
+                        }
                         let record = TrialRecord {
                             index,
                             label: spec.label.clone(),

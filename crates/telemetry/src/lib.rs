@@ -1,0 +1,70 @@
+//! `flexcore-telemetry` — host-time attribution and live health metrics
+//! for the FlexCore reproduction.
+//!
+//! ROADMAP items 1 and 2 (event-driven fabric simulation, predecoded
+//! hot-loop batching) are *performance* changes, and a performance
+//! change without a committed baseline is a guess. This crate is the
+//! instrument those PRs will be judged by. It answers two questions:
+//!
+//! 1. **Where does host wall-clock go?** — the [`PhaseClock`] trait
+//!    attributes time to named simulator [`Phase`]s (fetch/decode,
+//!    execute, fabric netlist eval, FIFO traffic, metadata-cache
+//!    access, checkpointing, journal write/fsync) with cheap
+//!    enter/exit scopes and log₂-bucketed latency histograms
+//!    ([`Log2Histogram`]). The profiler follows the same static-
+//!    dispatch idiom as `flexcore::obs::TraceSink`: the simulator is
+//!    generic over `P: PhaseClock`, and the default
+//!    [`NullPhaseClock`] has `ENABLED = false`, so every hook is a
+//!    branch on a compile-time constant the optimizer deletes — the
+//!    disabled path performs **no clock reads, no allocation, and no
+//!    stores**.
+//! 2. **Is the service healthy right now?** — the [`Registry`] holds
+//!    lock-free [`Counter`]s, [`Gauge`]s, and [`Histogram`]s (plain
+//!    relaxed atomics; a mutex guards registration only, never the
+//!    hot path) with text and vendored-serde JSON exposition, which
+//!    `flexserve` snapshots into an atomically-replaced `status.json`
+//!    heartbeat during campaigns.
+//!
+//! The [`RateMeter`] rounds this out with the rate + ETA arithmetic
+//! that `faultsweep`/`flexserve` progress lines print.
+//!
+//! # Overhead contract
+//!
+//! With [`NullPhaseClock`] (the default everywhere), instrumentation
+//! must cost nothing measurable: the type is a ZST, `ENABLED` is
+//! `false`, and every `begin`/`commit` pair folds to a no-op. The
+//! `sim_throughput` bench rows and the `telemetry_guard` integration
+//! test hold this line. With [`PhaseProfiler`], the budget is two
+//! monotonic clock reads per instrumented span — acceptable for
+//! profiling runs, which is why `flexprof` is a separate entry point
+//! rather than an always-on default.
+//!
+//! # Example
+//!
+//! ```
+//! use flexcore_telemetry::{Phase, PhaseClock, PhaseProfiler};
+//!
+//! let mut prof = PhaseProfiler::default();
+//! let t = prof.begin();
+//! // ... simulate something ...
+//! prof.commit(Phase::Execute, t);
+//! assert_eq!(prof.stats().unwrap().count(Phase::Execute), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod phase;
+pub mod rate;
+pub mod registry;
+
+pub use hist::Log2Histogram;
+pub use phase::{NullPhaseClock, Phase, PhaseClock, PhaseProfiler, PhaseStats};
+pub use rate::RateMeter;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+
+/// Alias spelling out what the null clock is for: the telemetry-off
+/// configuration every non-profiling entry point uses.
+pub type NullTelemetry = NullPhaseClock;

@@ -1,0 +1,323 @@
+//! Phase taxonomy and the zero-cost-when-disabled phase clock.
+//!
+//! The simulator is generic over [`PhaseClock`] exactly the way it is
+//! generic over `flexcore::obs::TraceSink`: the default
+//! [`NullPhaseClock`] carries `ENABLED = false` as an associated
+//! constant, every instrumentation site guards on it, and the
+//! optimizer deletes the whole hook — no `Instant::now()`, no store,
+//! no branch at run time. [`PhaseProfiler`] is the enabled
+//! implementation used by `flexprof`.
+
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use crate::hist::Log2Histogram;
+
+/// Where simulator host time can be attributed. One variant per
+/// instrumented span; see DESIGN.md "Telemetry & profiling" for the
+/// exact boundaries of each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Instruction fetch (icache lookup, bus refill) through decode.
+    FetchDecode,
+    /// Functional execution of the decoded instruction (ALU, branches,
+    /// loads/stores against the dcache model).
+    Execute,
+    /// Monitoring-extension processing on the fabric model, *excluding*
+    /// time spent inside metadata-cache accesses (counted separately
+    /// under [`Phase::MetaCache`] so the two never double-book).
+    FabricEval,
+    /// Core→fabric FIFO traffic: packet push on commit, plus the
+    /// forwarding-policy bookkeeping around it.
+    Fifo,
+    /// Metadata-cache reads/writes issued by extensions via `ExtEnv`.
+    MetaCache,
+    /// Architectural checkpoint capture (snapshot serialization).
+    Checkpoint,
+    /// Campaign-journal record appends (buffered write syscall).
+    JournalWrite,
+    /// Campaign-journal fsync epochs (durability barrier).
+    JournalFsync,
+}
+
+impl Phase {
+    /// Number of phases (array dimension for [`PhaseStats`]).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in fixed presentation order.
+    pub fn all() -> [Phase; Phase::COUNT] {
+        [
+            Phase::FetchDecode,
+            Phase::Execute,
+            Phase::FabricEval,
+            Phase::Fifo,
+            Phase::MetaCache,
+            Phase::Checkpoint,
+            Phase::JournalWrite,
+            Phase::JournalFsync,
+        ]
+    }
+
+    /// Dense index, `0 .. COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::FetchDecode => 0,
+            Phase::Execute => 1,
+            Phase::FabricEval => 2,
+            Phase::Fifo => 3,
+            Phase::MetaCache => 4,
+            Phase::Checkpoint => 5,
+            Phase::JournalWrite => 6,
+            Phase::JournalFsync => 7,
+        }
+    }
+
+    /// Stable snake_case name used in `BENCH_profile.json` and
+    /// exposition output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::FetchDecode => "fetch_decode",
+            Phase::Execute => "execute",
+            Phase::FabricEval => "fabric_eval",
+            Phase::Fifo => "fifo",
+            Phase::MetaCache => "meta_cache",
+            Phase::Checkpoint => "checkpoint",
+            Phase::JournalWrite => "journal_write",
+            Phase::JournalFsync => "journal_fsync",
+        }
+    }
+}
+
+/// Per-phase host-time accounting: span count, total nanoseconds, and
+/// a log₂ latency histogram per phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    counts: [u64; Phase::COUNT],
+    total_ns: [u64; Phase::COUNT],
+    hists: [Log2Histogram; Phase::COUNT],
+}
+
+impl PhaseStats {
+    /// Empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one span of `ns` nanoseconds against `phase`.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, ns: u64) {
+        let i = phase.index();
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.total_ns[i] = self.total_ns[i].saturating_add(ns);
+        self.hists[i].record(ns);
+    }
+
+    /// Spans recorded against `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Total nanoseconds attributed to `phase`.
+    pub fn total_ns(&self, phase: Phase) -> u64 {
+        self.total_ns[phase.index()]
+    }
+
+    /// The latency histogram for `phase`.
+    pub fn hist(&self, phase: Phase) -> &Log2Histogram {
+        &self.hists[phase.index()]
+    }
+
+    /// Total nanoseconds attributed across all phases.
+    pub fn grand_total_ns(&self) -> u64 {
+        self.total_ns.iter().fold(0u64, |a, &n| a.saturating_add(n))
+    }
+
+    /// Folds another stats block into this one (shard merge).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        for p in Phase::all() {
+            let i = p.index();
+            self.counts[i] = self.counts[i].saturating_add(other.counts[i]);
+            self.total_ns[i] = self.total_ns[i].saturating_add(other.total_ns[i]);
+            self.hists[i].merge(&other.hists[i]);
+        }
+    }
+}
+
+impl Serialize for PhaseStats {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        for p in Phase::all() {
+            if self.count(p) == 0 {
+                continue;
+            }
+            obj = obj.raw(
+                p.name(),
+                Value::object()
+                    .field("count", &self.count(p))
+                    .field("total_ns", &self.total_ns(p))
+                    .field("hist", self.hist(p))
+                    .build(),
+            );
+        }
+        obj.build()
+    }
+}
+
+/// The phase-attribution hook the simulator is generic over.
+///
+/// Implementations are either [`NullPhaseClock`] (a ZST with
+/// `ENABLED = false`; every hook folds away) or [`PhaseProfiler`]
+/// (wall-clock attribution into a [`PhaseStats`]). Instrumentation
+/// sites use the `begin`/`commit` pair, which performs clock reads
+/// only when `ENABLED`.
+pub trait PhaseClock {
+    /// Compile-time switch; when `false` the call sites optimize out.
+    const ENABLED: bool;
+
+    /// Records a finished span. No-op on the null clock.
+    fn record(&mut self, phase: Phase, ns: u64);
+
+    /// Accumulated stats, when this clock keeps any.
+    fn stats(&self) -> Option<&PhaseStats> {
+        None
+    }
+
+    /// Mutable stats, for lending to nested components (e.g. `ExtEnv`
+    /// timing metadata-cache accesses on the simulator's behalf).
+    fn stats_mut(&mut self) -> Option<&mut PhaseStats> {
+        None
+    }
+
+    /// Opens a span: a timestamp when enabled, `None` (free) when not.
+    #[inline]
+    fn begin(&self) -> Option<Instant> {
+        if Self::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by [`PhaseClock::begin`].
+    #[inline]
+    fn commit(&mut self, phase: Phase, started: Option<Instant>) {
+        if !Self::ENABLED {
+            return;
+        }
+        if let Some(t) = started {
+            self.record(phase, t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The telemetry-off clock: zero-sized, `ENABLED = false`, so the
+/// compiler deletes every instrumentation site. This is the default
+/// for every entry point except `flexprof`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullPhaseClock;
+
+impl PhaseClock for NullPhaseClock {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn record(&mut self, _phase: Phase, _ns: u64) {}
+}
+
+/// Wall-clock phase profiler: attributes real elapsed time into a
+/// [`PhaseStats`]. Costs two monotonic clock reads per span.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfiler {
+    stats: PhaseStats,
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the profiler, yielding its stats.
+    pub fn into_stats(self) -> PhaseStats {
+        self.stats
+    }
+}
+
+impl PhaseClock for PhaseProfiler {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, phase: Phase, ns: u64) {
+        self.stats.record(phase, ns);
+    }
+
+    fn stats(&self) -> Option<&PhaseStats> {
+        Some(&self.stats)
+    }
+
+    fn stats_mut(&mut self) -> Option<&mut PhaseStats> {
+        Some(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_disabled_and_zero_sized() {
+        const _: () = assert!(!NullPhaseClock::ENABLED);
+        assert_eq!(std::mem::size_of::<NullPhaseClock>(), 0);
+        // begin() must not touch the clock when disabled.
+        assert!(NullPhaseClock.begin().is_none());
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_names_stable() {
+        for (i, p) in Phase::all().iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::all().len(), Phase::COUNT);
+        assert_eq!(Phase::FabricEval.name(), "fabric_eval");
+    }
+
+    #[test]
+    fn profiler_attributes_spans() {
+        let mut prof = PhaseProfiler::new();
+        let t = prof.begin();
+        assert!(t.is_some());
+        prof.commit(Phase::Fifo, t);
+        prof.record(Phase::Fifo, 1_000);
+        let stats = prof.stats().expect("profiler keeps stats");
+        assert_eq!(stats.count(Phase::Fifo), 2);
+        assert!(stats.total_ns(Phase::Fifo) >= 1_000);
+        assert_eq!(stats.count(Phase::Execute), 0);
+        assert_eq!(stats.hist(Phase::Fifo).count(), 2);
+    }
+
+    #[test]
+    fn merge_accumulates_across_shards() {
+        let mut a = PhaseStats::new();
+        let mut b = PhaseStats::new();
+        a.record(Phase::Execute, 10);
+        b.record(Phase::Execute, 30);
+        b.record(Phase::Checkpoint, 5);
+        a.merge(&b);
+        assert_eq!(a.count(Phase::Execute), 2);
+        assert_eq!(a.total_ns(Phase::Execute), 40);
+        assert_eq!(a.count(Phase::Checkpoint), 1);
+        assert_eq!(a.grand_total_ns(), 45);
+    }
+
+    #[test]
+    fn serialize_emits_only_touched_phases() {
+        let mut s = PhaseStats::new();
+        s.record(Phase::MetaCache, 128);
+        let v = s.to_value();
+        assert!(v.get("meta_cache").is_some());
+        assert!(v.get("execute").is_none());
+        let mc = v.get("meta_cache").unwrap();
+        assert_eq!(mc.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(mc.get("total_ns").and_then(Value::as_u64), Some(128));
+    }
+}

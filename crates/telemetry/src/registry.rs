@@ -1,0 +1,331 @@
+//! Lock-free metrics registry with text and JSON exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped
+//! relaxed atomics: updating one from a worker thread is a single
+//! atomic RMW with no lock and no allocation. The registry's mutex
+//! guards *registration only* — the one-time get-or-create of a named
+//! metric — never the hot path. `flexserve` snapshots the registry
+//! into its `status.json` heartbeat; exposition order is registration
+//! order, so snapshots diff cleanly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Serialize, Value};
+
+use crate::hist::{bucket_of, Log2Histogram, BUCKETS};
+
+/// A monotonically increasing counter (events, bytes, trials).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, busy workers).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by 1, saturating at 0 (a stray extra `dec`
+    /// must not wrap a depth gauge to 2⁶⁴).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared atomic storage behind a [`Histogram`] handle.
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log₂ histogram handle (journal fsync latency and the
+/// like). Recording is three relaxed atomic adds; readers take a
+/// point-in-time [`Log2Histogram`] snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantiles/serialization. Concurrent
+    /// writers may land between bucket loads; the snapshot's count is
+    /// derived from the loaded buckets, so the monotone-total
+    /// invariant holds even mid-write.
+    pub fn snapshot(&self) -> Log2Histogram {
+        let buckets = std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        Log2Histogram::from_raw(buckets, self.0.sum.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric (name + typed handle).
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(String, Counter),
+    Gauge(String, Gauge),
+    Histogram(String, Histogram),
+}
+
+impl Metric {
+    fn name(&self) -> &str {
+        match self {
+            Metric::Counter(n, _) | Metric::Gauge(n, _) | Metric::Histogram(n, _) => n,
+        }
+    }
+}
+
+/// A named collection of metrics with deterministic exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        for m in metrics.iter() {
+            if m.name() == name {
+                match m {
+                    Metric::Counter(_, c) => return c.clone(),
+                    _ => panic!("metric `{name}` already registered with a different type"),
+                }
+            }
+        }
+        let c = Counter::default();
+        metrics.push(Metric::Counter(name.to_string(), c.clone()));
+        c
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        for m in metrics.iter() {
+            if m.name() == name {
+                match m {
+                    Metric::Gauge(_, g) => return g.clone(),
+                    _ => panic!("metric `{name}` already registered with a different type"),
+                }
+            }
+        }
+        let g = Gauge::default();
+        metrics.push(Metric::Gauge(name.to_string(), g.clone()));
+        g
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        for m in metrics.iter() {
+            if m.name() == name {
+                match m {
+                    Metric::Histogram(_, h) => return h.clone(),
+                    _ => panic!("metric `{name}` already registered with a different type"),
+                }
+            }
+        }
+        let h = Histogram::default();
+        metrics.push(Metric::Histogram(name.to_string(), h.clone()));
+        h
+    }
+
+    /// Plain-text exposition, one `name value` line per metric in
+    /// registration order; histograms expose count, sum, and p50/p99
+    /// upper-edge estimates.
+    pub fn expose_text(&self) -> String {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for m in metrics.iter() {
+            match m {
+                Metric::Counter(name, c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(name, g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(name, h) => {
+                    let snap = h.snapshot();
+                    out.push_str(&format!(
+                        "{name}_count {}\n{name}_sum {}\n{name}_p50 {}\n{name}_p99 {}\n",
+                        snap.count(),
+                        snap.sum(),
+                        snap.quantile(0.5),
+                        snap.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for Registry {
+    /// JSON exposition: one field per metric in registration order;
+    /// histograms nest the sparse [`Log2Histogram`] form plus p50/p99.
+    fn to_value(&self) -> Value {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut obj = Value::object();
+        for m in metrics.iter() {
+            obj = match m {
+                Metric::Counter(name, c) => obj.field(name, &c.get()),
+                Metric::Gauge(name, g) => obj.field(name, &g.get()),
+                Metric::Histogram(name, h) => {
+                    let snap = h.snapshot();
+                    obj.raw(
+                        name,
+                        Value::object()
+                            .field("count", &snap.count())
+                            .field("sum", &snap.sum())
+                            .field("p50", &snap.quantile(0.5))
+                            .field("p99", &snap.quantile(0.99))
+                            .field("hist", &snap)
+                            .build(),
+                    )
+                }
+            };
+        }
+        obj.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("trials_total");
+        let b = reg.counter("trials_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+
+        let g = reg.gauge("busy_workers");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, does not wrap
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_records_concurrently() {
+        let reg = Registry::new();
+        let h = reg.histogram("fsync_ns");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for v in 0..256u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4 * 256);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4 * 256);
+        assert!(snap.quantile(0.99) >= 128);
+    }
+
+    #[test]
+    fn exposition_is_registration_ordered() {
+        let reg = Registry::new();
+        reg.counter("zebra").inc();
+        reg.gauge("alpha").set(7);
+        reg.histogram("lat").record(100);
+        let text = reg.expose_text();
+        let z = text.find("zebra").expect("zebra exposed");
+        let a = text.find("alpha").expect("alpha exposed");
+        assert!(z < a, "registration order, not alphabetical");
+        assert!(text.contains("lat_p99"));
+
+        let v = reg.to_value();
+        assert_eq!(v.get("zebra").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("alpha").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("lat").and_then(|l| l.get("count")).and_then(Value::as_u64), Some(1));
+        // The whole exposition parses back.
+        assert!(serde::from_str(&serde::to_string(&v)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_is_refused() {
+        let reg = Registry::new();
+        reg.counter("depth");
+        reg.gauge("depth");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the log₂ histogram: counting is conserved,
+//! merging is associative and commutative, and the sparse serialized
+//! form round-trips bit-exactly.
+
+use flexcore_telemetry::Log2Histogram;
+use proptest::prelude::*;
+use serde::Serialize;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix small values (dense low buckets), arbitrary ones, and the
+    // extremes so bucket 0 and the open-ended top bucket are hit.
+    let v = prop_oneof![
+        4 => 0u64..1024,
+        2 => any::<u64>(),
+        1 => Just(0u64),
+        1 => Just(u64::MAX),
+    ];
+    prop::collection::vec(v, 0..200)
+}
+
+fn filled(samples: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded sample lands in exactly one bucket: the bucket
+    /// total always equals the count, and both equal the number of
+    /// samples recorded (monotone total — nothing is lost or double
+    /// counted, at any prefix of the stream).
+    #[test]
+    fn bucket_totals_are_monotone_and_conserved(samples in arb_samples()) {
+        let mut h = Log2Histogram::new();
+        let mut prev_total = 0u64;
+        for (i, &s) in samples.iter().enumerate() {
+            h.record(s);
+            let total: u64 = (0..64).map(|b| h.bucket(b)).sum();
+            prop_assert_eq!(total, h.count());
+            prop_assert_eq!(total, i as u64 + 1);
+            prop_assert!(total >= prev_total, "totals never move backward");
+            prev_total = total;
+        }
+    }
+
+    /// Merge order never matters: (a ∪ b) ∪ c == a ∪ (b ∪ c) and
+    /// a ∪ b == b ∪ a, bucket for bucket and sum for sum.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (ha, hb, hc) = (filled(&a), filled(&b), filled(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "associative");
+    }
+
+    /// The sparse `{count, sum, buckets}` form decodes back to the
+    /// exact histogram — bit-for-bit, including the saturating extremes.
+    #[test]
+    fn serde_round_trip_is_bit_exact(samples in arb_samples()) {
+        let h = filled(&samples);
+        let text = serde::to_string(&h.to_value());
+        let v = serde::from_str(&text).expect("emitted JSON parses");
+        let back = Log2Histogram::from_value(&v).expect("well-formed decodes");
+        prop_assert_eq!(back, h);
+    }
+
+    /// A merged histogram's quantile estimates stay within the merged
+    /// value range (sanity on the bucket upper-edge estimator).
+    #[test]
+    fn quantiles_are_ordered(samples in arb_samples()) {
+        let h = filled(&samples);
+        if h.count() > 0 {
+            let p50 = h.quantile(0.50);
+            let p99 = h.quantile(0.99);
+            prop_assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`flexcore`] — the FlexCore architecture itself (interface,
 //!   extensions, full system)
 //! * [`workloads`] — MiBench-like assembly kernels
+//! * [`telemetry`] — zero-cost-when-disabled phase profiler, log₂
+//!   histograms, and the lock-free metrics registry
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -27,4 +29,5 @@ pub use flexcore_fabric as fabric;
 pub use flexcore_isa as isa;
 pub use flexcore_mem as mem;
 pub use flexcore_pipeline as pipeline;
+pub use flexcore_telemetry as telemetry;
 pub use flexcore_workloads as workloads;
