@@ -7,9 +7,22 @@
 //! (`--resume`) with zero lost and zero duplicated trials.
 //!
 //! ```text
-//! flexserve run   [job flags]... [server flags]...
-//! flexserve bench [--trials N] [--json FILE]
+//! flexserve run       [job flags]... [server flags]...
+//! flexserve serve     [server flags]... [--socket PATH]
+//! flexserve submit    [job flags]... [--socket PATH] [--wait]
+//! flexserve subscribe --id HEX [--socket PATH]
+//! flexserve ping|status|drain [--socket PATH]
+//! flexserve bench     [--trials N] [--json FILE]
 //! ```
+//!
+//! `run` executes a batch inline and exits. `serve` is the long-lived
+//! daemon: it listens on a Unix socket, admits `submit` requests while
+//! draining the queue on one global worker pool, and keeps accepting
+//! until a `drain` request — then finishes in-flight work, heartbeats,
+//! and exits 0. The remaining subcommands are the bundled client: they
+//! speak the daemon's newline-delimited JSON protocol, honor `rejected`
+//! backpressure with bounded exponential backoff + deterministic
+//! jitter, and surface the daemon's typed errors verbatim.
 //!
 //! Job flags (define one inline job; repeat `--spec FILE` for more):
 //!
@@ -46,7 +59,10 @@
 
 use std::path::PathBuf;
 
-use flexcore_serve::{JobSpec, Server, ServerConfig, WorkerPolicy};
+use flexcore_serve::{
+    Client, ClientError, Daemon, DaemonConfig, JobId, JobSpec, Journal, RetryPolicy, Server,
+    ServerConfig, WorkerPolicy,
+};
 
 fn arg_value(flag: &str) -> Option<u64> {
     let args: Vec<String> = std::env::args().collect();
@@ -75,7 +91,10 @@ fn usage() -> ! {
          --workloads a,b --lockstep --recover --sweep --priority N] [--journal-dir DIR] \
          [--workers N] [--resume] [--max-depth N] [--sync-every N] [--stop-after N] \
          [--max-attempts N] [--backoff-base-ms N] [--chaos-panic N] [--chaos-all-attempts] \
-         [--trace FILE] [--status FILE] [--progress]\n       flexserve bench [--trials N] \
+         [--trace FILE] [--status FILE] [--progress]\n       flexserve serve [server flags] \
+         [--socket PATH]\n       flexserve submit [job flags] [--socket PATH] [--wait] \
+         [--retry-attempts N]\n       flexserve subscribe --id HEX [--socket PATH]\n       \
+         flexserve ping|status|drain [--socket PATH]\n       flexserve bench [--trials N] \
          [--workloads a,b] [--json FILE]"
     );
     std::process::exit(2);
@@ -195,25 +214,7 @@ fn cmd_run() -> i32 {
     };
     let mut exit = 0;
     for job in &report.jobs {
-        let s = &job.stats;
-        println!(
-            "flexserve: campaign {} `{}` {}: {} trials (executed {}, reused {}, retried {}, \
-             quarantined {}) in {:.2}s",
-            job.id,
-            job.name,
-            job.state,
-            job.trials,
-            s.executed,
-            s.reused,
-            s.retried,
-            s.quarantined,
-            s.elapsed_us as f64 / 1e6,
-        );
-        println!("flexserve:   journal: {}", job.journal.display());
-        if let Some(merged) = &job.merged_log {
-            println!("flexserve:   merged:  {}", merged.display());
-        }
-        if s.quarantined > 0 || matches!(job.state, flexcore_serve::JobState::Failed(_)) {
+        if print_job_summary(job) {
             exit = 1;
         }
     }
@@ -230,6 +231,182 @@ fn cmd_run() -> i32 {
         return 3;
     }
     exit
+}
+
+/// Prints one job's closing summary lines; returns true when the job
+/// should fail the process (quarantines or a failed state).
+fn print_job_summary(job: &flexcore_serve::JobSummary) -> bool {
+    let s = &job.stats;
+    println!(
+        "flexserve: campaign {} `{}` {}: {} trials (executed {}, reused {}, retried {}, \
+         quarantined {}) in {:.2}s",
+        job.id,
+        job.name,
+        job.state,
+        job.trials,
+        s.executed,
+        s.reused,
+        s.retried,
+        s.quarantined,
+        s.elapsed_us as f64 / 1e6,
+    );
+    if let Some(c) = &job.compaction {
+        if c.compacted {
+            println!(
+                "flexserve:   compacted: {} -> {} records (events {}, superseded {})",
+                c.records_before, c.records_after, c.dropped_events, c.dropped_superseded
+            );
+        }
+    }
+    println!("flexserve:   journal: {}", job.journal.display());
+    if let Some(merged) = &job.merged_log {
+        println!("flexserve:   merged:  {}", merged.display());
+    }
+    s.quarantined > 0 || matches!(job.state, flexcore_serve::JobState::Failed(_))
+}
+
+fn socket_path() -> PathBuf {
+    arg_strings("--socket").pop().map_or_else(|| PathBuf::from("flexserve.sock"), PathBuf::from)
+}
+
+/// `flexserve serve` — the long-lived daemon. Runs until a `drain`
+/// request, then exits 0 with every admitted job finished and
+/// journaled. Resume is always on: a killed daemon restarted on the
+/// same journal dir replays completed trials instead of redoing them.
+fn cmd_serve() -> i32 {
+    let config = DaemonConfig {
+        socket_path: socket_path(),
+        server: server_config(),
+        ..DaemonConfig::default()
+    };
+    if config.server.worker_policy.chaos_panic_every.is_some() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    println!(
+        "flexserve serve: listening on {} ({} worker(s), journals in {})",
+        config.socket_path.display(),
+        config.server.worker_policy.pool_width(),
+        config.server.journal_dir.display()
+    );
+    match Daemon::new(config).run() {
+        Ok(report) => {
+            for job in &report.jobs {
+                print_job_summary(job);
+            }
+            println!("flexserve serve: drained {} job(s), exiting", report.jobs.len());
+            0
+        }
+        Err(e) => {
+            eprintln!("flexserve serve: {e}");
+            2
+        }
+    }
+}
+
+fn client() -> Client {
+    let d = RetryPolicy::default();
+    Client::new(&socket_path()).with_retry(RetryPolicy {
+        max_attempts: arg_value("--retry-attempts").unwrap_or(u64::from(d.max_attempts)) as u32,
+        base_ms: arg_value("--retry-base-ms").unwrap_or(d.base_ms),
+        cap_ms: arg_value("--retry-cap-ms").unwrap_or(d.cap_ms),
+        seed: arg_value("--retry-seed").unwrap_or(d.seed),
+    })
+}
+
+/// `flexserve ping|status|drain` — one request, response on stdout.
+fn cmd_simple(op: &str) -> i32 {
+    let client = client();
+    let result = match op {
+        "ping" => client.ping(),
+        "status" => client.status(),
+        _ => client.drain(),
+    };
+    match result {
+        Ok(v) => {
+            println!("{}", serde::to_string(&v));
+            0
+        }
+        Err(e) => {
+            eprintln!("flexserve {op}: {e}");
+            1
+        }
+    }
+}
+
+/// `flexserve submit` — sends job specs to a daemon, backing off on
+/// `rejected` answers. `--wait` then subscribes each admitted job to
+/// completion, streaming its trial lines to stdout.
+fn cmd_submit() -> i32 {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for path in arg_strings("--spec") {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| JobSpec::from_json(&text).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(spec) => jobs.push(spec),
+            Err(e) => {
+                eprintln!("flexserve submit: {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(spec) = inline_job() {
+        jobs.push(spec);
+    }
+    if jobs.is_empty() {
+        usage();
+    }
+    let client = client();
+    let mut admitted: Vec<JobId> = Vec::new();
+    let mut exit = 0;
+    for spec in &jobs {
+        match client.submit(spec) {
+            Ok(id) => {
+                println!("flexserve: admitted `{}` as campaign {id}", spec.name);
+                admitted.push(id);
+            }
+            Err(e @ ClientError::Refused { .. } | e @ ClientError::RetriesExhausted { .. }) => {
+                eprintln!("flexserve submit: `{}`: {e}", spec.name);
+                exit = 1;
+            }
+            Err(e) => {
+                eprintln!("flexserve submit: {e}");
+                return 2;
+            }
+        }
+    }
+    if arg_flag("--wait") {
+        for id in admitted {
+            if stream_job(&client, id) != 0 {
+                exit = 1;
+            }
+        }
+    }
+    exit
+}
+
+/// Streams one job's feed to stdout through its terminal line.
+fn stream_job(client: &Client, id: JobId) -> i32 {
+    match client.subscribe(id, |line| println!("{}", serde::to_string(line))) {
+        Ok(done) => {
+            println!("{}", serde::to_string(&done));
+            i32::from(done.get("state").and_then(serde::Value::as_str) != Some("completed"))
+        }
+        Err(e) => {
+            eprintln!("flexserve subscribe: {e}");
+            1
+        }
+    }
+}
+
+/// `flexserve subscribe --id HEX` — attaches to a running (or done)
+/// job and streams its feed.
+fn cmd_subscribe() -> i32 {
+    let Some(id) = arg_strings("--id").pop().and_then(|s| u64::from_str_radix(&s, 16).ok()) else {
+        eprintln!("flexserve subscribe: --id HEX is required");
+        return 2;
+    };
+    stream_job(&client(), JobId(id))
 }
 
 /// `flexserve bench` — trials/sec at 1, N/2, and N workers, written as
@@ -289,6 +466,8 @@ fn cmd_bench() -> i32 {
         .field("bench", &"flexserve")
         .field("trials_per_workload", &(trials as u64))
         .raw("points", serde::Value::Array(points))
+        .raw("admission", bench_admission())
+        .raw("compaction", bench_compaction())
         .build();
     if let Err(e) = std::fs::write(&out, serde::to_string(&doc) + "\n") {
         eprintln!("flexserve bench: {out}: {e}");
@@ -298,10 +477,91 @@ fn cmd_bench() -> i32 {
     0
 }
 
+/// Admission-path latency row: how long `submit` takes while the
+/// queue fills, and how fast a full queue turns a request away. The
+/// daemon answers sockets on this same path, so this bounds its
+/// admission overhead too.
+fn bench_admission() -> serde::Value {
+    const DEPTH: usize = 32;
+    let server = Server::new(ServerConfig {
+        journal_dir: std::env::temp_dir().join(format!("flexserve-adm-{}", std::process::id())),
+        worker_policy: WorkerPolicy { workers: 1, ..WorkerPolicy::default() },
+        max_depth: DEPTH,
+        ..ServerConfig::default()
+    });
+    let mut admit_ns = Vec::with_capacity(DEPTH);
+    for seed in 0..DEPTH as u64 {
+        let spec = JobSpec { seed, trials: 1, ..JobSpec::default() };
+        let t = std::time::Instant::now();
+        let admitted = server.submit(spec).is_ok();
+        admit_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(admitted, "queue below max_depth admits");
+    }
+    let t = std::time::Instant::now();
+    let refused = server.submit(JobSpec { seed: u64::MAX, trials: 1, ..JobSpec::default() });
+    let reject_ns = t.elapsed().as_nanos() as u64;
+    assert!(refused.is_err(), "queue at max_depth refuses");
+    admit_ns.sort_unstable();
+    println!(
+        "  admission: p50 {} ns, max {} ns over {DEPTH} submits; rejection {} ns",
+        admit_ns[DEPTH / 2],
+        admit_ns[DEPTH - 1],
+        reject_ns
+    );
+    serde::Value::object()
+        .field("submits", &(DEPTH as u64))
+        .field("admit_ns_p50", &admit_ns[DEPTH / 2])
+        .field("admit_ns_max", &admit_ns[DEPTH - 1])
+        .field("reject_ns", &reject_ns)
+        .build()
+}
+
+/// Compaction row: rewrite cost and shrink ratio for a journal bloated
+/// by repeated interrupt/resume cycles (4 records per label + events).
+fn bench_compaction() -> serde::Value {
+    use flexcore_bench::trial::TrialOutcome;
+    const LABELS: usize = 64;
+    let spec = JobSpec::default();
+    let dir = std::env::temp_dir().join(format!("flexserve-cmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench tmpdir");
+    let path = dir.join(format!("{}.jsonl", spec.id()));
+    let (mut j, _) =
+        Journal::open(&path, &spec.header(), &spec.canonical(), false, 64).expect("journal");
+    for round in 0..4u64 {
+        j.append_event("job-resumed", serde::Value::object().field("round", &round).build())
+            .expect("event");
+        for label in 0..LABELS {
+            let o = TrialOutcome { trapped: true, faults_injected: round, ..Default::default() };
+            j.append_trial(&format!("bench trial {label}"), &o).expect("trial");
+        }
+    }
+    j.sync().expect("sync");
+    drop(j);
+    let t = std::time::Instant::now();
+    let report = Journal::compact(&path, &spec.canonical()).expect("compacts");
+    let elapsed_us = t.elapsed().as_micros() as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(report.compacted && report.records_after == LABELS as u64);
+    println!(
+        "  compaction: {} -> {} records in {elapsed_us} us",
+        report.records_before, report.records_after
+    );
+    serde::Value::object()
+        .field("records_before", &report.records_before)
+        .field("records_after", &report.records_after)
+        .field("elapsed_us", &elapsed_us)
+        .build()
+}
+
 fn main() {
     let mode = std::env::args().nth(1);
     let code = match mode.as_deref() {
         Some("run") => cmd_run(),
+        Some("serve") => cmd_serve(),
+        Some("submit") => cmd_submit(),
+        Some("subscribe") => cmd_subscribe(),
+        Some(op @ ("ping" | "status" | "drain")) => cmd_simple(op),
         Some("bench") => cmd_bench(),
         _ => usage(),
     };

@@ -1,0 +1,289 @@
+//! The bundled daemon client: one connection per request, typed
+//! errors, and a backpressure-honoring submit loop.
+//!
+//! The protocol is deliberately tiny — connect to the daemon's Unix
+//! socket, write one JSON line, read the response line(s), close. The
+//! interesting part is the failure behavior: a `rejected` answer
+//! carries the daemon's `retry_after_ms` hint, and [`Client::submit`]
+//! honors it with **bounded exponential backoff plus deterministic
+//! jitter** — it waits at least the hinted delay, doubles its own
+//! floor each round up to a cap, and adds a seed-derived jitter term
+//! so a herd of clients hammered off the same rejection does not
+//! resynchronize into the exact same retry instant. The jitter is a
+//! pure function of (seed, attempt): test runs are reproducible,
+//! nothing reads a clock for randomness.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::job::{JobId, JobSpec};
+
+/// How [`Client::submit`] retries `rejected` answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Submission attempts before giving up (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// First-round backoff floor; doubles per round.
+    pub base_ms: u64,
+    /// Ceiling on any single wait (hint + backoff + jitter included).
+    pub cap_ms: u64,
+    /// Jitter seed — two clients with different seeds spread their
+    /// retries apart; the same seed reproduces the same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 8, base_ms: 25, cap_ms: 2_000, seed: 0xf1ec }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry round `attempt` (1-based) given the
+    /// daemon's hint: `min(cap, max(hint, base·2^(attempt-1)) + jitter)`
+    /// where jitter is a deterministic function of (seed, attempt)
+    /// bounded by a quarter of the backoff floor.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let floor = self.base_ms.saturating_mul(1 << shift);
+        let jitter_bound = (floor / 4).max(1);
+        let wait = floor.max(hint_ms).saturating_add(jitter(self.seed, attempt) % jitter_bound);
+        wait.min(self.cap_ms)
+    }
+}
+
+/// splitmix64-style bit mix: deterministic, clock-free jitter.
+fn jitter(seed: u64, attempt: u32) -> u64 {
+    let mut x = seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or talk to the daemon.
+    Io {
+        /// The socket path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// The daemon answered with a typed error object.
+    Refused {
+        /// The `error` field (`rejected`, `duplicate`, `draining`,
+        /// `malformed`, `oversized`, `bad-job`, `unknown-job`, ...).
+        kind: String,
+        /// The full response, for diagnostics.
+        response: Value,
+    },
+    /// The daemon's answer did not parse as a response line.
+    Protocol(String),
+    /// Every submit attempt came back `rejected`.
+    RetriesExhausted {
+        /// Attempts spent.
+        attempts: u32,
+        /// The last rejection's `retry_after_ms` hint.
+        last_hint_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            ClientError::Refused { kind, response } => {
+                write!(f, "daemon refused ({kind}): {}", serde::to_string(response))
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ClientError::RetriesExhausted { attempts, last_hint_ms } => write!(
+                f,
+                "gave up after {attempts} rejected submissions (last hint: {last_hint_ms} ms)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client for one daemon socket.
+#[derive(Clone, Debug)]
+pub struct Client {
+    socket: PathBuf,
+    retry: RetryPolicy,
+}
+
+impl Client {
+    /// A client for the daemon at `socket` with default retries.
+    pub fn new(socket: &Path) -> Client {
+        Client { socket: socket.to_path_buf(), retry: RetryPolicy::default() }
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
+    }
+
+    fn io_err(&self, error: std::io::Error) -> ClientError {
+        ClientError::Io { path: self.socket.clone(), error }
+    }
+
+    /// One request/response round trip on a fresh connection.
+    fn request(&self, v: &Value) -> Result<Value, ClientError> {
+        let mut stream = UnixStream::connect(&self.socket).map_err(|e| self.io_err(e))?;
+        let mut line = serde::to_string(v);
+        line.push('\n');
+        stream.write_all(line.as_bytes()).map_err(|e| self.io_err(e))?;
+        let mut reader = BufReader::new(stream);
+        let mut buf = String::new();
+        reader.read_line(&mut buf).map_err(|e| self.io_err(e))?;
+        decode_response(&buf)
+    }
+
+    /// Liveness check; returns the daemon's `ping` response.
+    pub fn ping(&self) -> Result<Value, ClientError> {
+        self.request(&Value::object().field("op", &"ping").build())
+    }
+
+    /// The daemon's status document (phase + deterministic counters).
+    pub fn status(&self) -> Result<Value, ClientError> {
+        self.request(&Value::object().field("op", &"status").build())
+    }
+
+    /// Asks the daemon to drain: stop admission, finish queued and
+    /// in-flight work, heartbeat, and exit.
+    pub fn drain(&self) -> Result<Value, ClientError> {
+        self.request(&Value::object().field("op", &"drain").build())
+    }
+
+    /// Submits a job, honoring `rejected` backpressure with bounded
+    /// exponential backoff + deterministic jitter. Non-backpressure
+    /// refusals (`duplicate`, `draining`, `bad-job`, ...) are returned
+    /// immediately — retrying them would never succeed.
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobId, ClientError> {
+        let req = Value::object().field("op", &"submit").raw("job", spec.to_value()).build();
+        let attempts = self.retry.max_attempts.max(1);
+        let mut last_hint = 0u64;
+        for attempt in 1..=attempts {
+            match self.request(&req) {
+                Ok(resp) => {
+                    let id = resp
+                        .get("id")
+                        .and_then(Value::as_str)
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .map(JobId);
+                    return id.ok_or_else(|| {
+                        ClientError::Protocol(format!(
+                            "submit response without a campaign id: {}",
+                            serde::to_string(&resp)
+                        ))
+                    });
+                }
+                Err(ClientError::Refused { kind, response }) if kind == "rejected" => {
+                    last_hint = response.get("retry_after_ms").and_then(Value::as_u64).unwrap_or(0);
+                    if attempt < attempts {
+                        let wait = self.retry.backoff_ms(attempt, last_hint);
+                        std::thread::sleep(Duration::from_millis(wait));
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts, last_hint_ms: last_hint })
+    }
+
+    /// Subscribes to a job's live feed: `on_line` sees every streamed
+    /// trial line; the terminal `done` line is returned. An error line
+    /// (unknown job, malformed id) comes back as
+    /// [`ClientError::Refused`].
+    pub fn subscribe<F>(&self, id: JobId, mut on_line: F) -> Result<Value, ClientError>
+    where
+        F: FnMut(&Value),
+    {
+        let req = Value::object().field("op", &"subscribe").field("id", &id.to_string()).build();
+        let mut stream = UnixStream::connect(&self.socket).map_err(|e| self.io_err(e))?;
+        let mut line = serde::to_string(&req);
+        line.push('\n');
+        stream.write_all(line.as_bytes()).map_err(|e| self.io_err(e))?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line.map_err(|e| self.io_err(e))?;
+            let v = decode_response(&line)?;
+            match v.get("stream").and_then(Value::as_str) {
+                Some("done") => return Ok(v),
+                _ => on_line(&v),
+            }
+        }
+        Err(ClientError::Protocol("feed ended without a terminal `done` line".into()))
+    }
+}
+
+/// Decodes one response line: JSON that is either an `ok`/stream
+/// object or a typed error object.
+fn decode_response(line: &str) -> Result<Value, ClientError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(ClientError::Protocol("empty response (daemon closed the connection)".into()));
+    }
+    let v = serde::from_str(trimmed)
+        .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+    if let Some(kind) = v.get("error").and_then(Value::as_str) {
+        return Err(ClientError::Refused { kind: kind.to_string(), response: v.clone() });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_honors_hint_doubles_and_caps() {
+        let p = RetryPolicy { max_attempts: 8, base_ms: 100, cap_ms: 1_000, seed: 7 };
+        // The hint is a floor: a 400 ms hint beats the 100 ms base.
+        assert!(p.backoff_ms(1, 400) >= 400);
+        // With no hint the exponential floor applies.
+        assert!(p.backoff_ms(1, 0) >= 100);
+        assert!(p.backoff_ms(2, 0) >= 200);
+        assert!(p.backoff_ms(3, 0) >= 400);
+        // Everything respects the cap, hint included.
+        assert!(p.backoff_ms(6, 0) <= 1_000);
+        assert!(p.backoff_ms(1, 50_000) <= 1_000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_spreads_seeds() {
+        let p = RetryPolicy { max_attempts: 8, base_ms: 100, cap_ms: 10_000, seed: 1 };
+        let q = RetryPolicy { seed: 2, ..p };
+        assert_eq!(p.backoff_ms(2, 0), p.backoff_ms(2, 0), "same seed, same schedule");
+        // Different seeds decorrelate at least one of the first rounds
+        // (jitter bound is floor/4, so collisions are possible on any
+        // single round but not across all of them for these seeds).
+        assert!(
+            (1..=4).any(|a| p.backoff_ms(a, 0) != q.backoff_ms(a, 0)),
+            "seeds must spread retry schedules"
+        );
+    }
+
+    #[test]
+    fn error_lines_decode_to_typed_refusals() {
+        let err = decode_response(r#"{"ok":false,"error":"rejected","retry_after_ms":750}"#)
+            .expect_err("typed refusal");
+        let ClientError::Refused { kind, response } = err else {
+            panic!("expected Refused, got {err:?}");
+        };
+        assert_eq!(kind, "rejected");
+        assert_eq!(response.get("retry_after_ms").and_then(Value::as_u64), Some(750));
+        assert!(decode_response("").is_err());
+        assert!(decode_response("not json").is_err());
+        assert!(decode_response(r#"{"ok":true,"op":"ping"}"#).is_ok());
+    }
+}

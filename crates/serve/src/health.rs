@@ -45,6 +45,22 @@ pub struct HealthMetrics {
     pub backpressure_rejections: Counter,
     /// Queued jobs shed under overload.
     pub jobs_shed: Counter,
+    /// Jobs admitted through the socket (daemon mode).
+    pub jobs_admitted: Counter,
+    /// Jobs drained to a terminal state (daemon mode).
+    pub jobs_completed: Counter,
+    /// Socket requests parsed and answered (daemon mode).
+    pub requests_total: Counter,
+    /// Socket requests refused as malformed, oversized, or arriving
+    /// while draining (daemon mode).
+    pub requests_refused: Counter,
+    /// Live result-subscription feeds (daemon mode).
+    pub subscribers: Gauge,
+    /// Journal compaction passes that rewrote a file.
+    pub journal_compactions: Counter,
+    /// Dead records (events, superseded, crash debris) dropped by
+    /// compaction.
+    pub compaction_dropped: Counter,
     /// Journal record append latency, nanoseconds (log₂ buckets).
     pub journal_write_ns: Histogram,
     /// Journal fsync latency, nanoseconds (log₂ buckets).
@@ -67,6 +83,13 @@ impl HealthMetrics {
             trials_quarantined: registry.counter("trials_quarantined"),
             backpressure_rejections: registry.counter("backpressure_rejections"),
             jobs_shed: registry.counter("jobs_shed"),
+            jobs_admitted: registry.counter("jobs_admitted"),
+            jobs_completed: registry.counter("jobs_completed"),
+            requests_total: registry.counter("requests_total"),
+            requests_refused: registry.counter("requests_refused"),
+            subscribers: registry.gauge("subscribers"),
+            journal_compactions: registry.counter("journal_compactions"),
+            compaction_dropped: registry.counter("compaction_dropped"),
             journal_write_ns: registry.histogram("journal_write_ns"),
             journal_fsync_ns: registry.histogram("journal_fsync_ns"),
             registry,
@@ -138,11 +161,14 @@ impl Heartbeat {
     pub fn write(&mut self, metrics: &HealthMetrics) -> std::io::Result<()> {
         self.seq += 1;
         let executed = metrics.trials_executed.get();
+        // Wall-clock scalars carry the `host_` prefix — the same
+        // convention as `flexsim --json` — so CI byte-diffs strip
+        // every nondeterministic field with one `grep -v '"host_'`.
         let doc = Value::object()
             .field("service", &"flexserve")
             .field("seq", &self.seq)
-            .field("uptime_secs", &self.clock.elapsed_secs())
-            .field("trials_per_sec", &self.clock.rate(executed))
+            .field("host_uptime_secs", &self.clock.elapsed_secs())
+            .field("host_trials_per_sec", &self.clock.rate(executed))
             .raw("metrics", metrics.registry().to_value())
             .build();
         let mut text = serde::to_string_pretty(&doc);
@@ -204,11 +230,35 @@ mod tests {
             "trials_quarantined",
             "backpressure_rejections",
             "jobs_shed",
+            "jobs_admitted",
+            "jobs_completed",
+            "requests_total",
+            "requests_refused",
+            "subscribers",
+            "journal_compactions",
+            "compaction_dropped",
             "journal_write_ns",
             "journal_fsync_ns",
         ] {
             assert!(m.get(key).is_some(), "metric `{key}` registered up front");
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wall_clock_fields_carry_the_host_prefix() {
+        // The contract behind CI's `grep -v '"host_'` filter: every
+        // nondeterministic (wall-clock) scalar in the heartbeat is
+        // `host_`-prefixed; everything else is deterministic.
+        let path = tmpfile("host-prefix");
+        let mut hb = Heartbeat::new(&path);
+        hb.write(&HealthMetrics::new()).expect("heartbeat writes");
+        let doc = serde::from_str(&std::fs::read_to_string(&path).expect("read"))
+            .expect("status.json parses");
+        assert!(doc.get("host_uptime_secs").is_some());
+        assert!(doc.get("host_trials_per_sec").is_some());
+        assert!(doc.get("uptime_secs").is_none(), "unprefixed wall-clock field leaked");
+        assert!(doc.get("trials_per_sec").is_none(), "unprefixed wall-clock field leaked");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -13,6 +13,20 @@
 //! wrong campaign parameters; and every intact trial record is
 //! returned for reuse. Corruption anywhere before the final line
 //! remains a hard [`JournalError::Corrupt`].
+//!
+//! Compaction ([`Journal::compact`]): a campaign that is interrupted
+//! and resumed N times accretes lifecycle events, superseded
+//! quarantine records, and crash debris — replaying all of it makes
+//! resume O(everything ever appended). Compaction rewrites the file
+//! down to the header plus **one record per trial label** (last state
+//! wins), via the only crash-safe sequence available to a plain
+//! filesystem: write `<journal>.compact.tmp` → fsync the temp →
+//! atomically rename over the journal → fsync the directory. A crash
+//! between ANY two of those syscalls leaves either the intact old
+//! journal (plus ignorable temp debris, cleaned on the next open) or
+//! the intact new one — never a torn file. The
+//! [`CRASH_POINT_ENV`] hook injects a deterministic `exit(137)` at
+//! each named point so CI can prove exactly that.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -109,6 +123,43 @@ impl JournalRecovery {
     }
 }
 
+/// Environment variable naming a compaction crash point; when set,
+/// the process `exit(137)`s (the SIGKILL status) the moment compaction
+/// reaches that point — the deterministic stand-in for `kill -9`
+/// between two specific syscalls that CI uses to prove crash safety.
+///
+/// Recognized points, in syscall order:
+/// `compact-before-temp-sync` (temp written, not yet durable),
+/// `compact-before-rename` (temp durable, journal still the old file),
+/// `compact-before-dir-sync` (renamed, directory entry not yet synced).
+pub const CRASH_POINT_ENV: &str = "FLEXSERVE_CRASH_POINT";
+
+fn crash_point(point: &str) {
+    if std::env::var(CRASH_POINT_ENV).as_deref() == Ok(point) {
+        eprintln!("flexserve: injected crash at `{point}`");
+        std::process::exit(137);
+    }
+}
+
+/// What one [`Journal::compact`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records in the file before compaction (header excluded).
+    pub records_before: u64,
+    /// Records after (header excluded) — one per trial label.
+    pub records_after: u64,
+    /// Lifecycle event records dropped.
+    pub dropped_events: u64,
+    /// Superseded per-label records dropped (e.g. a quarantine whose
+    /// retry later succeeded).
+    pub dropped_superseded: u64,
+    /// A crash-truncated partial tail line was discarded.
+    pub dropped_partial: bool,
+    /// Whether the file was actually rewritten (`false` when the
+    /// journal was already minimal, missing, or still unstamped).
+    pub compacted: bool,
+}
+
 /// An append-only campaign journal.
 #[derive(Debug)]
 pub struct Journal {
@@ -141,6 +192,11 @@ impl Journal {
         resume: bool,
         sync_every: usize,
     ) -> Result<(Journal, JournalRecovery), JournalError> {
+        // A `<journal>.compact.tmp` left behind by a crash before the
+        // compaction rename is debris — the rename never happened, so
+        // the journal itself is intact; clear the temp so it can never
+        // be mistaken for state.
+        let _ = std::fs::remove_file(compact_temp_path(path));
         let mut recovery = JournalRecovery::default();
         let existing = match std::fs::read_to_string(path) {
             Ok(text) => Some(text),
@@ -212,8 +268,18 @@ impl Journal {
             text.push('\n');
             std::fs::write(path, text).map_err(|e| io_err(path, e))?;
         }
-        let file =
+        let mut file =
             std::fs::OpenOptions::new().append(true).open(path).map_err(|e| io_err(path, e))?;
+        // A kill can land exactly between a record's bytes and its
+        // newline: the tail then parses as a complete record (nothing
+        // to drop) but the file has no trailing newline, and a blind
+        // append would weld the next record onto the same line. Close
+        // the line before appending anything.
+        if let (false, Some(text)) = (fresh, &existing) {
+            if !text.is_empty() && !text.ends_with('\n') && recovery.dropped_partial.is_none() {
+                file.write_all(b"\n").map_err(|e| io_err(path, e))?;
+            }
+        }
         file.sync_all().map_err(|e| io_err(path, e))?;
         let journal = Journal {
             path: path.to_path_buf(),
@@ -306,6 +372,116 @@ impl Journal {
         }
         synced
     }
+
+    /// Compacts a **closed** journal down to its header plus one record
+    /// per trial label (last state wins; first-seen label order, so the
+    /// output is deterministic). Lifecycle events, superseded records,
+    /// and a crash-truncated tail are dropped — after compaction a
+    /// resume replays O(trial labels), not O(records ever appended).
+    ///
+    /// Crash safety: the rewrite goes to `<journal>.compact.tmp`,
+    /// which is fsynced, atomically renamed over the journal, and the
+    /// directory fsynced. Killing the process between any two of those
+    /// syscalls (see [`CRASH_POINT_ENV`]) leaves a journal that opens
+    /// and resumes exactly like either the pre- or post-compaction
+    /// file — never anything in between.
+    ///
+    /// A missing file, an unstamped file (crash during the header
+    /// write), or an already-minimal journal is a no-op with
+    /// `compacted: false`.
+    pub fn compact(path: &Path, canonical: &str) -> Result<CompactionReport, JournalError> {
+        let mut report = CompactionReport::default();
+        let temp = compact_temp_path(path);
+        match std::fs::remove_file(&temp) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&temp, e)),
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(io_err(path, e)),
+        };
+        let parsed = trial::parse_jsonl_tolerant(&text)
+            .map_err(|detail| JournalError::Corrupt { path: path.to_path_buf(), detail })?;
+        report.dropped_partial = parsed.dropped_partial.is_some();
+        let mut records = parsed.records.into_iter();
+        let Some(header) = records.next() else {
+            // Nothing intact (crash during the header stamp): the next
+            // open restamps from scratch; nothing to compact.
+            return Ok(report);
+        };
+        let stamped = header.get("spec").and_then(Value::as_str).unwrap_or("");
+        if stamped != canonical {
+            return Err(JournalError::SpecMismatch {
+                path: path.to_path_buf(),
+                stamped: stamped.to_string(),
+                requested: canonical.to_string(),
+            });
+        }
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: HashMap<String, Value> = HashMap::new();
+        for v in records {
+            report.records_before += 1;
+            if v.get("event").is_some() {
+                report.dropped_events += 1;
+                continue;
+            }
+            let label = v
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JournalError::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: "trial record without a label".into(),
+                })?
+                .to_string();
+            if latest.insert(label.clone(), v).is_some() {
+                report.dropped_superseded += 1;
+            } else {
+                order.push(label);
+            }
+        }
+        report.records_after = order.len() as u64;
+        if report.dropped_events == 0 && report.dropped_superseded == 0 && !report.dropped_partial {
+            return Ok(report);
+        }
+
+        let mut out = serde::to_string(&header);
+        out.push('\n');
+        for label in &order {
+            if let Some(v) = latest.get(label) {
+                out.push_str(&serde::to_string(v));
+                out.push('\n');
+            }
+        }
+        // write temp → fsync temp → rename → fsync dir. Each arrow is
+        // a named crash point; the matrix in DESIGN.md walks what the
+        // next open sees after a kill at each one.
+        let mut file = std::fs::File::create(&temp).map_err(|e| io_err(&temp, e))?;
+        file.write_all(out.as_bytes()).map_err(|e| io_err(&temp, e))?;
+        crash_point("compact-before-temp-sync");
+        file.sync_all().map_err(|e| io_err(&temp, e))?;
+        drop(file);
+        crash_point("compact-before-rename");
+        std::fs::rename(&temp, path).map_err(|e| io_err(path, e))?;
+        crash_point("compact-before-dir-sync");
+        // The rename is not durable until the directory entry is — a
+        // power cut could otherwise resurrect the old inode. `rename`
+        // guarantees one of the two files is seen either way.
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            std::fs::File::open(dir).and_then(|d| d.sync_all()).map_err(|e| io_err(dir, e))?;
+        }
+        report.compacted = true;
+        Ok(report)
+    }
+}
+
+/// The sibling temp file compaction stages its rewrite in.
+fn compact_temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(std::ffi::OsStr::to_os_string).unwrap_or_default();
+    name.push(".compact.tmp");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -393,6 +569,110 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("different campaign"), "{msg}");
         assert!(msg.contains("\"seed\":99"), "shows the requested spec: {msg}");
+    }
+
+    /// A journal with history worth compacting: events, a quarantine
+    /// superseded by its retry's success, and completed trials.
+    fn bloated_journal(tag: &str) -> (JobSpec, PathBuf) {
+        let spec = JobSpec::default();
+        let path = tmpdir(tag).join(format!("{}.jsonl", spec.id()));
+        let (mut j, _) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("create");
+        j.append_event("job-started", Value::object().field("total", &3u64).build()).expect("ev");
+        j.append_trial("sha trial 0", &outcome(1)).expect("append");
+        j.append_quarantine(
+            "sha trial 1",
+            &TrialFailure::Panicked { attempts: 3, last_message: "boom".into() },
+        )
+        .expect("append");
+        j.append_event("job-interrupted", Value::object().field("executed", &1u64).build())
+            .expect("ev");
+        // The resumed run retries the quarantine and succeeds: the
+        // success supersedes the quarantine record.
+        j.append_trial("sha trial 1", &outcome(2)).expect("append");
+        j.append_trial("sha trial 2", &outcome(3)).expect("append");
+        j.append_event("job-done", Value::object().field("executed", &3u64).build()).expect("ev");
+        j.sync().expect("sync");
+        (spec, path)
+    }
+
+    #[test]
+    fn compaction_shrinks_to_one_record_per_label_and_resume_agrees() {
+        let (spec, path) = bloated_journal("compact");
+        let (_, before) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("resume");
+
+        let report = Journal::compact(&path, &spec.canonical()).expect("compacts");
+        assert!(report.compacted);
+        assert_eq!(report.records_before, 7, "3 events + 4 trial records");
+        assert_eq!(report.records_after, 3, "one per label");
+        assert_eq!(report.dropped_events, 3);
+        assert_eq!(report.dropped_superseded, 1, "the quarantine its retry superseded");
+
+        // The record-count contract: header + one line per label.
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 4);
+
+        // Resume sees the identical recovered state, minus the events.
+        let (_, after) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("resume");
+        assert_eq!(after.outcomes, before.outcomes, "compaction loses no trial state");
+        assert_eq!(after.events, 0);
+
+        // Idempotent: a second pass finds nothing dead.
+        let again = Journal::compact(&path, &spec.canonical()).expect("noop");
+        assert!(!again.compacted);
+        assert_eq!(again.records_before, again.records_after);
+    }
+
+    #[test]
+    fn compaction_noops_on_missing_or_unstamped_journals() {
+        let dir = tmpdir("compact-noop");
+        let report = Journal::compact(&dir.join("absent.jsonl"), "spec").expect("missing file ok");
+        assert!(!report.compacted);
+        // Crash during the header stamp: a lone partial line.
+        let path = dir.join("unstamped.jsonl");
+        std::fs::write(&path, "{\"spec\":\"tru").expect("write");
+        let report = Journal::compact(&path, "spec").expect("unstamped ok");
+        assert!(!report.compacted, "nothing intact to compact; open restamps");
+    }
+
+    #[test]
+    fn compaction_refuses_a_foreign_campaign() {
+        let (_, path) = bloated_journal("compact-foreign");
+        let err = Journal::compact(&path, "someone else's spec").expect_err("mismatch");
+        assert!(matches!(err, JournalError::SpecMismatch { .. }));
+    }
+
+    #[test]
+    fn crash_debris_between_compaction_syscalls_never_corrupts_state() {
+        // Simulate the on-disk state a kill -9 leaves at each point of
+        // the write-temp → fsync → rename → dir-sync sequence, and
+        // assert the next open recovers a consistent journal each time.
+        let (spec, path) = bloated_journal("compact-crash");
+        let temp = super::compact_temp_path(&path);
+        let original = std::fs::read_to_string(&path).expect("read");
+
+        // (a) killed mid-temp-write: partial temp, journal untouched.
+        std::fs::write(&temp, &original[..original.len() / 2]).expect("debris");
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("open");
+        assert_eq!(rec.completed(), 3, "old journal intact");
+        assert!(!temp.exists(), "debris cleaned on open");
+
+        // (b) killed after temp fsync, before rename: complete temp,
+        // journal untouched — the temp is still just debris.
+        std::fs::write(&temp, "{\"complete\":\"temp\"}\n").expect("debris");
+        let report = Journal::compact(&path, &spec.canonical()).expect("compacts over debris");
+        assert!(report.compacted, "a stale temp never blocks compaction");
+        assert!(!temp.exists(), "temp consumed by the rename");
+
+        // (c) killed after rename, before dir sync: the journal IS the
+        // compacted file; resume replays the compacted records.
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("open");
+        assert_eq!(rec.completed(), 3, "compacted journal resumes identically");
+        assert_eq!(rec.events, 0);
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //!   (instead of unbounded memory growth), and under overload the
 //!   queue degrades gracefully by shedding the lowest-priority queued
 //!   job — with a [`ShedRecord`] accounting trail, never silently.
-//! * [`worker`] — supervised work-stealing worker pool: one
-//!   [`System`](flexcore::System) per worker, no shared mutable
-//!   simulation state. A panicking trial is isolated with
+//! * [`pool`] + [`worker`] — the **global** supervised worker pool:
+//!   long-lived threads shared across every job (not per-job pools),
+//!   one fresh [`System`](flexcore::System) per trial, no shared
+//!   mutable simulation state. A panicking trial is isolated with
 //!   `catch_unwind`, retried with bounded exponential backoff, and
 //!   after the attempt budget quarantined as a typed [`TrialFailure`]
 //!   instead of killing the campaign. A deterministic chaos hook
@@ -31,7 +32,17 @@
 //!   mid-append is dropped (and the file repaired) rather than
 //!   poisoning the log, and every journaled trial is reused — a killed
 //!   server resumes exactly where it left off with zero lost and zero
-//!   duplicated trials.
+//!   duplicated trials. Many-times-resumed journals are **compacted**
+//!   (write-temp + fsync + atomic rename, crash-safe between any two
+//!   syscalls) down to one record per trial, so resume replays
+//!   O(unfinished trials) instead of O(all records ever appended).
+//! * [`daemon`] + [`client`] — the long-lived `flexserve serve` form:
+//!   [`JobSpec`] submission over a Unix-domain socket (newline-
+//!   delimited JSON with typed errors) *while* the scheduler drains,
+//!   streaming result subscription, graceful drain (stop admission,
+//!   finish in-flight, final heartbeat, exit 0), and a bundled client
+//!   that honors `retry_after_ms` with bounded exponential backoff +
+//!   deterministic jitter.
 //! * [`scheduler`] — the [`Server`]: drains the queue in priority
 //!   order, shards each job's trials across the pool, journals, and
 //!   emits per-job metrics plus Chrome-trace worker/trial spans
@@ -58,17 +69,23 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod client;
+pub mod daemon;
 pub mod health;
 pub mod job;
 pub mod journal;
+pub mod pool;
 pub mod queue;
 pub mod scheduler;
 pub mod worker;
 
 pub use admission::{AdmissionStats, AdmitError, ShedRecord};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use daemon::{Daemon, DaemonConfig, DaemonPhase};
 pub use health::{HealthMetrics, Heartbeat};
 pub use job::{JobId, JobSpec, JobSpecError};
-pub use journal::{Journal, JournalError, JournalRecovery, LoggedOutcome};
+pub use journal::{CompactionReport, Journal, JournalError, JournalRecovery, LoggedOutcome};
+pub use pool::{JobHandle, WorkerPool};
 pub use queue::JobQueue;
 pub use scheduler::{JobState, JobSummary, Server, ServerConfig, ServerReport};
 pub use worker::{run_job, run_job_observed, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};

@@ -1,0 +1,371 @@
+//! The **global** long-lived worker pool: one set of supervised worker
+//! threads shared by every job the server or daemon runs.
+//!
+//! PR 6's pool was scoped per job — `run_job` spawned threads, ran one
+//! trial list, and joined them. A long-lived daemon draining many
+//! campaigns cannot afford that shape: thread churn per job, no
+//! cross-job accounting, and nowhere to hang a "how busy is the
+//! service" signal. [`WorkerPool`] inverts it: threads are spawned
+//! once ([`WorkerPool::start`]) and live until the pool is dropped;
+//! each job is a ticketed batch of tasks pushed onto one shared FIFO,
+//! and its records stream back over a per-job channel, so several
+//! submission paths (scheduler drain, daemon jobs) share the same
+//! workers without re-creating them.
+//!
+//! Supervision is unchanged from the per-job pool — every attempt runs
+//! under `catch_unwind` inside [`supervised`], panics retry with
+//! bounded backoff and quarantine after the budget — and two pool
+//! properties are load-bearing for the daemon:
+//!
+//! * **Revocation.** [`JobHandle::collect`] can stop a job mid-flight
+//!   (`stop_after`, graceful drain): queued-but-unclaimed tasks for
+//!   that ticket are removed from the shared FIFO and counted as
+//!   `remaining`, while in-flight trials finish and are journaled —
+//!   the "finish or journal in-flight trials" half of drain.
+//! * **Isolation.** A task's response channel is owned by the task, so
+//!   a collector that goes away (client disconnect mid-subscription,
+//!   say) just makes later sends no-ops; nothing a consumer does can
+//!   wedge a worker thread.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use flexcore::RunResult;
+use flexcore_bench::trial::{self, TrialSpec};
+use flexcore_telemetry::Gauge;
+
+use crate::worker::{supervised, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
+
+/// One queued unit of work: a trial plus everything the worker needs
+/// to run and report it without touching shared job state.
+struct Task {
+    ticket: u64,
+    index: usize,
+    spec: TrialSpec,
+    reference: Option<Arc<RunResult>>,
+    policy: WorkerPolicy,
+    epoch: Instant,
+    busy: Option<Gauge>,
+    tx: Sender<TrialRecord>,
+}
+
+#[derive(Default)]
+struct Shared {
+    tasks: Mutex<VecDeque<Task>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.tasks.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The long-lived pool. Dropping it shuts the workers down (pending
+/// tasks are discarded, which disconnects their job channels — nothing
+/// blocks forever on a dead pool).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    width: usize,
+    next_ticket: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width)
+            .field("queued", &self.shared.locked().len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `width` worker threads (0 → one per available core) that
+    /// live until the pool is dropped.
+    pub fn start(width: usize) -> WorkerPool {
+        let width = match width {
+            0 => std::thread::available_parallelism().map_or(4, usize::from),
+            n => n,
+        };
+        let shared = Arc::new(Shared::default());
+        let handles = (0..width)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flexserve-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, &shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles, width, next_ticket: AtomicU64::new(1) }
+    }
+
+    /// The number of worker threads.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Enqueues one job's trials (minus the `skip` set, counted as
+    /// reused) as a ticketed batch and returns the handle its records
+    /// stream back through. Does not block: collection happens on the
+    /// caller's thread via [`JobHandle::collect`].
+    pub fn submit(
+        &self,
+        trials: &[TrialSpec],
+        skip: &HashSet<String>,
+        policy: &WorkerPolicy,
+        busy: Option<&Gauge>,
+    ) -> JobHandle {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let epoch = Instant::now();
+        let (tx, rx) = std::sync::mpsc::channel();
+        // One clean reference run per workload, shared by every
+        // supervised (`recover`) trial of the job.
+        let mut refs: HashMap<&str, Arc<RunResult>> = HashMap::new();
+        for spec in trials {
+            if spec.recover && !refs.contains_key(spec.workload.name()) {
+                refs.insert(spec.workload.name(), Arc::new(trial::reference_run(&spec.workload)));
+            }
+        }
+        let mut reused = 0u64;
+        let mut batch = VecDeque::new();
+        for (index, spec) in trials.iter().enumerate() {
+            if skip.contains(&spec.label) {
+                reused += 1;
+                continue;
+            }
+            batch.push_back(Task {
+                ticket,
+                index,
+                spec: spec.clone(),
+                reference: refs.get(spec.workload.name()).cloned(),
+                policy: *policy,
+                epoch,
+                busy: busy.cloned(),
+                tx: tx.clone(),
+            });
+        }
+        // `tx` lives only inside tasks from here on: when the last
+        // task of the batch has been executed (or revoked/dropped),
+        // the job's receiver disconnects and `collect` returns.
+        drop(tx);
+        if !batch.is_empty() {
+            self.shared.locked().extend(batch);
+            self.shared.work.notify_all();
+        }
+        JobHandle { shared: Arc::clone(&self.shared), ticket, rx, reused, width: self.width, epoch }
+    }
+
+    /// Removes every queued-but-unclaimed task of `ticket` from the
+    /// shared FIFO, returning how many were revoked. In-flight trials
+    /// are not touched — they finish and deliver their records.
+    fn revoke(shared: &Shared, ticket: u64) -> u64 {
+        let mut tasks = shared.locked();
+        let before = tasks.len();
+        tasks.retain(|t| t.ticket != ticket);
+        (before - tasks.len()) as u64
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Pending tasks are dropped so their channels disconnect.
+        self.shared.locked().clear();
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    loop {
+        let task = {
+            let mut tasks = shared.locked();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(task) = tasks.pop_front() {
+                    break task;
+                }
+                tasks = shared.work.wait(tasks).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let start_us = task.epoch.elapsed().as_micros() as u64;
+        if let Some(g) = &task.busy {
+            g.inc();
+        }
+        let done = supervised(&task.spec, task.reference.as_deref(), &task.policy);
+        if let Some(g) = &task.busy {
+            g.dec();
+        }
+        let record = TrialRecord {
+            index: task.index,
+            label: task.spec.label.clone(),
+            worker,
+            attempts: done.attempts,
+            outcome: done.outcome,
+            start_us,
+            dur_us: task.epoch.elapsed().as_micros() as u64 - start_us,
+        };
+        // A send fails only when the job's collector is gone (stopped
+        // early, or its client vanished); the record is simply dropped
+        // — the journal/resume machinery owns durability, not this
+        // channel.
+        let _ = task.tx.send(record);
+    }
+}
+
+/// One submitted job's streaming side: receive records, account stats,
+/// and optionally stop early.
+pub struct JobHandle {
+    shared: Arc<Shared>,
+    ticket: u64,
+    rx: Receiver<TrialRecord>,
+    reused: u64,
+    width: usize,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("ticket", &self.ticket).finish()
+    }
+}
+
+impl JobHandle {
+    /// Drains the job's records on the calling thread, invoking
+    /// `on_record` in completion order (journal there without
+    /// locking). With `stop_after = Some(n)`, once `n` records have
+    /// been delivered the job's unclaimed tasks are revoked (counted
+    /// as `remaining`) while in-flight trials still finish and are
+    /// delivered — the same soft-interruption contract the per-job
+    /// pool had, now also the daemon's drain primitive.
+    pub fn collect<F>(self, stop_after: Option<u64>, mut on_record: F) -> JobRunStats
+    where
+        F: FnMut(&TrialRecord),
+    {
+        let mut stats =
+            JobRunStats { reused: self.reused, workers: self.width, ..JobRunStats::default() };
+        let mut stopped = false;
+        for record in &self.rx {
+            stats.executed += 1;
+            match &record.outcome {
+                Ok(_) if record.attempts > 1 => {
+                    stats.retried += 1;
+                    stats.panics += u64::from(record.attempts - 1);
+                }
+                Ok(_) => {}
+                Err(TrialFailure::Panicked { attempts, .. }) => {
+                    stats.quarantined += 1;
+                    stats.panics += u64::from(*attempts);
+                }
+            }
+            on_record(&record);
+            if !stopped && stop_after.is_some_and(|n| stats.executed >= n) {
+                stats.remaining = WorkerPool::revoke(&self.shared, self.ticket);
+                stopped = true;
+                // Keep draining: in-flight trials deliver their
+                // records; the loop ends when the last task sender
+                // drops.
+            }
+        }
+        stats.elapsed_us = self.epoch.elapsed().as_micros() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexcore::recovery::RecoveryPolicy;
+    use flexcore_bench::trial::CampaignSpec;
+    use flexcore_workloads::Workload;
+
+    fn small_trials(n: usize) -> Vec<TrialSpec> {
+        let cspec = CampaignSpec {
+            seed: 0xf1ec,
+            trials: n,
+            lockstep: false,
+            recover: false,
+            policy: RecoveryPolicy::default(),
+        };
+        let bitcount =
+            *Workload::all().iter().find(|w| w.name() == "bitcount").expect("bitcount exists");
+        trial::campaign1_trials(&cspec, &[bitcount])
+    }
+
+    #[test]
+    fn one_pool_serves_many_jobs_without_respawning() {
+        let pool = WorkerPool::start(2);
+        for round in 0..3 {
+            let trials = small_trials(3);
+            let mut labels = Vec::new();
+            let stats = pool
+                .submit(&trials, &HashSet::new(), &WorkerPolicy::default(), None)
+                .collect(None, |r| labels.push(r.label.clone()));
+            assert_eq!(stats.executed, 3, "round {round} ran on the shared pool");
+            assert_eq!(stats.workers, 2);
+            labels.sort();
+            let mut expected: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
+            expected.sort();
+            assert_eq!(labels, expected);
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_route_records_to_their_own_handles() {
+        let pool = Arc::new(WorkerPool::start(3));
+        let a_trials = small_trials(4);
+        let b_trials = small_trials(6);
+        let a = pool.submit(&a_trials, &HashSet::new(), &WorkerPolicy::default(), None);
+        let b = pool.submit(&b_trials, &HashSet::new(), &WorkerPolicy::default(), None);
+        let mut b_labels = Vec::new();
+        let b_stats = b.collect(None, |r| b_labels.push(r.label.clone()));
+        let mut a_labels = Vec::new();
+        let a_stats = a.collect(None, |r| a_labels.push(r.label.clone()));
+        // Each handle receives exactly its own batch — all of it and
+        // nothing from the other job, even with both interleaved on
+        // the same three workers.
+        assert_eq!((a_stats.executed, b_stats.executed), (4, 6));
+        let expect = |trials: &[TrialSpec]| {
+            let mut v: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
+            v.sort();
+            v
+        };
+        a_labels.sort();
+        b_labels.sort();
+        assert_eq!(a_labels, expect(&a_trials));
+        assert_eq!(b_labels, expect(&b_trials));
+    }
+
+    #[test]
+    fn revocation_counts_unclaimed_tasks_and_in_flight_still_deliver() {
+        let pool = WorkerPool::start(1);
+        let trials = small_trials(8);
+        let stats = pool
+            .submit(&trials, &HashSet::new(), &WorkerPolicy::default(), None)
+            .collect(Some(2), |_| {});
+        assert!(stats.executed >= 2, "the stop threshold was reached");
+        assert!(stats.executed < 8, "the stop actually interrupted the job");
+        assert_eq!(stats.executed + stats.remaining, 8, "every trial accounted for");
+    }
+
+    #[test]
+    fn dropping_the_pool_disconnects_pending_jobs() {
+        let pool = WorkerPool::start(1);
+        let handle = pool.submit(&small_trials(6), &HashSet::new(), &WorkerPolicy::default(), None);
+        drop(pool);
+        // The collector must not hang: dropped tasks disconnect the
+        // channel; whatever was in flight may or may not have landed.
+        let stats = handle.collect(None, |_| {});
+        assert!(stats.executed <= 6);
+    }
+}

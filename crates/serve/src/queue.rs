@@ -2,9 +2,12 @@
 //!
 //! Thread-safe (clients submit while the scheduler drains), bounded
 //! (admission applies backpressure instead of growing without limit),
-//! and accountable (shed jobs leave a [`ShedRecord`] trail).
+//! and accountable (shed jobs leave a [`ShedRecord`] trail). The
+//! daemon's scheduler blocks on [`JobQueue::pop_timeout`] so a socket
+//! submission wakes it immediately instead of being polled for.
 
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::admission::{AdmissionStats, AdmitError, ShedRecord};
 use crate::job::{JobId, JobSpec};
@@ -13,6 +16,16 @@ use crate::job::{JobId, JobSpec};
 /// is assumed to cost at least this long, so the hint scales with
 /// depth.
 const RETRY_HINT_MS_PER_JOB: u64 = 500;
+
+/// Escalation step under sustained saturation: every *consecutive*
+/// rejection (no admission or pop in between) adds this much to the
+/// hint, so a client hammering a full queue is pushed back
+/// progressively harder instead of retrying on a fixed cadence.
+const RETRY_HINT_MS_PER_STREAK: u64 = 250;
+
+/// Ceiling on the rejection-streak escalation (the depth term still
+/// applies on top).
+const RETRY_HINT_STREAK_CAP: u64 = 20;
 
 #[derive(Debug)]
 struct Queued {
@@ -27,6 +40,16 @@ struct Inner {
     stats: AdmissionStats,
     shed: Vec<ShedRecord>,
     seq: u64,
+    /// Consecutive `Rejected` outcomes since the last admission or
+    /// pop — drives the monotone escalation of `retry_after_ms`.
+    reject_streak: u64,
+}
+
+impl Inner {
+    fn retry_hint_ms(&self) -> u64 {
+        self.jobs.len() as u64 * RETRY_HINT_MS_PER_JOB
+            + self.reject_streak.min(RETRY_HINT_STREAK_CAP) * RETRY_HINT_MS_PER_STREAK
+    }
 }
 
 /// Bounded priority queue of campaign jobs.
@@ -34,13 +57,20 @@ struct Inner {
 pub struct JobQueue {
     max_depth: usize,
     inner: Mutex<Inner>,
+    /// Signalled on every submission (and on [`JobQueue::kick`]), so a
+    /// scheduler blocked in [`JobQueue::pop_timeout`] wakes promptly.
+    arrived: Condvar,
 }
 
 impl JobQueue {
     /// An empty queue admitting at most `max_depth` queued jobs
     /// (clamped to ≥ 1).
     pub fn new(max_depth: usize) -> JobQueue {
-        JobQueue { max_depth: max_depth.max(1), inner: Mutex::new(Inner::default()) }
+        JobQueue {
+            max_depth: max_depth.max(1),
+            inner: Mutex::new(Inner::default()),
+            arrived: Condvar::new(),
+        }
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -57,7 +87,8 @@ impl JobQueue {
     ///   queued job → that job is shed (recorded) and the new one
     ///   admitted — graceful degradation under overload;
     /// * full queue otherwise → typed [`AdmitError::Rejected`] with a
-    ///   `retry_after_ms` backpressure hint.
+    ///   `retry_after_ms` backpressure hint that grows monotonically
+    ///   with queue depth *and* with the run of consecutive rejections.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, AdmitError> {
         let id = spec.id();
         let mut inner = self.locked();
@@ -89,11 +120,12 @@ impl JobQueue {
                 }
                 None => {
                     inner.stats.rejected += 1;
+                    inner.reject_streak += 1;
                     let depth = inner.jobs.len();
                     return Err(AdmitError::Rejected {
                         depth,
                         max_depth: self.max_depth,
-                        retry_after_ms: depth as u64 * RETRY_HINT_MS_PER_JOB,
+                        retry_after_ms: inner.retry_hint_ms(),
                     });
                 }
             }
@@ -102,20 +134,53 @@ impl JobQueue {
         let seq = inner.seq;
         inner.jobs.push(Queued { spec, id, seq });
         inner.stats.admitted += 1;
+        inner.reject_streak = 0;
+        drop(inner);
+        self.arrived.notify_all();
         Ok(id)
     }
 
     /// Removes and returns the next job: highest priority first, FIFO
     /// within a priority.
     pub fn pop(&self) -> Option<JobSpec> {
-        let mut inner = self.locked();
+        Self::pop_locked(&mut self.locked())
+    }
+
+    fn pop_locked(inner: &mut Inner) -> Option<JobSpec> {
         let best = inner
             .jobs
             .iter()
             .enumerate()
             .max_by_key(|(_, q)| (q.spec.priority, std::cmp::Reverse(q.seq)))
             .map(|(i, _)| i)?;
+        inner.reject_streak = 0;
         Some(inner.jobs.remove(best).spec)
+    }
+
+    /// [`JobQueue::pop`], but blocks up to `timeout` for a submission
+    /// to arrive. Returns as soon as anything wakes it — a submission
+    /// (with the job), a [`JobQueue::kick`] or the timeout (with
+    /// `None`) — so the caller re-checks its own state on every wake;
+    /// the daemon uses the empty-handed beats for its idle heartbeat
+    /// and drain-state checks.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<JobSpec> {
+        let mut inner = self.locked();
+        if let Some(spec) = Self::pop_locked(&mut inner) {
+            return Some(spec);
+        }
+        let (mut inner, _) = self
+            .arrived
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Self::pop_locked(&mut inner)
+    }
+
+    /// Wakes every thread blocked in [`JobQueue::pop_timeout`] without
+    /// submitting anything — the daemon kicks the scheduler when the
+    /// lifecycle state changes (e.g. drain requested) so it re-checks
+    /// its exit condition immediately.
+    pub fn kick(&self) {
+        self.arrived.notify_all();
     }
 
     /// Jobs currently queued.
@@ -140,6 +205,13 @@ mod tests {
 
     fn job(name: &str, seed: u64, priority: u8) -> JobSpec {
         JobSpec { name: name.into(), seed, priority, ..JobSpec::default() }
+    }
+
+    fn rejected_hint(q: &JobQueue, spec: JobSpec) -> u64 {
+        match q.submit(spec) {
+            Err(AdmitError::Rejected { retry_after_ms, .. }) => retry_after_ms,
+            other => panic!("expected Rejected, got {other:?}"),
+        }
     }
 
     #[test]
@@ -196,5 +268,98 @@ mod tests {
         assert_eq!(q.pop().expect("job").name, "high");
         assert_eq!(q.pop().expect("job").name, "mid");
         assert!(q.pop().is_none());
+    }
+
+    /// Satellite: under sustained saturation the shed order is always
+    /// "current lowest priority, newest first among equals" — never an
+    /// arbitrary victim — across a whole ladder of displacements.
+    #[test]
+    fn sustained_saturation_sheds_in_strict_priority_order() {
+        let q = JobQueue::new(3);
+        q.submit(job("p1-old", 1, 1)).expect("admitted");
+        q.submit(job("p1-new", 2, 1)).expect("admitted");
+        q.submit(job("p3", 3, 3)).expect("admitted");
+        // Each arrival at the full queue must displace the *current*
+        // lowest-priority job; among the two p1 jobs the newer one
+        // (p1-new) goes first, then p1-old, then p3.
+        q.submit(job("p4-a", 4, 4)).expect("displaces p1-new");
+        q.submit(job("p4-b", 5, 4)).expect("displaces p1-old");
+        q.submit(job("p5", 6, 5)).expect("displaces p3");
+        let shed: Vec<(String, u8)> =
+            q.shed_log().into_iter().map(|s| (s.name, s.priority)).collect();
+        assert_eq!(
+            shed,
+            vec![("p1-new".to_string(), 1), ("p1-old".to_string(), 1), ("p3".to_string(), 3)],
+            "victims leave in ascending priority, newest-first among equals"
+        );
+        // An arrival that outranks nothing still cannot displace.
+        let err = q.submit(job("p4-c", 7, 4)).expect_err("no strictly-lower victim");
+        assert!(matches!(err, AdmitError::Rejected { .. }));
+        assert_eq!(q.depth(), 3);
+    }
+
+    /// Satellite: `retry_after_ms` never decreases while the queue
+    /// stays saturated — consecutive rejections escalate the hint —
+    /// and the escalation resets once the queue makes progress.
+    #[test]
+    fn retry_hint_is_monotone_under_sustained_saturation() {
+        let q = JobQueue::new(2);
+        q.submit(job("a", 1, 2)).expect("admitted");
+        q.submit(job("b", 2, 2)).expect("admitted");
+        let mut last = 0u64;
+        for i in 0..30 {
+            let hint = rejected_hint(&q, job("burst", 100 + i, 2));
+            assert!(
+                hint >= last,
+                "hint regressed under sustained saturation: {last} -> {hint} at rejection {i}"
+            );
+            last = hint;
+        }
+        // The streak escalates beyond the pure depth term, and is
+        // capped (the hint cannot run away to hours).
+        assert!(last > 2 * 500, "streak term escalated the hint: {last}");
+        assert!(last <= 2 * 500 + RETRY_HINT_STREAK_CAP * RETRY_HINT_MS_PER_STREAK);
+
+        // Progress (a pop) resets the streak: the next hint reflects
+        // the shallower queue, not the stale streak.
+        q.pop().expect("job");
+        q.submit(job("refill", 200, 2)).expect("admitted");
+        let after_progress = rejected_hint(&q, job("burst-2", 300, 2));
+        assert!(
+            after_progress < last,
+            "hint must relax after the queue made progress ({last} -> {after_progress})"
+        );
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_submission_and_times_out_idle() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        // Idle: times out empty-handed (the daemon's heartbeat beat).
+        assert!(q.pop_timeout(Duration::from_millis(10)).is_none());
+        // A submission from another thread wakes the blocked pop.
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.submit(job("wake", 1, 1)).expect("admitted");
+        });
+        // Waking is edge-triggered (spurious wakes return early by
+        // design), so poll in pop_timeout-sized beats up to a deadline.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut got = None;
+        while got.is_none() && std::time::Instant::now() < deadline {
+            got = q.pop_timeout(Duration::from_secs(1));
+        }
+        t.join().expect("submitter");
+        assert_eq!(got.expect("woken with a job").name, "wake");
+        // kick() wakes without a job.
+        let q3 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q3.kick();
+        });
+        let started = std::time::Instant::now();
+        assert!(q.pop_timeout(Duration::from_secs(30)).is_none(), "kick returns empty-handed");
+        assert!(started.elapsed() < Duration::from_secs(29), "kick cut the wait short");
+        t.join().expect("kicker");
     }
 }

@@ -22,9 +22,10 @@ use serde::Value;
 use crate::admission::{AdmissionStats, AdmitError, ShedRecord};
 use crate::health::{HealthMetrics, Heartbeat};
 use crate::job::{JobId, JobSpec};
-use crate::journal::{Journal, JournalError, LoggedOutcome};
+use crate::journal::{CompactionReport, Journal, JournalError, LoggedOutcome};
+use crate::pool::WorkerPool;
 use crate::queue::JobQueue;
-use crate::worker::{run_job_observed, JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
+use crate::worker::{JobRunStats, TrialFailure, TrialRecord, WorkerPolicy};
 
 /// Server knobs.
 #[derive(Clone, Debug)]
@@ -112,6 +113,8 @@ pub struct JobSummary {
     pub journal: PathBuf,
     /// The merged trial log, written when the job completed.
     pub merged_log: Option<PathBuf>,
+    /// What the pre-resume compaction pass did (`None` on fresh runs).
+    pub compaction: Option<CompactionReport>,
 }
 
 /// What one [`Server::run`] drain did.
@@ -134,17 +137,43 @@ impl ServerReport {
     }
 }
 
+/// The observation surface one [`Server::run_one`] reports into.
+///
+/// `observer` sees each [`TrialRecord`] right after it is journaled —
+/// the daemon hangs its subscription fan-out there; the batch drain
+/// passes a no-op. `metrics`/`heartbeat` are split so the daemon can
+/// share one registry across threads (behind an `Arc`) while the
+/// scheduler thread alone owns the heartbeat. `spans` accumulates
+/// Chrome-trace spans across jobs, offset by `trace_base_us`.
+pub(crate) struct RunHooks<'a> {
+    pub spans: &'a mut Vec<(String, TrialRecord)>,
+    pub trace_base_us: u64,
+    pub metrics: Option<&'a HealthMetrics>,
+    pub heartbeat: Option<&'a mut Heartbeat>,
+    pub observer: &'a mut dyn FnMut(&TrialRecord),
+}
+
 /// The campaign job server.
+///
+/// Owns the **one** global [`WorkerPool`]: the pool's threads are
+/// spawned when the server is built and shared by every job the
+/// server ever drains (and, behind the daemon, by every submission
+/// path), instead of a fresh per-job pool.
 #[derive(Debug)]
 pub struct Server {
     queue: JobQueue,
+    pool: WorkerPool,
     config: ServerConfig,
 }
 
 impl Server {
-    /// A server with an empty queue.
+    /// A server with an empty queue and a freshly started global pool.
     pub fn new(config: ServerConfig) -> Server {
-        Server { queue: JobQueue::new(config.max_depth), config }
+        Server {
+            queue: JobQueue::new(config.max_depth),
+            pool: WorkerPool::start(config.worker_policy.pool_width().max(1)),
+            config,
+        }
     }
 
     /// The configuration the server runs under.
@@ -160,6 +189,11 @@ impl Server {
     /// The underlying queue (admission stats, depth, shed log).
     pub fn queue(&self) -> &JobQueue {
         &self.queue
+    }
+
+    /// The global worker pool every job runs on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// This campaign's journal path under the configured directory.
@@ -201,7 +235,18 @@ impl Server {
                 report.interrupted = true;
                 break;
             }
-            let summary = self.run_one(&spec, budget, &mut spans, trace_base_us, &mut health)?;
+            let (metrics, heartbeat) = match health.as_mut() {
+                Some((m, h)) => (Some(&*m), Some(&mut *h)),
+                None => (None, None),
+            };
+            let mut hooks = RunHooks {
+                spans: &mut spans,
+                trace_base_us,
+                metrics,
+                heartbeat,
+                observer: &mut |_| {},
+            };
+            let summary = self.run_one(&spec, budget, &mut hooks)?;
             if let Some(b) = budget.as_mut() {
                 *b = b.saturating_sub(summary.stats.executed);
             }
@@ -227,14 +272,15 @@ impl Server {
         Ok(report)
     }
 
-    fn run_one(
+    /// Runs one job on the global pool, journaling every record.
+    pub(crate) fn run_one(
         &self,
         spec: &JobSpec,
         budget: Option<u64>,
-        spans: &mut Vec<(String, TrialRecord)>,
-        trace_base_us: u64,
-        health: &mut Option<(HealthMetrics, Heartbeat)>,
+        hooks: &mut RunHooks<'_>,
     ) -> Result<JobSummary, JournalError> {
+        let metrics = hooks.metrics;
+        let trace_base_us = hooks.trace_base_us;
         let id = spec.id();
         let journal_path = self.journal_path(id);
         let mut summary = JobSummary {
@@ -245,6 +291,7 @@ impl Server {
             state: JobState::Completed,
             journal: journal_path.clone(),
             merged_log: None,
+            compaction: None,
         };
         let trials = match spec.trial_specs() {
             Ok(trials) => trials,
@@ -254,6 +301,22 @@ impl Server {
             }
         };
         summary.trials = trials.len() as u64;
+
+        // A campaign resumed N times accretes events and superseded
+        // records; compact before replaying so resume stays
+        // O(unfinished trials) no matter how often it was interrupted.
+        if self.config.resume {
+            let report = Journal::compact(&journal_path, &spec.canonical())?;
+            if let (true, Some(metrics)) = (report.compacted, metrics) {
+                metrics.journal_compactions.inc();
+                metrics.compaction_dropped.add(
+                    report.dropped_events
+                        + report.dropped_superseded
+                        + u64::from(report.dropped_partial),
+                );
+            }
+            summary.compaction = Some(report);
+        }
 
         let (mut journal, recovery) = Journal::open(
             &journal_path,
@@ -272,7 +335,7 @@ impl Server {
                 skip.insert(label.clone());
             }
         }
-        let busy = if let Some((metrics, _)) = health.as_ref() {
+        let busy = if let Some(metrics) = metrics {
             journal.instrument(metrics.journal_write_ns.clone(), metrics.journal_fsync_ns.clone());
             metrics.trials_total.add(summary.trials);
             metrics.trials_reused.add(skip.len() as u64);
@@ -293,13 +356,10 @@ impl Server {
         let todo = summary.trials - skip.len() as u64;
         let mut done = 0u64;
         let mut journal_err: Option<JournalError> = None;
-        let stats = run_job_observed(
-            &trials,
-            &skip,
-            &self.config.worker_policy,
-            budget,
-            busy.as_ref(),
-            |record| {
+        let stats = self
+            .pool
+            .submit(&trials, &skip, &self.config.worker_policy, busy.as_ref())
+            .collect(budget, |record| {
                 if journal_err.is_some() {
                     return;
                 }
@@ -313,7 +373,7 @@ impl Server {
                 if let Err(e) = append {
                     journal_err = Some(e);
                 }
-                spans.push((
+                hooks.spans.push((
                     spec.name.clone(),
                     TrialRecord { start_us: trace_base_us + record.start_us, ..record.clone() },
                 ));
@@ -328,17 +388,19 @@ impl Server {
                         meter.progress_column(done, todo),
                     );
                 }
-                if let Some((metrics, heartbeat)) = health.as_mut() {
+                if let Some(metrics) = metrics {
                     metrics.trials_executed.inc();
                     match &record.outcome {
                         Ok(_) if record.attempts > 1 => metrics.trials_retried.inc(),
                         Ok(_) => {}
                         Err(TrialFailure::Panicked { .. }) => metrics.trials_quarantined.inc(),
                     }
-                    let _ = heartbeat.write(metrics);
+                    if let Some(hb) = hooks.heartbeat.as_deref_mut() {
+                        let _ = hb.write(metrics);
+                    }
                 }
-            },
-        );
+                (hooks.observer)(record);
+            });
         if let Some(e) = journal_err {
             return Err(e);
         }

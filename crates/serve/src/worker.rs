@@ -1,28 +1,34 @@
-//! The supervised, work-stealing trial worker pool.
+//! Trial supervision and the per-call job-run façade.
 //!
-//! [`run_job`] shards a job's trial list across `std` threads. Each
-//! worker claims trials from a shared atomic cursor (work stealing —
-//! no static partition, so a slow trial never idles the other
-//! workers) and builds its own fresh [`System`](flexcore::System) per
-//! trial via [`trial::run_trial`]; there is no shared mutable
-//! simulation state anywhere.
+//! The execution substrate lives in [`crate::pool`]: a long-lived
+//! [`WorkerPool`](crate::pool::WorkerPool) of threads shared across
+//! every job the server runs. This module keeps the two pieces that
+//! are about a *single* trial or a *single* job:
 //!
-//! Workers are supervised, not trusted: every attempt runs under
-//! `catch_unwind`, a panicking trial is retried with bounded
-//! exponential backoff, and after [`WorkerPolicy::max_attempts`] it
-//! is quarantined as a typed [`TrialFailure`] — one poisoned trial
-//! cannot take down the campaign, and the failure is reported, never
-//! swallowed. A deterministic chaos hook injects panics on demand so
-//! the supervision path itself is exercised in tests and CI.
+//! * [`supervised`] — one trial under supervision. Every attempt runs
+//!   under `catch_unwind`, a panicking trial is retried with bounded
+//!   exponential backoff, and after [`WorkerPolicy::max_attempts`] it
+//!   is quarantined as a typed [`TrialFailure`] — one poisoned trial
+//!   cannot take down the campaign, and the failure is reported,
+//!   never swallowed. A deterministic chaos hook injects panics on
+//!   demand so the supervision path itself is exercised in tests and
+//!   CI.
+//! * [`run_job`] / [`run_job_observed`] — the one-shot convenience
+//!   used by `flexserve run` and tests: spin up a transient pool,
+//!   run one trial list, tear it down. Each worker builds its own
+//!   fresh [`System`](flexcore::System) per trial via
+//!   [`trial::run_trial`]; there is no shared mutable simulation
+//!   state anywhere.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use flexcore::RunResult;
 use flexcore_bench::trial::{self, TrialOutcome, TrialSpec};
 use flexcore_telemetry::Gauge;
+
+use crate::pool::WorkerPool;
 
 /// Supervision knobs for the worker pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,14 +155,18 @@ pub struct JobRunStats {
     pub elapsed_us: u64,
 }
 
-struct Attempted {
-    outcome: Result<TrialOutcome, TrialFailure>,
-    attempts: u32,
+pub(crate) struct Attempted {
+    pub(crate) outcome: Result<TrialOutcome, TrialFailure>,
+    pub(crate) attempts: u32,
 }
 
 /// Runs one trial under supervision: `catch_unwind` isolation, bounded
 /// exponential backoff between attempts, typed quarantine at budget.
-fn supervised(spec: &TrialSpec, reference: Option<&RunResult>, policy: &WorkerPolicy) -> Attempted {
+pub(crate) fn supervised(
+    spec: &TrialSpec,
+    reference: Option<&RunResult>,
+    policy: &WorkerPolicy,
+) -> Attempted {
     let budget = policy.max_attempts.max(1);
     let mut last_message = String::new();
     for attempt in 1..=budget {
@@ -195,20 +205,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Precomputes the clean reference run per workload for supervised
-/// (`recover`) trials, so the pool amortizes one reference per
-/// workload instead of one per trial.
-fn reference_map(trials: &[TrialSpec]) -> HashMap<&str, RunResult> {
-    let mut refs = HashMap::new();
-    for spec in trials {
-        if spec.recover && !refs.contains_key(spec.workload.name()) {
-            refs.insert(spec.workload.name(), trial::reference_run(&spec.workload));
-        }
-    }
-    refs
-}
-
-/// Shards `trials` across a supervised work-stealing pool.
+/// Shards `trials` across a supervised worker pool.
 ///
 /// Trials whose label is in `skip` are counted as reused and never
 /// claimed (journal resume). `on_record` runs on the calling thread in
@@ -234,93 +231,23 @@ where
 /// worker claims a trial, lowered when the record is handed off — the
 /// live "how parallel is the pool right now" signal behind the
 /// `flexserve` status heartbeat. `None` costs nothing.
+///
+/// This is the one-shot shape: a transient [`WorkerPool`] scoped to
+/// the call. Long-lived callers (the scheduler, the daemon) submit to
+/// a pool they own instead, so workers survive across jobs.
 pub fn run_job_observed<F>(
     trials: &[TrialSpec],
     skip: &HashSet<String>,
     policy: &WorkerPolicy,
     stop_after: Option<u64>,
     busy: Option<&Gauge>,
-    mut on_record: F,
+    on_record: F,
 ) -> JobRunStats
 where
     F: FnMut(&TrialRecord),
 {
-    let started = Instant::now();
-    let pending: Vec<(usize, &TrialSpec)> =
-        trials.iter().enumerate().filter(|(_, t)| !skip.contains(&t.label)).collect();
-    let mut stats = JobRunStats {
-        reused: (trials.len() - pending.len()) as u64,
-        workers: policy.pool_width().max(1),
-        ..JobRunStats::default()
-    };
-    if !pending.is_empty() {
-        let refs = reference_map(trials);
-        let cursor = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let (tx, rx) = std::sync::mpsc::channel::<TrialRecord>();
-        std::thread::scope(|scope| {
-            for worker in 0..stats.workers {
-                let tx = tx.clone();
-                let (pending, refs, cursor, stop) = (&pending, &refs, &cursor, &stop);
-                scope.spawn(move || {
-                    loop {
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let claim = cursor.fetch_add(1, Ordering::AcqRel);
-                        let Some((index, spec)) = pending.get(claim).copied() else { break };
-                        let start_us = started.elapsed().as_micros() as u64;
-                        let reference = refs.get(spec.workload.name());
-                        if let Some(g) = busy {
-                            g.inc();
-                        }
-                        let done = supervised(spec, reference, policy);
-                        if let Some(g) = busy {
-                            g.dec();
-                        }
-                        let record = TrialRecord {
-                            index,
-                            label: spec.label.clone(),
-                            worker,
-                            attempts: done.attempts,
-                            outcome: done.outcome,
-                            start_us,
-                            dur_us: started.elapsed().as_micros() as u64 - start_us,
-                        };
-                        // The receiver outlives the scope body; a send
-                        // can only fail if the main thread panicked,
-                        // and then the scope is tearing down anyway.
-                        if tx.send(record).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for record in rx {
-                stats.executed += 1;
-                match &record.outcome {
-                    Ok(_) if record.attempts > 1 => {
-                        stats.retried += 1;
-                        stats.panics += u64::from(record.attempts - 1);
-                    }
-                    Ok(_) => {}
-                    Err(TrialFailure::Panicked { attempts, .. }) => {
-                        stats.quarantined += 1;
-                        stats.panics += u64::from(*attempts);
-                    }
-                }
-                on_record(&record);
-                if stop_after.is_some_and(|n| stats.executed >= n) {
-                    stop.store(true, Ordering::Release);
-                }
-            }
-        });
-        let claimed = cursor.load(Ordering::Acquire).min(pending.len());
-        stats.remaining = (pending.len() - claimed) as u64;
-    }
-    stats.elapsed_us = started.elapsed().as_micros() as u64;
-    stats
+    let pool = WorkerPool::start(policy.pool_width().max(1));
+    pool.submit(trials, skip, policy, busy).collect(stop_after, on_record)
 }
 
 #[cfg(test)]

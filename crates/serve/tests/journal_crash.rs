@@ -1,0 +1,278 @@
+//! Crash-shaped journal torture tests.
+//!
+//! Three layers, strongest first:
+//!
+//! 1. **Exhaustive truncation**: a real journal killed at EVERY byte
+//!    offset — resume must repair, lose nothing that was durable, and
+//!    finish to the exact clean outcome set with no duplicates.
+//! 2. **Property-based truncation**: random journal shapes (events,
+//!    quarantines, supersessions) cut at a random offset — the same
+//!    lose-nothing/duplicate-nothing contract must hold for all of
+//!    them.
+//! 3. **Real crash points**: the test re-executes itself as a child
+//!    process with [`flexcore_serve::journal::CRASH_POINT_ENV`] set, so
+//!    compaction genuinely dies (`exit(137)`, the SIGKILL status)
+//!    between two specific syscalls — then the parent proves the next
+//!    open resumes bit-identically and a re-run compaction completes.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use flexcore_bench::trial::TrialOutcome;
+use flexcore_serve::journal::CRASH_POINT_ENV;
+use flexcore_serve::{JobSpec, Journal, LoggedOutcome, TrialFailure};
+use proptest::prelude::*;
+use serde::Value;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexserve-jcrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+fn outcome(n: u64) -> TrialOutcome {
+    TrialOutcome { trapped: true, faults_injected: n, ..TrialOutcome::default() }
+}
+
+/// One append against a journal — the unit the property tests shuffle.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Append a completed trial for label `sha trial {0}`.
+    Trial(u8, u64),
+    /// Append a quarantine record for label `sha trial {0}`.
+    Quarantine(u8),
+    /// Append a lifecycle event.
+    Event,
+}
+
+fn apply(j: &mut Journal, op: Op) {
+    match op {
+        Op::Trial(label, n) => {
+            j.append_trial(&format!("sha trial {label}"), &outcome(n)).expect("append")
+        }
+        Op::Quarantine(label) => j
+            .append_quarantine(
+                &format!("sha trial {label}"),
+                &TrialFailure::Panicked { attempts: 2, last_message: "chaos".into() },
+            )
+            .expect("append"),
+        Op::Event => {
+            j.append_event("job-mark", Value::object().field("note", &"x").build()).expect("append")
+        }
+    }
+}
+
+/// Writes a journal from `ops` and returns (spec, path, bytes, clean
+/// recovered outcome map).
+fn journal_from_ops(tag: &str, ops: &[Op]) -> (JobSpec, PathBuf, Vec<u8>, Outcomes) {
+    let spec = JobSpec::default();
+    let path = tmpdir(tag).join(format!("{}.jsonl", spec.id()));
+    let (mut j, _) =
+        Journal::open(&path, &spec.header(), &spec.canonical(), false, 1).expect("create");
+    // Keep the history physically possible: once a label is Done the
+    // scheduler never touches it again, so drop any later record for
+    // it. (Quarantine → retry → Done supersession stays in play.)
+    let mut done: std::collections::HashSet<u8> = std::collections::HashSet::new();
+    for &op in ops {
+        match op {
+            Op::Trial(l, _) | Op::Quarantine(l) if done.contains(&l) => continue,
+            Op::Trial(l, _) => {
+                done.insert(l);
+            }
+            _ => {}
+        }
+        apply(&mut j, op);
+    }
+    j.sync().expect("sync");
+    drop(j);
+    let bytes = std::fs::read(&path).expect("read");
+    let (_, clean) =
+        Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("clean resume");
+    (spec, path, bytes, clean.outcomes)
+}
+
+type Outcomes = HashMap<String, LoggedOutcome>;
+
+/// The core contract, checked for one truncation offset: opening the
+/// cut file must succeed, recover only records that were durable (a
+/// subset of the clean state, line-for-line identical where present),
+/// and after re-appending what resume reports missing, a reopen must
+/// equal the clean outcome set exactly — nothing lost, nothing
+/// duplicated.
+fn check_cut(
+    spec: &JobSpec,
+    path: &PathBuf,
+    bytes: &[u8],
+    clean: &Outcomes,
+    cut: usize,
+) -> Result<(), String> {
+    std::fs::write(path, &bytes[..cut]).map_err(|e| e.to_string())?;
+    let (mut j, rec) = Journal::open(path, &spec.header(), &spec.canonical(), true, 1)
+        .map_err(|e| format!("cut at {cut}: open failed: {e}"))?;
+
+    // Durable prefix only: every complete line before the cut is a
+    // line of the original file, so each recovered label must exist in
+    // the clean state. (A label's *state* may lag — e.g. the cut kept a
+    // quarantine whose superseding success was cut off — that is the
+    // correct replay of what was durable.)
+    for label in rec.outcomes.keys() {
+        if !clean.contains_key(label) {
+            return Err(format!("cut at {cut}: invented label {label:?}"));
+        }
+    }
+
+    // Finish the job: re-append the current state for every label that
+    // is missing or not Done — exactly what a resumed scheduler does.
+    for (label, state) in clean {
+        let done = matches!(rec.outcomes.get(label), Some(LoggedOutcome::Done(_)));
+        if !done {
+            match state {
+                LoggedOutcome::Done(o) => j.append_trial(label, o).map_err(|e| e.to_string())?,
+                LoggedOutcome::Quarantined { detail, attempts } => j
+                    .append_quarantine(
+                        label,
+                        &TrialFailure::Panicked {
+                            attempts: *attempts,
+                            last_message: detail.clone(),
+                        },
+                    )
+                    .map_err(|e| e.to_string())?,
+            }
+        }
+    }
+    j.sync().map_err(|e| e.to_string())?;
+    drop(j);
+
+    let (_, finished) = Journal::open(path, &spec.header(), &spec.canonical(), true, 1)
+        .map_err(|e| format!("cut at {cut}: reopen failed: {e}"))?;
+    if &finished.outcomes != clean {
+        return Err(format!(
+            "cut at {cut}: finished state diverged\n  got:  {:?}\n  want: {clean:?}",
+            finished.outcomes
+        ));
+    }
+    Ok(())
+}
+
+/// Layer 1: kill the journal at every byte offset, including 0 (file
+/// emptied: restamp from scratch) and len (no truncation at all).
+#[test]
+fn resume_survives_truncation_at_every_byte_offset() {
+    let ops = [
+        Op::Event,
+        Op::Trial(0, 1),
+        Op::Quarantine(1),
+        Op::Event,
+        Op::Trial(1, 2),
+        Op::Trial(2, 3),
+        Op::Event,
+    ];
+    let (spec, path, bytes, clean) = journal_from_ops("every-byte", &ops);
+    assert_eq!(clean.len(), 3, "three labels in the clean state");
+    for cut in 0..=bytes.len() {
+        if let Err(msg) = check_cut(&spec, &path, &bytes, &clean, cut) {
+            panic!("{msg}");
+        }
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (0u8..5, 0u64..100).prop_map(|(l, n)| Op::Trial(l, n)),
+        2 => (0u8..5).prop_map(Op::Quarantine),
+        1 => Just(Op::Event),
+    ];
+    prop::collection::vec(op, 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Layer 2: the same contract over random journal shapes — labels
+    /// that repeat (supersession), quarantines that later succeed,
+    /// events sprinkled anywhere — cut at a random point.
+    #[test]
+    fn resume_survives_random_shapes_and_random_cuts(
+        ops in arb_ops(),
+        cut_permille in 0usize..=1000,
+    ) {
+        let (spec, path, bytes, clean) = journal_from_ops("prop", &ops);
+        let cut = bytes.len() * cut_permille / 1000;
+        if let Err(msg) = check_cut(&spec, &path, &bytes, &clean, cut) {
+            return Err(proptest::test_runner::TestCaseError::fail(msg));
+        }
+
+        // And compaction of whatever the finished file holds keeps the
+        // outcome set bit-identical while hitting the record-count
+        // floor: header + one line per label.
+        Journal::compact(&path, &spec.canonical()).expect("compacts");
+        let text = std::fs::read_to_string(&path).expect("read");
+        prop_assert_eq!(text.lines().count(), clean.len() + 1);
+        let (_, after) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("resume");
+        prop_assert_eq!(after.outcomes, clean);
+    }
+}
+
+/// Layer 3: compaction killed for real — `exit(137)` between two
+/// specific syscalls — via a child re-execution of this test binary.
+#[test]
+fn compaction_killed_at_each_real_crash_point_resumes_bit_identically() {
+    // Child mode: compact the journal named in the environment and let
+    // the injected crash point kill the process mid-sequence.
+    if let Ok(path) = std::env::var("FLEXSERVE_CRASH_CHILD_JOURNAL") {
+        let canonical =
+            std::env::var("FLEXSERVE_CRASH_CHILD_SPEC").expect("child needs the canonical spec");
+        Journal::compact(PathBuf::from(path).as_path(), &canonical).expect("compaction itself");
+        // Reaching here means the crash point did not fire — the
+        // parent asserts on our exit status, so just return.
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let ops = [
+        Op::Event,
+        Op::Trial(0, 7),
+        Op::Quarantine(1),
+        Op::Trial(1, 8),
+        Op::Event,
+        Op::Trial(2, 9),
+    ];
+    for point in ["compact-before-temp-sync", "compact-before-rename", "compact-before-dir-sync"] {
+        let (spec, path, original, clean) = journal_from_ops(&format!("kill-{point}"), &ops);
+
+        let status = std::process::Command::new(&exe)
+            .arg("compaction_killed_at_each_real_crash_point_resumes_bit_identically")
+            .arg("--exact")
+            .arg("--nocapture")
+            .env(CRASH_POINT_ENV, point)
+            .env("FLEXSERVE_CRASH_CHILD_JOURNAL", &path)
+            .env("FLEXSERVE_CRASH_CHILD_SPEC", spec.canonical())
+            .status()
+            .expect("spawn child");
+        assert_eq!(status.code(), Some(137), "`{point}` must kill the child mid-compaction");
+
+        // Whatever the kill left on disk, the journal must read as
+        // either the intact old file or the intact new one.
+        let now = std::fs::read(&path).expect("journal still present");
+        let compacted_lines = clean.len() + 1;
+        let is_old = now == original;
+        let is_new = String::from_utf8_lossy(&now).lines().count() == compacted_lines;
+        assert!(is_old || is_new, "`{point}` left a torn journal");
+
+        // Resume sees the exact clean outcome set either way…
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("open");
+        assert_eq!(rec.outcomes, clean, "`{point}`: resumed state diverged");
+
+        // …and a re-run compaction completes, after which the
+        // record-count contract holds: header + one line per label.
+        Journal::compact(&path, &spec.canonical()).expect("re-run compaction");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), compacted_lines, "`{point}`: wrong record count");
+        let (_, rec) =
+            Journal::open(&path, &spec.header(), &spec.canonical(), true, 1).expect("reopen");
+        assert_eq!(rec.outcomes, clean, "`{point}`: post-compaction state diverged");
+    }
+}

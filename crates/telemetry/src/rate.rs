@@ -51,17 +51,29 @@ impl RateMeter {
     }
 }
 
-/// `done / elapsed`, 0.0 when no time has passed.
+/// Below this much observed time the meter has no rate worth
+/// extrapolating: `done / elapsed` explodes toward infinity as
+/// `elapsed → 0`, turning the first instants of a campaign (or a
+/// journal-resume burst that replays thousands of records in
+/// microseconds) into a nonsense "billions per second, eta 0:00"
+/// line. The daemon's idle heartbeat leans on this guard: it renders
+/// `None` as `--/s eta --:--` instead of inventing a number.
+pub const MIN_MEASURABLE_SECS: f64 = 1e-3;
+
+/// `done / elapsed`, 0.0 until at least [`MIN_MEASURABLE_SECS`] has
+/// passed (a just-started meter has no meaningful rate).
 pub fn rate_of(done: u64, elapsed_secs: f64) -> f64 {
-    if elapsed_secs <= 0.0 {
+    if elapsed_secs < MIN_MEASURABLE_SECS {
         0.0
     } else {
         done as f64 / elapsed_secs
     }
 }
 
-/// Remaining time at the observed rate; `None` when nothing is done
-/// yet (no rate to extrapolate) or `done >= total` maps to `Some(0.0)`.
+/// Remaining time at the observed rate. `None` when there is no rate
+/// to extrapolate — nothing done yet, the meter just started
+/// (`elapsed < MIN_MEASURABLE_SECS`), or a degenerate zero/non-finite
+/// rate; `done >= total` maps to `Some(0.0)`.
 pub fn eta_of(done: u64, total: u64, elapsed_secs: f64) -> Option<f64> {
     if done == 0 {
         return None;
@@ -70,7 +82,7 @@ pub fn eta_of(done: u64, total: u64, elapsed_secs: f64) -> Option<f64> {
         return Some(0.0);
     }
     let rate = rate_of(done, elapsed_secs);
-    if rate <= 0.0 {
+    if rate <= 0.0 || !rate.is_finite() {
         return None;
     }
     Some((total - done) as f64 / rate)
@@ -106,6 +118,21 @@ mod tests {
         assert_eq!(eta_of(100, 100, 5.0), Some(0.0));
         // 25 done in 5s -> 5/s -> 75 remaining -> 15s.
         assert_eq!(eta_of(25, 100, 5.0), Some(15.0));
+    }
+
+    #[test]
+    fn just_started_meter_reports_no_rate_and_no_eta() {
+        // A burst of journal-replayed records lands before the clock
+        // has measurably moved: extrapolating would claim billions/s
+        // and eta 0:00 for work that has not actually started.
+        assert_eq!(rate_of(10_000, 0.0), 0.0);
+        assert_eq!(rate_of(10_000, 1e-9), 0.0, "sub-threshold elapsed has no rate");
+        assert_eq!(eta_of(10_000, 20_000, 1e-9), None, "no nonsense eta at startup");
+        assert_eq!(eta_of(5, 10, 0.0), None);
+        // The rendered column degrades instead of inventing a number.
+        assert_eq!(format_progress(10_000, 20_000, 1e-9), "--/s eta --:--");
+        // The guard lifts as soon as real time has passed.
+        assert!(eta_of(5, 10, MIN_MEASURABLE_SECS).is_some());
     }
 
     #[test]
