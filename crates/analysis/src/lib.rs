@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod cfi;
 pub mod dataflow;
 pub mod diag;
 pub mod netlint;
@@ -32,6 +33,7 @@ pub mod netlint;
 use flexcore_asm::Program;
 
 pub use cfg::{build_cfg, Block, Cfg, Edge, TermKind};
+pub use cfi::{cfi_edges, CfiEdges};
 pub use dataflow::{analyze_dataflow, DataflowReport, ProvenLoad, META_BASE};
 pub use diag::{Diagnostic, Rule, Severity};
 pub use netlint::lint_netlist;

@@ -52,6 +52,16 @@
 //!   architectural corruption SEC misses is detected (and therefore
 //!   recovered) instead of going silent. Campaigns 2–3 are unchanged
 //!   by this flag.
+//! * `--reconfig` — replace the three campaigns with the
+//!   reconfig-window campaign: every trial schedules a UMC → CFI
+//!   hot-swap at a deterministically drawn commit boundary and strikes
+//!   the bitstream *inside the swap window* — even trials with a
+//!   single transfer strike (one retry must absorb it), odd trials
+//!   corrupting every attempt so the retry budget exhausts and the
+//!   recovery ladder must roll back and replay the swap. Requires
+//!   `--recover`; the same 0-SDC / 0-unclassified gate applies, and
+//!   the triage is against a clean swap-free run (a hot-swap must not
+//!   change the architectural outcome).
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -77,15 +87,18 @@ struct ProgressLog {
 }
 
 impl ProgressLog {
-    fn header(seed: u64, trials: usize, lockstep: bool, recover: bool) -> String {
-        serde::to_string(
-            &serde::Value::object()
-                .field("seed", &seed)
-                .field("trials", &(trials as u64))
-                .field("lockstep", &lockstep)
-                .field("recover", &recover)
-                .build(),
-        )
+    fn header(seed: u64, trials: usize, lockstep: bool, recover: bool, reconfig: bool) -> String {
+        let mut h = serde::Value::object()
+            .field("seed", &seed)
+            .field("trials", &(trials as u64))
+            .field("lockstep", &lockstep)
+            .field("recover", &recover);
+        // Stamped only when set, so progress files from plain campaigns
+        // keep their original headers (and stay resumable).
+        if reconfig {
+            h = h.field("reconfig", &true);
+        }
+        serde::to_string(&h.build())
     }
 
     /// One line per parameter that differs between what the progress
@@ -97,6 +110,7 @@ impl ProgressLog {
         trials: usize,
         lockstep: bool,
         recover: bool,
+        reconfig: bool,
     ) -> Vec<String> {
         let mut diffs = Vec::new();
         let mut check_u64 = |key: &str, requested: u64| match stamped
@@ -118,12 +132,20 @@ impl ProgressLog {
         };
         check_bool("lockstep", lockstep);
         check_bool("recover", recover);
+        match (stamped.get("reconfig"), reconfig) {
+            (None, false) | (Some(serde::Value::Bool(true)), true) => {}
+            (stamped_reconfig, _) => diffs.push(format!(
+                "  reconfig: file has {}, this run requested {reconfig}",
+                matches!(stamped_reconfig, Some(serde::Value::Bool(true)))
+            )),
+        }
         if diffs.is_empty() {
             diffs.push("  (header is not valid JSON or field order changed)".into());
         }
         diffs
     }
 
+    #[allow(clippy::too_many_arguments)] // campaign identity is exactly these stamps
     fn open(
         path: Option<String>,
         resume: bool,
@@ -132,6 +154,7 @@ impl ProgressLog {
         trials: usize,
         lockstep: bool,
         recover: bool,
+        reconfig: bool,
     ) -> Result<ProgressLog, String> {
         let mut log = ProgressLog {
             path,
@@ -143,7 +166,7 @@ impl ProgressLog {
         let Some(p) = &log.path else {
             return Ok(log);
         };
-        let header = ProgressLog::header(seed, trials, lockstep, recover);
+        let header = ProgressLog::header(seed, trials, lockstep, recover, reconfig);
         match std::fs::read_to_string(p) {
             Ok(text) if resume => {
                 // A crash (or kill -9) mid-append leaves a truncated
@@ -163,8 +186,9 @@ impl ProgressLog {
                 match records.next() {
                     Some(first) if serde::to_string(&first) == header => {}
                     Some(first) => {
-                        let diffs =
-                            ProgressLog::header_diff(&first, seed, trials, lockstep, recover);
+                        let diffs = ProgressLog::header_diff(
+                            &first, seed, trials, lockstep, recover, reconfig,
+                        );
                         return Err(format!(
                             "{p}: was written with different campaign parameters \
                              (the trial labels would not mean the same runs):\n{}\n\
@@ -263,6 +287,86 @@ fn run_with_progress(
     slots.into_iter().map(|s| s.expect("every slot filled")).collect()
 }
 
+/// The reconfig-window campaign: UMC → CFI hot-swaps with bitstream
+/// strikes inside the swap window, run under the supervisor and
+/// triaged against the clean swap-free reference. Returns whether the
+/// 0-SDC / 0-unclassified gate passed.
+fn reconfig_campaign(
+    cspec: &CampaignSpec,
+    workloads: &[Workload],
+    trials: usize,
+    progress: &mut ProgressLog,
+) -> bool {
+    println!(
+        "\nReconfig-window fault triage (bitstream strikes inside UMC -> CFI swap windows, \
+         under the supervisor)"
+    );
+    println!(
+        "  even trials: one corrupted transfer (a retry absorbs it); \
+         odd trials: every attempt corrupted (ladder rolls back and replays the swap)"
+    );
+    println!(
+        "{:<12}{:>8}{:>9}{:>11}{:>6}{:>6}{:>9}{:>13}",
+        "benchmark", "trials", "masked", "recovered", "sdc", "due", "unclass", "mean mttr"
+    );
+    let mut total_sdc = 0u64;
+    let mut total_unclassified = 0u64;
+    let mut total_recovered = 0u64;
+    let mut mttr_sum = 0u64;
+    for workload in workloads {
+        let reference = trial::swap_reference_run(workload);
+        let jobs = trial::reconfig_trials(cspec, &[*workload]);
+        let reports = run_with_progress(jobs, Some(&reference), progress);
+        let mut counts: HashMap<FaultOutcome, u64> = HashMap::new();
+        let mut unclassified = 0u64;
+        let mut workload_mttr = 0u64;
+        for rep in &reports {
+            match &rep.outcome {
+                Ok(o) => match o.triage {
+                    Some(t) => {
+                        *counts.entry(t).or_default() += 1;
+                        if t == FaultOutcome::DetectedRecovered {
+                            total_recovered += 1;
+                            workload_mttr += o.mttr.unwrap_or(0);
+                        }
+                    }
+                    None => unclassified += 1,
+                },
+                Err(msg) => {
+                    unclassified += 1;
+                    eprintln!("  {} panicked: {msg}", rep.label);
+                }
+            }
+        }
+        let n = |t: FaultOutcome| counts.get(&t).copied().unwrap_or(0);
+        let recovered = n(FaultOutcome::DetectedRecovered);
+        let mean_mttr = if recovered == 0 { 0.0 } else { workload_mttr as f64 / recovered as f64 };
+        println!(
+            "{:<12}{:>8}{:>9}{:>11}{:>6}{:>6}{:>9}{:>13.1}",
+            workload.name(),
+            trials,
+            n(FaultOutcome::Masked),
+            recovered,
+            n(FaultOutcome::Sdc),
+            n(FaultOutcome::Due),
+            unclassified,
+            mean_mttr,
+        );
+        total_sdc += n(FaultOutcome::Sdc);
+        total_unclassified += unclassified;
+        mttr_sum += workload_mttr;
+    }
+    let campaign_mttr =
+        if total_recovered == 0 { 0.0 } else { mttr_sum as f64 / total_recovered as f64 };
+    println!(
+        "campaign MTTR: {campaign_mttr:.1} cycles mean over {total_recovered} recovered trials \
+         (each MTTR spans the replayed swap window)"
+    );
+    let pass = total_sdc == 0 && total_unclassified == 0;
+    println!("recovery gate (0 SDC, 0 unclassified): {}", if pass { "PASS" } else { "FAIL" });
+    pass
+}
+
 fn arg_value(name: &str) -> Option<u64> {
     let args: Vec<String> = std::env::args().collect();
     let i = args.iter().position(|a| a == name)?;
@@ -299,10 +403,18 @@ fn main() {
     let lockstep = std::env::args().any(|a| a == "--lockstep");
     let resume = std::env::args().any(|a| a == "--resume");
     let recover = std::env::args().any(|a| a == "--recover");
+    let reconfig = std::env::args().any(|a| a == "--reconfig");
     let progress_path = arg_string("--progress");
     let flush_every = arg_value("--checkpoint-every").unwrap_or(25) as usize;
     if resume && progress_path.is_none() {
         eprintln!("faultsweep: --resume needs --progress FILE to resume from");
+        std::process::exit(2);
+    }
+    if reconfig && !recover {
+        eprintln!(
+            "faultsweep: --reconfig triages swap-window faults under the rollback-and-replay \
+             supervisor; add --recover"
+        );
         std::process::exit(2);
     }
     let mut progress = match ProgressLog::open(
@@ -313,6 +425,7 @@ fn main() {
         trials,
         lockstep,
         recover,
+        reconfig,
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -329,6 +442,19 @@ fn main() {
         if recover { ", rollback-and-replay recovery on" } else { "" }
     );
     println!("{}", "=".repeat(78));
+
+    if reconfig {
+        let pass = reconfig_campaign(&cspec, &workloads, trials, &mut progress);
+        progress.flush();
+        if progress.reused > 0 {
+            println!("resumed: {} trials reused from the progress file", progress.reused);
+        }
+        println!("\nre-run with the same --seed to reproduce these numbers exactly");
+        if !pass {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // ── Campaign 1: SEC detection coverage on single-bit ALU-result flips ──
     // Under --recover the same trials (same labels, same seeds, same

@@ -13,8 +13,8 @@
 //!   --quiet         print only errors and the per-target summary
 //!
 //! With no workload arguments, all six paper kernels are analyzed
-//! (sha gmac stringsearch fft basicmath bitcount) along with the five
-//! extension netlists (umc dift bc sec mprot).
+//! (sha gmac stringsearch fft basicmath bitcount) along with the six
+//! extension netlists (umc dift bc sec mprot cfi).
 //! ```
 //!
 //! Exit codes: `0` clean, `1` at least one error-severity finding,
@@ -28,14 +28,24 @@
 //! two oracles is wrong — either the analysis proved too much or the
 //! monitor's tag pipeline lost an initialization — and either way the
 //! build must not ship.
+//!
+//! The hot-swap direction: every ordered pair of swappable extension
+//! bitstreams is rehearsed through one partial-reconfiguration region
+//! — map, serialize, frame, program A, then program B over it — with
+//! each committed mapping proven consistent against a fresh technology
+//! mapping of its netlist. A pair that cannot complete this sequence
+//! would brick a mid-run `--swap-at` between those extensions.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
+use flexcore::ext::{Bc, Cfi, CfiTable, Dift, Extension, Mprot, Sec, Umc};
 use flexcore::{System, SystemConfig};
 use flexcore_analysis::{analyze_program, lint_netlist, AnalysisReport, Diagnostic, Severity};
-use flexcore_fabric::Netlist;
+use flexcore_fabric::{
+    from_bitstream, map_to_luts, segment_bitstream, to_bitstream, verify_consistent, Netlist,
+    PartialRegion, FRAME_BYTES,
+};
 use flexcore_workloads::Workload;
 
 /// LUT input count the netlist checks map against (Virtex-5, paper §5).
@@ -154,7 +164,57 @@ fn extension_netlists() -> Vec<Netlist> {
         Bc::new().netlist(),
         Sec::new().netlist(),
         Mprot::new().netlist(),
+        // The CFI datapath (CAM lookups + class decode) is independent
+        // of the edge table contents, so an empty table lints the same
+        // netlist every program-specific instance uses.
+        Cfi::new(CfiTable::new()).netlist(),
     ]
+}
+
+/// Result of rehearsing one ordered swap pair through a fresh
+/// partial-reconfiguration region.
+struct SwapPairRow {
+    from: String,
+    to: String,
+    from_frames: usize,
+    to_frames: usize,
+    error: Option<String>,
+}
+
+/// Programs `from`'s bitstream into a blank region, then `to`'s over
+/// it — the exact frame sequence a mid-run swap performs — proving
+/// each committed mapping consistent against a fresh mapping of its
+/// netlist.
+fn rehearse_swap_pair(from: &Netlist, to: &Netlist) -> SwapPairRow {
+    let mut row = SwapPairRow {
+        from: from.name().to_string(),
+        to: to.name().to_string(),
+        from_frames: 0,
+        to_frames: 0,
+        error: None,
+    };
+    let mut region = PartialRegion::new();
+    let mut program = |netlist: &Netlist, frames_out: &mut usize| -> Result<(), String> {
+        let bytes = to_bitstream(&map_to_luts(netlist, LUT_K));
+        let decoded = from_bitstream(&bytes)
+            .map_err(|e| format!("{}: bitstream does not round-trip: {e}", netlist.name()))?;
+        verify_consistent(netlist, &decoded)
+            .map_err(|e| format!("{}: decoded mapping: {e}", netlist.name()))?;
+        let frames = segment_bitstream(&bytes, FRAME_BYTES);
+        *frames_out = frames.len();
+        region.begin_load(frames.len() as u32);
+        for f in &frames {
+            region
+                .push_frame(f)
+                .map_err(|e| format!("{}: frame {}: {e}", netlist.name(), f.index))?;
+        }
+        let mapping = region.commit().map_err(|e| format!("{}: commit: {e}", netlist.name()))?;
+        verify_consistent(netlist, mapping)
+            .map_err(|e| format!("{}: programmed mapping: {e}", netlist.name()))
+    };
+    row.error =
+        program(from, &mut row.from_frames).and_then(|()| program(to, &mut row.to_frames)).err();
+    row
 }
 
 /// Result of one `--xcheck` run.
@@ -209,12 +269,51 @@ fn run() -> Result<u8, String> {
     }
 
     let mut netlist_values = Vec::new();
-    for netlist in extension_netlists() {
-        let diags = lint_netlist(&netlist, LUT_K);
+    let netlists = extension_netlists();
+    for netlist in &netlists {
+        let diags = lint_netlist(netlist, LUT_K);
         print_findings(netlist.name(), &diags, opts.quiet);
         any_error |= diags.iter().any(Diagnostic::is_error);
         netlist_values.push(findings_json(netlist.name(), &diags));
     }
+
+    // Every ordered pair (including A -> A, the bitstream-refresh case)
+    // must survive the frame-by-frame region reprogramming a hot-swap
+    // performs.
+    let mut swap_values = Vec::new();
+    let mut swap_failures = 0usize;
+    for from in &netlists {
+        for to in &netlists {
+            let row = rehearse_swap_pair(from, to);
+            match &row.error {
+                Some(e) => {
+                    swap_failures += 1;
+                    println!("[swap {} -> {}] ERROR: {e}", row.from, row.to);
+                }
+                None if !opts.quiet => println!(
+                    "[swap {} -> {}] ok ({} then {} frame(s) through one region)",
+                    row.from, row.to, row.from_frames, row.to_frames
+                ),
+                None => {}
+            }
+            let mut obj = serde::Value::object()
+                .field("from", &row.from.as_str())
+                .field("to", &row.to.as_str())
+                .field("from_frames", &(row.from_frames as u64))
+                .field("to_frames", &(row.to_frames as u64))
+                .field("ok", &row.error.is_none());
+            if let Some(e) = &row.error {
+                obj = obj.field("error", &e.as_str());
+            }
+            swap_values.push(obj.build());
+        }
+    }
+    any_error |= swap_failures > 0;
+    println!(
+        "[swap-pairs] {} ordered pair(s) rehearsed, {} failure(s)",
+        netlists.len() * netlists.len(),
+        swap_failures
+    );
 
     let mut contradictions = 0usize;
     let mut xcheck_values = Vec::new();
@@ -249,7 +348,8 @@ fn run() -> Result<u8, String> {
         let mut artifact = serde::Value::object()
             .field("version", &1u64)
             .raw("programs", serde::Value::Array(program_values))
-            .raw("netlists", serde::Value::Array(netlist_values));
+            .raw("netlists", serde::Value::Array(netlist_values))
+            .raw("swaps", serde::Value::Array(swap_values));
         if opts.xcheck {
             artifact = artifact.raw("xcheck", serde::Value::Array(xcheck_values));
         }

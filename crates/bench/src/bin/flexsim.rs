@@ -5,7 +5,11 @@
 //! flexsim [OPTIONS] <program.s | workload-name>
 //!
 //! OPTIONS:
-//!   --ext <umc|dift|bc|sec|mprot|none>   monitoring extension (default: none)
+//!   --ext <umc|dift|bc|sec|mprot|cfi|none>  monitoring extension (default: none)
+//!   --swap-at <COMMIT:ext[:policy]>      hot-swap the fabric bitstream to `ext` at the
+//!                                        given commit boundary (repeatable; policy is
+//!                                        reset|carry, default reset); CFI's edge table
+//!                                        is recovered statically from the program
 //!   --clock <1x|0.5x|0.25x>              fabric clock ratio (default: 0.5x)
 //!   --fifo <N>                           forward-FIFO depth (default: 64)
 //!   --max <N>                            instruction budget (default: 200M)
@@ -40,6 +44,9 @@
 //! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext dift
 //! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext umc \
 //!     --metrics sha.jsonl --trace sha.trace.json --flight-recorder 32
+//! # start under UMC, hot-swap the fabric to CFI after 5000 commits
+//! cargo run --release -p flexcore-bench --bin flexsim -- sha --ext umc \
+//!     --swap-at 5000:cfi
 //! ```
 //!
 //! The observability outputs (`--metrics`, `--trace`, `--flight-recorder`,
@@ -58,11 +65,12 @@
 use std::process::ExitCode;
 
 use flexcore::checkpoint::Snapshot;
-use flexcore::ext::{Bc, Dift, Extension, Mprot, Sec, Umc};
+use flexcore::ext::Extension;
 use flexcore::obs::{ChromeRecorder, MetricsRecorder, Observer, TraceSink};
 use flexcore::recovery::{RecoveryPolicy, Supervisor};
 use flexcore::{RunOutcome, RunResult, SimError, System, SystemConfig};
 use flexcore_asm::{assemble, Program};
+use flexcore_bench::swap::{self, SwapPoint};
 use flexcore_fabric::write_vcd;
 use flexcore_mem::{MainMemory, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult};
@@ -93,6 +101,7 @@ struct Options {
     resume: Option<String>,
     lockstep: bool,
     recover: bool,
+    swaps: Vec<SwapPoint>,
 }
 
 impl Options {
@@ -133,6 +142,7 @@ fn parse_args() -> Result<Options, String> {
         resume: None,
         lockstep: false,
         recover: false,
+        swaps: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -189,6 +199,10 @@ fn parse_args() -> Result<Options, String> {
             }
             "--quit-after-checkpoint" => opts.quit_after_checkpoint = true,
             "--resume" => opts.resume = Some(args.next().ok_or("--resume needs a file")?),
+            "--swap-at" => {
+                let spec = args.next().ok_or("--swap-at needs COMMIT:ext[:policy]")?;
+                opts.swaps.push(SwapPoint::parse(&spec).map_err(|e| format!("--swap-at {e}"))?);
+            }
             "--lockstep" => opts.lockstep = true,
             "--recover" => opts.recover = true,
             "--help" | "-h" => return Err("help".into()),
@@ -207,6 +221,11 @@ fn parse_args() -> Result<Options, String> {
     if opts.ext == "none" && opts.wants_system() {
         return Err("--checkpoint-every/--resume/--lockstep need the full system model; \
              pick an extension with --ext umc|dift|bc|sec|mprot"
+            .into());
+    }
+    if opts.ext == "none" && !opts.swaps.is_empty() {
+        return Err("--swap-at reprograms the monitored fabric; pick a starting extension \
+             with --ext umc|dift|bc|sec|mprot|cfi"
             .into());
     }
     if opts.quit_after_checkpoint && opts.checkpoint_every.is_none() {
@@ -304,7 +323,7 @@ fn drive<E: Extension, S: TraceSink>(
     }
 }
 
-fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32 {
+fn run_monitored(program: &Program, opts: &Options, ext: Box<dyn Extension>) -> i32 {
     let cfg = match config(opts) {
         Ok(c) => c,
         Err(e) => {
@@ -330,6 +349,16 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
 
     let mut sys = System::with_sink(cfg, ext, obs);
     sys.load_program(program);
+    // Swaps are scheduled before a checkpoint restore: `restore`
+    // realigns the scheduled timeline against the checkpoint's commit
+    // count, so a resumed run re-executes (or fast-forwards) its swaps
+    // exactly like the uninterrupted one.
+    for point in &opts.swaps {
+        if let Err(e) = swap::schedule(&mut sys, point, program) {
+            eprintln!("error: --swap-at: {e}");
+            return 2;
+        }
+    }
     if let Some(path) = &opts.resume {
         let json = match std::fs::read_to_string(path) {
             Ok(j) => j,
@@ -409,6 +438,12 @@ fn run_monitored<E: Extension>(program: &Program, opts: &Options, ext: E) -> i32
     if opts.lockstep {
         let checked = sys.lockstep().map_or(0, |c| c.commits_checked());
         eprintln!("[{name}] lockstep: {checked} commits agreed with the golden model");
+    }
+    for report in sys.swap_reports() {
+        eprintln!("[{name}] {report}");
+    }
+    if sys.swap_pending() {
+        eprintln!("[{name}] note: a scheduled --swap-at boundary was never reached");
     }
 
     // The VCD dump needs both the tapped packets (in the sink) and the
@@ -514,13 +549,13 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: flexsim [--ext umc|dift|bc|sec|mprot|none] [--clock 1x|0.5x|0.25x]\n\
+                "usage: flexsim [--ext umc|dift|bc|sec|mprot|cfi|none] [--clock 1x|0.5x|0.25x]\n\
                  \x20              [--fifo N] [--max N] [--metrics FILE] [--epoch N]\n\
                  \x20              [--trace FILE] [--flight-recorder N] [--vcd FILE]\n\
                  \x20              [--checkpoint-every N] [--checkpoint-path FILE]\n\
                  \x20              [--quit-after-checkpoint] [--resume FILE] [--lockstep]\n\
-                 \x20              [--recover] [--json] [--commits] [--disasm]\n\
-                 \x20              <program.s | workload>"
+                 \x20              [--recover] [--swap-at COMMIT:ext[:policy]] [--json]\n\
+                 \x20              [--commits] [--disasm] <program.s | workload>"
             );
             return ExitCode::from(2);
         }
@@ -538,15 +573,13 @@ fn main() -> ExitCode {
     }
     let code = match opts.ext.as_str() {
         "none" => run_bare(&program, &opts),
-        "umc" => run_monitored(&program, &opts, Umc::new()),
-        "dift" => run_monitored(&program, &opts, Dift::new()),
-        "bc" => run_monitored(&program, &opts, Bc::new()),
-        "sec" => run_monitored(&program, &opts, Sec::new()),
-        "mprot" => run_monitored(&program, &opts, Mprot::new()),
-        other => {
-            eprintln!("unknown extension `{other}`");
-            2
-        }
+        name => match swap::build_extension(name, &program) {
+            Some(ext) => run_monitored(&program, &opts, ext),
+            None => {
+                eprintln!("unknown extension `{name}`");
+                2
+            }
+        },
     };
     ExitCode::from(code.clamp(0, 255) as u8)
 }

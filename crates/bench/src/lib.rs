@@ -23,6 +23,7 @@
 pub mod microbench;
 pub mod paper;
 mod runner;
+pub mod swap;
 pub mod trial;
 
 pub use runner::{

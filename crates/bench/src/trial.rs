@@ -29,8 +29,8 @@ use flexcore::ext::{Bc, Dift, ExtEnv, Sec, Umc};
 use flexcore::faults::{FaultModel, FaultPlan, FaultRng, FaultSchedule, FaultTarget};
 use flexcore::recovery::{FaultOutcome, RecoveryPolicy, Supervisor};
 use flexcore::{
-    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, RunResult, SimError, System,
-    SystemConfig,
+    Cfgr, Extension, ExtensionDescriptor, ForwardPolicy, MonitorTrap, RunResult, SimError,
+    SwapPolicy, System, SystemConfig,
 };
 use flexcore_fabric::{Netlist, NetlistBuilder};
 use flexcore_isa::Instruction;
@@ -157,6 +157,22 @@ pub enum TrialKind {
         /// Seed of the Bernoulli stream.
         plan_seed: u64,
     },
+    /// Reconfig-window campaign: a UMC → CFI hot-swap scheduled at a
+    /// commit boundary, with bitstream-transfer faults striking
+    /// *inside* the swap window.
+    SwapWindow {
+        /// Per-trial seed (drives the byte offset and mask of each
+        /// bitstream strike).
+        trial_seed: u64,
+        /// Commit boundary the swap fires at.
+        at_commit: u64,
+        /// `false`: a single strike on the first transfer attempt —
+        /// the swap's retry machinery must absorb it. `true`: every
+        /// attempt is corrupted, so the retry budget exhausts and the
+        /// failure escalates through the recovery ladder, which must
+        /// replay the swap deterministically.
+        exhaust: bool,
+    },
 }
 
 /// One fully-determined trial: workload + fault configuration + run
@@ -259,6 +275,32 @@ pub fn sweep_trials(spec: &CampaignSpec, workloads: &[Workload]) -> Vec<TrialSpe
     out
 }
 
+/// Reconfig-window trial list: `spec.trials` UMC → CFI hot-swaps per
+/// workload, each at a boundary drawn deterministically from the
+/// workload's commit population, alternating between a single
+/// retry-absorbed bitstream strike (even trials) and full retry
+/// exhaustion that exercises the recovery ladder (odd trials).
+pub fn reconfig_trials(spec: &CampaignSpec, workloads: &[Workload]) -> Vec<TrialSpec> {
+    let mut out = Vec::with_capacity(spec.trials * workloads.len());
+    for workload in workloads {
+        let sites = profile_alu_commits(workload);
+        let span = *sites.last().expect("workload has commits");
+        for t in 0..spec.trials {
+            let trial_seed = spec.seed ^ (t as u64 + 1).wrapping_mul(0xd6e8_feb8_6659_fd93);
+            let at_commit = 1 + FaultRng::new(trial_seed.rotate_left(23)).below(span);
+            out.push(TrialSpec {
+                label: format!("{} swap {t}", workload.name()),
+                workload: *workload,
+                kind: TrialKind::SwapWindow { trial_seed, at_commit, exhaust: t % 2 == 1 },
+                lockstep: spec.lockstep,
+                recover: spec.recover,
+                policy: spec.policy,
+            });
+        }
+    }
+    out
+}
+
 fn target_tag(target: FaultTarget) -> u64 {
     match target {
         FaultTarget::CommitResult => 1,
@@ -314,6 +356,93 @@ pub fn reference_run(workload: &Workload) -> RunResult {
     r
 }
 
+/// The clean reference the reconfig-window triage compares against: a
+/// *swap-free* UMC run at the paper configuration. Triage compares
+/// only architectural outcomes (exit reason, instret, console) — the
+/// hot-swap equivalence guarantee is exactly that those are unchanged
+/// by a swap at any boundary, so the swap-free run is the oracle.
+///
+/// # Panics
+///
+/// Panics if the clean run fails or traps (a reproduction bug).
+pub fn swap_reference_run(workload: &Workload) -> RunResult {
+    let program = workload.program().expect("workload assembles");
+    let mut sys = System::new(paper_config(ExtKind::Umc), Umc::new());
+    sys.load_program(&program);
+    let r = sys.try_run(MAX_INSTRUCTIONS).expect("clean swap reference run completes");
+    assert!(r.monitor_trap.is_none(), "clean swap reference run must not trap");
+    r
+}
+
+/// The reconfig-window campaign's system: the workload under UMC with
+/// a UMC → CFI hot-swap scheduled at `at_commit` (CFI's edge table
+/// recovered statically from the workload's own CFG).
+fn swapped_system(workload: &Workload, at_commit: u64) -> System<Box<dyn Extension>> {
+    let program = workload.program().expect("workload assembles");
+    let umc = crate::swap::build_extension("umc", &program).expect("umc builds");
+    let mut sys = System::new(paper_config(ExtKind::Umc), umc);
+    sys.load_program(&program);
+    let point = crate::swap::SwapPoint { at_commit, to: "cfi".into(), policy: SwapPolicy::Reset };
+    crate::swap::schedule(&mut sys, &point, &program).expect("cfi is swappable");
+    sys
+}
+
+fn outcome_of(result: Result<RunResult, SimError>) -> TrialOutcome {
+    match result {
+        Ok(r) => TrialOutcome {
+            trapped: r.monitor_trap.is_some(),
+            faults_injected: r.resilience.faults_injected,
+            trap_skid: r.trap_skid,
+            ..TrialOutcome::default()
+        },
+        Err(SimError::Divergence(_)) => TrialOutcome { diverged: true, ..TrialOutcome::default() },
+        Err(SimError::Deadlock(_)) => TrialOutcome { deadlocked: true, ..TrialOutcome::default() },
+        Err(_) => TrialOutcome { over_budget: true, ..TrialOutcome::default() },
+    }
+}
+
+/// One reconfig-window trial without the supervisor: the swap either
+/// absorbs its strike through retries or errors out, and the outcome
+/// is recorded as-is.
+fn run_swap_plain(
+    workload: &Workload,
+    at_commit: u64,
+    plan: &FaultPlan,
+    lockstep: bool,
+) -> TrialOutcome {
+    let mut sys = swapped_system(workload, at_commit);
+    sys.arm_faults(plan.clone());
+    if lockstep {
+        sys.enable_lockstep();
+    }
+    outcome_of(sys.try_run(MAX_INSTRUCTIONS))
+}
+
+/// One reconfig-window trial under the rollback-and-replay supervisor,
+/// triaged against the swap-free reference.
+fn run_swap_supervised(
+    workload: &Workload,
+    at_commit: u64,
+    plan: &FaultPlan,
+    lockstep: bool,
+    policy: RecoveryPolicy,
+    reference: &RunResult,
+) -> TrialOutcome {
+    let mut sys = swapped_system(workload, at_commit);
+    sys.arm_faults(plan.clone());
+    if lockstep {
+        sys.enable_lockstep();
+    }
+    let mut sup = Supervisor::new(sys, policy);
+    let result = sup.run(MAX_INSTRUCTIONS);
+    let report = sup.report();
+    let triage = FaultOutcome::classify(report, &result, reference);
+    let mut o = outcome_of(result);
+    o.triage = Some(triage);
+    o.mttr = Some(report.mttr_cycles);
+    o
+}
+
 fn run_one<E: Extension>(
     workload: &Workload,
     config: SystemConfig,
@@ -328,17 +457,7 @@ fn run_one<E: Extension>(
     if lockstep {
         sys.enable_lockstep();
     }
-    match sys.try_run(MAX_INSTRUCTIONS) {
-        Ok(r) => TrialOutcome {
-            trapped: r.monitor_trap.is_some(),
-            faults_injected: r.resilience.faults_injected,
-            trap_skid: r.trap_skid,
-            ..TrialOutcome::default()
-        },
-        Err(SimError::Divergence(_)) => TrialOutcome { diverged: true, ..TrialOutcome::default() },
-        Err(SimError::Deadlock(_)) => TrialOutcome { deadlocked: true, ..TrialOutcome::default() },
-        Err(_) => TrialOutcome { over_budget: true, ..TrialOutcome::default() },
-    }
+    outcome_of(sys.try_run(MAX_INSTRUCTIONS))
 }
 
 /// One campaign-1 trial under the rollback-and-replay supervisor,
@@ -362,17 +481,7 @@ fn run_one_supervised(
     let result = sup.run(MAX_INSTRUCTIONS);
     let report = sup.report();
     let triage = FaultOutcome::classify(report, &result, reference);
-    let mut o = match result {
-        Ok(r) => TrialOutcome {
-            trapped: r.monitor_trap.is_some(),
-            faults_injected: r.resilience.faults_injected,
-            trap_skid: r.trap_skid,
-            ..TrialOutcome::default()
-        },
-        Err(SimError::Divergence(_)) => TrialOutcome { diverged: true, ..TrialOutcome::default() },
-        Err(SimError::Deadlock(_)) => TrialOutcome { deadlocked: true, ..TrialOutcome::default() },
-        Err(_) => TrialOutcome { over_budget: true, ..TrialOutcome::default() },
-    };
+    let mut o = outcome_of(result);
     o.triage = Some(triage);
     o.mttr = Some(report.mttr_cycles);
     o
@@ -444,6 +553,40 @@ pub fn run_trial(spec: &TrialSpec, reference: Option<&RunResult>) -> TrialOutcom
                 );
             }
             run_kind(&spec.workload, *ext, paper_config(*ext), &plan, spec.lockstep)
+        }
+        TrialKind::SwapWindow { trial_seed, at_commit, exhaust } => {
+            // `exhaust` corrupts *every* transfer attempt (the retry
+            // budget cannot win); otherwise exactly the first attempt
+            // is struck and one retry must absorb it. Bitstream
+            // schedules are evaluated against the transfer-attempt
+            // index, so `AtCommit(1)` means "first transfer attempt".
+            let schedule =
+                if *exhaust { FaultSchedule::EveryCommits(1) } else { FaultSchedule::AtCommit(1) };
+            let plan = FaultPlan::new(*trial_seed).inject(
+                FaultTarget::Bitstream,
+                schedule,
+                FaultModel::BitFlip { bits: 1 },
+            );
+            if spec.recover {
+                let computed;
+                let r = match reference {
+                    Some(r) => r,
+                    None => {
+                        computed = swap_reference_run(&spec.workload);
+                        &computed
+                    }
+                };
+                run_swap_supervised(
+                    &spec.workload,
+                    *at_commit,
+                    &plan,
+                    spec.lockstep,
+                    spec.policy,
+                    r,
+                )
+            } else {
+                run_swap_plain(&spec.workload, *at_commit, &plan, spec.lockstep)
+            }
         }
     }
 }
@@ -598,6 +741,26 @@ mod tests {
         assert_eq!(trials[4].label, "bitcount UMC register rate 0");
         assert_eq!(trials[16].label, "bitcount DIFT result rate 0");
         assert!(!trials[0].recover, "sweep trials never run supervised");
+    }
+
+    #[test]
+    fn reconfig_trials_alternate_strike_and_exhaustion() {
+        let trials = reconfig_trials(&spec(4), &[Workload::bitcount()]);
+        assert_eq!(trials.len(), 4);
+        assert_eq!(trials[0].label, "bitcount swap 0");
+        let TrialKind::SwapWindow { at_commit, exhaust, .. } = trials[0].kind else {
+            panic!("reconfig trials are swap windows");
+        };
+        assert!(at_commit >= 1, "boundaries are 1-based");
+        assert!(!exhaust, "even trials are single retry-absorbed strikes");
+        let TrialKind::SwapWindow { exhaust, .. } = trials[1].kind else {
+            panic!("reconfig trials are swap windows");
+        };
+        assert!(exhaust, "odd trials exhaust the retry budget");
+        // Identity is deterministic: regeneration yields the same runs.
+        let again = reconfig_trials(&spec(4), &[Workload::bitcount()]);
+        assert_eq!(trials[2].kind, again[2].kind);
+        assert_eq!(trials[3].label, again[3].label);
     }
 
     #[test]

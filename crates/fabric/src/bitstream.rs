@@ -57,7 +57,7 @@ impl fmt::Display for BitstreamError {
 
 impl std::error::Error for BitstreamError {}
 
-fn fletcher32(data: &[u8]) -> u32 {
+pub(crate) fn fletcher32(data: &[u8]) -> u32 {
     let mut s1: u32 = 0xffff;
     let mut s2: u32 = 0xffff;
     for chunk in data.chunks(2) {

@@ -36,8 +36,9 @@ use crate::stats::{ForwardStats, ResilienceStats};
 
 /// Version tag embedded in every serialized snapshot; restore rejects
 /// other versions. Version 2 widened the resilience counter array from
-/// 5 to 7 entries (degraded-mode accounting).
-pub const SNAPSHOT_FORMAT: u32 = 2;
+/// 5 to 7 entries (degraded-mode accounting); version 3 widened it to
+/// 10 (hot-swap accounting).
+pub const SNAPSHOT_FORMAT: u32 = 3;
 
 /// Word-level difference of one 4-KB page against the baseline image
 /// captured at [`load_program`](crate::System::load_program).
@@ -482,6 +483,9 @@ mod json {
                 s.bitstream_reloads,
                 s.unmonitored_commits,
                 s.suppressed_checks,
+                s.swaps_completed,
+                s.swap_drained_packets,
+                s.swap_stall_cycles,
             ]
             .iter()
             .map(|&v| Value::U64(v))
@@ -492,8 +496,9 @@ mod json {
     fn resilience_from(v: &Value) -> R<ResilienceStats> {
         let items = v.as_array().ok_or_else(|| err("resilience stats are not an array"))?;
         let n = u64_list(items, "resilience stat")?;
-        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads, unmonitored_commits, suppressed_checks]:
-            [u64; 7] = n.try_into().map_err(|_| err("resilience stats need exactly 7 counters"))?;
+        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads, unmonitored_commits, suppressed_checks, swaps_completed, swap_drained_packets, swap_stall_cycles]:
+            [u64; 10] =
+            n.try_into().map_err(|_| err("resilience stats need exactly 10 counters"))?;
         Ok(ResilienceStats {
             faults_injected,
             packets_corrupted,
@@ -502,6 +507,9 @@ mod json {
             bitstream_reloads,
             unmonitored_commits,
             suppressed_checks,
+            swaps_completed,
+            swap_drained_packets,
+            swap_stall_cycles,
         })
     }
 

@@ -7,6 +7,7 @@
 //! Table III are derived.
 
 pub mod bc;
+pub mod cfi;
 pub mod dift;
 pub mod mprot;
 pub mod nop;
@@ -14,6 +15,7 @@ pub mod sec;
 pub mod umc;
 
 pub use bc::Bc;
+pub use cfi::{Cfi, CfiTable};
 pub use dift::Dift;
 pub use mprot::Mprot;
 pub use nop::Nop;
@@ -342,6 +344,59 @@ pub trait Extension {
                 }
             })
             .collect()
+    }
+}
+
+/// Boxed extensions forward every hook to the boxed value, so a
+/// `System<Box<dyn Extension>>` can hold *any* extension — the shape
+/// mid-run hot swaps between different extension types require (a
+/// concrete `System<E>` can only swap to another `E`).
+impl<T: Extension + ?Sized> Extension for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn descriptor(&self) -> ExtensionDescriptor {
+        (**self).descriptor()
+    }
+    fn cfgr(&self) -> Cfgr {
+        (**self).cfgr()
+    }
+    fn pipeline_stages(&self) -> u32 {
+        (**self).pipeline_stages()
+    }
+    fn process(
+        &mut self,
+        pkt: &TracePacket,
+        env: &mut ExtEnv<'_>,
+    ) -> Result<Option<u32>, MonitorTrap> {
+        (**self).process(pkt, env)
+    }
+    fn on_program_load(&mut self, base: u32, len: u32, env: &mut ExtEnv<'_>) {
+        (**self).on_program_load(base, len, env)
+    }
+    fn snapshot_state(&self) -> Vec<u64> {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, state: &[u64]) {
+        (**self).restore_state(state)
+    }
+    fn bypass(&mut self) {
+        (**self).bypass()
+    }
+    fn rearm(&mut self) {
+        (**self).rearm()
+    }
+    fn bypassed(&self) -> bool {
+        (**self).bypassed()
+    }
+    fn suppressed_checks(&self) -> u64 {
+        (**self).suppressed_checks()
+    }
+    fn netlist(&self) -> Netlist {
+        (**self).netlist()
+    }
+    fn vcd_stimulus(&self, pkt: &TracePacket) -> Vec<bool> {
+        (**self).vcd_stimulus(pkt)
     }
 }
 

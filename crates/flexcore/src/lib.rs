@@ -79,6 +79,7 @@ pub mod faults;
 pub mod interface;
 pub mod lockstep;
 pub mod obs;
+pub mod reconfig;
 pub mod recovery;
 pub mod software;
 
@@ -94,6 +95,7 @@ pub use error::{DeadlockSnapshot, SimError};
 pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
 pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};
 pub use lockstep::{DivergenceReport, LockstepChecker};
+pub use reconfig::{SwapPolicy, SwapReport, SwapRequest};
 pub use recovery::{FaultOutcome, RecoveryAttempt, RecoveryPolicy, RecoveryReport, Supervisor};
 pub use shadow::ShadowRegFile;
 pub use stats::{ForwardStats, ResilienceStats, RunResult};

@@ -169,6 +169,16 @@ mod export {
             TraceEvent::DegradedEnter { cycle } => {
                 base("degraded-enter", "i", cycle, TID_CORE).field("s", &"g").build()
             }
+            TraceEvent::SwapBegin { cycle, instret } => base("swap-begin", "i", cycle, TID_FABRIC)
+                .field("s", &"g")
+                .raw("args", Value::object().field("instret", &instret).build())
+                .build(),
+            TraceEvent::SwapComplete { cycle, drained } => {
+                base("swap-complete", "i", cycle, TID_FABRIC)
+                    .field("s", &"g")
+                    .raw("args", Value::object().field("drained", &drained).build())
+                    .build()
+            }
             TraceEvent::Trap { cycle, pc, instret } => base("trap", "i", cycle, TID_CORE)
                 .field("s", &"g")
                 .raw(

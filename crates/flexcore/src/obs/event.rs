@@ -124,6 +124,21 @@ pub enum TraceEvent {
         /// Core-clock cycle at entry.
         cycle: u64,
     },
+    /// A mid-run bitstream hot-swap began quiescing: the commit stage
+    /// stalls and the FIFO drains (see [`crate::reconfig`]).
+    SwapBegin {
+        /// Core-clock cycle the quiesce began.
+        cycle: u64,
+        /// Committed-instruction boundary the swap was scheduled at.
+        instret: u64,
+    },
+    /// A hot-swap finished rearming: the new extension is live.
+    SwapComplete {
+        /// Core-clock cycle the new extension went live.
+        cycle: u64,
+        /// FIFO packets drained during the quiesce.
+        drained: u64,
+    },
     /// A monitor trap was raised (the TRAP signal was scheduled).
     Trap {
         /// Core-clock cycle at which the signal asserts (§III.C: the
@@ -153,6 +168,8 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { cycle, .. }
             | TraceEvent::Recovery { cycle, .. }
             | TraceEvent::DegradedEnter { cycle }
+            | TraceEvent::SwapBegin { cycle, .. }
+            | TraceEvent::SwapComplete { cycle, .. }
             | TraceEvent::Trap { cycle, .. } => cycle,
             TraceEvent::FabricSpan { start, .. } => start,
             TraceEvent::BitstreamRetry { .. } => 0,
@@ -179,6 +196,8 @@ mod tests {
         assert_eq!(TraceEvent::CommitStall { cycle: 12, until: 20 }.cycle(), 12);
         assert_eq!(TraceEvent::Recovery { cycle: 33, rung: 1 }.cycle(), 33);
         assert_eq!(TraceEvent::DegradedEnter { cycle: 44 }.cycle(), 44);
+        assert_eq!(TraceEvent::SwapBegin { cycle: 55, instret: 10 }.cycle(), 55);
+        assert_eq!(TraceEvent::SwapComplete { cycle: 66, drained: 3 }.cycle(), 66);
     }
 
     #[test]

@@ -243,7 +243,10 @@ impl TraceSink for MetricsRecorder {
             // Recovery rewinds the clock to the restored snapshot, so
             // binning these would double-count the replayed window;
             // they are rendered in the Perfetto trace instead.
-            TraceEvent::Recovery { .. } | TraceEvent::DegradedEnter { .. } => {}
+            TraceEvent::Recovery { .. }
+            | TraceEvent::DegradedEnter { .. }
+            | TraceEvent::SwapBegin { .. }
+            | TraceEvent::SwapComplete { .. } => {}
             TraceEvent::FaultInjected { cycle, .. } => self.bucket(cycle).faults += 1,
             TraceEvent::Trap { cycle, .. } => self.bucket(cycle).traps += 1,
         }

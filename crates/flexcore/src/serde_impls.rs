@@ -46,6 +46,9 @@ impl Serialize for ResilienceStats {
             .field("bitstream_reloads", &self.bitstream_reloads)
             .field("unmonitored_commits", &self.unmonitored_commits)
             .field("suppressed_checks", &self.suppressed_checks)
+            .field("swaps_completed", &self.swaps_completed)
+            .field("swap_drained_packets", &self.swap_drained_packets)
+            .field("swap_stall_cycles", &self.swap_stall_cycles)
             .build()
     }
 }

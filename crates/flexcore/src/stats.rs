@@ -65,6 +65,16 @@ pub struct ResilienceStats {
     /// Packets the CFGR would have forwarded for checking but that
     /// degraded mode suppressed.
     pub suppressed_checks: u64,
+    /// Mid-run bitstream hot-swaps completed (see
+    /// [`crate::reconfig`]).
+    pub swaps_completed: u64,
+    /// FIFO packets still in flight when a hot-swap began quiescing —
+    /// all of them were fully processed by the outgoing extension
+    /// before the region was reprogrammed (drained, never dropped).
+    pub swap_drained_packets: u64,
+    /// Core cycles the commit stage spent stalled across swap windows
+    /// (quiesce drain + frame shift-in + retry backoff).
+    pub swap_stall_cycles: u64,
 }
 
 /// The complete result of a [`System`](crate::System) run.
@@ -254,6 +264,16 @@ impl RunResult {
                 "degraded mode",
                 self.resilience.unmonitored_commits,
                 self.resilience.suppressed_checks,
+            );
+        }
+        if self.resilience.swaps_completed != 0 {
+            let _ = writeln!(
+                out,
+                "{:<18}{} completed, {} packets drained, {} stall cycles",
+                "hot swaps",
+                self.resilience.swaps_completed,
+                self.resilience.swap_drained_packets,
+                self.resilience.swap_stall_cycles,
             );
         }
         if !self.flight.is_empty() {

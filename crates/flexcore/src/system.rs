@@ -1,7 +1,7 @@
 //! The full FlexCore system model.
 
 use flexcore_asm::Program;
-use flexcore_fabric::LutMapping;
+use flexcore_fabric::{LutMapping, PartialRegion};
 use flexcore_mem::{CacheConfig, MainMemory, MetaDataCache, SystemBus};
 use flexcore_pipeline::{Core, CoreConfig, ExitReason, StepResult, TracePacket};
 use flexcore_telemetry::{NullPhaseClock, Phase, PhaseClock};
@@ -16,6 +16,7 @@ use crate::faults::{
 use crate::interface::{Cfgr, ForwardFifo, ForwardPolicy};
 use crate::lockstep::{DivergenceReport, LockstepChecker};
 use crate::obs::{NullSink, TraceEvent, TraceSink};
+use crate::reconfig::{ReconfigController, SwapPolicy, SwapReport, SwapRequest};
 use crate::stats::{ForwardStats, ResilienceStats, RunResult};
 use crate::ShadowRegFile;
 
@@ -297,6 +298,15 @@ pub struct System<E: Extension, S: TraceSink = NullSink, P: PhaseClock = NullPha
     /// un-processed; recovery reports surface the count. Deliberately
     /// not in the [`Snapshot`] and never reset by a restore.
     fifo_drained_on_restore: u64,
+    /// Scheduled mid-run hot-swaps (see [`crate::reconfig`]). Swap
+    /// *schedules* are construction-time configuration (like the fault
+    /// plan), not snapshot state: [`System::restore`] realigns the
+    /// lifecycle against the restored commit count so a replay
+    /// re-executes the swap deterministically.
+    reconfig: ReconfigController<E>,
+    /// The fabric's partial-reconfiguration region, programmed frame by
+    /// frame during each swap window.
+    region: PartialRegion,
     /// Host wall-clock nanoseconds spent inside the run loop so far,
     /// accumulated across `try_run`/`try_run_until` segments. Not part
     /// of a [`Snapshot`] (host time is not architectural state) and
@@ -352,6 +362,8 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
             degraded: false,
             degraded_entry: None,
             fifo_drained_on_restore: 0,
+            reconfig: ReconfigController::new(),
+            region: PartialRegion::new(),
             host_ns: 0,
             sink,
             prof,
@@ -898,6 +910,22 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
                 return Err(SimError::Deadlock(snap));
             }
             let cycle = self.core.cycle();
+            // Hot-swap hook: fires at the scheduled commit boundary,
+            // before the pause check so a snapshot taken at the same
+            // boundary observes the swap as already completed (the
+            // restore realignment relies on this ordering). Skipped
+            // while a trap is in flight (the run is about to halt) and
+            // in degraded mode (monitoring is bypassed; degraded mode
+            // is one-way).
+            if self.reconfig.any_pending() && !self.degraded && !self.trap_pending() {
+                if let Some(idx) = self.reconfig.due(self.forward.committed) {
+                    self.execute_swap(idx)?;
+                    // The swap window's stall is not a lack of forward
+                    // progress; restart the watchdog.
+                    last_commit_cycle = self.core.cycle();
+                    continue;
+                }
+            }
             if let Some(pause) = pause_at {
                 let instret = self.core.stats().instret;
                 if instret >= pause {
@@ -985,6 +1013,141 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
         })
     }
 
+    /// Schedules a mid-run bitstream hot-swap: at the given commit
+    /// boundary the system quiesces, drains every in-flight packet,
+    /// programs the request's bitstream into the
+    /// partial-reconfiguration region (with the same bounded
+    /// retry-with-reload as [`System::load_bitstream`]), and rearms
+    /// with the incoming extension per its [`SwapPolicy`]. See
+    /// [`crate::reconfig`] for the lifecycle contract.
+    ///
+    /// Multiple swaps may be scheduled; they fire in boundary order.
+    /// Like the fault plan, the schedule is construction-time
+    /// configuration: a harness restoring a [`Snapshot`] into a fresh
+    /// system must re-schedule the same swaps.
+    pub fn schedule_swap(&mut self, req: SwapRequest<E>) {
+        self.reconfig.schedule(req);
+    }
+
+    /// Completed hot-swaps, oldest first (rewound swaps are dropped by
+    /// [`System::restore`]).
+    pub fn swap_reports(&self) -> &[SwapReport] {
+        self.reconfig.reports()
+    }
+
+    /// `true` while at least one scheduled swap has not yet fired.
+    pub fn swap_pending(&self) -> bool {
+        self.reconfig.any_pending()
+    }
+
+    /// The fabric's partial-reconfiguration region (frame counters and
+    /// the currently-programmed mapping).
+    pub fn reconfig_region(&self) -> &PartialRegion {
+        &self.region
+    }
+
+    /// The quiesce → drain → swap → rearm sequence, at a commit
+    /// boundary. An unprogrammable bitstream (retry budget exhausted)
+    /// propagates as [`SimError::UnrecoverableCorruption`] with the
+    /// swap still pending, so a recovery-ladder replay re-executes the
+    /// whole window deterministically.
+    fn execute_swap(&mut self, idx: usize) -> Result<(), SimError> {
+        let cycle = self.core.cycle();
+        let committed = self.forward.committed;
+        self.emit(TraceEvent::SwapBegin { cycle, instret: committed });
+        // Quiesce + drain: the commit stage stalls (exactly as under
+        // FIFO back-pressure) until every in-flight packet has been
+        // fully processed by the *outgoing* extension — packets are
+        // drained, never dropped.
+        let drained = self.fifo.occupancy(cycle) as u64;
+        let drain_done = self.fifo.empty_at(cycle).max(self.fabric_free_at).max(cycle);
+        if drain_done.saturating_sub(cycle) > self.config.watchdog_cycles {
+            // A wedged fabric can never drain; surface the window as a
+            // deadlock so the recovery ladder can restore and retry.
+            self.wedged = Some(self.deadlock_snapshot(cycle));
+            return Ok(());
+        }
+        // The outgoing extension's dirty meta-data is written back so
+        // the incoming extension starts from a consistent memory image.
+        self.meta.flush(&mut self.mem);
+        let retries0 = self.resilience.bitstream_retries;
+        let bitstream = self.reconfig.slots_mut()[idx].bitstream.clone();
+        // The transfer models the fault-prone link: each attempt passes
+        // through the injector and may be corrupted in flight.
+        self.load_bitstream(&bitstream)?;
+        // Shift the validated stream into the partial-reconfiguration
+        // region frame by frame. The source bytes just validated, so a
+        // frame failure here is a model inconsistency, not a transient.
+        let frames = flexcore_fabric::segment_bitstream(&bitstream, flexcore_fabric::FRAME_BYTES);
+        let region_err = |e: flexcore_fabric::ReconfigError| SimError::UnrecoverableCorruption {
+            context: "partial-reconfiguration region",
+            attempts: 1,
+            detail: e.to_string(),
+        };
+        self.region.begin_load(frames.len() as u32);
+        for f in &frames {
+            self.region.push_frame(f).map_err(region_err)?;
+        }
+        let _ = self.region.commit().map_err(region_err)?;
+        // Timing: one fabric cycle per frame shifted in, with every
+        // failed transfer attempt re-shifting the whole stream
+        // (retry-with-backoff), on top of the drain.
+        let retries = self.resilience.bitstream_retries - retries0;
+        let shift = (frames.len() as u64) * self.grid() * (1 + retries);
+        let reconfig_done = self.align_up(drain_done.saturating_add(shift));
+        self.core.stall_until(reconfig_done);
+        self.fabric_free_at = reconfig_done;
+        // Rearm: the incoming extension goes live with state per the
+        // swap policy.
+        let (from, to, policy, at_commit) = {
+            let slot = &mut self.reconfig.slots_mut()[idx];
+            let Some(mut incoming) = slot.pending.take() else {
+                return Err(SimError::UnrecoverableCorruption {
+                    context: "hot-swap slot",
+                    attempts: 1,
+                    detail: "scheduled swap has no pending extension".to_string(),
+                });
+            };
+            match slot.policy {
+                SwapPolicy::Reset => incoming.restore_state(&slot.pristine),
+                SwapPolicy::Carry => {
+                    if incoming.name() == self.ext.name() {
+                        // A bitstream refresh: transplant the outgoing
+                        // monitor state into the incoming instance.
+                        let carried = self.ext.snapshot_state();
+                        incoming.restore_state(&carried);
+                    } else {
+                        // State words are not portable across kinds.
+                        incoming.restore_state(&slot.pristine);
+                    }
+                }
+            }
+            incoming.rearm();
+            let outgoing = std::mem::replace(&mut self.ext, incoming);
+            let from = outgoing.name();
+            slot.retired = Some(outgoing);
+            slot.done = true;
+            (from, self.ext.name(), slot.policy, slot.at_commit)
+        };
+        self.cfgr = self.ext.cfgr();
+        self.resilience.swaps_completed += 1;
+        self.resilience.swap_drained_packets += drained;
+        self.resilience.swap_stall_cycles += reconfig_done.saturating_sub(cycle);
+        self.emit(TraceEvent::SwapComplete { cycle: reconfig_done, drained });
+        self.reconfig.push_report(SwapReport {
+            at_commit,
+            from,
+            to,
+            policy,
+            quiesce_cycle: cycle,
+            rearmed_cycle: reconfig_done,
+            drained_packets: drained,
+            retries,
+            frames: frames.len() as u64,
+        });
+        Ok(())
+    }
+
     /// Captures the complete checkpointable state of the system (see
     /// [`crate::checkpoint`] for the restore contract). Meaningful at
     /// any commit boundary — in practice right after
@@ -1049,6 +1212,12 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
                 snap.format
             )));
         }
+        // Realign scheduled hot-swaps against the restored commit
+        // count *before* the extension-name check: the snapshot names
+        // whichever extension was live at capture time, and the swap
+        // hook runs before the pause hook, so a swap at boundary `c`
+        // is completed in every snapshot with `committed >= c`.
+        self.realign_swaps(snap.forward.committed);
         if snap.ext_name != self.ext.name() {
             return Err(RestoreError::new(format!(
                 "snapshot was taken with extension `{}`, this system runs `{}`",
@@ -1114,6 +1283,42 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
             self.enable_lockstep();
         }
         Ok(())
+    }
+
+    /// Puts the hot-swap lifecycle in the state it had at `committed`
+    /// instructions: completed swaps past that boundary are un-done
+    /// (the outgoing extension comes back, the slot becomes pending
+    /// again, its report is dropped), and pending swaps at or before it
+    /// are fast-forwarded (the restored timeline already executed
+    /// them — their timing effects live in the restored core/FIFO
+    /// state). A replay that crosses a re-pended boundary re-executes
+    /// the full swap window deterministically:
+    /// [`SwapPolicy::Reset`] restores the pristine state captured at
+    /// scheduling time, and [`SwapPolicy::Carry`] re-derives its carry
+    /// from the (deterministically replayed) outgoing extension.
+    fn realign_swaps(&mut self, committed: u64) {
+        // Un-swap newest-first so stacked swaps unwind in order.
+        for i in (0..self.reconfig.slots_mut().len()).rev() {
+            let slot = &mut self.reconfig.slots_mut()[i];
+            if slot.done && slot.at_commit > committed {
+                if let Some(old) = slot.retired.take() {
+                    slot.pending = Some(std::mem::replace(&mut self.ext, old));
+                }
+                slot.done = false;
+            }
+        }
+        // Fast-forward oldest-first so stacked swaps land in order.
+        for i in 0..self.reconfig.slots_mut().len() {
+            let slot = &mut self.reconfig.slots_mut()[i];
+            if !slot.done && slot.at_commit <= committed {
+                if let Some(incoming) = slot.pending.take() {
+                    slot.retired = Some(std::mem::replace(&mut self.ext, incoming));
+                }
+                slot.done = true;
+            }
+        }
+        self.cfgr = self.ext.cfgr();
+        self.reconfig.truncate_reports(committed);
     }
 
     /// Turns on lockstep golden-model checking from the core's current

@@ -27,9 +27,9 @@
 //! Job flags (define one inline job; repeat `--spec FILE` for more):
 //!
 //! * `--spec FILE` — JSON job spec (repeatable; fields: name, seed,
-//!   trials, workloads, lockstep, recover, sweep, priority, policy)
+//!   trials, workloads, lockstep, recover, sweep, reconfig, priority, policy)
 //! * `--job NAME` `--seed N` `--trials N` `--workloads a,b`
-//!   `--lockstep` `--recover` `--sweep` `--priority N`
+//!   `--lockstep` `--recover` `--sweep` `--reconfig` `--priority N`
 //!
 //! Server flags:
 //!
@@ -88,7 +88,7 @@ fn arg_flag(flag: &str) -> bool {
 fn usage() -> ! {
     eprintln!(
         "usage: flexserve run [--spec FILE]... [--job NAME --seed N --trials N \
-         --workloads a,b --lockstep --recover --sweep --priority N] [--journal-dir DIR] \
+         --workloads a,b --lockstep --recover --sweep --reconfig --priority N] [--journal-dir DIR] \
          [--workers N] [--resume] [--max-depth N] [--sync-every N] [--stop-after N] \
          [--max-attempts N] [--backoff-base-ms N] [--chaos-panic N] [--chaos-all-attempts] \
          [--trace FILE] [--status FILE] [--progress]\n       flexserve serve [server flags] \
@@ -111,6 +111,7 @@ fn inline_job() -> Option<JobSpec> {
         || arg_flag("--lockstep")
         || arg_flag("--recover")
         || arg_flag("--sweep")
+        || arg_flag("--reconfig")
         || arg_value("--priority").is_some();
     if !inline_flags_used && !arg_strings("--spec").is_empty() {
         return None;
@@ -126,6 +127,7 @@ fn inline_job() -> Option<JobSpec> {
         lockstep: arg_flag("--lockstep"),
         recover: arg_flag("--recover"),
         sweep: arg_flag("--sweep"),
+        reconfig: arg_flag("--reconfig"),
         priority: arg_value("--priority").unwrap_or(u64::from(d.priority)) as u8,
         policy: d.policy,
     })

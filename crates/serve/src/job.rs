@@ -9,7 +9,9 @@
 //! would do identical work collide as duplicates at admission.
 
 use flexcore::recovery::RecoveryPolicy;
-use flexcore_bench::trial::{campaign1_trials, sweep_trials, CampaignSpec, TrialSpec};
+use flexcore_bench::trial::{
+    campaign1_trials, reconfig_trials, sweep_trials, CampaignSpec, TrialSpec,
+};
 use flexcore_workloads::Workload;
 use serde::Value;
 
@@ -78,6 +80,11 @@ pub struct JobSpec {
     pub recover: bool,
     /// Also run the rate × target sweep (campaigns 2–3).
     pub sweep: bool,
+    /// Also run the reconfig-window campaign: per workload, `trials`
+    /// UMC → CFI hot-swaps with bitstream faults striking inside the
+    /// swap window (requires `recover` for triage; without it the
+    /// trials still run but exhaustion surfaces as an error outcome).
+    pub reconfig: bool,
     /// Scheduling priority: higher runs first, and under queue
     /// overload the lowest-priority queued job is shed first.
     pub priority: u8,
@@ -95,6 +102,7 @@ impl Default for JobSpec {
             lockstep: false,
             recover: false,
             sweep: false,
+            reconfig: false,
             priority: 1,
             policy: RecoveryPolicy::default(),
         }
@@ -107,16 +115,19 @@ impl JobSpec {
     /// resume. Excludes `name` and `priority` deliberately: renaming or
     /// reprioritizing a campaign must not orphan its journal.
     pub fn canonical(&self) -> String {
-        let v = Value::object()
+        let mut v = Value::object()
             .field("seed", &self.seed)
             .field("trials", &(self.trials as u64))
             .field("workloads", &self.workloads)
             .field("lockstep", &self.lockstep)
             .field("recover", &self.recover)
-            .field("sweep", &self.sweep)
-            .field("policy", &self.policy)
-            .build();
-        serde::to_string(&v)
+            .field("sweep", &self.sweep);
+        // Stamped only when set, so every pre-reconfig campaign keeps
+        // its hash (and therefore its journal file) across the upgrade.
+        if self.reconfig {
+            v = v.field("reconfig", &true);
+        }
+        serde::to_string(&v.field("policy", &self.policy).build())
     }
 
     /// The campaign hash keying this job's queue slot and journal file.
@@ -151,6 +162,7 @@ impl JobSpec {
             .field("lockstep", &self.lockstep)
             .field("recover", &self.recover)
             .field("sweep", &self.sweep)
+            .field("reconfig", &self.reconfig)
             .field("priority", &(u64::from(self.priority)))
             .field("policy", &self.policy)
             .build()
@@ -190,6 +202,7 @@ impl JobSpec {
             lockstep: bool_or("lockstep", d.lockstep),
             recover: bool_or("recover", d.recover),
             sweep: bool_or("sweep", d.sweep),
+            reconfig: bool_or("reconfig", d.reconfig),
             priority: v.get("priority").and_then(Value::as_u64).unwrap_or(u64::from(d.priority))
                 as u8,
             policy: v.get("policy").map_or(d.policy, RecoveryPolicy::from_value),
@@ -218,10 +231,11 @@ impl JobSpec {
     }
 
     /// Expands the job into its full trial list — campaign-1 ALU flips
-    /// for every workload, then (with `sweep`) the rate × target sweep
-    /// — in exactly the order `faultsweep` runs and records them, so a
-    /// merged `flexserve` trial log diffs clean against a `faultsweep`
-    /// progress log.
+    /// for every workload, then (with `sweep`) the rate × target
+    /// sweep, then (with `reconfig`) the reconfig-window hot-swap
+    /// trials — in exactly the order `faultsweep` runs and records
+    /// them, so a merged `flexserve` trial log diffs clean against a
+    /// `faultsweep` progress log.
     pub fn trial_specs(&self) -> Result<Vec<TrialSpec>, JobSpecError> {
         let workloads = self.resolve_workloads()?;
         if workloads.is_empty() || self.trials == 0 {
@@ -237,6 +251,9 @@ impl JobSpec {
         let mut trials = campaign1_trials(&cspec, &workloads);
         if self.sweep {
             trials.extend(sweep_trials(&cspec, &workloads));
+        }
+        if self.reconfig {
+            trials.extend(reconfig_trials(&cspec, &workloads));
         }
         Ok(trials)
     }
@@ -258,6 +275,12 @@ mod tests {
         assert_ne!(a.id(), resized.id());
         let swept = JobSpec { sweep: true, ..a.clone() };
         assert_ne!(a.id(), swept.id());
+        let reconfigured = JobSpec { reconfig: true, ..a.clone() };
+        assert_ne!(a.id(), reconfigured.id());
+        // The reconfig stamp is append-only: a job that does not ask
+        // for it serializes exactly as it did before the field existed,
+        // so pre-upgrade journals still match their campaign hash.
+        assert!(!a.canonical().contains("reconfig"));
         let repoliced = JobSpec {
             policy: RecoveryPolicy { max_replays: 9, ..RecoveryPolicy::default() },
             ..a.clone()
@@ -275,6 +298,7 @@ mod tests {
             lockstep: true,
             recover: true,
             sweep: true,
+            reconfig: true,
             priority: 3,
             policy: RecoveryPolicy { checkpoint_every: 512, ..RecoveryPolicy::default() },
         };
@@ -305,6 +329,17 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             trials.iter().map(|t| t.label.as_str()).collect();
         assert_eq!(labels.len(), trials.len(), "labels are unique resume keys");
+    }
+
+    #[test]
+    fn reconfig_jobs_append_the_swap_window_trials() {
+        let spec = JobSpec { trials: 2, reconfig: true, recover: true, ..JobSpec::default() };
+        let trials = spec.trial_specs().expect("expands");
+        // campaign-1: 2 × 2 workloads; reconfig: 2 × 2 workloads.
+        assert_eq!(trials.len(), 4 + 4);
+        assert_eq!(trials[4].label, "sha swap 0");
+        assert_eq!(trials[6].label, "bitcount swap 0");
+        assert!(trials[4].recover, "swap trials inherit the job's recovery setting");
     }
 
     #[test]
