@@ -87,7 +87,7 @@ pub fn analyze_dataflow(program: &Program, cfg: &Cfg) -> DataflowReport {
 // ---------------------------------------------------------------------
 
 /// The odd register of an even/odd double-word pair.
-fn pair_of(rd: Reg) -> Option<Reg> {
+pub(crate) fn pair_of(rd: Reg) -> Option<Reg> {
     Reg::new(rd.index() as u8 | 1).filter(|&p| p != rd)
 }
 
@@ -95,7 +95,7 @@ fn pair_of(rd: Reg) -> Option<Reg> {
 /// [`Instruction::source_regs`] with the cases the decode-level pair
 /// cannot express: the data register of a store with a register
 /// offset, both halves of `std`, and `swap`'s read of `rd`.
-fn read_regs(inst: &Instruction) -> Vec<Reg> {
+pub(crate) fn read_regs(inst: &Instruction) -> Vec<Reg> {
     let (a, b) = inst.source_regs();
     let mut regs: Vec<Reg> = a.into_iter().chain(b).collect();
     if let Instruction::Mem { op, rd, .. } = *inst {
@@ -115,7 +115,7 @@ fn read_regs(inst: &Instruction) -> Vec<Reg> {
 }
 
 /// Registers an instruction writes (both halves of `ldd`).
-fn write_regs(inst: &Instruction) -> Vec<Reg> {
+pub(crate) fn write_regs(inst: &Instruction) -> Vec<Reg> {
     let mut regs: Vec<Reg> = inst.dest_reg().into_iter().collect();
     if let Instruction::Mem { op: Opcode::Ldd, rd, .. } = *inst {
         if let Some(hi) = pair_of(rd) {
@@ -285,23 +285,23 @@ fn must_init_pass(cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
 /// A value set `[lo, hi]` (inclusive, non-wrapping). The full range is
 /// the domain's "unknown".
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Interval {
-    lo: u32,
-    hi: u32,
+pub(crate) struct Interval {
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
 }
 
-const TOP: Interval = Interval { lo: 0, hi: u32::MAX };
+pub(crate) const TOP: Interval = Interval { lo: 0, hi: u32::MAX };
 
 impl Interval {
-    fn exact(v: u32) -> Interval {
+    pub(crate) fn exact(v: u32) -> Interval {
         Interval { lo: v, hi: v }
     }
 
-    fn as_exact(self) -> Option<u32> {
+    pub(crate) fn as_exact(self) -> Option<u32> {
         (self.lo == self.hi).then_some(self.lo)
     }
 
-    fn hull(self, o: Interval) -> Interval {
+    pub(crate) fn hull(self, o: Interval) -> Interval {
         Interval { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
     }
 
@@ -309,7 +309,7 @@ impl Interval {
     /// sum range does not straddle a wrap boundary (a negative
     /// immediate arrives as a large `u32`, so an in-range `addr - 12`
     /// wraps *both* ends and stays an interval).
-    fn add(self, o: Interval) -> Interval {
+    pub(crate) fn add(self, o: Interval) -> Interval {
         let lo = self.lo as u64 + o.lo as u64;
         let hi = self.hi as u64 + o.hi as u64;
         if lo >> 32 == hi >> 32 {
@@ -365,18 +365,18 @@ impl Interval {
 }
 
 #[derive(Clone, PartialEq, Eq)]
-struct ConstState {
-    regs: [Interval; NUM_REGS],
+pub(crate) struct ConstState {
+    pub(crate) regs: [Interval; NUM_REGS],
     /// Exactly-known flags (both operands of the setting op exact).
-    icc: Option<IccFlags>,
+    pub(crate) icc: Option<IccFlags>,
     /// `Some((r, k))` ⇔ the flags currently reflect `subcc r, k`: the
     /// compare the next conditional branch tests, enabling range
     /// refinement on its edges.
-    cmp: Option<(Reg, u32)>,
+    pub(crate) cmp: Option<(Reg, u32)>,
 }
 
 impl ConstState {
-    fn entry() -> ConstState {
+    pub(crate) fn entry() -> ConstState {
         // Core reset zeroes the flat register file, then the loader
         // points `%sp`/`%fp` at the stack top.
         let mut regs = [Interval::exact(0); NUM_REGS];
@@ -385,7 +385,7 @@ impl ConstState {
         ConstState { regs, icc: Some(IccFlags::default()), cmp: None }
     }
 
-    fn get(&self, r: Reg) -> Interval {
+    pub(crate) fn get(&self, r: Reg) -> Interval {
         if r.is_zero() {
             Interval::exact(0)
         } else {
@@ -393,7 +393,7 @@ impl ConstState {
         }
     }
 
-    fn set(&mut self, r: Reg, v: Interval) {
+    pub(crate) fn set(&mut self, r: Reg, v: Interval) {
         if !r.is_zero() {
             self.regs[r.index()] = v;
             if self.cmp.is_some_and(|(cr, _)| cr == r) {
@@ -404,7 +404,7 @@ impl ConstState {
         }
     }
 
-    fn operand2(&self, op2: Operand2) -> Interval {
+    pub(crate) fn operand2(&self, op2: Operand2) -> Interval {
         match op2 {
             Operand2::Reg(r) => self.get(r),
             Operand2::Imm(i) => Interval::exact(i as u32),
@@ -412,7 +412,7 @@ impl ConstState {
     }
 }
 
-fn const_transfer(s: &mut ConstState, pc: u32, inst: &Instruction) {
+pub(crate) fn const_transfer(s: &mut ConstState, pc: u32, inst: &Instruction) {
     match *inst {
         Instruction::Alu { op, rd, rs1, op2 } => {
             let a = s.get(rs1);
@@ -515,7 +515,7 @@ fn negate_cond(c: Cond) -> Cond {
 /// `u32` interval (signed compares over possibly-negative ranges,
 /// overflow/sign tests) refine nothing, and an infeasible result
 /// leaves the state untouched rather than modeling unreachability.
-fn refine_edge(s: &mut ConstState, edge: &Edge) {
+pub(crate) fn refine_edge(s: &mut ConstState, edge: &Edge) {
     let Some((cond, taken)) = edge.branch else { return };
     let Some((r, k)) = s.cmp else { return };
     let cur = s.get(r);
@@ -557,7 +557,7 @@ fn refine_edge(s: &mut ConstState, edge: &Edge) {
 /// unknown, bounding fixpoint time on huge-trip-count loops. Generous
 /// enough that the paper kernels' loops (≤ a few hundred iterations)
 /// converge without widening.
-const WIDEN_LIMIT: u32 = 512;
+pub(crate) const WIDEN_LIMIT: u32 = 512;
 
 fn const_pass(program: &Program, cfg: &Cfg, report: &mut DataflowReport) {
     let mut join_counts = vec![0u32; cfg.blocks().len()];

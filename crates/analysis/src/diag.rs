@@ -85,6 +85,13 @@ pub enum Rule {
     DeadWrite,
     /// An indirect jump whose target the analysis cannot resolve.
     IndirectJump,
+    /// An indirect jump whose target register provably carries
+    /// input-derived taint on every path (the static counterpart of
+    /// the DIFT extension's tainted-jump trap).
+    TaintedJump,
+    /// A store whose data register provably carries input-derived
+    /// taint on every path (taint escaping to memory).
+    TaintedStore,
     /// A netlist gate references a net index past the gate array.
     NlDanglingRef,
     /// A combinational cycle (excluding the legal DFF self-loop hold).
@@ -128,6 +135,8 @@ impl Rule {
             Rule::LoadOutOfImage => "load-out-of-image",
             Rule::DeadWrite => "dead-write",
             Rule::IndirectJump => "indirect-jump",
+            Rule::TaintedJump => "tainted-jump",
+            Rule::TaintedStore => "tainted-store",
             Rule::NlDanglingRef => "nl-dangling-ref",
             Rule::NlCombLoop => "nl-comb-loop",
             Rule::NlUnconnectedDff => "nl-unconnected-dff",
@@ -160,12 +169,15 @@ impl Rule {
             | Rule::WindowImbalance
             | Rule::OpenWindowAtHalt
             | Rule::StoreOverCode
+            | Rule::TaintedJump
             | Rule::NlDeadLogic
             | Rule::NlFloatingInput
             | Rule::NlDuplicateOutput => Severity::Warning,
-            Rule::UselessAnnul | Rule::DeadWrite | Rule::IndirectJump | Rule::NlUnconnectedDff => {
-                Severity::Info
-            }
+            Rule::UselessAnnul
+            | Rule::DeadWrite
+            | Rule::IndirectJump
+            | Rule::TaintedStore
+            | Rule::NlUnconnectedDff => Severity::Info,
         }
     }
 }

@@ -29,6 +29,7 @@ pub mod cfi;
 pub mod dataflow;
 pub mod diag;
 pub mod netlint;
+pub mod taint;
 
 use flexcore_asm::Program;
 
@@ -37,11 +38,13 @@ pub use cfi::{cfi_edges, CfiEdges};
 pub use dataflow::{analyze_dataflow, DataflowReport, ProvenLoad, META_BASE};
 pub use diag::{Diagnostic, Rule, Severity};
 pub use netlint::lint_netlist;
+pub use taint::{analyze_taint, analyze_taint_cfg, Taint, TaintReport};
 
 /// Combined result of the software-side analysis.
 #[derive(Clone, Debug)]
 pub struct AnalysisReport {
-    /// All findings, sorted by address then rule id.
+    /// All findings, sorted by (address, rule id, severity) and
+    /// deduplicated.
     pub diagnostics: Vec<Diagnostic>,
     /// The recovered control-flow graph.
     pub cfg: Cfg,
@@ -68,7 +71,8 @@ pub fn analyze_program(program: &Program) -> AnalysisReport {
     let (cfg, mut diagnostics) = build_cfg(program);
     let dataflow = analyze_dataflow(program, &cfg);
     diagnostics.extend(dataflow.diagnostics);
-    diagnostics.sort_by_key(|d| (d.addr, d.rule.id()));
+    diagnostics.sort_by_key(|d| (d.addr, d.rule.id(), d.severity));
+    diagnostics.dedup();
     AnalysisReport { diagnostics, cfg, proven_loads: dataflow.proven_loads }
 }
 

@@ -9,17 +9,26 @@
 //!   --xcheck        additionally run every selected workload under the
 //!                   UMC extension and fail if the dynamic monitor
 //!                   traps on a load the static pass proved initialized
-//!   --max <N>       instruction budget for --xcheck runs (default 200M)
+//!   --taint         run the interprocedural taint pass and report the
+//!                   check-elision table it proves (tainted-jump /
+//!                   tainted-store findings plus per-class PC counts)
+//!   --emit-elision <dir>  write each workload's elision table to
+//!                   `<dir>/<workload>.elision.json` (implies --taint)
+//!   --verify-elision  run every selected workload under UMC, DIFT, and
+//!                   CFI twice — full and with the elision table — and
+//!                   fail on any divergence (implies --taint)
+//!   --max <N>       instruction budget for --xcheck / --verify-elision
+//!                   runs (default 200M)
 //!   --quiet         print only errors and the per-target summary
 //!
 //! With no workload arguments, all six paper kernels are analyzed
-//! (sha gmac stringsearch fft basicmath bitcount) along with the six
-//! extension netlists (umc dift bc sec mprot cfi).
+//! (sha gmac stringsearch fft basicmath bitcount) along with the seven
+//! extension netlists (umc dift bc sec mprot cfi nop).
 //! ```
 //!
 //! Exit codes: `0` clean, `1` at least one error-severity finding,
 //! `2` usage or harness failure, `3` static/dynamic contradiction in
-//! `--xcheck` mode.
+//! `--xcheck` mode or lockstep divergence in `--verify-elision` mode.
 //!
 //! The `--xcheck` soundness direction: the static must-initialize
 //! analysis under-approximates (it only *proves* loads whose address
@@ -39,9 +48,10 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use flexcore::ext::{Bc, Cfi, CfiTable, Dift, Extension, Mprot, Sec, Umc};
+use flexcore::ext::{Bc, Cfi, CfiTable, Dift, Extension, Mprot, Nop, Sec, Umc};
 use flexcore::{System, SystemConfig};
 use flexcore_analysis::{analyze_program, lint_netlist, AnalysisReport, Diagnostic, Severity};
+use flexcore_bench::elide::{build_elision_table, verify_elision, ELIDABLE_EXTENSIONS};
 use flexcore_fabric::{
     from_bitstream, map_to_luts, segment_bitstream, to_bitstream, verify_consistent, Netlist,
     PartialRegion, FRAME_BYTES,
@@ -55,8 +65,19 @@ struct Options {
     workloads: Vec<String>,
     json: Option<String>,
     xcheck: bool,
+    taint: bool,
+    emit_elision: Option<String>,
+    verify_elision: bool,
     max: u64,
     quiet: bool,
+}
+
+impl Options {
+    /// `true` when any mode needing the taint pass and elision table is
+    /// on (`--emit-elision` / `--verify-elision` imply `--taint`).
+    fn wants_elision(&self) -> bool {
+        self.taint || self.emit_elision.is_some() || self.verify_elision
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +85,9 @@ fn parse_args() -> Result<Options, String> {
         workloads: Vec::new(),
         json: None,
         xcheck: false,
+        taint: false,
+        emit_elision: None,
+        verify_elision: false,
         max: 200_000_000,
         quiet: false,
     };
@@ -72,6 +96,11 @@ fn parse_args() -> Result<Options, String> {
         match a.as_str() {
             "--json" => opts.json = Some(args.next().ok_or("--json needs a file")?),
             "--xcheck" => opts.xcheck = true,
+            "--taint" => opts.taint = true,
+            "--emit-elision" => {
+                opts.emit_elision = Some(args.next().ok_or("--emit-elision needs a directory")?);
+            }
+            "--verify-elision" => opts.verify_elision = true,
             "--max" => {
                 opts.max = args
                     .next()
@@ -168,6 +197,7 @@ fn extension_netlists() -> Vec<Netlist> {
         // of the edge table contents, so an empty table lints the same
         // netlist every program-specific instance uses.
         Cfi::new(CfiTable::new()).netlist(),
+        Nop::new().netlist(),
     ]
 }
 
@@ -344,6 +374,84 @@ fn run() -> Result<u8, String> {
         }
     }
 
+    let mut divergences = 0usize;
+    let mut taint_values = Vec::new();
+    if opts.wants_elision() {
+        if let Some(dir) = &opts.emit_elision {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        }
+        for &w in &workloads {
+            let program = w.program().map_err(|e| format!("{}: {e}", w.name()))?;
+            let (table, summary) = build_elision_table(&program);
+            let target = format!("taint {}", w.name());
+            print_findings(&target, &summary.taint_diagnostics, opts.quiet);
+            println!(
+                "[elide {}] {} UMC, {} DIFT, {} CFI PC(s) elidable{}",
+                w.name(),
+                summary.umc_pcs,
+                summary.dift_pcs,
+                summary.cfi_pcs,
+                if summary.taint_forfeited { " (taint forfeited its elision set)" } else { "" }
+            );
+            let mut obj = serde::Value::object()
+                .field("workload", &w.name())
+                .field("umc_pcs", &(summary.umc_pcs as u64))
+                .field("dift_pcs", &(summary.dift_pcs as u64))
+                .field("cfi_pcs", &(summary.cfi_pcs as u64))
+                .field("taint_forfeited", &summary.taint_forfeited)
+                .raw(
+                    "diagnostics",
+                    serde::Value::Array(summary.taint_diagnostics.iter().map(diag_json).collect()),
+                );
+            if let Some(dir) = &opts.emit_elision {
+                let path = format!("{dir}/{}.elision.json", w.name());
+                std::fs::write(&path, table.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                if !opts.quiet {
+                    println!("[elide {}] wrote {} entries to {path}", w.name(), table.len());
+                }
+                obj = obj.field("table", &path.as_str());
+            }
+            let mut verify_values = Vec::new();
+            if opts.verify_elision {
+                for ext in ELIDABLE_EXTENSIONS {
+                    let v = verify_elision(&program, ext, &table, opts.max)?;
+                    match &v.divergence {
+                        Some(d) => {
+                            divergences += 1;
+                            println!("[verify {} {ext}] DIVERGENCE: {d}", w.name());
+                        }
+                        None => println!(
+                            "[verify {} {ext}] ok: {} of {} check(s) elided, verdict identical",
+                            w.name(),
+                            v.elided_checks,
+                            v.full_forwarded
+                        ),
+                    }
+                    let mut row = serde::Value::object()
+                        .field("extension", &ext)
+                        .field("elided_checks", &v.elided_checks)
+                        .field("full_forwarded", &v.full_forwarded)
+                        .field("elided_forwarded", &v.elided_forwarded)
+                        .field("ok", &v.is_clean());
+                    if let Some(d) = &v.divergence {
+                        row = row.field("divergence", &d.as_str());
+                    }
+                    verify_values.push(row.build());
+                }
+                obj = obj.raw("verify", serde::Value::Array(verify_values));
+            }
+            taint_values.push(obj.build());
+        }
+        if opts.verify_elision {
+            println!(
+                "[verify-elision] {} workload(s) x {} extension(s), {} divergence(s)",
+                workloads.len(),
+                ELIDABLE_EXTENSIONS.len(),
+                divergences
+            );
+        }
+    }
+
     if let Some(path) = &opts.json {
         let mut artifact = serde::Value::object()
             .field("version", &1u64)
@@ -352,6 +460,9 @@ fn run() -> Result<u8, String> {
             .raw("swaps", serde::Value::Array(swap_values));
         if opts.xcheck {
             artifact = artifact.raw("xcheck", serde::Value::Array(xcheck_values));
+        }
+        if opts.wants_elision() {
+            artifact = artifact.raw("elision", serde::Value::Array(taint_values));
         }
         std::fs::write(path, serde::to_string_pretty(&artifact.build()))
             .map_err(|e| format!("{path}: {e}"))?;
@@ -365,6 +476,10 @@ fn run() -> Result<u8, String> {
         );
         return Ok(3);
     }
+    if divergences > 0 {
+        eprintln!("{divergences} lockstep divergence(s): an elided run did not match its full run");
+        return Ok(3);
+    }
     Ok(u8::from(any_error))
 }
 
@@ -376,7 +491,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: flexcheck [--json FILE] [--xcheck] [--max N] [--quiet] [workload ...]\n\
+                "usage: flexcheck [--json FILE] [--xcheck] [--taint] [--emit-elision DIR]\n\
+                 \x20                [--verify-elision] [--max N] [--quiet] [workload ...]\n\
                  \x20      workloads default to: sha gmac stringsearch fft basicmath bitcount"
             );
             ExitCode::from(2)

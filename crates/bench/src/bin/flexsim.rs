@@ -10,6 +10,9 @@
 //!                                        given commit boundary (repeatable; policy is
 //!                                        reset|carry, default reset); CFI's edge table
 //!                                        is recovered statically from the program
+//!   --elide <table.json>                 install a check-elision table emitted by
+//!                                        `flexcheck --emit-elision`; statically
+//!                                        discharged checks are never enqueued
 //!   --clock <1x|0.5x|0.25x>              fabric clock ratio (default: 0.5x)
 //!   --fifo <N>                           forward-FIFO depth (default: 64)
 //!   --max <N>                            instruction budget (default: 200M)
@@ -102,6 +105,7 @@ struct Options {
     lockstep: bool,
     recover: bool,
     swaps: Vec<SwapPoint>,
+    elide: Option<String>,
 }
 
 impl Options {
@@ -143,6 +147,7 @@ fn parse_args() -> Result<Options, String> {
         lockstep: false,
         recover: false,
         swaps: Vec::new(),
+        elide: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -205,6 +210,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lockstep" => opts.lockstep = true,
             "--recover" => opts.recover = true,
+            "--elide" => opts.elide = Some(args.next().ok_or("--elide needs a table file")?),
             "--help" | "-h" => return Err("help".into()),
             other if opts.input.is_empty() => opts.input = other.to_string(),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -221,6 +227,11 @@ fn parse_args() -> Result<Options, String> {
     if opts.ext == "none" && opts.wants_system() {
         return Err("--checkpoint-every/--resume/--lockstep need the full system model; \
              pick an extension with --ext umc|dift|bc|sec|mprot"
+            .into());
+    }
+    if opts.ext == "none" && opts.elide.is_some() {
+        return Err("--elide filters the monitored forward path; pick an extension with \
+             --ext umc|dift|cfi"
             .into());
     }
     if opts.ext == "none" && !opts.swaps.is_empty() {
@@ -349,6 +360,24 @@ fn run_monitored(program: &Program, opts: &Options, ext: Box<dyn Extension>) -> 
 
     let mut sys = System::with_sink(cfg, ext, obs);
     sys.load_program(program);
+    if let Some(path) = &opts.elide {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        };
+        let table = match flexcore::ElisionTable::from_json(&json) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return 2;
+            }
+        };
+        eprintln!("[{name}] elision table installed: {} PC(s) from {path}", table.len());
+        sys.set_elision(table);
+    }
     // Swaps are scheduled before a checkpoint restore: `restore`
     // realigns the scheduled timeline against the checkpoint's commit
     // count, so a resumed run re-executes (or fast-forwards) its swaps
@@ -554,8 +583,8 @@ fn main() -> ExitCode {
                  \x20              [--trace FILE] [--flight-recorder N] [--vcd FILE]\n\
                  \x20              [--checkpoint-every N] [--checkpoint-path FILE]\n\
                  \x20              [--quit-after-checkpoint] [--resume FILE] [--lockstep]\n\
-                 \x20              [--recover] [--swap-at COMMIT:ext[:policy]] [--json]\n\
-                 \x20              [--commits] [--disasm] <program.s | workload>"
+                 \x20              [--recover] [--swap-at COMMIT:ext[:policy]] [--elide FILE]\n\
+                 \x20              [--json] [--commits] [--disasm] <program.s | workload>"
             );
             return ExitCode::from(2);
         }

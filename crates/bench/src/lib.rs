@@ -20,6 +20,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod elide;
 pub mod microbench;
 pub mod paper;
 mod runner;

@@ -37,8 +37,9 @@ use crate::stats::{ForwardStats, ResilienceStats};
 /// Version tag embedded in every serialized snapshot; restore rejects
 /// other versions. Version 2 widened the resilience counter array from
 /// 5 to 7 entries (degraded-mode accounting); version 3 widened it to
-/// 10 (hot-swap accounting).
-pub const SNAPSHOT_FORMAT: u32 = 3;
+/// 10 (hot-swap accounting); version 4 widened it to 11 (static
+/// check-elision accounting).
+pub const SNAPSHOT_FORMAT: u32 = 4;
 
 /// Word-level difference of one 4-KB page against the baseline image
 /// captured at [`load_program`](crate::System::load_program).
@@ -486,6 +487,7 @@ mod json {
                 s.swaps_completed,
                 s.swap_drained_packets,
                 s.swap_stall_cycles,
+                s.elided_checks,
             ]
             .iter()
             .map(|&v| Value::U64(v))
@@ -496,9 +498,9 @@ mod json {
     fn resilience_from(v: &Value) -> R<ResilienceStats> {
         let items = v.as_array().ok_or_else(|| err("resilience stats are not an array"))?;
         let n = u64_list(items, "resilience stat")?;
-        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads, unmonitored_commits, suppressed_checks, swaps_completed, swap_drained_packets, swap_stall_cycles]:
-            [u64; 10] =
-            n.try_into().map_err(|_| err("resilience stats need exactly 10 counters"))?;
+        let [faults_injected, packets_corrupted, dropped_overflow, bitstream_retries, bitstream_reloads, unmonitored_commits, suppressed_checks, swaps_completed, swap_drained_packets, swap_stall_cycles, elided_checks]:
+            [u64; 11] =
+            n.try_into().map_err(|_| err("resilience stats need exactly 11 counters"))?;
         Ok(ResilienceStats {
             faults_injected,
             packets_corrupted,
@@ -510,6 +512,7 @@ mod json {
             swaps_completed,
             swap_drained_packets,
             swap_stall_cycles,
+            elided_checks,
         })
     }
 

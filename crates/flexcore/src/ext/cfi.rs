@@ -163,6 +163,35 @@ impl Extension for Cfi {
         self.suppressed
     }
 
+    fn elision_class(&self) -> u8 {
+        crate::elide::ELIDE_CFI
+    }
+
+    fn check_elidable(&self, pkt: &TracePacket) -> bool {
+        // Self-certifying: re-run the *static* part of the check
+        // against the loaded table, so a stale elision table can never
+        // flip a verdict. Direct branches and calls have static
+        // targets — if the edge is recorded, `process` provably passes
+        // and skipping it only skips the counter bump. Indirect jumps
+        // and returns have dynamic targets the table cannot vouch for.
+        if self.bypassed {
+            return false;
+        }
+        match pkt.inst {
+            Instruction::Branch { cond, disp22, .. } => {
+                cond == Cond::N
+                    || self
+                        .table
+                        .branch_edges
+                        .contains(&(pkt.pc, pkt.pc.wrapping_add((disp22 as u32) << 2)))
+            }
+            Instruction::Call { disp30 } => {
+                self.table.call_targets.contains(&pkt.pc.wrapping_add((disp30 as u32) << 2))
+            }
+            _ => false,
+        }
+    }
+
     fn process(
         &mut self,
         pkt: &TracePacket,

@@ -234,6 +234,25 @@ impl Extension for Dift {
         self.suppressed
     }
 
+    fn elision_class(&self) -> u8 {
+        crate::elide::ELIDE_DIFT
+    }
+
+    fn check_elidable(&self, pkt: &TracePacket) -> bool {
+        // The static taint verdicts are computed against the paper's
+        // prototype configuration: per-word tags and the default
+        // check-jumps policy. Any drift from that — a SET_POLICY cpop
+        // ran, the byte-granular variant, a software-visible `cpop`
+        // packet, or an atomic swap (whose tag exchange the static
+        // analysis never marks) — forfeits elision for this packet.
+        !self.bypassed
+            && self.policy == POLICY_CHECK_JUMPS
+            && self.granularity == TagGranularity::PerWord
+            && pkt.class != InstrClass::Cpop1
+            && pkt.class != InstrClass::Cpop2
+            && pkt.class != InstrClass::Swap
+    }
+
     fn process(
         &mut self,
         pkt: &TracePacket,

@@ -319,6 +319,24 @@ pub trait Extension {
         0
     }
 
+    /// Which [`ElisionTable`](crate::ElisionTable) bit covers this
+    /// extension's checks (`ELIDE_UMC`, `ELIDE_DIFT`, `ELIDE_CFI`, …).
+    /// `0` — the default — means no static analysis targets this
+    /// extension and nothing is ever elided for it.
+    fn elision_class(&self) -> u8 {
+        0
+    }
+
+    /// Whether skipping this packet entirely (never enqueueing it) is
+    /// guaranteed to leave the extension's observable behavior —
+    /// trap verdicts, meta-data, shadow tags, returned BFIFO values —
+    /// bit-identical. Called only for PCs the elision table marks;
+    /// extensions re-validate per packet so a stale table costs
+    /// performance, never soundness. Default: `false` (never elide).
+    fn check_elidable(&self, _pkt: &TracePacket) -> bool {
+        false
+    }
+
     /// The extension's datapath as a gate-level netlist, used by the
     /// Table III cost models (FPGA LUT mapping and ASIC synthesis).
     fn netlist(&self) -> Netlist;
@@ -391,6 +409,12 @@ impl<T: Extension + ?Sized> Extension for Box<T> {
     }
     fn suppressed_checks(&self) -> u64 {
         (**self).suppressed_checks()
+    }
+    fn elision_class(&self) -> u8 {
+        (**self).elision_class()
+    }
+    fn check_elidable(&self, pkt: &TracePacket) -> bool {
+        (**self).check_elidable(pkt)
     }
     fn netlist(&self) -> Netlist {
         (**self).netlist()

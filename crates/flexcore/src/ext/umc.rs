@@ -181,6 +181,19 @@ impl Extension for Umc {
         self.suppressed
     }
 
+    fn elision_class(&self) -> u8 {
+        crate::elide::ELIDE_UMC
+    }
+
+    fn check_elidable(&self, pkt: &TracePacket) -> bool {
+        // Only the pure load-side check is elidable: stores and swaps
+        // write meta-data (a side effect the static proof does not
+        // cover), and `cpop`s are software-visible. A proven load's
+        // only observable effect is the trap verdict the analysis
+        // already discharged (`traps_checked` legitimately differs).
+        !self.bypassed && pkt.class.is_load() && pkt.class != InstrClass::Swap
+    }
+
     fn process(
         &mut self,
         pkt: &TracePacket,

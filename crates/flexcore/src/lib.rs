@@ -83,6 +83,7 @@ pub mod reconfig;
 pub mod recovery;
 pub mod software;
 
+mod elide;
 mod error;
 #[cfg(feature = "serde")]
 mod serde_impls;
@@ -91,6 +92,7 @@ mod stats;
 mod system;
 
 pub use checkpoint::{RestoreError, Snapshot};
+pub use elide::{ElisionTable, ELIDE_CFI, ELIDE_DIFT, ELIDE_UMC, ELISION_FORMAT};
 pub use error::{DeadlockSnapshot, SimError};
 pub use ext::{Extension, ExtensionDescriptor, MonitorTrap};
 pub use interface::{Cfgr, ForwardFifo, ForwardPolicy};

@@ -179,6 +179,18 @@ mod export {
                     .raw("args", Value::object().field("drained", &drained).build())
                     .build()
             }
+            TraceEvent::CheckElided { cycle, pc, class } => {
+                base("check-elided", "i", cycle, TID_CORE)
+                    .field("s", &"t")
+                    .raw(
+                        "args",
+                        Value::object()
+                            .field("pc", &format!("{pc:#010x}"))
+                            .field("class", &format!("{class:?}").to_lowercase())
+                            .build(),
+                    )
+                    .build()
+            }
             TraceEvent::Trap { cycle, pc, instret } => base("trap", "i", cycle, TID_CORE)
                 .field("s", &"g")
                 .raw(

@@ -139,6 +139,17 @@ pub enum TraceEvent {
         /// FIFO packets drained during the quiesce.
         drained: u64,
     },
+    /// A forwarded-class packet was never enqueued because a static
+    /// check-elision table discharged the extension's check at this PC
+    /// (see [`ElisionTable`](crate::ElisionTable)).
+    CheckElided {
+        /// Commit cycle of the elided instruction.
+        cycle: u64,
+        /// PC whose check was statically discharged.
+        pc: u32,
+        /// Instruction class.
+        class: InstrClass,
+    },
     /// A monitor trap was raised (the TRAP signal was scheduled).
     Trap {
         /// Core-clock cycle at which the signal asserts (§III.C: the
@@ -170,6 +181,7 @@ impl TraceEvent {
             | TraceEvent::DegradedEnter { cycle }
             | TraceEvent::SwapBegin { cycle, .. }
             | TraceEvent::SwapComplete { cycle, .. }
+            | TraceEvent::CheckElided { cycle, .. }
             | TraceEvent::Trap { cycle, .. } => cycle,
             TraceEvent::FabricSpan { start, .. } => start,
             TraceEvent::BitstreamRetry { .. } => 0,
@@ -198,6 +210,8 @@ mod tests {
         assert_eq!(TraceEvent::DegradedEnter { cycle: 44 }.cycle(), 44);
         assert_eq!(TraceEvent::SwapBegin { cycle: 55, instret: 10 }.cycle(), 55);
         assert_eq!(TraceEvent::SwapComplete { cycle: 66, drained: 3 }.cycle(), 66);
+        let elided = TraceEvent::CheckElided { cycle: 77, pc: 0x1000, class: InstrClass::Ld };
+        assert_eq!(elided.cycle(), 77);
     }
 
     #[test]

@@ -247,6 +247,9 @@ impl TraceSink for MetricsRecorder {
             | TraceEvent::DegradedEnter { .. }
             | TraceEvent::SwapBegin { .. }
             | TraceEvent::SwapComplete { .. } => {}
+            // Elisions are a per-run aggregate
+            // (`ResilienceStats::elided_checks`); no epoch series.
+            TraceEvent::CheckElided { .. } => {}
             TraceEvent::FaultInjected { cycle, .. } => self.bucket(cycle).faults += 1,
             TraceEvent::Trap { cycle, .. } => self.bucket(cycle).traps += 1,
         }

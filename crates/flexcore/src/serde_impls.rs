@@ -49,6 +49,7 @@ impl Serialize for ResilienceStats {
             .field("swaps_completed", &self.swaps_completed)
             .field("swap_drained_packets", &self.swap_drained_packets)
             .field("swap_stall_cycles", &self.swap_stall_cycles)
+            .field("elided_checks", &self.elided_checks)
             .build()
     }
 }

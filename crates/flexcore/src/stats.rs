@@ -75,6 +75,10 @@ pub struct ResilienceStats {
     /// Core cycles the commit stage spent stalled across swap windows
     /// (quiesce drain + frame shift-in + retry backoff).
     pub swap_stall_cycles: u64,
+    /// Packets never enqueued because a static check-elision table
+    /// (see [`ElisionTable`](crate::ElisionTable)) proved the
+    /// extension's check redundant at that PC.
+    pub elided_checks: u64,
 }
 
 /// The complete result of a [`System`](crate::System) run.
@@ -274,6 +278,13 @@ impl RunResult {
                 self.resilience.swaps_completed,
                 self.resilience.swap_drained_packets,
                 self.resilience.swap_stall_cycles,
+            );
+        }
+        if self.resilience.elided_checks != 0 {
+            let _ = writeln!(
+                out,
+                "{:<18}{} checks statically discharged (never enqueued)",
+                "elided", self.resilience.elided_checks,
             );
         }
         if !self.flight.is_empty() {

@@ -307,6 +307,10 @@ pub struct System<E: Extension, S: TraceSink = NullSink, P: PhaseClock = NullPha
     /// The fabric's partial-reconfiguration region, programmed frame by
     /// frame during each swap window.
     region: PartialRegion,
+    /// Static check-elision table ([`System::set_elision`]).
+    /// Construction-time configuration like the CFGR, not snapshot
+    /// state: a restored run must be built with the same table.
+    elision: Option<crate::elide::ElisionTable>,
     /// Host wall-clock nanoseconds spent inside the run loop so far,
     /// accumulated across `try_run`/`try_run_until` segments. Not part
     /// of a [`Snapshot`] (host time is not architectural state) and
@@ -364,10 +368,28 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
             fifo_drained_on_restore: 0,
             reconfig: ReconfigController::new(),
             region: PartialRegion::new(),
+            elision: None,
             host_ns: 0,
             sink,
             prof,
         }
+    }
+
+    /// Installs a static check-elision table (see
+    /// [`ElisionTable`](crate::ElisionTable)): packets whose PC the
+    /// table marks for this extension's
+    /// [`elision_class`](Extension::elision_class) — and that the
+    /// extension itself confirms via
+    /// [`check_elidable`](Extension::check_elidable) — are never
+    /// enqueued toward the fabric. Each skip is counted in
+    /// [`ResilienceStats::elided_checks`](crate::ResilienceStats::elided_checks).
+    pub fn set_elision(&mut self, table: crate::elide::ElisionTable) {
+        self.elision = Some(table);
+    }
+
+    /// The installed elision table, if any.
+    pub fn elision(&self) -> Option<&crate::elide::ElisionTable> {
+        self.elision.as_ref()
     }
 
     /// The installed trace sink.
@@ -707,6 +729,22 @@ impl<E: Extension, S: TraceSink, P: PhaseClock> System<E, S, P> {
         let mut policy = self.cfgr.policy(pkt.class);
         if !policy.forwards() {
             return;
+        }
+        if let Some(table) = &self.elision {
+            // Statically discharged check: the analysis proved this
+            // PC's packet cannot change the extension's observable
+            // behavior, and the extension re-validates per packet
+            // (defense in depth against a stale table). Skip the FIFO
+            // and the fabric entirely.
+            if table.mask(pkt.pc) & self.ext.elision_class() != 0 && self.ext.check_elidable(&pkt) {
+                self.resilience.elided_checks += 1;
+                self.emit(TraceEvent::CheckElided {
+                    cycle: pkt.commit_cycle,
+                    pc: pkt.pc,
+                    class: pkt.class,
+                });
+                return;
+            }
         }
         if self.config.precise_exceptions {
             // No decoupling: every forwarded instruction must be

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Append elided-vs-full throughput rows to BENCH_sim_throughput.json.
+
+Runs every paper kernel under the three elidable extensions (UMC, DIFT,
+CFI) through `flexsim`, once full and once with the check-elision table
+emitted by `flexcheck --emit-elision`, and appends one row per run in
+the flexprof row schema (extension names carry a `+elide` suffix for
+the elided legs). Rows for a (workload, extension) pair that already
+exist in the document are replaced, so the script is idempotent.
+
+Usage:
+    python3 scripts/append_elision_throughput.py TABLE_DIR [BENCH_JSON]
+
+TABLE_DIR must hold `<workload>.elision.json` files (from
+`flexcheck --taint --emit-elision TABLE_DIR`). BENCH_JSON defaults to
+BENCH_sim_throughput.json in the repository root.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+WORKLOADS = ["sha", "gmac", "stringsearch", "fft", "basicmath", "bitcount"]
+EXTENSIONS = ["umc", "dift", "cfi"]
+FLEXSIM = ["cargo", "run", "--release", "-q", "-p", "flexcore-bench", "--bin", "flexsim", "--"]
+
+
+def run_flexsim(workload: str, ext: str, elide: Path | None) -> dict:
+    cmd = FLEXSIM + [workload, "--ext", ext, "--json"]
+    if elide is not None:
+        cmd += ["--elide", str(elide)]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def row(workload: str, label: str, r: dict) -> dict:
+    return {
+        "workload": workload,
+        "extension": label,
+        "instret": r["instret"],
+        "cycles": r["cycles"],
+        "host_ns": r["host_ns"],
+        "host_sim_insns_per_sec": r["host_sim_insns_per_sec"],
+        "host_sim_cycles_per_sec": r["host_sim_cycles_per_sec"],
+    }
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    table_dir = Path(sys.argv[1])
+    bench_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("BENCH_sim_throughput.json")
+    doc = json.loads(bench_path.read_text())
+
+    new_rows = []
+    for w in WORKLOADS:
+        table = table_dir / f"{w}.elision.json"
+        if not table.exists():
+            print(f"error: {table} missing (run flexcheck --taint --emit-elision first)",
+                  file=sys.stderr)
+            return 2
+        for ext in EXTENSIONS:
+            label = ext.upper()
+            full = run_flexsim(w, ext, None)
+            elided = run_flexsim(w, ext, table)
+            elided_checks = elided["resilience"]["elided_checks"]
+            new_rows.append(row(w, label, full))
+            new_rows.append(row(w, f"{label}+elide", elided))
+            print(f"{w:>13} {label:<11} full {full['cycles']:>9} cy, "
+                  f"elided {elided['cycles']:>9} cy ({elided_checks} checks discharged)")
+
+    replaced = {(r["workload"], r["extension"]) for r in new_rows}
+    doc["rows"] = [r for r in doc["rows"]
+                   if (r["workload"], r["extension"]) not in replaced] + new_rows
+    bench_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {len(new_rows)} elided-vs-full row(s) to {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
